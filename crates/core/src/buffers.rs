@@ -1,0 +1,158 @@
+//! Memory management (paper Section 3.2.3): a size-classed buffer pool for
+//! reusable gradient/activation blocks and a per-device memory meter.
+//!
+//! The paper pre-allocates five buffer families (workspace, forward,
+//! backward, parameter-gradient, conjunction) so that a training step
+//! performs no fresh allocations after warm-up. In this simulation the
+//! SUMMA panel workspace lives in [`summa::Workspace`]; this module provides
+//! the remaining two pieces:
+//!
+//! * [`BufferPool`] — recycles `Vec<f32>` buffers between layers (the
+//!   "parameter gradient buffer can be reused" and "conjunction buffer"
+//!   techniques). [`BufferPool::fresh_allocs`] proves steady-state reuse.
+//! * [`MemMeter`] — tracks live activation bytes and their high-water mark,
+//!   used to demonstrate the `p×` activation-memory reduction and the
+//!   checkpointing ablation (Fig. 9's mechanism at simulation scale).
+
+use std::collections::HashMap;
+
+/// Recycling pool of `f32` buffers, keyed by exact length.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: HashMap<usize, Vec<Vec<f32>>>,
+    /// Buffers created because the pool had none of the right size.
+    pub fresh_allocs: usize,
+    /// Buffers served from the free list.
+    pub reuses: usize,
+}
+
+impl BufferPool {
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Takes a zeroed buffer of exactly `len` elements.
+    pub fn acquire(&mut self, len: usize) -> Vec<f32> {
+        if let Some(list) = self.free.get_mut(&len) {
+            if let Some(mut buf) = list.pop() {
+                self.reuses += 1;
+                buf.fill(0.0);
+                return buf;
+            }
+        }
+        self.fresh_allocs += 1;
+        vec![0.0; len]
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn release(&mut self, buf: Vec<f32>) {
+        self.free.entry(buf.len()).or_default().push(buf);
+    }
+
+    /// Total elements currently parked in the pool.
+    pub fn pooled_elems(&self) -> usize {
+        self.free
+            .iter()
+            .map(|(len, list)| len * list.len())
+            .sum()
+    }
+}
+
+/// Live-byte accounting with a high-water mark.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemMeter {
+    current: usize,
+    peak: usize,
+}
+
+impl MemMeter {
+    pub fn new() -> Self {
+        MemMeter::default()
+    }
+
+    /// Registers `bytes` of newly live data.
+    pub fn alloc(&mut self, bytes: usize) {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Releases `bytes` of live data.
+    pub fn free(&mut self, bytes: usize) {
+        assert!(bytes <= self.current, "freeing more than allocated");
+        self.current -= bytes;
+    }
+
+    /// Bytes currently live.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// High-water mark since construction (or last [`MemMeter::reset_peak`]).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Resets the peak to the current level.
+    pub fn reset_peak(&mut self) {
+        self.peak = self.current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reuses_matching_sizes() {
+        let mut pool = BufferPool::new();
+        let a = pool.acquire(16);
+        assert_eq!(pool.fresh_allocs, 1);
+        pool.release(a);
+        let b = pool.acquire(16);
+        assert_eq!(pool.fresh_allocs, 1);
+        assert_eq!(pool.reuses, 1);
+        assert_eq!(b.len(), 16);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pool_distinguishes_sizes() {
+        let mut pool = BufferPool::new();
+        let a = pool.acquire(8);
+        pool.release(a);
+        let _b = pool.acquire(9);
+        assert_eq!(pool.fresh_allocs, 2);
+        assert_eq!(pool.pooled_elems(), 8);
+    }
+
+    #[test]
+    fn reused_buffers_come_back_zeroed() {
+        let mut pool = BufferPool::new();
+        let mut a = pool.acquire(4);
+        a.fill(7.0);
+        pool.release(a);
+        let b = pool.acquire(4);
+        assert_eq!(b, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn meter_tracks_peak() {
+        let mut m = MemMeter::new();
+        m.alloc(100);
+        m.alloc(50);
+        m.free(120);
+        m.alloc(10);
+        assert_eq!(m.current(), 40);
+        assert_eq!(m.peak(), 150);
+        m.reset_peak();
+        assert_eq!(m.peak(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing more")]
+    fn meter_rejects_overfree() {
+        let mut m = MemMeter::new();
+        m.alloc(10);
+        m.free(11);
+    }
+}

@@ -1,0 +1,267 @@
+//! 2D embedding, tied LM head and row-parallel cross-entropy
+//! (paper Sections 3.2.1–3.2.2).
+//!
+//! The embedding table `[v, h]` is `q × q`-blocked like every other
+//! parameter. The lookup is SUMMA `C = A·B` where `A` is the one-hot token
+//! matrix — never materialised: mesh row `i` holds the token ids of batch
+//! block `i` (replicated along the row), so the `A` panels need no
+//! communication and each iteration only broadcasts a table panel down the
+//! column. The tied LM head is exactly Algorithm 2 (`logits = H·Eᵀ`), and
+//! the cross-entropy reduces `max` / `Σexp` / label-logit partials along
+//! mesh rows (the vocabulary spans a row).
+
+use mesh::Grid2d;
+use summa::{summa_nn, summa_tn};
+use tensor::loss::{
+    ce_grad_local, partial_label_logit, partial_row_max, partial_sumexp,
+};
+use tensor::Tensor;
+
+/// Broadcasts the root row's table block down each column and returns it.
+fn table_panel(grid: &Grid2d, table_block: &Tensor, root_row: usize) -> Tensor {
+    let dims = [table_block.rows(), table_block.cols()];
+    let mut buf = if grid.row() == root_row {
+        table_block.as_slice().to_vec()
+    } else {
+        Vec::new()
+    };
+    grid.ctx().broadcast(grid.col_group(), root_row, &mut buf);
+    Tensor::from_vec(&dims, buf)
+}
+
+/// Embedding forward: SUMMA `C = A·B` with implicit one-hot `A`.
+///
+/// `table_block: [v/q, h/q]` is this device's block (vocab rows block =
+/// mesh row, hidden columns block = mesh column). `tokens_local` are the
+/// `b/q · s` token ids of this mesh row's batch block. Returns the local
+/// `[b/q·s, h/q]` activation block.
+pub fn embed2d_forward(
+    grid: &Grid2d,
+    table_block: &Tensor,
+    tokens_local: &[usize],
+    vocab: usize,
+) -> Tensor {
+    let q = grid.q();
+    let vb = vocab / q;
+    assert_eq!(table_block.rows(), vb, "table block rows");
+    let hb = table_block.cols();
+    let mut x = Tensor::zeros(&[tokens_local.len(), hb]);
+    for l in 0..q {
+        let panel = table_panel(grid, table_block, l);
+        let off = l * vb;
+        for (r, &t) in tokens_local.iter().enumerate() {
+            assert!(t < vocab, "token {t} out of vocab {vocab}");
+            if t >= off && t < off + vb {
+                let src = panel.row(t - off).to_vec();
+                for (dst, v) in x.row_mut(r).iter_mut().zip(src) {
+                    *dst += v;
+                }
+            }
+        }
+    }
+    x
+}
+
+/// Embedding lookup backward: the gradient of vocab slice `l` is
+/// scatter-accumulated locally and reduced down the column to mesh row `l`
+/// (the transpose of the forward broadcast). Adds into `d_table_block`.
+pub fn embed2d_backward(
+    grid: &Grid2d,
+    dx: &Tensor,
+    tokens_local: &[usize],
+    vocab: usize,
+    d_table_block: &mut Tensor,
+) {
+    let q = grid.q();
+    let vb = vocab / q;
+    let hb = dx.cols();
+    for l in 0..q {
+        let mut partial = Tensor::zeros(&[vb, hb]);
+        let off = l * vb;
+        for (r, &t) in tokens_local.iter().enumerate() {
+            if t >= off && t < off + vb {
+                let src = dx.row(r).to_vec();
+                for (dst, v) in partial.row_mut(t - off).iter_mut().zip(src) {
+                    *dst += v;
+                }
+            }
+        }
+        grid.ctx().reduce(grid.col_group(), l, partial.as_mut_slice());
+        if grid.row() == l {
+            d_table_block.add_assign(&partial);
+        }
+    }
+}
+
+/// Tied LM head forward (Algorithm 2): `logits = H·Eᵀ`, local block
+/// `[b/q·s, v/q]`.
+pub fn lm_head2d_forward(grid: &Grid2d, hidden: &Tensor, table_block: &Tensor) -> Tensor {
+    summa::summa_nt(grid, hidden, table_block)
+}
+
+/// Tied LM head backward (paper Eq. 3): `dH = dL·E`, `dE += dLᵀ·H`.
+pub fn lm_head2d_backward(
+    grid: &Grid2d,
+    dlogits: &Tensor,
+    hidden: &Tensor,
+    table_block: &Tensor,
+    d_table_block: &mut Tensor,
+) -> Tensor {
+    let dh = summa_nn(grid, dlogits, table_block);
+    let de = summa_tn(grid, dlogits, hidden);
+    d_table_block.add_assign(&de);
+    dh
+}
+
+/// Row-parallel cross-entropy over local logits `[b/q·s, v/q]`.
+///
+/// `Σexp` partials are all-reduced along the mesh **row** (the vocabulary
+/// dimension, Section 3.2.2); per-block loss sums are then all-reduced along
+/// the **column** so every device reports the same global mean loss.
+/// Returns `(global mean loss, local dlogits block)`.
+pub fn ce2d(
+    grid: &Grid2d,
+    logits: &Tensor,
+    labels_local: &[usize],
+    vocab: usize,
+    total_rows: usize,
+) -> (f32, Tensor) {
+    let q = grid.q();
+    let vb = vocab / q;
+    let off = grid.col() * vb;
+    assert_eq!(labels_local.len(), logits.rows());
+
+    let mut m = partial_row_max(logits);
+    grid.ctx().all_reduce_max(grid.row_group(), &mut m);
+    let mut se = partial_sumexp(logits, &m);
+    grid.ctx().all_reduce(grid.row_group(), &mut se);
+    let mut ll = partial_label_logit(logits, labels_local, off);
+    grid.ctx().all_reduce(grid.row_group(), &mut ll);
+
+    // Per-row losses are identical across the mesh row; sum this block's
+    // rows once and combine across batch blocks (the column).
+    let local_sum: f64 = (0..logits.rows())
+        .map(|r| (m[r] + se[r].ln() - ll[r]) as f64)
+        .sum();
+    let mut total = vec![local_sum as f32];
+    grid.ctx().all_reduce(grid.col_group(), &mut total);
+    let loss = total[0] / total_rows as f32;
+
+    let grad = ce_grad_local(logits, labels_local, off, &m, &se, 1.0 / total_rows as f32);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::Mesh2d;
+    use summa::{collect_blocks, distribute};
+    use tensor::loss::cross_entropy;
+    use tensor::{assert_close, matmul_nt, Rng, Tensor};
+
+    fn table(v: usize, h: usize) -> Tensor {
+        Tensor::randn(&[v, h], 0.5, &mut Rng::new(0))
+    }
+
+    #[test]
+    fn embed_forward_matches_serial_lookup() {
+        for q in [1usize, 2, 3] {
+            let (v, h, b, s) = (6 * q, 4 * q, q, 3);
+            let full = table(v, h);
+            let mut rng = Rng::new(1);
+            let tokens: Vec<usize> = (0..b * s).map(|_| rng.below(v)).collect();
+            let mut expect = Tensor::zeros(&[b * s, h]);
+            for (r, &t) in tokens.iter().enumerate() {
+                expect.row_mut(r).copy_from_slice(full.row(t));
+            }
+            let rows_per = b / q * s;
+            let blocks = Mesh2d::run(q, |g| {
+                let block = distribute(g, &full);
+                let local = &tokens[g.row() * rows_per..(g.row() + 1) * rows_per];
+                embed2d_forward(g, &block, local, v)
+            });
+            assert_close(
+                collect_blocks(&blocks, q).as_slice(),
+                expect.as_slice(),
+                1e-5,
+                1e-5,
+            );
+        }
+    }
+
+    #[test]
+    fn embed_backward_matches_serial_scatter() {
+        let q = 2;
+        let (v, h, b, s) = (8, 4, 2, 3);
+        let mut rng = Rng::new(2);
+        let tokens: Vec<usize> = (0..b * s).map(|_| rng.below(v)).collect();
+        let dx = Tensor::randn(&[b * s, h], 1.0, &mut rng);
+        // Serial scatter.
+        let mut expect = Tensor::zeros(&[v, h]);
+        for (r, &t) in tokens.iter().enumerate() {
+            let src = dx.row(r).to_vec();
+            for (dst, val) in expect.row_mut(t).iter_mut().zip(src) {
+                *dst += val;
+            }
+        }
+        let rows_per = b / q * s;
+        let blocks = Mesh2d::run(q, |g| {
+            let mut dt = Tensor::zeros(&[v / q, h / q]);
+            let local = &tokens[g.row() * rows_per..(g.row() + 1) * rows_per];
+            embed2d_backward(g, &distribute(g, &dx), local, v, &mut dt);
+            dt
+        });
+        assert_close(
+            collect_blocks(&blocks, q).as_slice(),
+            expect.as_slice(),
+            1e-5,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn lm_head_matches_serial() {
+        let q = 2;
+        let (v, h, rows) = (8, 4, 6);
+        let full = table(v, h);
+        let mut rng = Rng::new(3);
+        let hidden = Tensor::randn(&[rows, h], 1.0, &mut rng);
+        let expect = matmul_nt(&hidden, &full);
+        let blocks = Mesh2d::run(q, |g| {
+            lm_head2d_forward(g, &distribute(g, &hidden), &distribute(g, &full))
+        });
+        assert_close(
+            collect_blocks(&blocks, q).as_slice(),
+            expect.as_slice(),
+            1e-4,
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn ce2d_matches_serial_cross_entropy() {
+        let q = 2;
+        let (v, b, s) = (8, 2, 3);
+        let rows = b * s;
+        let mut rng = Rng::new(4);
+        let logits = Tensor::randn(&[rows, v], 1.5, &mut rng);
+        let labels: Vec<usize> = (0..rows).map(|_| rng.below(v)).collect();
+        let (loss_ref, grad_ref) = cross_entropy(&logits, &labels);
+        let rows_per = rows / q;
+        let outs = Mesh2d::run(q, |g| {
+            let block = distribute(g, &logits);
+            let local = &labels[g.row() * rows_per..(g.row() + 1) * rows_per];
+            ce2d(g, &block, local, v, rows)
+        });
+        let grads: Vec<Tensor> = outs.iter().map(|(_, g)| g.clone()).collect();
+        for (loss, _) in &outs {
+            assert!((loss - loss_ref).abs() < 1e-5, "{loss} vs {loss_ref}");
+        }
+        assert_close(
+            collect_blocks(&grads, q).as_slice(),
+            grad_ref.as_slice(),
+            1e-5,
+            1e-5,
+        );
+    }
+}

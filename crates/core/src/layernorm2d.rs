@@ -1,0 +1,166 @@
+//! 2D-distributed layer normalisation (paper Section 3.2.2).
+//!
+//! The hidden dimension spans a mesh row, so `Σx` and `Σx²` are summed
+//! locally and **all-reduced along the row**; `x̂` and `1/√(Var+ε)` are saved
+//! for backward. In backward, `Σ x̂·g` and `Σ g` get the same treatment. The
+//! affine parameters γ, β are hosted by mesh row 0 (like biases, Fig. 5):
+//! broadcast down columns in forward, gradients reduced back in backward.
+
+use mesh::Grid2d;
+use tensor::layernorm::{
+    ln_affine, ln_backward_finish, ln_backward_partials, ln_finish, ln_param_grads,
+    ln_partial_sums, LN_EPS,
+};
+use tensor::Tensor;
+
+/// Layer-norm parameters: `Some` slices (length `h/q`) on mesh row 0.
+#[derive(Clone, Debug)]
+pub struct LayerNorm2d {
+    pub gamma: Option<Vec<f32>>,
+    pub beta: Option<Vec<f32>>,
+}
+
+/// Saved forward state for the backward pass.
+pub struct Ln2dCache {
+    pub xhat: Tensor,
+    pub inv_std: Vec<f32>,
+    /// The γ slice this column received in forward (reused in backward).
+    pub gamma: Vec<f32>,
+}
+
+impl LayerNorm2d {
+    /// Builds from full `[h]` parameter vectors, slicing column `j`.
+    pub fn from_full(grid: &Grid2d, gamma_full: &[f32], beta_full: &[f32]) -> Self {
+        if grid.row() == 0 {
+            let w = gamma_full.len() / grid.q();
+            LayerNorm2d {
+                gamma: Some(gamma_full[grid.col() * w..(grid.col() + 1) * w].to_vec()),
+                beta: Some(beta_full[grid.col() * w..(grid.col() + 1) * w].to_vec()),
+            }
+        } else {
+            LayerNorm2d {
+                gamma: None,
+                beta: None,
+            }
+        }
+    }
+
+    /// Forward over the local `[rows/q, h/q]` block; `h_total` is the full
+    /// hidden size.
+    pub fn forward(&self, grid: &Grid2d, x: &Tensor, h_total: usize) -> (Tensor, Ln2dCache) {
+        // Parameters come down the column from row 0.
+        let mut gamma = self.gamma.clone().unwrap_or_default();
+        let mut beta = self.beta.clone().unwrap_or_default();
+        grid.ctx().broadcast(grid.col_group(), 0, &mut gamma);
+        grid.ctx().broadcast(grid.col_group(), 0, &mut beta);
+
+        // Row-wise moments across the mesh row.
+        let (mut s, mut s2) = ln_partial_sums(x);
+        grid.ctx().all_reduce(grid.row_group(), &mut s);
+        grid.ctx().all_reduce(grid.row_group(), &mut s2);
+        let cache = ln_finish(x, &s, &s2, h_total, LN_EPS);
+        let y = ln_affine(&cache.xhat, &gamma, &beta);
+        (
+            y,
+            Ln2dCache {
+                xhat: cache.xhat,
+                inv_std: cache.inv_std,
+                gamma,
+            },
+        )
+    }
+
+    /// Backward: returns `dx` and (on mesh row 0) the parameter gradients.
+    pub fn backward(
+        &self,
+        grid: &Grid2d,
+        dy: &Tensor,
+        cache: &Ln2dCache,
+        h_total: usize,
+    ) -> (Tensor, Option<Vec<f32>>, Option<Vec<f32>>) {
+        let (dxhat, mut dgamma, mut dbeta) = ln_param_grads(dy, &cache.xhat, &cache.gamma);
+        // Parameter grads go home to row 0.
+        grid.ctx().reduce(grid.col_group(), 0, &mut dgamma);
+        grid.ctx().reduce(grid.col_group(), 0, &mut dbeta);
+
+        let (mut sum_gx, mut sum_g) = ln_backward_partials(&dxhat, &cache.xhat);
+        grid.ctx().all_reduce(grid.row_group(), &mut sum_gx);
+        grid.ctx().all_reduce(grid.row_group(), &mut sum_g);
+        let dx = ln_backward_finish(&dxhat, &cache.xhat, &cache.inv_std, &sum_gx, &sum_g, h_total);
+
+        if grid.row() == 0 {
+            (dx, Some(dgamma), Some(dbeta))
+        } else {
+            (dx, None, None)
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // explicit indices aid test diagnostics
+mod tests {
+    use super::*;
+    use mesh::Mesh2d;
+    use summa::{collect_blocks, distribute};
+    use tensor::layernorm::{layer_norm_backward, layer_norm_forward};
+    use tensor::{assert_close, Rng, Tensor};
+
+    #[test]
+    fn forward_matches_serial_layernorm() {
+        for q in [1usize, 2, 3] {
+            let h = 4 * q;
+            let mut rng = Rng::new(0);
+            let x = Tensor::randn(&[2 * q, h], 1.3, &mut rng);
+            let gamma: Vec<f32> = (0..h).map(|i| 1.0 + 0.05 * i as f32).collect();
+            let beta: Vec<f32> = (0..h).map(|i| -0.1 + 0.02 * i as f32).collect();
+            let (y_ref, _) = layer_norm_forward(&x, &gamma, &beta, LN_EPS);
+            let blocks = Mesh2d::run(q, |g| {
+                let ln = LayerNorm2d::from_full(g, &gamma, &beta);
+                ln.forward(g, &distribute(g, &x), h).0
+            });
+            assert_close(
+                collect_blocks(&blocks, q).as_slice(),
+                y_ref.as_slice(),
+                1e-4,
+                1e-4,
+            );
+        }
+    }
+
+    #[test]
+    fn backward_matches_serial_layernorm() {
+        let q = 2;
+        let h = 4 * q;
+        let mut rng = Rng::new(1);
+        let x = Tensor::randn(&[2 * q, h], 1.0, &mut rng);
+        let dy = Tensor::randn(&[2 * q, h], 1.0, &mut rng);
+        let gamma: Vec<f32> = (0..h).map(|i| 1.0 + 0.05 * i as f32).collect();
+        let beta = vec![0.0f32; h];
+        let (_, cache_ref) = layer_norm_forward(&x, &gamma, &beta, LN_EPS);
+        let (dx_ref, dg_ref, db_ref) = layer_norm_backward(&dy, &cache_ref, &gamma);
+
+        let outs = Mesh2d::run(q, |g| {
+            let ln = LayerNorm2d::from_full(g, &gamma, &beta);
+            let (_, cache) = ln.forward(g, &distribute(g, &x), h);
+            ln.backward(g, &distribute(g, &dy), &cache, h)
+        });
+        let dx: Vec<Tensor> = outs.iter().map(|(a, _, _)| a.clone()).collect();
+        assert_close(
+            collect_blocks(&dx, q).as_slice(),
+            dx_ref.as_slice(),
+            1e-4,
+            1e-3,
+        );
+        let mut dg = Vec::new();
+        let mut db = Vec::new();
+        for j in 0..q {
+            dg.extend(outs[j].1.as_ref().unwrap());
+            db.extend(outs[j].2.as_ref().unwrap());
+        }
+        assert_close(&dg, &dg_ref, 1e-4, 1e-3);
+        assert_close(&db, &db_ref, 1e-4, 1e-3);
+        for rank in q..q * q {
+            assert!(outs[rank].1.is_none());
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! **Optimus** — the paper's contribution: 2D tensor parallelism for
+//! transformers, built on SUMMA distributed matrix multiplication.
+//!
+//! In the 1D (Megatron) scheme every device holds the *whole* `[b·s, h]`
+//! activation of every layer; Optimus partitions activations *and*
+//! parameters into `q × q` blocks over a device mesh (`p = q²`), so per
+//! device the activation footprint shrinks from `bsh` to `bsh/p`:
+//!
+//! * **SUMMA linear layers** ([`Linear2d`]) — all four matmuls of a
+//!   transformer layer run as Algorithm 1 forward and Algorithms 2–3 in
+//!   backward (the closed set of paper Eqs. 1–3). Biases live on mesh row 0,
+//!   broadcast down columns in forward and reduced back in backward
+//!   (Fig. 5).
+//! * **2D self-attention** — activations are partitioned along *batch* and
+//!   *hidden* (not sequence), so each device owns `b/q` sequences × `n/q`
+//!   complete heads and `softmax(QKᵀ)V` is entirely local (Section 3.2.1);
+//!   the rejected `(s, h)` partition would move the `b·n·s²` score tensor.
+//! * **2D layer norm** ([`LayerNorm2d`]) — local `Σx`, `Σx²` all-reduced
+//!   along mesh rows; `x̂` and `1/σ` saved for backward (Section 3.2.2).
+//! * **2D embedding / LM head / cross-entropy** ([`embedding2d`]) — the
+//!   embedding table is `q × q`-blocked; the lookup is SUMMA `C = AB` with
+//!   an implicit one-hot `A`, the tied LM head is Algorithm 2, and the
+//!   cross-entropy reduces log-sum-exp partials along mesh rows.
+//! * **Memory management** ([`BufferPool`], [`MemMeter`], activation
+//!   checkpointing in [`OptimusModel`]) — the Section 3.2.3 techniques:
+//!   pre-allocated reusable buffers, per-layer recompute, immediate
+//!   parameter update + gradient-buffer reset.
+//!
+//! Every layer and the full stem are verified element-wise against the
+//! serial reference (same seed ⇒ same losses, same gradients) by this
+//! crate's tests and the workspace integration tests.
+
+pub mod attention_sh;
+pub mod buffers;
+pub mod checkpoint;
+pub mod dp;
+pub mod embedding2d;
+mod config;
+mod layer2d;
+mod layernorm2d;
+mod linear2d;
+mod model;
+mod params2d;
+
+pub use buffers::{BufferPool, MemMeter};
+pub use dp::{hybrid_layout, hybrid_train_step, hybrid_train_step_zero1};
+pub use config::OptimusConfig;
+pub use layer2d::{layer2d_backward, layer2d_forward, Layer2dCache, Layer2dGrads};
+pub use layernorm2d::{LayerNorm2d, Ln2dCache};
+pub use linear2d::Linear2d;
+pub use model::{OptimusModel, TrainOutput};
+pub use params2d::Layer2dParams;

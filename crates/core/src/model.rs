@@ -1,0 +1,815 @@
+//! The full Optimus model: 2D embedding → N 2D layers → 2D final layer
+//! norm → tied LM head (Algorithm 2) → row-parallel cross-entropy, with
+//! distributed activation checkpointing and the paper's immediate-update
+//! training step.
+
+use crate::buffers::MemMeter;
+use crate::config::OptimusConfig;
+use crate::embedding2d::{
+    ce2d, embed2d_backward, embed2d_forward, lm_head2d_backward, lm_head2d_forward,
+};
+use crate::layer2d::{layer2d_backward, layer2d_forward, Layer2dGrads};
+use crate::layernorm2d::LayerNorm2d;
+use crate::params2d::Layer2dParams;
+use mesh::Grid2d;
+use tensor::Tensor;
+
+/// Device-local gradients for everything this device owns.
+pub struct Model2dGrads {
+    pub table: Tensor,
+    pub layers: Vec<Layer2dGrads>,
+    pub final_ln_g: Option<Vec<f32>>,
+    pub final_ln_b: Option<Vec<f32>>,
+}
+
+impl Model2dGrads {
+    /// `self += other` — used by gradient accumulation.
+    pub fn accumulate(&mut self, other: &Model2dGrads) {
+        fn add_opt(a: &mut Option<Vec<f32>>, b: &Option<Vec<f32>>) {
+            match (a, b) {
+                (Some(av), Some(bv)) => {
+                    for (x, y) in av.iter_mut().zip(bv) {
+                        *x += y;
+                    }
+                }
+                (None, None) => {}
+                _ => panic!("gradient hosting mismatch in accumulate"),
+            }
+        }
+        self.table.add_assign(&other.table);
+        add_opt(&mut self.final_ln_g, &other.final_ln_g);
+        add_opt(&mut self.final_ln_b, &other.final_ln_b);
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.w_qkv.add_assign(&b.w_qkv);
+            a.w_out.add_assign(&b.w_out);
+            a.w_fc1.add_assign(&b.w_fc1);
+            a.w_fc2.add_assign(&b.w_fc2);
+            add_opt(&mut a.ln1_g, &b.ln1_g);
+            add_opt(&mut a.ln1_b, &b.ln1_b);
+            add_opt(&mut a.b_qkv, &b.b_qkv);
+            add_opt(&mut a.b_out, &b.b_out);
+            add_opt(&mut a.ln2_g, &b.ln2_g);
+            add_opt(&mut a.ln2_b, &b.ln2_b);
+            add_opt(&mut a.b_fc1, &b.b_fc1);
+            add_opt(&mut a.b_fc2, &b.b_fc2);
+        }
+    }
+
+    /// Scales every gradient by `s` (e.g. `1/k` after accumulating `k`
+    /// microbatches).
+    pub fn scale(&mut self, s: f32) {
+        fn scale_opt(a: &mut Option<Vec<f32>>, s: f32) {
+            if let Some(v) = a {
+                for x in v.iter_mut() {
+                    *x *= s;
+                }
+            }
+        }
+        self.table.scale(s);
+        scale_opt(&mut self.final_ln_g, s);
+        scale_opt(&mut self.final_ln_b, s);
+        for g in &mut self.layers {
+            g.w_qkv.scale(s);
+            g.w_out.scale(s);
+            g.w_fc1.scale(s);
+            g.w_fc2.scale(s);
+            scale_opt(&mut g.ln1_g, s);
+            scale_opt(&mut g.ln1_b, s);
+            scale_opt(&mut g.b_qkv, s);
+            scale_opt(&mut g.b_out, s);
+            scale_opt(&mut g.ln2_g, s);
+            scale_opt(&mut g.ln2_b, s);
+            scale_opt(&mut g.b_fc1, s);
+            scale_opt(&mut g.b_fc2, s);
+        }
+    }
+}
+
+/// Result of a detailed training step.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainOutput {
+    /// Global mean loss (identical on every device).
+    pub loss: f32,
+    /// High-water mark of live activation bytes on this device during the
+    /// step — the quantity Fig. 9's max-batch search is about.
+    pub peak_activation_bytes: usize,
+}
+
+/// One device's shard of the Optimus model.
+pub struct OptimusModel {
+    pub cfg: OptimusConfig,
+    /// Embedding table block `[v/q, h/q]` (tied with the LM head).
+    pub table: Tensor,
+    pub layers: Vec<Layer2dParams>,
+    pub final_ln: LayerNorm2d,
+    /// Sentence-classification head block `[h/q, c/q]` (the second branch
+    /// of the paper's Fig. 1), present after
+    /// [`OptimusModel::with_classifier`].
+    pub cls: Option<crate::linear2d::Linear2d>,
+    /// Activation-byte accounting for the most recent step.
+    pub meter: MemMeter,
+}
+
+fn tensor_bytes(t: &Tensor) -> usize {
+    t.len() * 4
+}
+
+impl OptimusModel {
+    /// Builds this device's shard by slicing the canonical full parameters
+    /// generated deterministically from `seed`.
+    pub fn new(cfg: &OptimusConfig, seed: u64, grid: &Grid2d) -> Self {
+        let full = serial::ModelParams::init(seed, &cfg.model());
+        OptimusModel::from_params(cfg, &full, grid)
+    }
+
+    /// Adds the sentence-classification branch (Fig. 1): a `[h, c]` head
+    /// applied to the first token's hidden state of every sequence, blocked
+    /// like every other parameter. Requires `q | num_classes`.
+    pub fn with_classifier(mut self, grid: &Grid2d, seed: u64, num_classes: usize) -> Self {
+        assert_eq!(
+            num_classes % self.cfg.q,
+            0,
+            "classes {num_classes} must be divisible by q={}",
+            self.cfg.q
+        );
+        let full = tensor::init::init_matrix(
+            seed,
+            tensor::init::param_ids::CLS_HEAD,
+            &[self.cfg.hidden, num_classes],
+            tensor::init::WEIGHT_STD,
+        );
+        let bias = vec![0.0f32; num_classes];
+        self.cls = Some(crate::linear2d::Linear2d::from_full(grid, &full, &bias));
+        self
+    }
+
+    /// Pools the first token of each local sequence: `[b/q, h/q]`.
+    fn pool_first_token(&self, hidden: &Tensor) -> Tensor {
+        let s = self.cfg.seq;
+        let local_b = self.cfg.batch / self.cfg.q;
+        let hb = self.cfg.local_cols();
+        let mut pooled = Tensor::zeros(&[local_b, hb]);
+        for sb in 0..local_b {
+            pooled.row_mut(sb).copy_from_slice(hidden.row(sb * s));
+        }
+        pooled
+    }
+
+    /// Classification logits for this device's sequences: `[b/q, c/q]`.
+    pub fn classify_forward(&self, grid: &Grid2d, tokens: &[usize]) -> Tensor {
+        let cls = self.cls.as_ref().expect("built without classifier head");
+        let cfg = self.cfg;
+        let tokens_local = cfg.local_tokens(tokens, grid.row());
+        let mut x = embed2d_forward(grid, &self.table, tokens_local, cfg.vocab);
+        for lp in &self.layers {
+            x = layer2d_forward(grid, &cfg, lp, &x).0;
+        }
+        let (hidden, _) = self.final_ln.forward(grid, &x, cfg.hidden);
+        cls.forward(grid, &self.pool_first_token(&hidden))
+    }
+
+    /// Global mean classification loss for per-sequence labels `[b]`
+    /// (identical on every device).
+    pub fn classify_loss(&self, grid: &Grid2d, tokens: &[usize], labels: &[usize]) -> f32 {
+        assert_eq!(labels.len(), self.cfg.batch, "one label per sequence");
+        let cls = self.cls.as_ref().expect("built without classifier head");
+        let num_classes = cls.w.cols() * self.cfg.q;
+        let logits = self.classify_forward(grid, tokens);
+        let local_b = self.cfg.batch / self.cfg.q;
+        let labels_local = &labels[grid.row() * local_b..(grid.row() + 1) * local_b];
+        ce2d(grid, &logits, labels_local, num_classes, self.cfg.batch).0
+    }
+
+    /// Evaluation loss (no gradients). `tokens`/`labels` are the full
+    /// `b·s` arrays; each device uses its batch block.
+    pub fn lm_loss(&self, grid: &Grid2d, tokens: &[usize], labels: &[usize]) -> f32 {
+        let tokens_local = self.cfg.local_tokens(tokens, grid.row());
+        let labels_local = self.cfg.local_tokens(labels, grid.row());
+        let mut x = embed2d_forward(grid, &self.table, tokens_local, self.cfg.vocab);
+        for lp in &self.layers {
+            x = layer2d_forward(grid, &self.cfg, lp, &x).0;
+        }
+        let (hidden, _) = self.final_ln.forward(grid, &x, self.cfg.hidden);
+        let logits = lm_head2d_forward(grid, &hidden, &self.table);
+        ce2d(
+            grid,
+            &logits,
+            labels_local,
+            self.cfg.vocab,
+            self.cfg.batch * self.cfg.seq,
+        )
+        .0
+    }
+
+    /// Forward + backward. Honors `cfg.checkpoint`: when set, only each
+    /// layer's input block is kept during forward and the layer is
+    /// recomputed inside backward (Section 3.2.3). Returns the loss and all
+    /// local gradients; `self.meter` holds the step's activation peak.
+    pub fn lm_grads(
+        &mut self,
+        grid: &Grid2d,
+        tokens: &[usize],
+        labels: &[usize],
+    ) -> (f32, Model2dGrads) {
+        let cfg = self.cfg;
+        let tokens_local = cfg.local_tokens(tokens, grid.row());
+        let labels_local = cfg.local_tokens(labels, grid.row());
+        let total_rows = cfg.batch * cfg.seq;
+        self.meter = MemMeter::new();
+
+        // ---- Forward ----
+        let x0 = embed2d_forward(grid, &self.table, tokens_local, cfg.vocab);
+        self.meter.alloc(tensor_bytes(&x0));
+
+        // Layer inputs (the checkpoints) are needed either way; full caches
+        // only when checkpointing is off.
+        let mut inputs: Vec<Tensor> = Vec::with_capacity(cfg.layers);
+        let mut caches = Vec::new();
+        let mut x = x0.clone();
+        for lp in &self.layers {
+            inputs.push(x.clone());
+            self.meter.alloc(tensor_bytes(&x));
+            let (y, cache) = layer2d_forward(grid, &cfg, lp, &x);
+            if !cfg.checkpoint {
+                self.meter.alloc(cache.bytes());
+                caches.push(cache);
+            }
+            x = y;
+        }
+        let (hidden, final_ln_cache) = self.final_ln.forward(grid, &x, cfg.hidden);
+        self.meter.alloc(tensor_bytes(&hidden));
+
+        // ---- Loss head ----
+        let logits = lm_head2d_forward(grid, &hidden, &self.table);
+        self.meter.alloc(tensor_bytes(&logits));
+        let (loss, dlogits) = ce2d(grid, &logits, labels_local, cfg.vocab, total_rows);
+
+        let mut d_table = Tensor::zeros(&[self.table.rows(), self.table.cols()]);
+        let dhidden = lm_head2d_backward(grid, &dlogits, &hidden, &self.table, &mut d_table);
+        self.meter.free(tensor_bytes(&logits));
+
+        let (mut dx, final_ln_g, final_ln_b) =
+            self.final_ln
+                .backward(grid, &dhidden, &final_ln_cache, cfg.hidden);
+        self.meter.free(tensor_bytes(&hidden));
+
+        // ---- Layer backward (reverse) ----
+        let mut layer_grads: Vec<Layer2dGrads> = Vec::with_capacity(cfg.layers);
+        for l in (0..cfg.layers).rev() {
+            let cache = if cfg.checkpoint {
+                // Re-forward this layer from its checkpointed input.
+                let (_, cache) = layer2d_forward(grid, &cfg, &self.layers[l], &inputs[l]);
+                self.meter.alloc(cache.bytes());
+                cache
+            } else {
+                caches.pop().expect("one cache per layer")
+            };
+            let (dprev, g) = layer2d_backward(grid, &cfg, &self.layers[l], &cache, &dx);
+            self.meter.free(cache.bytes());
+            self.meter.free(tensor_bytes(&inputs[l]));
+            layer_grads.push(g);
+            dx = dprev;
+        }
+        layer_grads.reverse();
+
+        embed2d_backward(grid, &dx, tokens_local, cfg.vocab, &mut d_table);
+        self.meter.free(tensor_bytes(&x0));
+
+        (
+            loss,
+            Model2dGrads {
+                table: d_table,
+                layers: layer_grads,
+                final_ln_g,
+                final_ln_b,
+            },
+        )
+    }
+
+    /// One SGD step (gradients accumulated, then applied). Returns the
+    /// pre-update loss.
+    pub fn train_step(
+        &mut self,
+        grid: &Grid2d,
+        tokens: &[usize],
+        labels: &[usize],
+        lr: f32,
+    ) -> f32 {
+        self.train_step_detailed(grid, tokens, labels, lr).loss
+    }
+
+    /// [`OptimusModel::train_step`] plus memory accounting.
+    pub fn train_step_detailed(
+        &mut self,
+        grid: &Grid2d,
+        tokens: &[usize],
+        labels: &[usize],
+        lr: f32,
+    ) -> TrainOutput {
+        let (loss, grads) = self.lm_grads(grid, tokens, labels);
+        self.apply_sgd(&grads, lr);
+        TrainOutput {
+            loss,
+            peak_activation_bytes: self.meter.peak(),
+        }
+    }
+
+    /// The paper's method (2): update each layer's parameters *immediately*
+    /// after its backward pass and release its gradient buffer, so only one
+    /// layer's parameter gradients are ever live. Requires checkpointing.
+    /// Mathematically identical to [`OptimusModel::train_step`].
+    pub fn train_step_fused(
+        &mut self,
+        grid: &Grid2d,
+        tokens: &[usize],
+        labels: &[usize],
+        lr: f32,
+    ) -> f32 {
+        let cfg = self.cfg;
+        let tokens_local = cfg.local_tokens(tokens, grid.row());
+        let labels_local = cfg.local_tokens(labels, grid.row());
+        let total_rows = cfg.batch * cfg.seq;
+
+        let x0 = embed2d_forward(grid, &self.table, tokens_local, cfg.vocab);
+        let mut inputs: Vec<Tensor> = Vec::with_capacity(cfg.layers);
+        let mut x = x0.clone();
+        for lp in &self.layers {
+            inputs.push(x.clone());
+            x = layer2d_forward(grid, &cfg, lp, &x).0;
+        }
+        let (hidden, final_ln_cache) = self.final_ln.forward(grid, &x, cfg.hidden);
+        let logits = lm_head2d_forward(grid, &hidden, &self.table);
+        let (loss, dlogits) = ce2d(grid, &logits, labels_local, cfg.vocab, total_rows);
+
+        let mut d_table = Tensor::zeros(&[self.table.rows(), self.table.cols()]);
+        let dhidden = lm_head2d_backward(grid, &dlogits, &hidden, &self.table, &mut d_table);
+        let (mut dx, fg, fb) = self
+            .final_ln
+            .backward(grid, &dhidden, &final_ln_cache, cfg.hidden);
+        apply_ln_sgd(&mut self.final_ln, fg.as_deref(), fb.as_deref(), lr);
+
+        for l in (0..cfg.layers).rev() {
+            let (_, cache) = layer2d_forward(grid, &cfg, &self.layers[l], &inputs[l]);
+            let (dprev, g) = layer2d_backward(grid, &cfg, &self.layers[l], &cache, &dx);
+            // Immediate update; `g` drops at the end of this iteration,
+            // which is the "reset the parameter gradient buffer" step.
+            apply_layer_sgd(&mut self.layers[l], &g, lr);
+            dx = dprev;
+        }
+
+        embed2d_backward(grid, &dx, tokens_local, cfg.vocab, &mut d_table);
+        self.table.axpy(-lr, &d_table);
+        loss
+    }
+
+    /// Distributed greedy next-token prediction (the paper's "inference"
+    /// measurement is a forward pass; this adds the decode step).
+    ///
+    /// Each device holds a `[b/q·s, v/q]` logits block. Per local sequence,
+    /// the final position's vocabulary slice is all-gathered along the mesh
+    /// **row** (group order = mesh column = vocabulary order) and argmaxed;
+    /// the per-row results are then all-gathered along the **column** (group
+    /// order = mesh row = batch order), so every device returns the full
+    /// `b` next tokens.
+    pub fn greedy_next(&self, grid: &Grid2d, tokens: &[usize]) -> Vec<usize> {
+        let cfg = self.cfg;
+        let tokens_local = cfg.local_tokens(tokens, grid.row());
+        let mut x = embed2d_forward(grid, &self.table, tokens_local, cfg.vocab);
+        for lp in &self.layers {
+            x = layer2d_forward(grid, &cfg, lp, &x).0;
+        }
+        let (hidden, _) = self.final_ln.forward(grid, &x, cfg.hidden);
+        let logits = lm_head2d_forward(grid, &hidden, &self.table);
+
+        let s = cfg.seq;
+        let local_b = cfg.batch / cfg.q;
+        let mut local_next = Vec::with_capacity(local_b);
+        for sb in 0..local_b {
+            let last = logits.row(sb * s + s - 1);
+            let full = grid.ctx().all_gather(grid.row_group(), last);
+            let next = full
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .expect("non-empty vocab")
+                .0;
+            local_next.push(next as f32);
+        }
+        let all = grid.ctx().all_gather(grid.col_group(), &local_next);
+        all.into_iter().map(|v| v as usize).collect()
+    }
+
+    /// Visits every *locally hosted* `(parameter, gradient)` pair in a fixed
+    /// order. Devices off mesh row 0 simply skip the bias/affine entries, so
+    /// each device's visitation order is stable across steps (the contract
+    /// [`tensor::optim::AdamSet`] needs).
+    pub fn visit_params_grads(
+        &mut self,
+        grads: &Model2dGrads,
+        f: &mut impl FnMut(&mut [f32], &[f32]),
+    ) {
+        fn opt_pair(
+            p: &mut Option<Vec<f32>>,
+            g: &Option<Vec<f32>>,
+            f: &mut impl FnMut(&mut [f32], &[f32]),
+        ) {
+            match (p, g) {
+                (Some(pv), Some(gv)) => f(pv, gv),
+                (None, None) => {}
+                _ => panic!("parameter/gradient hosting mismatch"),
+            }
+        }
+        f(self.table.as_mut_slice(), grads.table.as_slice());
+        opt_pair(&mut self.final_ln.gamma, &grads.final_ln_g, f);
+        opt_pair(&mut self.final_ln.beta, &grads.final_ln_b, f);
+        for (lp, lg) in self.layers.iter_mut().zip(&grads.layers) {
+            opt_pair(&mut lp.ln1.gamma, &lg.ln1_g, f);
+            opt_pair(&mut lp.ln1.beta, &lg.ln1_b, f);
+            f(lp.qkv.w.as_mut_slice(), lg.w_qkv.as_slice());
+            opt_pair(&mut lp.qkv.bias, &lg.b_qkv, f);
+            f(lp.out.w.as_mut_slice(), lg.w_out.as_slice());
+            opt_pair(&mut lp.out.bias, &lg.b_out, f);
+            opt_pair(&mut lp.ln2.gamma, &lg.ln2_g, f);
+            opt_pair(&mut lp.ln2.beta, &lg.ln2_b, f);
+            f(lp.fc1.w.as_mut_slice(), lg.w_fc1.as_slice());
+            opt_pair(&mut lp.fc1.bias, &lg.b_fc1, f);
+            f(lp.fc2.w.as_mut_slice(), lg.w_fc2.as_slice());
+            opt_pair(&mut lp.fc2.bias, &lg.b_fc2, f);
+        }
+    }
+
+    /// One SGD step accumulated over several microbatches (gradient
+    /// accumulation): each `(tokens, labels)` pair is a full `b·s` batch for
+    /// this config; the averaged gradients are exactly those of one large
+    /// batch of `k·b` sequences. Returns the mean loss.
+    pub fn train_step_accumulated(
+        &mut self,
+        grid: &Grid2d,
+        microbatches: &[(Vec<usize>, Vec<usize>)],
+        lr: f32,
+    ) -> f32 {
+        assert!(!microbatches.is_empty());
+        let k = microbatches.len() as f32;
+        let mut total: Option<Model2dGrads> = None;
+        let mut loss_sum = 0.0f32;
+        for (tokens, labels) in microbatches {
+            let (loss, grads) = self.lm_grads(grid, tokens, labels);
+            loss_sum += loss;
+            match &mut total {
+                None => total = Some(grads),
+                Some(acc) => acc.accumulate(&grads),
+            }
+        }
+        let mut grads = total.expect("at least one microbatch");
+        grads.scale(1.0 / k);
+        self.apply_sgd(&grads, lr);
+        loss_sum / k
+    }
+
+    /// One SGD step with **global** gradient-norm clipping: every device
+    /// contributes its hosted gradients' squared norm (each parameter is
+    /// hosted exactly once, so the mesh-wide sum is the true global norm),
+    /// one scalar all-reduce shares it, and the uniform clip is applied as
+    /// an effective learning-rate scale. Returns `(loss, clip scale)` —
+    /// identical on every device and to the serial model.
+    pub fn train_step_clipped(
+        &mut self,
+        grid: &Grid2d,
+        tokens: &[usize],
+        labels: &[usize],
+        lr: f32,
+        max_norm: f64,
+    ) -> (f32, f32) {
+        let (loss, grads) = self.lm_grads(grid, tokens, labels);
+        let mut sq = 0.0f64;
+        self.visit_params_grads(&grads, &mut |_, g| sq += tensor::schedule::sq_norm(g));
+        let mut total = vec![sq as f32];
+        grid.ctx().all_reduce(&grid.mesh_group(), &mut total);
+        let scale = tensor::schedule::clip_scale(total[0] as f64, max_norm);
+        self.apply_sgd(&grads, lr * scale);
+        (loss, scale)
+    }
+
+    /// One Adam training step; `opt` holds this device's moments.
+    ///
+    /// Because every parameter is hosted (and therefore Adam-updated) on
+    /// exactly one device, the distributed Adam trajectory is identical to
+    /// the serial one — asserted by the integration tests.
+    pub fn train_step_adam(
+        &mut self,
+        grid: &Grid2d,
+        tokens: &[usize],
+        labels: &[usize],
+        opt: &mut tensor::optim::AdamSet,
+    ) -> f32 {
+        let (loss, grads) = self.lm_grads(grid, tokens, labels);
+        opt.begin_step();
+        self.visit_params_grads(&grads, &mut |p, g| opt.apply(p, g));
+        loss
+    }
+
+    /// Plain SGD over all local parameters.
+    pub fn apply_sgd(&mut self, grads: &Model2dGrads, lr: f32) {
+        self.table.axpy(-lr, &grads.table);
+        apply_ln_sgd(
+            &mut self.final_ln,
+            grads.final_ln_g.as_deref(),
+            grads.final_ln_b.as_deref(),
+            lr,
+        );
+        for (lp, lg) in self.layers.iter_mut().zip(&grads.layers) {
+            apply_layer_sgd(lp, lg, lr);
+        }
+    }
+}
+
+fn upd_opt(p: &mut Option<Vec<f32>>, g: Option<&[f32]>, lr: f32) {
+    match (p, g) {
+        (Some(pv), Some(gv)) => {
+            for (a, b) in pv.iter_mut().zip(gv) {
+                *a -= lr * b;
+            }
+        }
+        (None, None) => {}
+        _ => panic!("parameter/gradient hosting mismatch"),
+    }
+}
+
+fn apply_ln_sgd(ln: &mut LayerNorm2d, dg: Option<&[f32]>, db: Option<&[f32]>, lr: f32) {
+    upd_opt(&mut ln.gamma, dg, lr);
+    upd_opt(&mut ln.beta, db, lr);
+}
+
+fn apply_layer_sgd(p: &mut Layer2dParams, g: &Layer2dGrads, lr: f32) {
+    upd_opt(&mut p.ln1.gamma, g.ln1_g.as_deref(), lr);
+    upd_opt(&mut p.ln1.beta, g.ln1_b.as_deref(), lr);
+    p.qkv.w.axpy(-lr, &g.w_qkv);
+    upd_opt(&mut p.qkv.bias, g.b_qkv.as_deref(), lr);
+    p.out.w.axpy(-lr, &g.w_out);
+    upd_opt(&mut p.out.bias, g.b_out.as_deref(), lr);
+    upd_opt(&mut p.ln2.gamma, g.ln2_g.as_deref(), lr);
+    upd_opt(&mut p.ln2.beta, g.ln2_b.as_deref(), lr);
+    p.fc1.w.axpy(-lr, &g.w_fc1);
+    upd_opt(&mut p.fc1.bias, g.b_fc1.as_deref(), lr);
+    p.fc2.w.axpy(-lr, &g.w_fc2);
+    upd_opt(&mut p.fc2.bias, g.b_fc2.as_deref(), lr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::Mesh2d;
+    use serial::SerialModel;
+    use tensor::Rng;
+
+    fn data(cfg: &OptimusConfig, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        let mut rng = Rng::new(seed);
+        let n = cfg.batch * cfg.seq;
+        let tokens = (0..n).map(|_| rng.below(cfg.vocab)).collect();
+        let labels = (0..n).map(|_| rng.below(cfg.vocab)).collect();
+        (tokens, labels)
+    }
+
+    #[test]
+    fn loss_matches_serial_reference() {
+        for q in [1usize, 2, 3] {
+            let cfg = OptimusConfig::tiny(q);
+            let (tokens, labels) = data(&cfg, 20);
+            let reference = SerialModel::new(cfg.model(), 7).lm_loss(&tokens, &labels);
+            let losses = Mesh2d::run(q, |grid| {
+                OptimusModel::new(&cfg, 7, grid).lm_loss(grid, &tokens, &labels)
+            });
+            for l in losses {
+                assert!(
+                    (l - reference).abs() < 1e-4,
+                    "q={q}: optimus={l} serial={reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_trajectory_matches_serial() {
+        let cfg = OptimusConfig::tiny(2);
+        let (tokens, labels) = data(&cfg, 21);
+        let mut reference = SerialModel::new(cfg.model(), 9);
+        let ref_losses: Vec<f32> = (0..4)
+            .map(|_| reference.train_step(&tokens, &labels, 0.2))
+            .collect();
+        let losses = Mesh2d::run(cfg.q, |grid| {
+            let mut m = OptimusModel::new(&cfg, 9, grid);
+            (0..4)
+                .map(|_| m.train_step(grid, &tokens, &labels, 0.2))
+                .collect::<Vec<f32>>()
+        });
+        for dev in &losses {
+            for (a, b) in dev.iter().zip(&ref_losses) {
+                assert!((a - b).abs() < 2e-3, "optimus={a} serial={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointing_is_numerically_identical() {
+        let mut cfg = OptimusConfig::tiny(2);
+        let (tokens, labels) = data(&cfg, 22);
+        cfg.checkpoint = false;
+        let plain = Mesh2d::run(cfg.q, |grid| {
+            let mut m = OptimusModel::new(&cfg, 3, grid);
+            (0..3)
+                .map(|_| m.train_step(grid, &tokens, &labels, 0.3))
+                .collect::<Vec<f32>>()
+        });
+        cfg.checkpoint = true;
+        let ckpt = Mesh2d::run(cfg.q, |grid| {
+            let mut m = OptimusModel::new(&cfg, 3, grid);
+            (0..3)
+                .map(|_| m.train_step(grid, &tokens, &labels, 0.3))
+                .collect::<Vec<f32>>()
+        });
+        for (a, b) in plain.iter().zip(&ckpt) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-5, "plain={x} ckpt={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointing_reduces_peak_activation_memory() {
+        let mut cfg = OptimusConfig::tiny(2);
+        cfg.layers = 4;
+        let (tokens, labels) = data(&cfg, 23);
+        let peak = |checkpoint: bool| {
+            let mut c = cfg;
+            c.checkpoint = checkpoint;
+            let outs = Mesh2d::run(c.q, |grid| {
+                let mut m = OptimusModel::new(&c, 5, grid);
+                m.train_step_detailed(grid, &tokens, &labels, 0.1)
+                    .peak_activation_bytes
+            });
+            outs[0]
+        };
+        let plain = peak(false);
+        let ckpt = peak(true);
+        assert!(
+            (ckpt as f64) < 0.6 * plain as f64,
+            "checkpointing should cut peak activations: plain={plain} ckpt={ckpt}"
+        );
+    }
+
+    #[test]
+    fn fused_immediate_update_matches_plain_step() {
+        let mut cfg = OptimusConfig::tiny(2);
+        cfg.checkpoint = true;
+        let (tokens, labels) = data(&cfg, 24);
+        let plain = Mesh2d::run(cfg.q, |grid| {
+            let mut m = OptimusModel::new(&cfg, 6, grid);
+            (0..3)
+                .map(|_| m.train_step(grid, &tokens, &labels, 0.2))
+                .collect::<Vec<f32>>()
+        });
+        let fused = Mesh2d::run(cfg.q, |grid| {
+            let mut m = OptimusModel::new(&cfg, 6, grid);
+            (0..3)
+                .map(|_| m.train_step_fused(grid, &tokens, &labels, 0.2))
+                .collect::<Vec<f32>>()
+        });
+        for (a, b) in plain.iter().zip(&fused) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-5, "plain={x} fused={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_accumulation_equals_the_large_batch() {
+        // Two accumulated microbatches of b sequences == one serial batch
+        // of 2b sequences (same tokens, concatenated).
+        let cfg = OptimusConfig::tiny(2);
+        let (t1, l1) = data(&cfg, 40);
+        let (t2, l2) = data(&cfg, 41);
+        let lr = 0.25;
+
+        let big_cfg = serial::ModelConfig {
+            batch: 2 * cfg.batch,
+            ..cfg.model()
+        };
+        let big_tokens: Vec<usize> = t1.iter().chain(&t2).copied().collect();
+        let big_labels: Vec<usize> = l1.iter().chain(&l2).copied().collect();
+        let mut reference = SerialModel::new(big_cfg, 14);
+        let ref_losses: Vec<f32> = (0..3)
+            .map(|_| reference.train_step(&big_tokens, &big_labels, lr))
+            .collect();
+
+        let micro = vec![(t1, l1), (t2, l2)];
+        let losses = Mesh2d::run(cfg.q, |grid| {
+            let mut m = OptimusModel::new(&cfg, 14, grid);
+            (0..3)
+                .map(|_| m.train_step_accumulated(grid, &micro, lr))
+                .collect::<Vec<f32>>()
+        });
+        for dev in &losses {
+            for (a, b) in dev.iter().zip(&ref_losses) {
+                assert!((a - b).abs() < 2e-3, "accumulated={a} big-batch={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn classification_branch_matches_serial() {
+        let cfg = OptimusConfig::tiny(2);
+        let mut rng = tensor::Rng::new(30);
+        let tokens: Vec<usize> = (0..cfg.batch * cfg.seq)
+            .map(|_| rng.below(cfg.vocab))
+            .collect();
+        let cls_labels: Vec<usize> = (0..cfg.batch).map(|_| rng.below(2)).collect();
+        let serial = SerialModel::new(cfg.model(), 12).with_classifier(12);
+        let expect_logits = serial.classify_forward(&tokens);
+        let expect_loss = serial.classify_loss(&tokens, &cls_labels);
+
+        let outs = Mesh2d::run(cfg.q, |grid| {
+            let m = OptimusModel::new(&cfg, 12, grid).with_classifier(grid, 12, 2);
+            (
+                m.classify_forward(grid, &tokens),
+                m.classify_loss(grid, &tokens, &cls_labels),
+            )
+        });
+        // Reassemble the [b, 2] logits from the q x q blocks.
+        let blocks: Vec<Tensor> = outs.iter().map(|(l, _)| l.clone()).collect();
+        let got = Tensor::from_summa_blocks(&blocks, cfg.q);
+        tensor::assert_close(got.as_slice(), expect_logits.as_slice(), 1e-4, 1e-3);
+        for (_, loss) in &outs {
+            assert!((loss - expect_loss).abs() < 1e-4, "{loss} vs {expect_loss}");
+        }
+    }
+
+    #[test]
+    #[should_panic] // device threads die with "classes 3 must be divisible"
+    fn classifier_rejects_indivisible_classes() {
+        let cfg = OptimusConfig::tiny(2);
+        Mesh2d::run(cfg.q, |grid| {
+            let _ = OptimusModel::new(&cfg, 0, grid).with_classifier(grid, 0, 3);
+        });
+    }
+
+    #[test]
+    fn fused_attention_is_numerically_identical() {
+        let mut cfg = OptimusConfig::tiny(2);
+        let (tokens, labels) = data(&cfg, 26);
+        cfg.fused_attention = false;
+        let plain = Mesh2d::run(cfg.q, |grid| {
+            let mut m = OptimusModel::new(&cfg, 4, grid);
+            (0..3)
+                .map(|_| m.train_step(grid, &tokens, &labels, 0.3))
+                .collect::<Vec<f32>>()
+        });
+        cfg.fused_attention = true;
+        let fused = Mesh2d::run(cfg.q, |grid| {
+            let mut m = OptimusModel::new(&cfg, 4, grid);
+            (0..3)
+                .map(|_| m.train_step(grid, &tokens, &labels, 0.3))
+                .collect::<Vec<f32>>()
+        });
+        for (a, b) in plain[0].iter().zip(&fused[0]) {
+            assert!((a - b).abs() < 1e-6, "plain={a} fused={b}");
+        }
+    }
+
+    #[test]
+    fn fused_attention_cuts_cached_score_memory() {
+        // At long sequence lengths the b·n·s² score tensor dominates; the
+        // fused path must not cache it.
+        let mut cfg = OptimusConfig::tiny(2);
+        cfg.seq = 64; // make scores dominate
+        cfg.layers = 2;
+        let (tokens, labels) = data(&cfg, 27);
+        let peak = |fused: bool| {
+            let mut c = cfg;
+            c.fused_attention = fused;
+            Mesh2d::run(c.q, |grid| {
+                let mut m = OptimusModel::new(&c, 5, grid);
+                m.train_step_detailed(grid, &tokens, &labels, 0.1)
+                    .peak_activation_bytes
+            })[0]
+        };
+        let plain = peak(false);
+        let fused = peak(true);
+        assert!(
+            (fused as f64) < 0.75 * plain as f64,
+            "fused attention should cut peak activations: {plain} -> {fused}"
+        );
+    }
+
+    #[test]
+    fn losses_agree_across_all_devices() {
+        let cfg = OptimusConfig::tiny(3);
+        let (tokens, labels) = data(&cfg, 25);
+        let losses = Mesh2d::run(cfg.q, |grid| {
+            let mut m = OptimusModel::new(&cfg, 8, grid);
+            m.train_step(grid, &tokens, &labels, 0.1)
+        });
+        for l in &losses {
+            assert!((l - losses[0]).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-device 2D parameter blocks, sliced from the canonical full matrices.
+
+use crate::layernorm2d::LayerNorm2d;
+use crate::linear2d::Linear2d;
+use mesh::Grid2d;
+use serial::LayerParams;
+use tensor::Tensor;
+
+/// Slices device `(i, j)`'s block of the fused QKV weight, preserving head
+/// alignment: the local `[h/q, 3h/q]` block is
+/// `[Wq(i, j-cols) | Wk(i, j-cols) | Wv(i, j-cols)]`, so that after the
+/// SUMMA product the local output columns split cleanly into this device's
+/// `n/q` heads of Q, K and V.
+fn slice_qkv_block(w_qkv: &Tensor, h: usize, q: usize, i: usize, j: usize) -> Tensor {
+    let (rb, cb) = (h / q, h / q);
+    let mut out = Tensor::zeros(&[rb, 3 * cb]);
+    for part in 0..3 {
+        let block = w_qkv.block(i * rb, part * h + j * cb, rb, cb);
+        out.set_block(0, part * cb, &block);
+    }
+    out
+}
+
+fn slice_qkv_bias(b_qkv: &[f32], h: usize, q: usize, j: usize) -> Vec<f32> {
+    let cb = h / q;
+    let mut out = Vec::with_capacity(3 * cb);
+    for part in 0..3 {
+        out.extend_from_slice(&b_qkv[part * h + j * cb..part * h + (j + 1) * cb]);
+    }
+    out
+}
+
+/// One layer's parameters as held by a single device of the mesh.
+#[derive(Clone, Debug)]
+pub struct Layer2dParams {
+    pub ln1: LayerNorm2d,
+    /// `[h/q, 3h/q]`, permuted QKV layout (see `slice_qkv_block` above).
+    pub qkv: Linear2d,
+    /// `[h/q, h/q]` attention output projection.
+    pub out: Linear2d,
+    pub ln2: LayerNorm2d,
+    /// `[h/q, 4h/q]`.
+    pub fc1: Linear2d,
+    /// `[4h/q, h/q]`.
+    pub fc2: Linear2d,
+}
+
+impl Layer2dParams {
+    /// Slices the canonical full layer parameters for this device.
+    pub fn from_full(grid: &Grid2d, full: &LayerParams) -> Self {
+        let h = full.w_out.rows();
+        let (q, i, j) = (grid.q(), grid.row(), grid.col());
+        let qkv_w = slice_qkv_block(&full.w_qkv, h, q, i, j);
+        let qkv_b = if i == 0 {
+            Some(slice_qkv_bias(&full.b_qkv, h, q, j))
+        } else {
+            None
+        };
+        Layer2dParams {
+            ln1: LayerNorm2d::from_full(grid, &full.ln1_g, &full.ln1_b),
+            qkv: Linear2d::new(qkv_w, qkv_b),
+            out: Linear2d::from_full(grid, &full.w_out, &full.b_out),
+            ln2: LayerNorm2d::from_full(grid, &full.ln2_g, &full.ln2_b),
+            fc1: Linear2d::from_full(grid, &full.w_fc1, &full.b_fc1),
+            fc2: Linear2d::from_full(grid, &full.w_fc2, &full.b_fc2),
+        }
+    }
+
+    /// Number of scalar parameters held locally (weights plus any hosted
+    /// biases/affine slices).
+    pub fn local_params(&self) -> usize {
+        let lin = |l: &Linear2d| l.w.len() + l.bias.as_ref().map_or(0, Vec::len);
+        let ln = |l: &LayerNorm2d| {
+            l.gamma.as_ref().map_or(0, Vec::len) + l.beta.as_ref().map_or(0, Vec::len)
+        };
+        lin(&self.qkv) + lin(&self.out) + lin(&self.fc1) + lin(&self.fc2)
+            + ln(&self.ln1)
+            + ln(&self.ln2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::Mesh2d;
+    use serial::LayerParams;
+
+    #[test]
+    fn qkv_block_head_alignment() {
+        let h = 8;
+        let q = 2;
+        let full = LayerParams::init(0, 0, h);
+        // Device (0,1)'s local Q columns are full Wq columns 4..8.
+        let b01 = slice_qkv_block(&full.w_qkv, h, q, 0, 1);
+        for r in 0..h / q {
+            for c in 0..h / q {
+                assert_eq!(b01.at(r, c), full.w_qkv.at(r, 4 + c)); // Q
+                assert_eq!(b01.at(r, h / q + c), full.w_qkv.at(r, h + 4 + c)); // K
+                assert_eq!(b01.at(r, 2 * (h / q) + c), full.w_qkv.at(r, 2 * h + 4 + c));
+                // V
+            }
+        }
+    }
+
+    #[test]
+    fn weight_blocks_partition_params_exactly() {
+        // Summing local_params over the mesh = total layer params.
+        let h = 8;
+        let q = 2;
+        let full = LayerParams::init(1, 0, h);
+        let f = full.clone();
+        let locals = Mesh2d::run(q, move |g| Layer2dParams::from_full(g, &f).local_params());
+        let total: usize = locals.iter().sum();
+        assert_eq!(total, full.num_params());
+    }
+
+    #[test]
+    fn bias_hosted_only_on_row0() {
+        let h = 8;
+        let q = 2;
+        let full = LayerParams::init(2, 0, h);
+        let f = full.clone();
+        let has_bias = Mesh2d::run(q, move |g| {
+            let p = Layer2dParams::from_full(g, &f);
+            p.qkv.bias.is_some() && p.fc1.bias.is_some() && p.ln1.gamma.is_some()
+        });
+        assert_eq!(has_bias, vec![true, true, false, false]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Vocab-parallel embedding, tied LM head and cross-entropy for the 1D
+//! scheme. The embedding table is split along the vocabulary dimension; a
+//! device embeds the tokens whose ids fall in its slice and an all-reduce
+//! assembles the replicated activations. The LM head reuses the local slice
+//! (tied weights), producing vocab-sliced logits, and the cross-entropy is
+//! computed from local partial reductions — the same decomposition the
+//! Optimus 2D cross-entropy uses along mesh rows (Section 3.2.2).
+
+use mesh::{DeviceCtx, Group};
+use tensor::loss::{
+    ce_grad_local, ce_loss_from_parts, partial_label_logit, partial_row_max, partial_sumexp,
+};
+use tensor::{matmul_nn, matmul_nt, Tensor};
+
+/// Embedding forward. `table_local: [v/p, h]` is this device's vocabulary
+/// slice starting at `vocab_offset`. Returns the replicated `[b·s, h]`
+/// activations.
+pub fn embed_forward(
+    ctx: &DeviceCtx,
+    world: &Group,
+    table_local: &Tensor,
+    tokens: &[usize],
+    vocab_offset: usize,
+) -> Tensor {
+    let h = table_local.cols();
+    let v_local = table_local.rows();
+    let mut x = Tensor::zeros(&[tokens.len(), h]);
+    for (r, &t) in tokens.iter().enumerate() {
+        if t >= vocab_offset && t < vocab_offset + v_local {
+            x.row_mut(r).copy_from_slice(table_local.row(t - vocab_offset));
+        }
+    }
+    ctx.all_reduce(world, x.as_mut_slice());
+    x
+}
+
+/// Embedding lookup backward: scatter-adds `dx` rows into the local table
+/// gradient for tokens this device owns. Purely local.
+pub fn embed_backward(
+    d_table_local: &mut Tensor,
+    dx: &Tensor,
+    tokens: &[usize],
+    vocab_offset: usize,
+) {
+    let v_local = d_table_local.rows();
+    for (r, &t) in tokens.iter().enumerate() {
+        if t >= vocab_offset && t < vocab_offset + v_local {
+            let src = dx.row(r).to_vec();
+            for (dst, v) in d_table_local.row_mut(t - vocab_offset).iter_mut().zip(src) {
+                *dst += v;
+            }
+        }
+    }
+}
+
+/// Tied LM head forward: `logits_local = H · E_localᵀ`, shape `[b·s, v/p]`.
+pub fn lm_head_forward(hidden: &Tensor, table_local: &Tensor) -> Tensor {
+    matmul_nt(hidden, table_local)
+}
+
+/// Tied LM head backward: returns the replicated `dH` (after all-reduce) and
+/// adds the head's contribution to the local table gradient.
+pub fn lm_head_backward(
+    ctx: &DeviceCtx,
+    world: &Group,
+    dlogits_local: &Tensor,
+    hidden: &Tensor,
+    table_local: &Tensor,
+    d_table_local: &mut Tensor,
+) -> Tensor {
+    let mut dh = matmul_nn(dlogits_local, table_local);
+    ctx.all_reduce(world, dh.as_mut_slice());
+    let de = tensor::matmul_tn(dlogits_local, hidden);
+    d_table_local.add_assign(&de);
+    dh
+}
+
+/// Vocab-parallel cross-entropy: three scalar-per-row all-reduces (max,
+/// Σexp, label logit) then a local softmax-minus-onehot gradient.
+/// Returns the global mean loss and the local `dlogits` block.
+pub fn vocab_parallel_ce(
+    ctx: &DeviceCtx,
+    world: &Group,
+    logits_local: &Tensor,
+    labels: &[usize],
+    vocab_offset: usize,
+) -> (f32, Tensor) {
+    let rows = logits_local.rows();
+    assert_eq!(labels.len(), rows);
+    let mut m = partial_row_max(logits_local);
+    ctx.all_reduce_max(world, &mut m);
+    let mut se = partial_sumexp(logits_local, &m);
+    ctx.all_reduce(world, &mut se);
+    let mut ll = partial_label_logit(logits_local, labels, vocab_offset);
+    ctx.all_reduce(world, &mut ll);
+    let loss = ce_loss_from_parts(&m, &se, &ll);
+    let grad = ce_grad_local(logits_local, labels, vocab_offset, &m, &se, 1.0 / rows as f32);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::Mesh;
+    use serial::ModelConfig;
+    use tensor::loss::cross_entropy;
+    use tensor::{assert_close, init::init_matrix, Rng};
+
+    fn table(cfg: &ModelConfig) -> Tensor {
+        init_matrix(0, tensor::init::param_ids::EMBEDDING, &[cfg.vocab, cfg.hidden], 0.5)
+    }
+
+    #[test]
+    fn embed_matches_serial_lookup() {
+        let cfg = ModelConfig::tiny();
+        let full = table(&cfg);
+        let mut rng = Rng::new(1);
+        let tokens: Vec<usize> = (0..cfg.tokens()).map(|_| rng.below(cfg.vocab)).collect();
+        let p = 2;
+        let vp = cfg.vocab / p;
+        let outs = Mesh::run(p, |ctx| {
+            let world = Group::world(p);
+            let local = full.block(ctx.rank() * vp, 0, vp, cfg.hidden);
+            embed_forward(ctx, &world, &local, &tokens, ctx.rank() * vp)
+        });
+        // Serial lookup.
+        let mut expect = Tensor::zeros(&[cfg.tokens(), cfg.hidden]);
+        for (r, &t) in tokens.iter().enumerate() {
+            expect.row_mut(r).copy_from_slice(full.row(t));
+        }
+        for o in outs {
+            assert_close(o.as_slice(), expect.as_slice(), 1e-5, 1e-5);
+        }
+    }
+
+    #[test]
+    fn vocab_parallel_ce_matches_serial() {
+        let cfg = ModelConfig::tiny();
+        let mut rng = Rng::new(2);
+        let logits = Tensor::randn(&[cfg.tokens(), cfg.vocab], 1.5, &mut rng);
+        let labels: Vec<usize> = (0..cfg.tokens()).map(|_| rng.below(cfg.vocab)).collect();
+        let (loss_ref, grad_ref) = cross_entropy(&logits, &labels);
+        let p = 2;
+        let vp = cfg.vocab / p;
+        let outs = Mesh::run(p, |ctx| {
+            let world = Group::world(p);
+            let local = logits.block(0, ctx.rank() * vp, cfg.tokens(), vp);
+            vocab_parallel_ce(ctx, &world, &local, &labels, ctx.rank() * vp)
+        });
+        let mut grad = Tensor::zeros(&[cfg.tokens(), cfg.vocab]);
+        for (j, (loss, g)) in outs.iter().enumerate() {
+            assert!((loss - loss_ref).abs() < 1e-5);
+            grad.set_block(0, j * vp, g);
+        }
+        assert_close(grad.as_slice(), grad_ref.as_slice(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn embed_backward_scatters_only_owned_tokens() {
+        let cfg = ModelConfig::tiny();
+        let tokens = vec![0usize; cfg.tokens()]; // all owned by device 0
+        let dx = Tensor::full(&[cfg.tokens(), cfg.hidden], 1.0);
+        let mut d0 = Tensor::zeros(&[cfg.vocab / 2, cfg.hidden]);
+        embed_backward(&mut d0, &dx, &tokens, 0);
+        assert_eq!(d0.at(0, 0), cfg.tokens() as f32);
+        let mut d1 = Tensor::zeros(&[cfg.vocab / 2, cfg.hidden]);
+        embed_backward(&mut d1, &dx, &tokens, cfg.vocab / 2);
+        assert_eq!(d1.sum(), 0.0);
+    }
+}

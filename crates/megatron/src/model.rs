@@ -1,0 +1,361 @@
+//! The full 1D tensor-parallel stem: vocab-parallel embedding → N parallel
+//! layers → replicated final layer norm → tied vocab-parallel LM head →
+//! vocab-parallel cross-entropy.
+
+use crate::embedding::{
+    embed_backward, embed_forward, lm_head_backward, lm_head_forward, vocab_parallel_ce,
+};
+use crate::layer::{layer1d_backward, layer1d_forward, Layer1dCache, Layer1dGrads};
+use crate::params::{Layer1dParams, MegatronConfig};
+use mesh::{DeviceCtx, Group};
+use tensor::layernorm::{layer_norm_backward, layer_norm_forward, LnCache, LN_EPS};
+use tensor::Tensor;
+
+/// Device-local gradients for every parameter this device owns (plus its
+/// replicas of the shared ones).
+pub struct Model1dGrads {
+    pub table: Tensor,
+    pub layers: Vec<Layer1dGrads>,
+    pub final_ln_g: Vec<f32>,
+    pub final_ln_b: Vec<f32>,
+}
+
+/// Forward state of the stem.
+pub struct Stem1dCache {
+    pub layers: Vec<Layer1dCache>,
+    pub final_ln: LnCache,
+    pub hidden: Tensor,
+}
+
+/// One device's shard of the Megatron model.
+pub struct MegatronModel {
+    pub cfg: MegatronConfig,
+    pub rank: usize,
+    pub world: Group,
+    /// Vocabulary slice `[v/p, h]` starting at [`MegatronModel::vocab_offset`].
+    pub table: Tensor,
+    pub vocab_offset: usize,
+    pub layers: Vec<Layer1dParams>,
+    pub final_ln_g: Vec<f32>,
+    pub final_ln_b: Vec<f32>,
+}
+
+impl MegatronModel {
+    /// Builds this device's shard by slicing the canonical full parameters.
+    pub fn new(cfg: MegatronConfig, seed: u64, ctx: &DeviceCtx) -> Self {
+        assert_eq!(ctx.world_size(), cfg.p, "mesh size must equal cfg.p");
+        let full = serial::ModelParams::init(seed, &cfg.model);
+        let rank = ctx.rank();
+        let vp = cfg.model.vocab / cfg.p;
+        MegatronModel {
+            cfg,
+            rank,
+            world: Group::world(cfg.p),
+            table: full.embedding.block(rank * vp, 0, vp, cfg.model.hidden),
+            vocab_offset: rank * vp,
+            layers: full
+                .layers
+                .iter()
+                .map(|lp| Layer1dParams::from_full(lp, cfg.model.hidden, cfg.p, rank))
+                .collect(),
+            final_ln_g: full.final_ln_g,
+            final_ln_b: full.final_ln_b,
+        }
+    }
+
+    /// Stem forward; the returned hidden states are replicated.
+    pub fn forward(&self, ctx: &DeviceCtx, tokens: &[usize]) -> Stem1dCache {
+        let mut x = embed_forward(ctx, &self.world, &self.table, tokens, self.vocab_offset);
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for lp in &self.layers {
+            let (y, c) = layer1d_forward(ctx, &self.world, &self.cfg, lp, &x);
+            caches.push(c);
+            x = y;
+        }
+        let (hidden, final_ln) = layer_norm_forward(&x, &self.final_ln_g, &self.final_ln_b, LN_EPS);
+        Stem1dCache {
+            layers: caches,
+            final_ln,
+            hidden,
+        }
+    }
+
+    /// Mean LM loss (identical on every device).
+    pub fn lm_loss(&self, ctx: &DeviceCtx, tokens: &[usize], labels: &[usize]) -> f32 {
+        let cache = self.forward(ctx, tokens);
+        let logits = lm_head_forward(&cache.hidden, &self.table);
+        vocab_parallel_ce(ctx, &self.world, &logits, labels, self.vocab_offset).0
+    }
+
+    /// Forward + backward; returns the loss and this device's gradients.
+    ///
+    /// Honors `cfg.checkpoint`: when set, only each layer's replicated
+    /// input is kept during forward and the layer is recomputed (including
+    /// its two all-reduces — the source of Table 1's `8(p−1)/p·bsh`
+    /// backward communication) inside the backward sweep.
+    pub fn lm_grads(
+        &self,
+        ctx: &DeviceCtx,
+        tokens: &[usize],
+        labels: &[usize],
+    ) -> (f32, Model1dGrads) {
+        // ---- Forward ----
+        let mut x = embed_forward(ctx, &self.world, &self.table, tokens, self.vocab_offset);
+        let mut inputs: Vec<Tensor> = Vec::with_capacity(self.layers.len());
+        let mut caches = Vec::new();
+        for lp in &self.layers {
+            inputs.push(x.clone());
+            let (y, cache) = layer1d_forward(ctx, &self.world, &self.cfg, lp, &x);
+            if !self.cfg.checkpoint {
+                caches.push(cache);
+            }
+            x = y;
+        }
+        let (hidden, final_ln) = layer_norm_forward(&x, &self.final_ln_g, &self.final_ln_b, LN_EPS);
+
+        // ---- Loss head ----
+        let logits = lm_head_forward(&hidden, &self.table);
+        let (loss, dlogits) =
+            vocab_parallel_ce(ctx, &self.world, &logits, labels, self.vocab_offset);
+        let mut d_table = Tensor::zeros(&[self.table.rows(), self.table.cols()]);
+        let dhidden = lm_head_backward(
+            ctx,
+            &self.world,
+            &dlogits,
+            &hidden,
+            &self.table,
+            &mut d_table,
+        );
+        let (mut dx, final_ln_g, final_ln_b) =
+            layer_norm_backward(&dhidden, &final_ln, &self.final_ln_g);
+
+        // ---- Layer backward (reverse), recomputing when checkpointed ----
+        let mut layer_grads = Vec::with_capacity(self.layers.len());
+        for l in (0..self.layers.len()).rev() {
+            let cache = if self.cfg.checkpoint {
+                layer1d_forward(ctx, &self.world, &self.cfg, &self.layers[l], &inputs[l]).1
+            } else {
+                caches.pop().expect("one cache per layer")
+            };
+            let (dprev, g) =
+                layer1d_backward(ctx, &self.world, &self.cfg, &self.layers[l], &cache, &dx);
+            layer_grads.push(g);
+            dx = dprev;
+        }
+        layer_grads.reverse();
+
+        embed_backward(&mut d_table, &dx, tokens, self.vocab_offset);
+
+        (
+            loss,
+            Model1dGrads {
+                table: d_table,
+                layers: layer_grads,
+                final_ln_g,
+                final_ln_b,
+            },
+        )
+    }
+
+    /// One SGD step; returns the pre-update loss.
+    pub fn train_step(
+        &mut self,
+        ctx: &DeviceCtx,
+        tokens: &[usize],
+        labels: &[usize],
+        lr: f32,
+    ) -> f32 {
+        let (loss, grads) = self.lm_grads(ctx, tokens, labels);
+        self.apply_sgd(&grads, lr);
+        loss
+    }
+
+    /// Greedy next-token prediction: each device holds a `[b·s, v/p]`
+    /// logits slice; the final-position slices are all-gathered across the
+    /// world (group order = rank = vocabulary order) and argmaxed.
+    pub fn greedy_next(&self, ctx: &DeviceCtx, tokens: &[usize]) -> Vec<usize> {
+        let cache = self.forward(ctx, tokens);
+        let logits = lm_head_forward(&cache.hidden, &self.table);
+        let s = self.cfg.model.seq;
+        (0..self.cfg.model.batch)
+            .map(|b| {
+                let last = logits.row(b * s + s - 1);
+                let full = ctx.all_gather(&self.world, last);
+                full.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .expect("non-empty vocab")
+                    .0
+            })
+            .collect()
+    }
+
+    /// Visits every `(parameter, gradient)` slice pair in a fixed order
+    /// (replicated parameters see identical gradients on every device, so
+    /// per-device optimizer states stay in sync).
+    pub fn visit_params_grads(
+        &mut self,
+        grads: &Model1dGrads,
+        f: &mut impl FnMut(&mut [f32], &[f32]),
+    ) {
+        f(self.table.as_mut_slice(), grads.table.as_slice());
+        f(&mut self.final_ln_g, &grads.final_ln_g);
+        f(&mut self.final_ln_b, &grads.final_ln_b);
+        for (lp, lg) in self.layers.iter_mut().zip(&grads.layers) {
+            f(&mut lp.ln1_g, &lg.ln1_g);
+            f(&mut lp.ln1_b, &lg.ln1_b);
+            f(lp.w_qkv.as_mut_slice(), lg.w_qkv.as_slice());
+            f(&mut lp.b_qkv, &lg.b_qkv);
+            f(lp.w_out.as_mut_slice(), lg.w_out.as_slice());
+            f(&mut lp.b_out, &lg.b_out);
+            f(&mut lp.ln2_g, &lg.ln2_g);
+            f(&mut lp.ln2_b, &lg.ln2_b);
+            f(lp.w_fc1.as_mut_slice(), lg.w_fc1.as_slice());
+            f(&mut lp.b_fc1, &lg.b_fc1);
+            f(lp.w_fc2.as_mut_slice(), lg.w_fc2.as_slice());
+            f(&mut lp.b_fc2, &lg.b_fc2);
+        }
+    }
+
+    /// One Adam training step; `opt` holds this device's moments.
+    pub fn train_step_adam(
+        &mut self,
+        ctx: &DeviceCtx,
+        tokens: &[usize],
+        labels: &[usize],
+        opt: &mut tensor::optim::AdamSet,
+    ) -> f32 {
+        let (loss, grads) = self.lm_grads(ctx, tokens, labels);
+        opt.begin_step();
+        self.visit_params_grads(&grads, &mut |p, g| opt.apply(p, g));
+        loss
+    }
+
+    /// Plain SGD over all local parameters.
+    pub fn apply_sgd(&mut self, grads: &Model1dGrads, lr: f32) {
+        fn upd_t(p: &mut Tensor, g: &Tensor, lr: f32) {
+            p.axpy(-lr, g);
+        }
+        fn upd_v(p: &mut [f32], g: &[f32], lr: f32) {
+            for (pv, gv) in p.iter_mut().zip(g) {
+                *pv -= lr * gv;
+            }
+        }
+        upd_t(&mut self.table, &grads.table, lr);
+        upd_v(&mut self.final_ln_g, &grads.final_ln_g, lr);
+        upd_v(&mut self.final_ln_b, &grads.final_ln_b, lr);
+        for (lp, lg) in self.layers.iter_mut().zip(&grads.layers) {
+            upd_v(&mut lp.ln1_g, &lg.ln1_g, lr);
+            upd_v(&mut lp.ln1_b, &lg.ln1_b, lr);
+            upd_t(&mut lp.w_qkv, &lg.w_qkv, lr);
+            upd_v(&mut lp.b_qkv, &lg.b_qkv, lr);
+            upd_t(&mut lp.w_out, &lg.w_out, lr);
+            upd_v(&mut lp.b_out, &lg.b_out, lr);
+            upd_v(&mut lp.ln2_g, &lg.ln2_g, lr);
+            upd_v(&mut lp.ln2_b, &lg.ln2_b, lr);
+            upd_t(&mut lp.w_fc1, &lg.w_fc1, lr);
+            upd_v(&mut lp.b_fc1, &lg.b_fc1, lr);
+            upd_t(&mut lp.w_fc2, &lg.w_fc2, lr);
+            upd_v(&mut lp.b_fc2, &lg.b_fc2, lr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::Mesh;
+    use serial::{ModelConfig, SerialModel};
+    use tensor::Rng;
+
+    fn data(cfg: &ModelConfig, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        let mut rng = Rng::new(seed);
+        let tokens = (0..cfg.tokens()).map(|_| rng.below(cfg.vocab)).collect();
+        let labels = (0..cfg.tokens()).map(|_| rng.below(cfg.vocab)).collect();
+        (tokens, labels)
+    }
+
+    #[test]
+    fn loss_matches_serial_reference() {
+        let model_cfg = ModelConfig {
+            heads: 4,
+            ..ModelConfig::tiny()
+        };
+        let (tokens, labels) = data(&model_cfg, 10);
+        let reference = SerialModel::new(model_cfg, 7).lm_loss(&tokens, &labels);
+        for p in [1usize, 2, 4] {
+            let cfg = MegatronConfig::new(model_cfg, p);
+            let losses = Mesh::run(p, |ctx| {
+                MegatronModel::new(cfg, 7, ctx).lm_loss(ctx, &tokens, &labels)
+            });
+            for l in losses {
+                assert!(
+                    (l - reference).abs() < 1e-4,
+                    "p={p}: megatron={l} serial={reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_trajectory_matches_serial() {
+        // Several SGD steps must track the serial model step for step —
+        // this exercises every parameter gradient in the scheme.
+        let model_cfg = ModelConfig::tiny();
+        let (tokens, labels) = data(&model_cfg, 11);
+        let mut reference = SerialModel::new(model_cfg, 9);
+        let ref_losses: Vec<f32> = (0..4)
+            .map(|_| reference.train_step(&tokens, &labels, 0.2))
+            .collect();
+        let cfg = MegatronConfig::new(model_cfg, 2);
+        let losses = Mesh::run(cfg.p, |ctx| {
+            let mut m = MegatronModel::new(cfg, 9, ctx);
+            (0..4)
+                .map(|_| m.train_step(ctx, &tokens, &labels, 0.2))
+                .collect::<Vec<f32>>()
+        });
+        for dev in &losses {
+            for (a, b) in dev.iter().zip(&ref_losses) {
+                assert!((a - b).abs() < 2e-3, "megatron={a} serial={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointing_is_numerically_identical() {
+        let model_cfg = ModelConfig::tiny();
+        let (tokens, labels) = data(&model_cfg, 14);
+        let run = |checkpoint: bool| {
+            let cfg = if checkpoint {
+                MegatronConfig::new(model_cfg, 2).with_checkpoint()
+            } else {
+                MegatronConfig::new(model_cfg, 2)
+            };
+            Mesh::run(cfg.p, |ctx| {
+                let mut m = MegatronModel::new(cfg, 4, ctx);
+                (0..3)
+                    .map(|_| m.train_step(ctx, &tokens, &labels, 0.2))
+                    .collect::<Vec<f32>>()
+            })
+        };
+        let plain = run(false);
+        let ckpt = run(true);
+        for (a, b) in plain[0].iter().zip(&ckpt[0]) {
+            assert!((a - b).abs() < 1e-6, "plain={a} ckpt={b}");
+        }
+    }
+
+    #[test]
+    fn gradients_are_consistent_across_devices_for_replicated_params() {
+        let model_cfg = ModelConfig::tiny();
+        let (tokens, labels) = data(&model_cfg, 12);
+        let cfg = MegatronConfig::new(model_cfg, 2);
+        let outs = Mesh::run(cfg.p, |ctx| {
+            let m = MegatronModel::new(cfg, 3, ctx);
+            let (_, g) = m.lm_grads(ctx, &tokens, &labels);
+            (g.final_ln_g, g.layers[0].b_out.clone())
+        });
+        assert_eq!(outs[0].0, outs[1].0);
+        assert_eq!(outs[0].1, outs[1].1);
+    }
+}

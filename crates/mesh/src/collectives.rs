@@ -1,0 +1,512 @@
+//! Collective communication, implemented from scratch.
+//!
+//! * [`DeviceCtx::broadcast`] / [`DeviceCtx::reduce`] — binomial tree within
+//!   a group, `⌈log₂ g⌉` rounds: the algorithm behind the paper's Eq. 4 cost
+//!   `T = log(q)·β·B`. SUMMA uses these within mesh rows and columns.
+//! * [`DeviceCtx::all_reduce`] — ring reduce-scatter + ring all-gather,
+//!   moving `2(g−1)/g · B` per device: the paper's Eq. 5 and the collective
+//!   Megatron's 1D scheme is built on.
+//! * [`DeviceCtx::all_gather`] / [`DeviceCtx::reduce_scatter`] — the two ring
+//!   halves, exposed for vocab-parallel embeddings and tests.
+//! * [`DeviceCtx::barrier`] — empty reduce + broadcast.
+//!
+//! All members of a group must call the same collective in the same order;
+//! ordering between distinct (sender, receiver) pairs is guaranteed by the
+//! per-pair FIFO channels.
+
+use crate::fabric::DeviceCtx;
+use crate::group::Group;
+use crate::stats::CommOp;
+
+/// Start offset of ring chunk `i` when splitting `n` elements into `g`
+/// near-equal chunks.
+fn chunk_start(n: usize, g: usize, i: usize) -> usize {
+    (n * i) / g
+}
+
+impl DeviceCtx {
+    fn my_index(&self, group: &Group) -> usize {
+        group
+            .index_of(self.rank())
+            .unwrap_or_else(|| panic!("device {} is not in group {:?}", self.rank(), group))
+    }
+
+    /// Broadcast from group index `root` to all members (binomial tree).
+    ///
+    /// On non-root members `data` is replaced by the received buffer.
+    pub fn broadcast(&self, group: &Group, root: usize, data: &mut Vec<f32>) {
+        let g = group.len();
+        assert!(root < g, "root index {root} out of range for group of {g}");
+        let me = self.my_index(group);
+        if g == 1 {
+            self.record_op(CommOp::Broadcast, group, data.len());
+            return;
+        }
+        let rel = (me + g - root) % g;
+        let abs = |r: usize| group.rank_of((r + root) % g);
+
+        let mut mask = 1usize;
+        while mask < g {
+            if rel & mask != 0 {
+                *data = self.recv(abs(rel - mask));
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if rel + mask < g {
+                self.send(abs(rel + mask), data.clone());
+            }
+            mask >>= 1;
+        }
+        // Record after the transfer so non-roots log the real payload size.
+        self.record_op(CommOp::Broadcast, group, data.len());
+    }
+
+    /// Sum-reduce to group index `root` (reverse binomial tree).
+    ///
+    /// Only the root's `data` holds the full sum afterwards; other members'
+    /// buffers contain partial sums and must be treated as scratch.
+    pub fn reduce(&self, group: &Group, root: usize, data: &mut [f32]) {
+        let g = group.len();
+        assert!(root < g, "root index {root} out of range for group of {g}");
+        let me = self.my_index(group);
+        self.record_op(CommOp::Reduce, group, data.len());
+        if g == 1 {
+            return;
+        }
+        let rel = (me + g - root) % g;
+        let abs = |r: usize| group.rank_of((r + root) % g);
+
+        let mut mask = 1usize;
+        while mask < g {
+            if rel & mask == 0 {
+                if rel + mask < g {
+                    let incoming = self.recv(abs(rel + mask));
+                    assert_eq!(incoming.len(), data.len(), "reduce size mismatch");
+                    for (d, v) in data.iter_mut().zip(incoming) {
+                        *d += v;
+                    }
+                }
+                mask <<= 1;
+            } else {
+                self.send(abs(rel - mask), data.to_vec());
+                break;
+            }
+        }
+    }
+
+    /// Ring all-reduce with a custom element-wise combiner.
+    pub fn all_reduce_by<F>(&self, group: &Group, data: &mut [f32], combine: F)
+    where
+        F: Fn(f32, f32) -> f32,
+    {
+        let g = group.len();
+        let me = self.my_index(group);
+        self.record_op(CommOp::AllReduce, group, data.len());
+        if g == 1 {
+            return;
+        }
+        let n = data.len();
+        let right = group.rank_of((me + 1) % g);
+        let left = group.rank_of((me + g - 1) % g);
+        let bounds = |i: usize| (chunk_start(n, g, i % g), chunk_start(n, g, i % g + 1));
+
+        // Phase 1: ring reduce-scatter. After g−1 steps, chunk (me+1) mod g
+        // holds the fully combined values on this device.
+        for step in 0..g - 1 {
+            let (s0, s1) = bounds((me + g - step) % g);
+            let (t0, t1) = bounds((me + 2 * g - step - 1) % g);
+            self.send(right, data[s0..s1].to_vec());
+            let incoming = self.recv(left);
+            assert_eq!(incoming.len(), t1 - t0, "ring chunk size mismatch");
+            for (d, v) in data[t0..t1].iter_mut().zip(incoming) {
+                *d = combine(*d, v);
+            }
+        }
+        // Phase 2: ring all-gather of the completed chunks.
+        for step in 0..g - 1 {
+            let (s0, s1) = bounds((me + 1 + g - step) % g);
+            let (t0, t1) = bounds((me + g - step) % g);
+            self.send(right, data[s0..s1].to_vec());
+            let incoming = self.recv(left);
+            assert_eq!(incoming.len(), t1 - t0, "ring chunk size mismatch");
+            data[t0..t1].copy_from_slice(&incoming);
+        }
+    }
+
+    /// Ring all-reduce (sum): every member ends with the element-wise sum.
+    pub fn all_reduce(&self, group: &Group, data: &mut [f32]) {
+        self.all_reduce_by(group, data, |a, b| a + b);
+    }
+
+    /// Ring all-reduce (max): used for the stable log-sum-exp in the
+    /// distributed cross-entropy.
+    pub fn all_reduce_max(&self, group: &Group, data: &mut [f32]) {
+        self.all_reduce_by(group, data, f32::max);
+    }
+
+    /// Ring all-gather: every member contributes `local` (all equal length)
+    /// and receives the concatenation in group order.
+    pub fn all_gather(&self, group: &Group, local: &[f32]) -> Vec<f32> {
+        let g = group.len();
+        let me = self.my_index(group);
+        self.record_op(CommOp::AllGather, group, local.len());
+        let n = local.len();
+        let mut out = vec![0.0f32; n * g];
+        out[me * n..(me + 1) * n].copy_from_slice(local);
+        if g == 1 {
+            return out;
+        }
+        let right = group.rank_of((me + 1) % g);
+        let left = group.rank_of((me + g - 1) % g);
+        for step in 0..g - 1 {
+            let s = (me + g - step) % g;
+            let t = (me + 2 * g - step - 1) % g;
+            self.send(right, out[s * n..(s + 1) * n].to_vec());
+            let incoming = self.recv(left);
+            assert_eq!(incoming.len(), n, "all-gather size mismatch");
+            out[t * n..(t + 1) * n].copy_from_slice(&incoming);
+        }
+        out
+    }
+
+    /// Ring reduce-scatter (sum): returns this member's chunk of the summed
+    /// vector. Chunk boundaries are the ring chunks (`n·i/g`); member `i` receives
+    /// chunk `i`.
+    pub fn reduce_scatter(&self, group: &Group, data: &mut [f32]) -> Vec<f32> {
+        let g = group.len();
+        let me = self.my_index(group);
+        self.record_op(CommOp::ReduceScatter, group, data.len());
+        let n = data.len();
+        let bounds = |i: usize| (chunk_start(n, g, i % g), chunk_start(n, g, i % g + 1));
+        if g == 1 {
+            return data.to_vec();
+        }
+        let right = group.rank_of((me + 1) % g);
+        let left = group.rank_of((me + g - 1) % g);
+        // Same ring as all_reduce phase 1, relabelled so that chunk `me`
+        // (rather than `me+1`) completes locally.
+        for step in 0..g - 1 {
+            let (s0, s1) = bounds((me + 2 * g - step - 1) % g);
+            let (t0, t1) = bounds((me + 2 * g - step - 2) % g);
+            self.send(right, data[s0..s1].to_vec());
+            let incoming = self.recv(left);
+            assert_eq!(incoming.len(), t1 - t0, "ring chunk size mismatch");
+            for (d, v) in data[t0..t1].iter_mut().zip(incoming) {
+                *d += v;
+            }
+        }
+        let (m0, m1) = bounds(me);
+        data[m0..m1].to_vec()
+    }
+
+    /// Scatter: group index `root` holds `data`, split into the `g` ring
+    /// chunks (`n·i/g` boundaries); member `i` receives chunk `i`.
+    /// Non-roots pass an empty slice.
+    pub fn scatter(&self, group: &Group, root: usize, data: &[f32]) -> Vec<f32> {
+        let g = group.len();
+        assert!(root < g, "root index {root} out of range for group of {g}");
+        let me = self.my_index(group);
+        if me == root {
+            self.record_op(CommOp::ReduceScatter, group, data.len());
+            let n = data.len();
+            for i in 0..g {
+                if i == root {
+                    continue;
+                }
+                let (s0, s1) = (chunk_start(n, g, i), chunk_start(n, g, i + 1));
+                self.send(group.rank_of(i), data[s0..s1].to_vec());
+            }
+            let (m0, m1) = (chunk_start(n, g, me), chunk_start(n, g, me + 1));
+            data[m0..m1].to_vec()
+        } else {
+            let out = self.recv(group.rank_of(root));
+            self.record_op(CommOp::ReduceScatter, group, out.len() * g);
+            out
+        }
+    }
+
+    /// Gather: the inverse of [`DeviceCtx::scatter`] — every member sends
+    /// its `local` chunk to group index `root`, which returns them
+    /// concatenated in group order. Non-roots return an empty vector.
+    pub fn gather(&self, group: &Group, root: usize, local: &[f32]) -> Vec<f32> {
+        let g = group.len();
+        assert!(root < g, "root index {root} out of range for group of {g}");
+        let me = self.my_index(group);
+        self.record_op(CommOp::AllGather, group, local.len());
+        if me == root {
+            let mut chunks: Vec<Vec<f32>> = (0..g).map(|_| Vec::new()).collect();
+            chunks[me] = local.to_vec();
+            for (i, chunk) in chunks.iter_mut().enumerate() {
+                if i != root {
+                    *chunk = self.recv(group.rank_of(i));
+                }
+            }
+            chunks.concat()
+        } else {
+            self.send(group.rank_of(root), local.to_vec());
+            Vec::new()
+        }
+    }
+
+    /// Barrier over a group (empty reduce to index 0 + empty broadcast).
+    pub fn barrier(&self, group: &Group) {
+        self.record_op(CommOp::Barrier, group, 0);
+        let mut token: Vec<f32> = Vec::new();
+        self.reduce(group, 0, &mut token);
+        let mut token: Vec<f32> = Vec::new();
+        self.broadcast(group, 0, &mut token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Group, Mesh};
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for p in [2usize, 3, 4, 7, 8] {
+            for root in 0..p {
+                let out = Mesh::run(p, |ctx| {
+                    let g = Group::world(p);
+                    let mut data = if ctx.rank() == root {
+                        vec![1.0, 2.0, 3.0]
+                    } else {
+                        vec![]
+                    };
+                    ctx.broadcast(&g, root, &mut data);
+                    data
+                });
+                for (r, d) in out.iter().enumerate() {
+                    assert_eq!(d, &vec![1.0, 2.0, 3.0], "p={p} root={root} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for p in [2usize, 3, 5, 8] {
+            for root in [0, p - 1] {
+                let out = Mesh::run(p, |ctx| {
+                    let g = Group::world(p);
+                    let mut data = vec![ctx.rank() as f32 + 1.0; 4];
+                    ctx.reduce(&g, root, &mut data);
+                    data
+                });
+                let expected = (p * (p + 1) / 2) as f32;
+                assert_eq!(out[root], vec![expected; 4], "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums_everywhere() {
+        for p in [1usize, 2, 3, 4, 6, 9] {
+            let out = Mesh::run(p, |ctx| {
+                let g = Group::world(p);
+                // Distinct per-rank payload with length not divisible by p.
+                let mut data: Vec<f32> =
+                    (0..13).map(|i| (ctx.rank() * 100 + i) as f32).collect();
+                ctx.all_reduce(&g, &mut data);
+                data
+            });
+            let expected: Vec<f32> = (0..13)
+                .map(|i| (0..p).map(|r| (r * 100 + i) as f32).sum())
+                .collect();
+            for (r, d) in out.iter().enumerate() {
+                assert_eq!(d, &expected, "p={p} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_max_takes_maximum() {
+        let p = 4;
+        let out = Mesh::run(p, |ctx| {
+            let g = Group::world(p);
+            let mut data = vec![-(ctx.rank() as f32), ctx.rank() as f32];
+            ctx.all_reduce_max(&g, &mut data);
+            data
+        });
+        for d in out {
+            assert_eq!(d, vec![0.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_group_order() {
+        let p = 4;
+        let out = Mesh::run(p, |ctx| {
+            let g = Group::world(p);
+            ctx.all_gather(&g, &[ctx.rank() as f32, 10.0 * ctx.rank() as f32])
+        });
+        for d in out {
+            assert_eq!(d, vec![0.0, 0.0, 1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_gives_each_member_its_chunk() {
+        let p = 4;
+        let n = 8; // 2 elements per chunk
+        let out = Mesh::run(p, |ctx| {
+            let g = Group::world(p);
+            let mut data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            ctx.reduce_scatter(&g, &mut data)
+        });
+        for (r, d) in out.iter().enumerate() {
+            let expected: Vec<f32> =
+                (2 * r..2 * r + 2).map(|i| (i * p) as f32).collect();
+            assert_eq!(d, &expected, "rank={r}");
+        }
+    }
+
+    #[test]
+    fn collectives_work_on_subgroups() {
+        // Two disjoint row groups of a 2x2 mesh run broadcasts concurrently.
+        let out = Mesh::run(4, |ctx| {
+            let row = if ctx.rank() < 2 {
+                Group::new(vec![0, 1])
+            } else {
+                Group::new(vec![2, 3])
+            };
+            let mut data = if ctx.rank() % 2 == 0 {
+                vec![ctx.rank() as f32]
+            } else {
+                vec![]
+            };
+            ctx.broadcast(&row, 0, &mut data);
+            data[0]
+        });
+        assert_eq!(out, vec![0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn non_contiguous_group_all_reduce() {
+        // A mesh *column* {1, 3} of a 2x2 mesh.
+        let out = Mesh::run(4, |ctx| {
+            if ctx.rank() % 2 == 1 {
+                let col = Group::new(vec![1, 3]);
+                let mut data = vec![ctx.rank() as f32];
+                ctx.all_reduce(&col, &mut data);
+                data[0]
+            } else {
+                -1.0
+            }
+        });
+        assert_eq!(out, vec![-1.0, 4.0, -1.0, 4.0]);
+    }
+
+    #[test]
+    fn scatter_distributes_root_chunks() {
+        let p = 4;
+        let out = Mesh::run(p, |ctx| {
+            let g = Group::world(p);
+            let data: Vec<f32> = if ctx.rank() == 1 {
+                (0..8).map(|i| i as f32).collect()
+            } else {
+                Vec::new()
+            };
+            ctx.scatter(&g, 1, &data)
+        });
+        for (r, chunk) in out.iter().enumerate() {
+            let expect: Vec<f32> = (2 * r..2 * r + 2).map(|i| i as f32).collect();
+            assert_eq!(chunk, &expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn gather_reassembles_in_group_order() {
+        let p = 3;
+        let out = Mesh::run(p, |ctx| {
+            let g = Group::world(p);
+            ctx.gather(&g, 2, &[ctx.rank() as f32, 10.0 + ctx.rank() as f32])
+        });
+        assert!(out[0].is_empty());
+        assert!(out[1].is_empty());
+        assert_eq!(out[2], vec![0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
+    }
+
+    #[test]
+    fn scatter_then_gather_roundtrips() {
+        let p = 4;
+        let out = Mesh::run(p, |ctx| {
+            let g = Group::world(p);
+            let data: Vec<f32> = if ctx.rank() == 0 {
+                (0..12).map(|i| (i as f32).sin()).collect()
+            } else {
+                Vec::new()
+            };
+            let chunk = ctx.scatter(&g, 0, &data);
+            ctx.gather(&g, 0, &chunk)
+        });
+        let expect: Vec<f32> = (0..12).map(|i| (i as f32).sin()).collect();
+        assert_eq!(out[0], expect);
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let out = Mesh::run(5, |ctx| {
+            let g = Group::world(5);
+            for _ in 0..3 {
+                ctx.barrier(&g);
+            }
+            true
+        });
+        assert_eq!(out, vec![true; 5]);
+    }
+
+    #[test]
+    fn all_reduce_payload_smaller_than_group() {
+        // n=2 < g=4: some ring chunks are empty; must still be correct.
+        let out = Mesh::run(4, |ctx| {
+            let g = Group::world(4);
+            let mut data = vec![1.0f32, 2.0];
+            ctx.all_reduce(&g, &mut data);
+            data
+        });
+        for d in out {
+            assert_eq!(d, vec![4.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_then_reduce_roundtrip() {
+        // broadcast(x) then reduce(sum) should yield g*x at the root.
+        let p = 8;
+        let out = Mesh::run(p, |ctx| {
+            let g = Group::world(p);
+            let mut data = if ctx.rank() == 0 { vec![2.5; 6] } else { vec![] };
+            ctx.broadcast(&g, 0, &mut data);
+            ctx.reduce(&g, 0, &mut data);
+            data
+        });
+        assert_eq!(out[0], vec![20.0; 6]);
+    }
+
+    #[test]
+    fn log_records_collectives() {
+        let (_, logs) = Mesh::run_with_logs(4, |ctx| {
+            let g = Group::world(4);
+            let mut d = vec![0.0f32; 16];
+            ctx.all_reduce(&g, &mut d);
+            ctx.broadcast(&g, 0, &mut d);
+        });
+        for log in &logs {
+            assert_eq!(log.op_count(crate::CommOp::AllReduce), 1);
+            assert_eq!(log.op_elems(crate::CommOp::AllReduce), 16);
+            assert_eq!(log.op_count(crate::CommOp::Broadcast), 1);
+        }
+        // Ring all-reduce wire traffic: each device sends 2(g-1)/g * n elems.
+        let ar_link_elems: usize = logs[0]
+            .links
+            .iter()
+            .take(6) // 2*(g-1) = 6 sends of n/g = 4 elements each
+            .map(|l| l.elems)
+            .sum();
+        assert_eq!(ar_link_elems, 24);
+    }
+}

@@ -1,0 +1,165 @@
+//! The channel fabric connecting simulated devices, and the per-device
+//! context handle.
+
+use crate::stats::{CommLog, CommOp};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::RefCell;
+
+/// Per-device handle: identity plus point-to-point channels to every peer.
+///
+/// All collectives ([`DeviceCtx::broadcast`], [`DeviceCtx::reduce`],
+/// [`DeviceCtx::all_reduce`], …) are built on [`DeviceCtx::send`] /
+/// [`DeviceCtx::recv`] and are defined in `collectives.rs`.
+pub struct DeviceCtx {
+    rank: usize,
+    p: usize,
+    /// `senders[dst]` — channel from this device to `dst`.
+    senders: Vec<Sender<Vec<f32>>>,
+    /// `receivers[src]` — channel from `src` to this device.
+    receivers: Vec<Receiver<Vec<f32>>>,
+    log: RefCell<CommLog>,
+}
+
+/// Builds a fully connected fabric of `p` devices.
+pub(crate) fn build_fabric(p: usize) -> Vec<DeviceCtx> {
+    // channels[src][dst]
+    let mut senders: Vec<Vec<Sender<Vec<f32>>>> = vec![Vec::with_capacity(p); p];
+    let mut receivers: Vec<Vec<Receiver<Vec<f32>>>> = (0..p).map(|_| Vec::new()).collect();
+    for sender_row in senders.iter_mut() {
+        for receiver_row in receivers.iter_mut() {
+            let (tx, rx) = unbounded();
+            sender_row.push(tx);
+            receiver_row.push(rx);
+        }
+    }
+    // receivers[dst] currently appends in src-major order for a fixed dst?
+    // No: the loop above pushes (src, dst) pairs dst-major per src, so
+    // receivers[dst] receives its channels in src order 0..p — correct.
+    senders
+        .into_iter()
+        .zip(receivers)
+        .enumerate()
+        .map(|(rank, (s, r))| DeviceCtx {
+            rank,
+            p,
+            senders: s,
+            receivers: r,
+            log: RefCell::new(CommLog::new(rank)),
+        })
+        .collect()
+}
+
+impl DeviceCtx {
+    /// This device's world rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of devices in the world.
+    pub fn world_size(&self) -> usize {
+        self.p
+    }
+
+    /// Point-to-point send. Counted in the [`CommLog`].
+    pub fn send(&self, to: usize, data: Vec<f32>) {
+        assert!(to < self.p, "send to rank {to} out of range (p={})", self.p);
+        self.log.borrow_mut().record_link(self.rank, to, data.len());
+        self.senders[to]
+            .send(data)
+            .unwrap_or_else(|_| panic!("device {to} disconnected (send from {})", self.rank));
+    }
+
+    /// Point-to-point receive (blocking).
+    pub fn recv(&self, from: usize) -> Vec<f32> {
+        assert!(from < self.p, "recv from rank {from} out of range");
+        self.receivers[from]
+            .recv()
+            .unwrap_or_else(|_| panic!("device {from} disconnected (recv at {})", self.rank))
+    }
+
+    /// Records a collective operation in the log (used by `collectives.rs`).
+    pub(crate) fn record_op(&self, op: CommOp, group: &crate::Group, elems: usize) {
+        let ranks = group.ranks();
+        let stride = if ranks.len() > 1 {
+            let s = ranks[1].wrapping_sub(ranks[0]);
+            let arithmetic = ranks
+                .windows(2)
+                .all(|w| w[1].wrapping_sub(w[0]) == s);
+            if arithmetic {
+                s
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+        self.log
+            .borrow_mut()
+            .record_op(op, ranks.len(), elems, ranks[0], stride);
+    }
+
+    /// Extracts the accumulated communication log (resets it).
+    pub fn take_log(&self) -> CommLog {
+        std::mem::replace(&mut self.log.borrow_mut(), CommLog::new(self.rank))
+    }
+
+    /// Read-only snapshot of the current log.
+    pub fn log_snapshot(&self) -> CommLog {
+        self.log.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Group, Mesh};
+
+    #[test]
+    fn p2p_send_recv_roundtrip() {
+        let out = Mesh::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, vec![1.0, 2.0, 3.0]);
+                vec![]
+            } else {
+                ctx.recv(0)
+            }
+        });
+        assert_eq!(out[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn p2p_preserves_fifo_order_per_pair() {
+        let out = Mesh::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..10 {
+                    ctx.send(1, vec![i as f32]);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| ctx.recv(0)[0]).collect()
+            }
+        });
+        assert_eq!(out[1], (0..10).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn self_send_works() {
+        let out = Mesh::run(1, |ctx| {
+            ctx.send(0, vec![7.0]);
+            ctx.recv(0)
+        });
+        assert_eq!(out[0], vec![7.0]);
+    }
+
+    #[test]
+    fn log_counts_p2p_bytes() {
+        let (_, logs) = Mesh::run_with_logs(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, vec![0.0; 100]);
+            } else {
+                ctx.recv(0);
+            }
+            ctx.barrier(&Group::world(2));
+        });
+        assert_eq!(logs[0].total_link_elems(), 100 + logs[1].total_link_elems());
+    }
+}

@@ -1,0 +1,94 @@
+//! Communication groups (world, mesh rows, mesh columns).
+
+/// An ordered set of world ranks that participate in a collective together.
+///
+/// SUMMA only ever communicates within a mesh row or a mesh column
+/// (Section 2.4); Megatron communicates across the whole world. The order of
+/// `ranks` defines group indices: `ranks[0]` is group index 0, etc.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    ranks: Vec<usize>,
+}
+
+impl Group {
+    /// Group over explicit ranks. Must be non-empty and duplicate-free.
+    pub fn new(ranks: Vec<usize>) -> Self {
+        assert!(!ranks.is_empty(), "empty group");
+        let mut seen = ranks.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), ranks.len(), "duplicate ranks in group");
+        Group { ranks }
+    }
+
+    /// The world group `{0, …, p−1}`.
+    pub fn world(p: usize) -> Self {
+        Group::new((0..p).collect())
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True if the group has exactly one member (collectives are no-ops).
+    pub fn is_empty(&self) -> bool {
+        false // groups are non-empty by construction
+    }
+
+    /// Members in group order.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// World rank of group index `i`.
+    pub fn rank_of(&self, i: usize) -> usize {
+        self.ranks[i]
+    }
+
+    /// Group index of a world rank, if it is a member.
+    pub fn index_of(&self, world_rank: usize) -> Option<usize> {
+        self.ranks.iter().position(|&r| r == world_rank)
+    }
+
+    /// True if `world_rank` is a member.
+    pub fn contains(&self, world_rank: usize) -> bool {
+        self.index_of(world_rank).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_group_contains_all() {
+        let g = Group::world(4);
+        assert_eq!(g.len(), 4);
+        for r in 0..4 {
+            assert_eq!(g.index_of(r), Some(r));
+        }
+        assert_eq!(g.index_of(4), None);
+    }
+
+    #[test]
+    fn custom_order_defines_indices() {
+        let g = Group::new(vec![5, 2, 9]);
+        assert_eq!(g.index_of(2), Some(1));
+        assert_eq!(g.rank_of(2), 9);
+        assert!(g.contains(5));
+        assert!(!g.contains(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicates() {
+        Group::new(vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        Group::new(vec![]);
+    }
+}

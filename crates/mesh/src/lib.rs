@@ -1,0 +1,141 @@
+//! Simulated multi-device mesh runtime.
+//!
+//! The paper evaluates Optimus on 64 GPUs driven by NCCL collectives. This
+//! crate is the substitute substrate: every *device* is an OS thread, and the
+//! collective operations the paper's analysis assumes — binomial-**tree
+//! broadcast** and **reduce** within a mesh row/column (cost `log(q)·β·B`,
+//! Eq. 4) and **ring all-reduce** across a group (cost `2(p−1)/p·β·B`,
+//! Eq. 5) — are implemented from scratch on top of crossbeam channels.
+//!
+//! Two properties matter for the reproduction:
+//!
+//! 1. **Numerical fidelity** — the distributed layers in `megatron` and
+//!    `optimus-core` run their real communication pattern and are checked
+//!    element-wise against the serial reference.
+//! 2. **Communication accounting** — every collective records the bytes each
+//!    device moves ([`CommLog`]), which the `perf` crate replays through the
+//!    α-β cost model and which the integration tests validate against the
+//!    closed forms of the paper's Table 1.
+//!
+//! # Deadlock discipline
+//!
+//! Collectives are matched by program order per (sender, receiver) pair: all
+//! members of a group must call the same sequence of collectives on that
+//! group. If a device thread panics, its channel endpoints drop and every
+//! peer blocked on it panics with a "disconnected" error instead of hanging.
+
+mod collectives;
+mod fabric;
+mod group;
+mod mesh2d;
+mod stats;
+mod topology;
+
+pub use fabric::DeviceCtx;
+pub use group::Group;
+pub use mesh2d::{Grid2d, Mesh2d};
+pub use stats::{CommLog, CommOp, LinkRecord, OpRecord};
+pub use topology::{Arrangement, Topology};
+
+use std::sync::mpsc;
+
+/// A simulated mesh of `p` devices.
+///
+/// [`Mesh::run`] spawns one thread per device, hands each a [`DeviceCtx`]
+/// wired to every peer, and returns the per-device results in rank order.
+pub struct Mesh;
+
+impl Mesh {
+    /// Runs `f` on every device of a `p`-device mesh and collects results in
+    /// rank order. Panics in any device propagate to the caller.
+    pub fn run<T, F>(p: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&DeviceCtx) -> T + Sync,
+    {
+        Self::run_with_logs(p, f).0
+    }
+
+    /// Like [`Mesh::run`] but also returns each device's [`CommLog`].
+    pub fn run_with_logs<T, F>(p: usize, f: F) -> (Vec<T>, Vec<CommLog>)
+    where
+        T: Send,
+        F: Fn(&DeviceCtx) -> T + Sync,
+    {
+        assert!(p > 0, "mesh needs at least one device");
+        let mut ctxs = fabric::build_fabric(p);
+        let f = &f;
+        let mut results: Vec<Option<(T, CommLog)>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, T, CommLog)>();
+            for ctx in ctxs.drain(..) {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let out = f(&ctx);
+                    let rank = ctx.rank();
+                    let log = ctx.take_log();
+                    // Send failure is only possible if the main thread
+                    // already panicked; nothing useful to do then.
+                    let _ = tx.send((rank, out, log));
+                });
+            }
+            drop(tx);
+            while let Ok((rank, out, log)) = rx.recv() {
+                results[rank] = Some((out, log));
+            }
+        });
+        let mut outs = Vec::with_capacity(p);
+        let mut logs = Vec::with_capacity(p);
+        for (rank, slot) in results.into_iter().enumerate() {
+            let (out, log) = slot.unwrap_or_else(|| panic!("device {rank} produced no result"));
+            outs.push(out);
+            logs.push(log);
+        }
+        (outs, logs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let out = Mesh::run(4, |ctx| ctx.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn single_device_mesh_works() {
+        let out = Mesh::run(1, |ctx| {
+            let mut v = vec![1.0f32, 2.0];
+            ctx.all_reduce(&Group::world(1), &mut v);
+            v
+        });
+        assert_eq!(out[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn device_panic_propagates() {
+        Mesh::run(2, |ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+            ctx.rank()
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn peer_death_unblocks_receivers() {
+        // Device 1 dies before sending; device 0 must panic (disconnected),
+        // not hang forever.
+        Mesh::run(2, |ctx| {
+            if ctx.rank() == 1 {
+                panic!("dying without sending");
+            }
+            ctx.recv(1)
+        });
+    }
+}

@@ -1,0 +1,232 @@
+//! The `q × q` SUMMA mesh view over a flat device world.
+
+use crate::fabric::DeviceCtx;
+use crate::group::Group;
+use crate::Mesh;
+
+/// A `q × q` logical mesh. Rank `r` sits at row `r / q`, column `r % q`
+/// (row-major). The physical placement of ranks onto nodes is a separate
+/// concern handled by [`crate::Topology`] — swapping arrangements (Fig. 8)
+/// changes communication *cost*, never program logic.
+pub struct Mesh2d;
+
+impl Mesh2d {
+    /// Runs `f` on every device of a `q × q` mesh, passing a [`Grid2d`] view.
+    pub fn run<T, F>(q: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Grid2d) -> T + Sync,
+    {
+        Self::run_with_logs(q, f).0
+    }
+
+    /// Like [`Mesh2d::run`] but also returns per-device communication logs.
+    pub fn run_with_logs<T, F>(q: usize, f: F) -> (Vec<T>, Vec<crate::CommLog>)
+    where
+        T: Send,
+        F: Fn(&Grid2d) -> T + Sync,
+    {
+        assert!(q > 0, "mesh side must be positive");
+        Mesh::run_with_logs(q * q, |ctx| {
+            let grid = Grid2d::new(ctx, q);
+            f(&grid)
+        })
+    }
+}
+
+/// Per-device view of a `q × q` mesh: coordinates plus precomputed row and
+/// column groups.
+pub struct Grid2d<'a> {
+    ctx: &'a DeviceCtx,
+    q: usize,
+    row: usize,
+    col: usize,
+    row_group: Group,
+    col_group: Group,
+}
+
+impl<'a> Grid2d<'a> {
+    /// Wraps a device context as a position in a `q × q` mesh.
+    pub fn new(ctx: &'a DeviceCtx, q: usize) -> Self {
+        assert_eq!(ctx.world_size(), q * q, "world size must be q^2");
+        Grid2d::sub_mesh(ctx, q, 0)
+    }
+
+    /// Wraps a device as a position in a `q × q` **sub-mesh** occupying the
+    /// contiguous rank range `[first, first + q²)` of a larger world — the
+    /// building block for hybrid data-parallel × tensor-parallel training,
+    /// where each data-parallel replica owns one sub-mesh.
+    pub fn sub_mesh(ctx: &'a DeviceCtx, q: usize, first: usize) -> Self {
+        assert!(
+            first + q * q <= ctx.world_size(),
+            "sub-mesh [{first}, {}) exceeds world of {}",
+            first + q * q,
+            ctx.world_size()
+        );
+        let rank = ctx.rank();
+        assert!(
+            rank >= first && rank < first + q * q,
+            "device {rank} is outside sub-mesh starting at {first}"
+        );
+        let local = rank - first;
+        let (row, col) = (local / q, local % q);
+        let row_group = Group::new((0..q).map(|j| first + row * q + j).collect());
+        let col_group = Group::new((0..q).map(|i| first + i * q + col).collect());
+        Grid2d {
+            ctx,
+            q,
+            row,
+            col,
+            row_group,
+            col_group,
+        }
+    }
+
+    /// The underlying device context (for p2p and world collectives).
+    pub fn ctx(&self) -> &DeviceCtx {
+        self.ctx
+    }
+
+    /// Mesh side length `q` (so `p = q²`).
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// This device's mesh row index.
+    pub fn row(&self) -> usize {
+        self.row
+    }
+
+    /// This device's mesh column index.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    /// World rank of the device at `(row, col)`.
+    pub fn rank_at(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.q && col < self.q, "mesh coordinate out of range");
+        row * self.q + col
+    }
+
+    /// Group of the `q` devices in this device's mesh row, ordered by column.
+    /// Within this group, a device's index equals its mesh column.
+    pub fn row_group(&self) -> &Group {
+        &self.row_group
+    }
+
+    /// Group of the `q` devices in this device's mesh column, ordered by row.
+    /// Within this group, a device's index equals its mesh row.
+    pub fn col_group(&self) -> &Group {
+        &self.col_group
+    }
+
+    /// The group of this (sub-)mesh's `q²` devices.
+    pub fn mesh_group(&self) -> Group {
+        let first = self.row_group.rank_of(0) - self.row * self.q;
+        Group::new((first..first + self.q * self.q).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_are_row_major() {
+        let out = Mesh2d::run(3, |g| (g.row(), g.col()));
+        assert_eq!(out[0], (0, 0));
+        assert_eq!(out[5], (1, 2));
+        assert_eq!(out[7], (2, 1));
+    }
+
+    #[test]
+    fn row_groups_partition_the_world() {
+        let out = Mesh2d::run(2, |g| g.row_group().ranks().to_vec());
+        assert_eq!(out[0], vec![0, 1]);
+        assert_eq!(out[1], vec![0, 1]);
+        assert_eq!(out[2], vec![2, 3]);
+        assert_eq!(out[3], vec![2, 3]);
+    }
+
+    #[test]
+    fn col_group_index_equals_row() {
+        let out = Mesh2d::run(3, |g| {
+            let idx = g.col_group().index_of(g.ctx().rank()).unwrap();
+            idx == g.row()
+        });
+        assert!(out.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn row_broadcast_stays_within_row() {
+        // Each row broadcasts its row index from column 0; every device must
+        // see its own row's value.
+        let out = Mesh2d::run(3, |g| {
+            let mut data = if g.col() == 0 {
+                vec![g.row() as f32]
+            } else {
+                vec![]
+            };
+            g.ctx().broadcast(g.row_group(), 0, &mut data);
+            data[0]
+        });
+        assert_eq!(out, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn col_all_reduce_sums_rows() {
+        let out = Mesh2d::run(2, |g| {
+            let mut data = vec![(g.row() + 1) as f32];
+            g.ctx().all_reduce(g.col_group(), &mut data);
+            data[0]
+        });
+        assert_eq!(out, vec![3.0; 4]);
+    }
+
+    #[test]
+    fn sub_meshes_partition_a_larger_world() {
+        // Two disjoint 2x2 sub-meshes inside an 8-device world, running
+        // independent column all-reduces.
+        let out = Mesh::run(8, |ctx| {
+            let first = (ctx.rank() / 4) * 4;
+            let g = Grid2d::sub_mesh(ctx, 2, first);
+            let mut data = vec![(ctx.rank() + 1) as f32];
+            ctx.all_reduce(g.col_group(), &mut data);
+            (g.row(), g.col(), data[0])
+        });
+        // Sub-mesh 0: columns {0,2} and {1,3} -> sums 4 and 6.
+        assert_eq!(out[0], (0, 0, 4.0));
+        assert_eq!(out[1], (0, 1, 6.0));
+        assert_eq!(out[2], (1, 0, 4.0));
+        // Sub-mesh 1: columns {4,6} and {5,7} -> sums 12 and 14.
+        assert_eq!(out[4], (0, 0, 12.0));
+        assert_eq!(out[7], (1, 1, 14.0));
+    }
+
+    #[test]
+    fn mesh_group_covers_the_sub_mesh() {
+        let out = Mesh::run(8, |ctx| {
+            let first = (ctx.rank() / 4) * 4;
+            let g = Grid2d::sub_mesh(ctx, 2, first);
+            g.mesh_group().ranks().to_vec()
+        });
+        assert_eq!(out[0], vec![0, 1, 2, 3]);
+        assert_eq!(out[5], vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic] // "device 5 is outside sub-mesh starting at 0"
+    fn sub_mesh_rejects_foreign_ranks() {
+        Mesh::run(8, |ctx| {
+            let _ = Grid2d::sub_mesh(ctx, 2, 0); // only ranks 0..4 belong
+        });
+    }
+
+    #[test]
+    #[should_panic] // device threads die with "world size must be q^2"
+    fn grid_requires_square_world() {
+        Mesh::run(6, |ctx| {
+            let _ = Grid2d::new(ctx, 2);
+        });
+    }
+}

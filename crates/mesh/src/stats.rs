@@ -1,0 +1,184 @@
+//! Communication accounting.
+//!
+//! Every point-to-point transfer and every collective participation is
+//! recorded per device. The `perf` crate replays [`OpRecord`]s through the
+//! α-β cost model (each collective's cost depends only on its kind, group
+//! size and payload — exactly the granularity of the paper's Eqs. 4–5), and
+//! uses [`LinkRecord`]s for the topology/contention analysis of Figure 8.
+
+/// Kind of collective a device participated in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommOp {
+    Broadcast,
+    Reduce,
+    AllReduce,
+    AllGather,
+    ReduceScatter,
+    Barrier,
+}
+
+/// One collective participation: the payload is the *logical* tensor size in
+/// `f32` elements (what the paper's `B` denotes), not the wire traffic — the
+/// wire traffic is in the link records.
+///
+/// `group_first`/`group_stride` encode the group's membership for arithmetic
+/// groups (mesh rows have stride 1, mesh columns stride `q`, the world
+/// stride 1); a stride of 0 marks an irregular group. The `perf` crate uses
+/// this to pick intra- vs inter-node bandwidth when replaying a log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpRecord {
+    pub op: CommOp,
+    pub group_size: usize,
+    pub elems: usize,
+    pub group_first: usize,
+    pub group_stride: usize,
+}
+
+impl OpRecord {
+    /// Reconstructs the member ranks for arithmetic groups; `None` when the
+    /// group was irregular (stride 0 with more than one member).
+    pub fn group_ranks(&self) -> Option<Vec<usize>> {
+        if self.group_size == 1 {
+            return Some(vec![self.group_first]);
+        }
+        if self.group_stride == 0 {
+            return None;
+        }
+        Some(
+            (0..self.group_size)
+                .map(|i| self.group_first + i * self.group_stride)
+                .collect(),
+        )
+    }
+}
+
+/// One point-to-point transfer on a concrete link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkRecord {
+    pub from: usize,
+    pub to: usize,
+    pub elems: usize,
+}
+
+/// Per-device log of all communication in a mesh run.
+#[derive(Clone, Debug)]
+pub struct CommLog {
+    pub rank: usize,
+    pub ops: Vec<OpRecord>,
+    pub links: Vec<LinkRecord>,
+}
+
+impl CommLog {
+    pub fn new(rank: usize) -> Self {
+        CommLog {
+            rank,
+            ops: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    pub(crate) fn record_op(
+        &mut self,
+        op: CommOp,
+        group_size: usize,
+        elems: usize,
+        group_first: usize,
+        group_stride: usize,
+    ) {
+        self.ops.push(OpRecord {
+            op,
+            group_size,
+            elems,
+            group_first,
+            group_stride,
+        });
+    }
+
+    pub(crate) fn record_link(&mut self, from: usize, to: usize, elems: usize) {
+        self.links.push(LinkRecord { from, to, elems });
+    }
+
+    /// Total `f32` elements this device pushed onto the fabric.
+    pub fn total_link_elems(&self) -> usize {
+        self.links.iter().map(|l| l.elems).sum()
+    }
+
+    /// Total logical payload across collectives of a given kind.
+    pub fn op_elems(&self, op: CommOp) -> usize {
+        self.ops
+            .iter()
+            .filter(|r| r.op == op)
+            .map(|r| r.elems)
+            .sum()
+    }
+
+    /// Number of collectives of a given kind this device joined.
+    pub fn op_count(&self, op: CommOp) -> usize {
+        self.ops.iter().filter(|r| r.op == op).count()
+    }
+
+    /// Merges another device's log into this one (used for whole-mesh
+    /// summaries).
+    pub fn merge(&mut self, other: &CommLog) {
+        self.ops.extend_from_slice(&other.ops);
+        self.links.extend_from_slice(&other.links);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_ranks_reconstruction() {
+        let row = OpRecord {
+            op: CommOp::Broadcast,
+            group_size: 3,
+            elems: 10,
+            group_first: 6,
+            group_stride: 1,
+        };
+        assert_eq!(row.group_ranks(), Some(vec![6, 7, 8]));
+        let col = OpRecord {
+            group_stride: 3,
+            group_first: 1,
+            ..row
+        };
+        assert_eq!(col.group_ranks(), Some(vec![1, 4, 7]));
+        let irregular = OpRecord {
+            group_stride: 0,
+            ..row
+        };
+        assert_eq!(irregular.group_ranks(), None);
+        let singleton = OpRecord {
+            group_size: 1,
+            group_stride: 0,
+            group_first: 5,
+            ..row
+        };
+        assert_eq!(singleton.group_ranks(), Some(vec![5]));
+    }
+
+    #[test]
+    fn op_accounting() {
+        let mut log = CommLog::new(0);
+        log.record_op(CommOp::Broadcast, 4, 100, 0, 1);
+        log.record_op(CommOp::Broadcast, 4, 50, 0, 1);
+        log.record_op(CommOp::AllReduce, 16, 200, 0, 1);
+        assert_eq!(log.op_elems(CommOp::Broadcast), 150);
+        assert_eq!(log.op_count(CommOp::Broadcast), 2);
+        assert_eq!(log.op_elems(CommOp::AllReduce), 200);
+        assert_eq!(log.op_count(CommOp::Reduce), 0);
+    }
+
+    #[test]
+    fn link_accounting_and_merge() {
+        let mut a = CommLog::new(0);
+        a.record_link(0, 1, 10);
+        let mut b = CommLog::new(1);
+        b.record_link(1, 0, 5);
+        a.merge(&b);
+        assert_eq!(a.total_link_elems(), 15);
+        assert_eq!(a.links.len(), 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Prints model vs paper numbers for the scaling tables — the calibration
+//! loop used to fix the Frontera profile constants (see EXPERIMENTS.md).
+
+use perf::memory;
+use perf::scaling::{strong_scaling, weak_scaling};
+use perf::HardwareProfile;
+
+fn main() {
+    let profile = HardwareProfile::frontera_rtx5000();
+    println!("profile: {profile:?}\n");
+
+    // Paper Table 2 (fwd/seq, bwd/seq, throughput, inference).
+    let paper_meg = [
+        (0.0793, 0.2613, 2.9363, 13.1047),
+        (0.2081, 0.5149, 1.3831, 4.8046),
+        (0.3379, 0.7955, 0.8823, 2.9596),
+        (0.4638, 1.0963, 0.6410, 2.1560),
+    ];
+    let paper_opt = [
+        (0.0985, 0.2979, 2.5229, 10.1502),
+        (0.1764, 0.5312, 1.4134, 5.6704),
+        (0.1901, 0.5759, 1.3055, 5.2593),
+        (0.2589, 0.7935, 0.9502, 3.8625),
+    ];
+    let (meg, opt) = weak_scaling(&profile);
+    println!("=== WEAK SCALING (Table 2) ===");
+    for (rows, paper, name) in [(&meg, &paper_meg, "megatron"), (&opt, &paper_opt, "optimus")] {
+        println!("-- {name} --");
+        println!("gpus  b    h      fwd/seq (model|paper)  bwd/seq (model|paper)  thr (model|paper)  inf (model|paper)  eff");
+        for (r, p) in rows.iter().zip(paper.iter()) {
+            println!(
+                "{:>4} {:>4} {:>5}   {:.4} | {:.4}      {:.4} | {:.4}      {:.3} | {:.3}    {:.3} | {:.3}   {:.3}",
+                r.gpus, r.batch, r.hidden, r.fwd_per_seq, p.0, r.bwd_per_seq, p.1,
+                r.throughput, p.2, r.inference, p.3, r.efficiency
+            );
+        }
+    }
+
+    let paper_meg3 = [
+        (0.1225, 0.4749, 1.6737, 8.1616),
+        (0.1143, 0.4293, 1.8397, 8.7521),
+        (0.1212, 0.4512, 1.7470, 8.2503),
+        (0.1195, 0.5306, 1.8180, 8.3711),
+    ];
+    let paper_opt3 = [
+        (0.1888, 0.5691, 1.3195, 5.2966),
+        (0.1950, 0.5704, 1.4095, 5.1285),
+        (0.1625, 0.4764, 1.5653, 6.1542),
+        (0.1253, 0.3716, 2.0123, 7.9808),
+    ];
+    let (meg3, opt3) = strong_scaling(&profile);
+    println!("\n=== STRONG SCALING (Table 3) ===");
+    for (rows, paper, name) in [(&meg3, &paper_meg3, "megatron"), (&opt3, &paper_opt3, "optimus")] {
+        println!("-- {name} --");
+        for (r, p) in rows.iter().zip(paper.iter()) {
+            println!(
+                "{:>4} gpus  fwd {:.4}|{:.4}  bwd {:.4}|{:.4}  thr {:.3}|{:.3}  speedup {:.2}",
+                r.gpus, r.fwd_per_seq, p.0, r.bwd_per_seq, p.1, r.throughput, p.2, r.speedup
+            );
+        }
+    }
+
+    println!("\n=== FIG 9 (max batch) ===");
+    let (m9, o9) = memory::fig9(&profile, 4);
+    for (m, o) in m9.iter().zip(&o9) {
+        println!(
+            "{:>4} gpus h={:>5}: megatron {} ({})  optimus {} ({})",
+            m.gpus, m.hidden, m.runs, m.ooms, o.runs, o.ooms
+        );
+    }
+}

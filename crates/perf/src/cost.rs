@@ -1,0 +1,227 @@
+//! Collective cost functions (paper Eqs. 4–5), topology-aware.
+
+use crate::profile::HardwareProfile;
+use mesh::{CommLog, CommOp, OpRecord, Topology};
+
+/// α-β cost model over a concrete device-to-node placement.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    pub profile: HardwareProfile,
+    pub topology: Topology,
+}
+
+fn log2_ceil(g: usize) -> f64 {
+    (g.max(1) as f64).log2().ceil()
+}
+
+impl CostModel {
+    pub fn new(profile: HardwareProfile, topology: Topology) -> Self {
+        CostModel { profile, topology }
+    }
+
+    /// Effective β for a collective over `ranks`, accounting for node
+    /// placement and NIC contention (the crowding of Fig. 8):
+    ///
+    /// * all members in one node → `β_intra`;
+    /// * otherwise `β_inter · √(gpus_per_node / members_per_node)` — when
+    ///   sibling groups (the other mesh rows/columns) communicate
+    ///   concurrently, each node's uplink is shared by one flow per sibling
+    ///   group represented on the node. The naive placement of a 4×4 mesh
+    ///   on 4-GPU nodes has 4 concurrent flows per uplink for column
+    ///   groups; the bunched placement has 2 (Fig. 8's "only two GPUs share
+    ///   the cable"). The square root models the partial overlap of
+    ///   pipelined flows observed in practice (calibrated against Table 2;
+    ///   see EXPERIMENTS.md).
+    pub fn group_beta(&self, ranks: &[usize]) -> f64 {
+        let spanned = self.topology.nodes_spanned(ranks);
+        if spanned <= 1 {
+            return self.profile.beta_intra;
+        }
+        let members_per_node = (ranks.len() as f64 / spanned as f64).max(1.0);
+        let contention = (self.topology.gpus_per_node() as f64 / members_per_node).max(1.0);
+        self.profile.beta_inter * contention.sqrt()
+    }
+
+    /// Broadcast cost: the better of the binomial tree (paper Eq. 4,
+    /// `log(g)·(α + β·B)` — optimal for small messages) and a pipelined
+    /// ring (`(g−1)·α + β·B` — what NCCL achieves for large panels). SUMMA's
+    /// panels are large, so the ring term dominates in the tables.
+    pub fn broadcast_time(&self, ranks: &[usize], elems: usize) -> f64 {
+        let g = ranks.len();
+        if g <= 1 {
+            return 0.0;
+        }
+        let beta = self.group_beta(ranks);
+        let b = elems as f64;
+        let tree = log2_ceil(g) * (self.profile.alpha + beta * b);
+        let ring = (g as f64 - 1.0) * self.profile.alpha + beta * b;
+        tree.min(ring)
+    }
+
+    /// Eq. 4 again (reduce has the same tree shape).
+    pub fn reduce_time(&self, ranks: &[usize], elems: usize) -> f64 {
+        self.broadcast_time(ranks, elems)
+    }
+
+    /// Eq. 5: ring all-reduce, `T = 2(g−1)·(α + β·B/g)`.
+    pub fn all_reduce_time(&self, ranks: &[usize], elems: usize) -> f64 {
+        let g = ranks.len();
+        if g <= 1 {
+            return 0.0;
+        }
+        2.0 * (g as f64 - 1.0)
+            * (self.profile.alpha + self.group_beta(ranks) * elems as f64 / g as f64)
+    }
+
+    /// One ring pass (all-gather or reduce-scatter): half of Eq. 5.
+    pub fn ring_pass_time(&self, ranks: &[usize], elems: usize) -> f64 {
+        self.all_reduce_time(ranks, elems) / 2.0
+    }
+
+    /// Time to execute `macs` multiply-accumulates on one device.
+    pub fn compute_time(&self, macs: f64) -> f64 {
+        macs / self.profile.mac_rate
+    }
+
+    /// Cost of one logged collective participation.
+    pub fn op_time(&self, op: &OpRecord) -> f64 {
+        let ranks = op.group_ranks().unwrap_or_else(|| {
+            // Irregular group: be conservative, treat as inter-node.
+            (0..op.group_size).collect()
+        });
+        match op.op {
+            CommOp::Broadcast | CommOp::Reduce => self.broadcast_time(&ranks, op.elems),
+            CommOp::AllReduce => self.all_reduce_time(&ranks, op.elems),
+            CommOp::AllGather | CommOp::ReduceScatter => self.ring_pass_time(&ranks, op.elems),
+            CommOp::Barrier => 2.0 * log2_ceil(op.group_size) * self.profile.alpha,
+        }
+    }
+
+    /// Replays one device's communication log through the model.
+    pub fn replay(&self, log: &CommLog) -> f64 {
+        log.ops.iter().map(|op| self.op_time(op)).sum()
+    }
+
+    /// Replays a whole mesh run: the slowest device's communication time.
+    pub fn replay_max(&self, logs: &[CommLog]) -> f64 {
+        logs.iter()
+            .map(|l| self.replay(l))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::Arrangement;
+
+    fn uniform_model(beta: f64) -> CostModel {
+        CostModel::new(
+            HardwareProfile::uniform(1e12, beta),
+            Topology::single_node(16),
+        )
+    }
+
+    #[test]
+    fn large_broadcast_is_pipelined_ring() {
+        let m = uniform_model(1e-9);
+        let ranks: Vec<usize> = (0..8).collect();
+        // With no latency the pipelined ring wins: beta * B, no log factor.
+        let t = m.broadcast_time(&ranks, 1_000_000);
+        assert!((t - 1.0e-3).abs() < 1e-9, "t={t}");
+    }
+
+    #[test]
+    fn tiny_broadcast_uses_the_tree() {
+        // With latency dominating, the binomial tree's log2(g) rounds beat
+        // the ring's g-1 hops (paper Eq. 4).
+        let prof = HardwareProfile {
+            alpha: 1e-4,
+            ..HardwareProfile::uniform(1e12, 1e-12)
+        };
+        let m = CostModel::new(prof, Topology::single_node(8));
+        let ranks: Vec<usize> = (0..8).collect();
+        let t = m.broadcast_time(&ranks, 1);
+        assert!((t - 3.0e-4).abs() < 1e-8, "t={t}");
+    }
+
+    #[test]
+    fn eq5_all_reduce_cost() {
+        let m = uniform_model(1e-9);
+        let ranks: Vec<usize> = (0..4).collect();
+        // 2*(4-1)/4 * beta * B.
+        let t = m.all_reduce_time(&ranks, 1_000_000);
+        assert!((t - 1.5e-3).abs() < 1e-9, "t={t}");
+    }
+
+    #[test]
+    fn single_member_collectives_are_free() {
+        let m = uniform_model(1e-9);
+        assert_eq!(m.broadcast_time(&[3], 100), 0.0);
+        assert_eq!(m.all_reduce_time(&[3], 100), 0.0);
+    }
+
+    #[test]
+    fn fig8_bunched_beats_naive_for_columns() {
+        // 4x4 mesh on 4-GPU nodes: column broadcasts see contention 4 under
+        // naive placement vs 2 under bunched -> sqrt(2)x faster.
+        let prof = HardwareProfile {
+            alpha: 0.0,
+            ..HardwareProfile::frontera_rtx5000()
+        };
+        let naive = CostModel::new(prof.clone(), Topology::new(4, 4, Arrangement::Naive));
+        let bunched = CostModel::new(prof, Topology::new(4, 4, Arrangement::Bunched));
+        let col: Vec<usize> = (0..4).map(|i| i * 4 + 1).collect();
+        let t_naive = naive.broadcast_time(&col, 1 << 20);
+        let t_bunched = bunched.broadcast_time(&col, 1 << 20);
+        assert!(
+            (t_naive / t_bunched - 2.0f64.sqrt()).abs() < 1e-9,
+            "naive={t_naive} bunched={t_bunched}"
+        );
+        // Rows: naive keeps them in-node (fast), bunched spans 2 nodes.
+        let row: Vec<usize> = (4..8).collect();
+        assert!(naive.broadcast_time(&row, 1 << 20) < bunched.broadcast_time(&row, 1 << 20));
+    }
+
+    #[test]
+    fn world_ring_has_no_contention_penalty() {
+        let prof = HardwareProfile {
+            alpha: 0.0,
+            ..HardwareProfile::frontera_rtx5000()
+        };
+        let m = CostModel::new(prof.clone(), Topology::new(4, 4, Arrangement::Naive));
+        let world: Vec<usize> = (0..16).collect();
+        // members_per_node = 4 = gpus_per_node -> contention 1.
+        assert_eq!(m.group_beta(&world), prof.beta_inter);
+    }
+
+    #[test]
+    fn replay_accounts_for_real_logs() {
+        use mesh::{Group, Mesh};
+        let (_, logs) = Mesh::run_with_logs(4, |ctx| {
+            let g = Group::world(4);
+            let mut d = vec![0.0f32; 1000];
+            ctx.all_reduce(&g, &mut d);
+            ctx.broadcast(&g, 0, &mut d);
+        });
+        let m = uniform_model(1e-9);
+        let expect = m.all_reduce_time(&[0, 1, 2, 3], 1000)
+            + m.broadcast_time(&[0, 1, 2, 3], 1000);
+        for log in &logs {
+            let t = m.replay(log);
+            assert!((t - expect).abs() < 1e-12, "t={t} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn alpha_term_dominates_tiny_messages() {
+        let prof = HardwareProfile {
+            alpha: 1e-4,
+            ..HardwareProfile::uniform(1e12, 1e-12)
+        };
+        let m = CostModel::new(prof, Topology::single_node(8));
+        let ranks: Vec<usize> = (0..8).collect();
+        let t = m.broadcast_time(&ranks, 1);
+        assert!(t > 2.9e-4, "latency floor missing: {t}");
+    }
+}

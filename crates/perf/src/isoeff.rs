@@ -1,0 +1,96 @@
+//! Isoefficiency analysis (Section 3.1.2).
+//!
+//! The isoefficiency function `W(p)` is the problem-size growth needed to
+//! hold parallel efficiency constant as devices are added. With `b, n ∝ h`
+//! and `s, N` fixed, the work is `W ~ h³` and the paper derives:
+//!
+//! * Megatron: `p·T_comm ~ p·bsh ~ p·h²` ⇒ `h ~ p` ⇒ **`W ~ p³`**;
+//! * Optimus: `p·T_comm ~ p·(log q)·q·h²/p ~ √p·log p·h²` ⇒
+//!   `h ~ √p·log p` ⇒ **`W ~ (√p·log p)³`**.
+//!
+//! Smaller is better: Optimus needs far less work per added device to stay
+//! efficient.
+
+/// Megatron's isoefficiency: `W(p) = c·p³` (normalised to `W(1) = 1`).
+pub fn megatron_isoefficiency(p: f64) -> f64 {
+    p.powi(3)
+}
+
+/// Optimus's isoefficiency: `W(p) = c·(√p·log₂p)³`, normalised so that the
+/// two curves agree at `p = 4` (a shared calibration point; only growth
+/// rates are meaningful).
+pub fn optimus_isoefficiency(p: f64) -> f64 {
+    let w = |p: f64| (p.sqrt() * p.log2().max(1.0)).powi(3);
+    w(p) / w(4.0) * megatron_isoefficiency(4.0)
+}
+
+/// Solves for the hidden size that keeps `p·T_comm / W` equal to `target`
+/// for a given scheme, under the paper's scaling regime (`b = κh`,
+/// `s` fixed). Returns `h`.
+///
+/// Megatron: `p·T_comm/W = 2(p−1)·β·κsh² / (c·h³)` ⇒ `h ∝ (p−1)`.
+/// Optimus:  `√p·log₂p·β·(7κs + 12)h² / (c·h³)` ⇒ `h ∝ √p·log p`.
+pub fn iso_hidden(scheme: IsoScheme, p: f64, h_at_4: f64) -> f64 {
+    match scheme {
+        IsoScheme::Megatron => h_at_4 * (p - 1.0) / 3.0,
+        IsoScheme::Optimus => {
+            let f = |p: f64| p.sqrt() * p.log2().max(1.0);
+            h_at_4 * f(p) / f(4.0)
+        }
+    }
+}
+
+/// Scheme selector for [`iso_hidden`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IsoScheme {
+    Megatron,
+    Optimus,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimus_grows_much_slower() {
+        // √p·log₂p = p exactly at p = 16, so the curves touch there and
+        // Optimus wins strictly beyond.
+        assert!(
+            (optimus_isoefficiency(16.0) - megatron_isoefficiency(16.0)).abs() < 1e-9
+        );
+        for p in [64.0, 256.0, 1024.0] {
+            assert!(
+                optimus_isoefficiency(p) < megatron_isoefficiency(p),
+                "at p={p}"
+            );
+        }
+        // The gap widens with p.
+        let r64 = megatron_isoefficiency(64.0) / optimus_isoefficiency(64.0);
+        let r1024 = megatron_isoefficiency(1024.0) / optimus_isoefficiency(1024.0);
+        assert!(r1024 > r64);
+    }
+
+    #[test]
+    fn curves_agree_at_calibration_point() {
+        assert!((optimus_isoefficiency(4.0) - megatron_isoefficiency(4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymptotic_exponents() {
+        // W_megatron(4p)/W_megatron(p) -> 64; Optimus's ratio -> ~8·(log
+        // growth), far below.
+        let m_ratio = megatron_isoefficiency(4096.0) / megatron_isoefficiency(1024.0);
+        assert!((m_ratio - 64.0).abs() < 1e-9);
+        let o_ratio = optimus_isoefficiency(4096.0) / optimus_isoefficiency(1024.0);
+        assert!(o_ratio < 16.0, "o_ratio={o_ratio}");
+    }
+
+    #[test]
+    fn iso_hidden_required_growth() {
+        // To keep efficiency at p=64, Megatron needs h ~ 21x its p=4 value;
+        // Optimus only ~12x... actually f(64)/f(4) = (8*6)/(2*2) = 12.
+        let hm = iso_hidden(IsoScheme::Megatron, 64.0, 1024.0);
+        let ho = iso_hidden(IsoScheme::Optimus, 64.0, 1024.0);
+        assert!(hm > ho, "megatron must grow h faster: {hm} vs {ho}");
+    }
+}

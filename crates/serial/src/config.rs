@@ -1,0 +1,104 @@
+//! Model hyperparameters shared by all three implementations.
+
+/// Transformer stem hyperparameters, using the paper's notation:
+/// batch size `b`, sequence length `s`, hidden size `h`, attention heads
+/// `n`, vocabulary `v`, layers `N`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelConfig {
+    pub batch: usize,
+    pub seq: usize,
+    pub hidden: usize,
+    pub heads: usize,
+    pub vocab: usize,
+    pub layers: usize,
+    /// Apply a causal mask in attention (decoder-style). The paper's
+    /// benchmarks are BERT-style (false); the LM training examples use true.
+    pub causal: bool,
+}
+
+impl ModelConfig {
+    /// A tiny configuration used across unit tests.
+    pub fn tiny() -> Self {
+        ModelConfig {
+            batch: 2,
+            seq: 4,
+            hidden: 8,
+            heads: 2,
+            vocab: 12,
+            layers: 2,
+            causal: false,
+        }
+    }
+
+    /// Head dimension `h / n`.
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(self.hidden % self.heads, 0, "h must be divisible by n");
+        self.hidden / self.heads
+    }
+
+    /// Rows of the flattened activation matrix: `b·s`.
+    pub fn tokens(&self) -> usize {
+        self.batch * self.seq
+    }
+
+    /// Validates divisibility constraints for a `q × q` 2D partition:
+    /// the paper requires `q | b`, `q | h`, `q | n`, `q | v`.
+    pub fn validate_2d(&self, q: usize) {
+        assert_eq!(self.batch % q, 0, "b={} must be divisible by q={q}", self.batch);
+        assert_eq!(self.hidden % q, 0, "h={} must be divisible by q={q}", self.hidden);
+        assert_eq!(self.heads % q, 0, "n={} must be divisible by q={q}", self.heads);
+        assert_eq!(self.vocab % q, 0, "v={} must be divisible by q={q}", self.vocab);
+    }
+
+    /// Validates divisibility constraints for a `p`-way 1D partition:
+    /// Megatron requires `p | n` (and thus `p | h`), plus `p | v` for the
+    /// vocab-parallel embedding.
+    pub fn validate_1d(&self, p: usize) {
+        assert_eq!(self.heads % p, 0, "n={} must be divisible by p={p}", self.heads);
+        assert_eq!(self.hidden % p, 0, "h={} must be divisible by p={p}", self.hidden);
+        assert_eq!(self.vocab % p, 0, "v={} must be divisible by p={p}", self.vocab);
+    }
+
+    /// Number of parameters in one transformer layer: `12h² + 13h`
+    /// (QKV `3h²+3h`, out-proj `h²+h`, MLP `8h²+5h`, two layer norms `4h`).
+    pub fn layer_params(&self) -> usize {
+        let h = self.hidden;
+        12 * h * h + 13 * h
+    }
+
+    /// Total stem parameters (layers + embedding + final LN).
+    pub fn total_params(&self) -> usize {
+        self.layers * self.layer_params() + self.vocab * self.hidden + 2 * self.hidden
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_is_self_consistent() {
+        let c = ModelConfig::tiny();
+        assert_eq!(c.head_dim(), 4);
+        assert_eq!(c.tokens(), 8);
+        c.validate_2d(2);
+        c.validate_1d(2);
+    }
+
+    #[test]
+    fn layer_params_formula() {
+        let c = ModelConfig {
+            hidden: 8,
+            ..ModelConfig::tiny()
+        };
+        // QKV: 8*24 + 24 = 216; out: 64+8 = 72; fc1: 8*32+32 = 288;
+        // fc2: 32*8+8 = 264; LNs: 4*8 = 32. Total 872.
+        assert_eq!(c.layer_params(), 872);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn validate_2d_rejects_bad_q() {
+        ModelConfig::tiny().validate_2d(3);
+    }
+}

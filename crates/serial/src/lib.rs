@@ -1,0 +1,31 @@
+//! Single-device reference transformer.
+//!
+//! This crate is the numeric ground truth of the workspace: a transformer
+//! stem (embedding → N pre-LN layers → final layer norm → tied LM head →
+//! cross-entropy) implemented on one device with fully manual backward
+//! passes. The Megatron (1D) and Optimus (2D) crates are required — by
+//! integration tests — to produce *the same* losses and parameter gradients
+//! as this model when started from the same seed, because all three slice
+//! their parameters from the same deterministic full matrices
+//! ([`tensor::init`]).
+//!
+//! The model follows the structure of the paper's Figure 1: a token-wise
+//! language-modelling branch (LM head + token labels) plus a sentence-level
+//! classification branch ([`SerialModel::classify_forward`]).
+
+mod attention;
+mod config;
+mod layer;
+mod linear;
+mod model;
+mod params;
+
+pub use attention::{
+    attention_backward, attention_backward_recomputed, attention_ctx_only, attention_forward,
+    AttnCache,
+};
+pub use config::ModelConfig;
+pub use layer::{layer_backward, layer_forward, LayerCache, LayerGrads};
+pub use linear::Linear;
+pub use model::{SerialModel, StemCache};
+pub use params::{LayerParams, ModelParams};

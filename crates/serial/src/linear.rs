@@ -1,0 +1,112 @@
+//! Dense linear layer `y = xW + b` with manual backward.
+
+use tensor::ops::{bias_add, bias_grad};
+use tensor::{matmul_nn, matmul_nt, matmul_tn, Tensor};
+
+/// A dense layer with weight `[in, out]` and bias `[out]`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    pub w: Tensor,
+    pub b: Vec<f32>,
+}
+
+impl Linear {
+    /// Wraps existing parameters.
+    pub fn new(w: Tensor, b: Vec<f32>) -> Self {
+        assert_eq!(w.cols(), b.len(), "bias length must match output dim");
+        Linear { w, b }
+    }
+
+    /// `y = x W + b` for `x: [rows, in]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut y = matmul_nn(x, &self.w);
+        bias_add(&mut y, &self.b);
+        y
+    }
+
+    /// Backward: given the layer input and upstream gradient, returns
+    /// `(dx, dw, db)`:
+    /// `dx = dy Wᵀ`, `dw = xᵀ dy`, `db = Σ_rows dy` (paper Eq. 1 plus the
+    /// bias rule of Fig. 5).
+    pub fn backward(&self, x: &Tensor, dy: &Tensor) -> (Tensor, Tensor, Vec<f32>) {
+        let dx = matmul_nt(dy, &self.w);
+        let dw = matmul_tn(x, dy);
+        let db = bias_grad(dy);
+        (dx, dw, db)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // explicit indices aid test diagnostics
+mod tests {
+    use super::*;
+    use tensor::gradcheck::check_grad;
+    use tensor::{Rng, Tensor};
+
+    fn setup() -> (Linear, Tensor, Tensor) {
+        let mut rng = Rng::new(0);
+        let w = Tensor::randn(&[4, 3], 0.5, &mut rng);
+        let b = vec![0.1, -0.2, 0.3];
+        let x = Tensor::randn(&[5, 4], 1.0, &mut rng);
+        let dy = Tensor::randn(&[5, 3], 1.0, &mut rng);
+        (Linear::new(w, b), x, dy)
+    }
+
+    fn dot(a: &Tensor, b: &Tensor) -> f32 {
+        a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let (lin, x, _) = setup();
+        let y = lin.forward(&x);
+        assert_eq!(y.dims(), &[5, 3]);
+        // Zero input -> bias rows.
+        let y0 = lin.forward(&Tensor::zeros(&[2, 4]));
+        assert_eq!(y0.row(0), &[0.1, -0.2, 0.3]);
+    }
+
+    #[test]
+    fn input_gradient_checks() {
+        let (lin, x, dy) = setup();
+        let (dx, _, _) = lin.backward(&x, &dy);
+        check_grad(
+            |t: &Tensor| dot(&lin.forward(t), &dy),
+            &x,
+            &dx,
+            1e-2,
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn weight_gradient_checks() {
+        let (lin, x, dy) = setup();
+        let (_, dw, _) = lin.backward(&x, &dy);
+        check_grad(
+            |w: &Tensor| dot(&Linear::new(w.clone(), lin.b.clone()).forward(&x), &dy),
+            &lin.w,
+            &dw,
+            1e-2,
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn bias_gradient_is_column_sum() {
+        let (lin, x, dy) = setup();
+        let (_, _, db) = lin.backward(&x, &dy);
+        for c in 0..3 {
+            let expected: f32 = (0..5).map(|r| dy.at(r, c)).sum();
+            assert!((db[c] - expected).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn rejects_mismatched_bias() {
+        Linear::new(Tensor::zeros(&[2, 3]), vec![0.0; 2]);
+    }
+}

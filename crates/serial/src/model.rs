@@ -1,0 +1,406 @@
+//! The full serial transformer stem with both output branches of the
+//! paper's Figure 1: the token-wise LM branch (tied LM head +
+//! cross-entropy) and the sentence-level classification branch.
+
+use crate::config::ModelConfig;
+use crate::layer::{layer_backward, layer_forward, LayerCache, LayerGrads};
+use crate::linear::Linear;
+use crate::params::ModelParams;
+use tensor::init::{init_matrix, init_vector, param_ids, WEIGHT_STD};
+use tensor::layernorm::{layer_norm_backward, layer_norm_forward, LnCache, LN_EPS};
+use tensor::loss::cross_entropy;
+use tensor::{matmul_nn, matmul_nt, matmul_tn, Tensor};
+
+/// Forward state of the stem, kept for the backward pass.
+pub struct StemCache {
+    /// Embedding output (input to layer 0).
+    pub x0: Tensor,
+    pub layers: Vec<LayerCache>,
+    pub final_ln: LnCache,
+    /// Hidden states after the final layer norm, `[b·s, h]`.
+    pub hidden: Tensor,
+}
+
+/// Gradients for all stem parameters.
+pub struct ModelGrads {
+    pub embedding: Tensor,
+    pub layers: Vec<LayerGrads>,
+    pub final_ln_g: Vec<f32>,
+    pub final_ln_b: Vec<f32>,
+}
+
+/// The reference model.
+pub struct SerialModel {
+    pub cfg: ModelConfig,
+    pub params: ModelParams,
+    /// Sentence-classification head (`[h, 2]`), present when constructed
+    /// with [`SerialModel::with_classifier`].
+    pub cls: Option<Linear>,
+}
+
+impl SerialModel {
+    /// Builds the model with deterministic parameters from `seed`.
+    pub fn new(cfg: ModelConfig, seed: u64) -> Self {
+        SerialModel {
+            cfg,
+            params: ModelParams::init(seed, &cfg),
+            cls: None,
+        }
+    }
+
+    /// Adds the binary sentence-classification head.
+    pub fn with_classifier(mut self, seed: u64) -> Self {
+        let w = init_matrix(seed, param_ids::CLS_HEAD, &[self.cfg.hidden, 2], WEIGHT_STD);
+        self.cls = Some(Linear::new(w, init_vector(2, 0.0)));
+        self
+    }
+
+    /// Embedding lookup: tokens `[b·s]` → activations `[b·s, h]`.
+    pub fn embed(&self, tokens: &[usize]) -> Tensor {
+        let rows = self.cfg.tokens();
+        assert_eq!(tokens.len(), rows, "expected b*s token ids");
+        let h = self.cfg.hidden;
+        let mut x = Tensor::zeros(&[rows, h]);
+        for (r, &t) in tokens.iter().enumerate() {
+            assert!(t < self.cfg.vocab, "token {t} out of vocab");
+            x.row_mut(r).copy_from_slice(self.params.embedding.row(t));
+        }
+        x
+    }
+
+    /// Stem forward: embedding → layers → final LN. Returns the hidden
+    /// states and the cache for backward.
+    pub fn forward(&self, tokens: &[usize]) -> StemCache {
+        let x0 = self.embed(tokens);
+        let mut x = x0.clone();
+        let mut layer_caches = Vec::with_capacity(self.cfg.layers);
+        for lp in &self.params.layers {
+            let (y, cache) = layer_forward(&self.cfg, lp, &x);
+            layer_caches.push(cache);
+            x = y;
+        }
+        let (hidden, final_ln) =
+            layer_norm_forward(&x, &self.params.final_ln_g, &self.params.final_ln_b, LN_EPS);
+        StemCache {
+            x0,
+            layers: layer_caches,
+            final_ln,
+            hidden,
+        }
+    }
+
+    /// LM logits via the tied head: `hidden · Eᵀ`, `[b·s, v]`.
+    pub fn lm_logits(&self, hidden: &Tensor) -> Tensor {
+        matmul_nt(hidden, &self.params.embedding)
+    }
+
+    /// Mean LM loss for token labels `[b·s]`.
+    pub fn lm_loss(&self, tokens: &[usize], labels: &[usize]) -> f32 {
+        let cache = self.forward(tokens);
+        cross_entropy(&self.lm_logits(&cache.hidden), labels).0
+    }
+
+    /// Full forward + backward: returns the loss and all parameter grads.
+    pub fn lm_grads(&self, tokens: &[usize], labels: &[usize]) -> (f32, ModelGrads) {
+        let cache = self.forward(tokens);
+        let logits = self.lm_logits(&cache.hidden);
+        let (loss, dlogits) = cross_entropy(&logits, labels);
+
+        // Head: logits = H Eᵀ  ⇒  dH = dlogits · E, dE += dlogitsᵀ · H.
+        let dhidden = matmul_nn(&dlogits, &self.params.embedding);
+        let mut d_embedding = matmul_tn(&dlogits, &cache.hidden);
+
+        let grads = self.backward_stem(&cache, dhidden, tokens, &mut d_embedding);
+        (loss, grads)
+    }
+
+    /// Backward through final LN, the layers (in reverse), and the embedding
+    /// lookup. `d_embedding` already contains the tied-head contribution.
+    fn backward_stem(
+        &self,
+        cache: &StemCache,
+        dhidden: Tensor,
+        tokens: &[usize],
+        d_embedding: &mut Tensor,
+    ) -> ModelGrads {
+        let (mut dx, final_ln_g, final_ln_b) =
+            layer_norm_backward(&dhidden, &cache.final_ln, &self.params.final_ln_g);
+
+        let mut layer_grads: Vec<LayerGrads> = Vec::with_capacity(self.cfg.layers);
+        for (lp, lc) in self
+            .params
+            .layers
+            .iter()
+            .zip(cache.layers.iter())
+            .rev()
+        {
+            let (dprev, g) = layer_backward(&self.cfg, lp, lc, &dx);
+            layer_grads.push(g);
+            dx = dprev;
+        }
+        layer_grads.reverse();
+
+        // Embedding lookup backward: scatter-add rows.
+        for (r, &t) in tokens.iter().enumerate() {
+            let drow = dx.row(r).to_vec();
+            for (dst, v) in d_embedding.row_mut(t).iter_mut().zip(drow) {
+                *dst += v;
+            }
+        }
+
+        ModelGrads {
+            embedding: std::mem::replace(d_embedding, Tensor::zeros(&[1, 1])),
+            layers: layer_grads,
+            final_ln_g,
+            final_ln_b,
+        }
+    }
+
+    /// One SGD training step; returns the loss before the update.
+    pub fn train_step(&mut self, tokens: &[usize], labels: &[usize], lr: f32) -> f32 {
+        let (loss, grads) = self.lm_grads(tokens, labels);
+        self.apply_sgd(&grads, lr);
+        loss
+    }
+
+    /// Plain SGD over every parameter.
+    pub fn apply_sgd(&mut self, grads: &ModelGrads, lr: f32) {
+        fn upd_t(p: &mut Tensor, g: &Tensor, lr: f32) {
+            p.axpy(-lr, g);
+        }
+        fn upd_v(p: &mut [f32], g: &[f32], lr: f32) {
+            for (pv, gv) in p.iter_mut().zip(g) {
+                *pv -= lr * gv;
+            }
+        }
+        upd_t(&mut self.params.embedding, &grads.embedding, lr);
+        upd_v(&mut self.params.final_ln_g, &grads.final_ln_g, lr);
+        upd_v(&mut self.params.final_ln_b, &grads.final_ln_b, lr);
+        for (lp, lg) in self.params.layers.iter_mut().zip(&grads.layers) {
+            upd_v(&mut lp.ln1_g, &lg.ln1_g, lr);
+            upd_v(&mut lp.ln1_b, &lg.ln1_b, lr);
+            upd_t(&mut lp.w_qkv, &lg.w_qkv, lr);
+            upd_v(&mut lp.b_qkv, &lg.b_qkv, lr);
+            upd_t(&mut lp.w_out, &lg.w_out, lr);
+            upd_v(&mut lp.b_out, &lg.b_out, lr);
+            upd_v(&mut lp.ln2_g, &lg.ln2_g, lr);
+            upd_v(&mut lp.ln2_b, &lg.ln2_b, lr);
+            upd_t(&mut lp.w_fc1, &lg.w_fc1, lr);
+            upd_v(&mut lp.b_fc1, &lg.b_fc1, lr);
+            upd_t(&mut lp.w_fc2, &lg.w_fc2, lr);
+            upd_v(&mut lp.b_fc2, &lg.b_fc2, lr);
+        }
+    }
+
+    /// Greedy next-token prediction: for each of the `b` sequences, the
+    /// argmax of the logits at its final position.
+    pub fn greedy_next(&self, tokens: &[usize]) -> Vec<usize> {
+        let cache = self.forward(tokens);
+        let logits = self.lm_logits(&cache.hidden);
+        let s = self.cfg.seq;
+        (0..self.cfg.batch)
+            .map(|b| {
+                let row = logits.row(b * s + s - 1);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .expect("non-empty vocab")
+                    .0
+            })
+            .collect()
+    }
+
+    /// Visits every `(parameter, gradient)` slice pair in a fixed order —
+    /// the contract [`tensor::optim::AdamSet`] relies on.
+    pub fn visit_params_grads(
+        &mut self,
+        grads: &ModelGrads,
+        f: &mut impl FnMut(&mut [f32], &[f32]),
+    ) {
+        f(
+            self.params.embedding.as_mut_slice(),
+            grads.embedding.as_slice(),
+        );
+        f(&mut self.params.final_ln_g, &grads.final_ln_g);
+        f(&mut self.params.final_ln_b, &grads.final_ln_b);
+        for (lp, lg) in self.params.layers.iter_mut().zip(&grads.layers) {
+            f(&mut lp.ln1_g, &lg.ln1_g);
+            f(&mut lp.ln1_b, &lg.ln1_b);
+            f(lp.w_qkv.as_mut_slice(), lg.w_qkv.as_slice());
+            f(&mut lp.b_qkv, &lg.b_qkv);
+            f(lp.w_out.as_mut_slice(), lg.w_out.as_slice());
+            f(&mut lp.b_out, &lg.b_out);
+            f(&mut lp.ln2_g, &lg.ln2_g);
+            f(&mut lp.ln2_b, &lg.ln2_b);
+            f(lp.w_fc1.as_mut_slice(), lg.w_fc1.as_slice());
+            f(&mut lp.b_fc1, &lg.b_fc1);
+            f(lp.w_fc2.as_mut_slice(), lg.w_fc2.as_slice());
+            f(&mut lp.b_fc2, &lg.b_fc2);
+        }
+    }
+
+    /// One SGD step with global gradient-norm clipping: if the gradient
+    /// norm exceeds `max_norm`, all gradients are scaled down uniformly
+    /// (implemented as an effective learning-rate scale, which is
+    /// algebraically identical). Returns `(loss, clip scale)`.
+    pub fn train_step_clipped(
+        &mut self,
+        tokens: &[usize],
+        labels: &[usize],
+        lr: f32,
+        max_norm: f64,
+    ) -> (f32, f32) {
+        let (loss, grads) = self.lm_grads(tokens, labels);
+        let mut sq = 0.0f64;
+        self.visit_params_grads(&grads, &mut |_, g| sq += tensor::schedule::sq_norm(g));
+        let scale = tensor::schedule::clip_scale(sq, max_norm);
+        self.apply_sgd(&grads, lr * scale);
+        (loss, scale)
+    }
+
+    /// One Adam training step; `opt` carries the moments across steps.
+    pub fn train_step_adam(
+        &mut self,
+        tokens: &[usize],
+        labels: &[usize],
+        opt: &mut tensor::optim::AdamSet,
+    ) -> f32 {
+        let (loss, grads) = self.lm_grads(tokens, labels);
+        opt.begin_step();
+        self.visit_params_grads(&grads, &mut |p, g| opt.apply(p, g));
+        loss
+    }
+
+    /// Classification branch (Fig. 1): take the hidden state of the first
+    /// token of each sequence and project to two classes. Returns per-
+    /// sequence logits `[b, 2]`.
+    pub fn classify_forward(&self, tokens: &[usize]) -> Tensor {
+        let cls = self.cls.as_ref().expect("built without classifier head");
+        let cache = self.forward(tokens);
+        let mut pooled = Tensor::zeros(&[self.cfg.batch, self.cfg.hidden]);
+        for b in 0..self.cfg.batch {
+            pooled
+                .row_mut(b)
+                .copy_from_slice(cache.hidden.row(b * self.cfg.seq));
+        }
+        cls.forward(&pooled)
+    }
+
+    /// Classification loss for per-sequence binary labels.
+    pub fn classify_loss(&self, tokens: &[usize], labels: &[usize]) -> f32 {
+        assert_eq!(labels.len(), self.cfg.batch);
+        cross_entropy(&self.classify_forward(tokens), labels).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Rng;
+
+    fn toy() -> (ModelConfig, Vec<usize>, Vec<usize>) {
+        let cfg = ModelConfig::tiny();
+        let mut rng = Rng::new(77);
+        let tokens: Vec<usize> = (0..cfg.tokens()).map(|_| rng.below(cfg.vocab)).collect();
+        let labels: Vec<usize> = (0..cfg.tokens()).map(|_| rng.below(cfg.vocab)).collect();
+        (cfg, tokens, labels)
+    }
+
+    #[test]
+    fn initial_loss_is_near_log_vocab() {
+        let (cfg, tokens, labels) = toy();
+        let model = SerialModel::new(cfg, 1);
+        let loss = model.lm_loss(&tokens, &labels);
+        let uniform = (cfg.vocab as f32).ln();
+        assert!(
+            (loss - uniform).abs() < 0.5,
+            "loss={loss}, log v={uniform}"
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (cfg, tokens, labels) = toy();
+        let mut model = SerialModel::new(cfg, 1);
+        let first = model.train_step(&tokens, &labels, 0.5);
+        let mut last = first;
+        for _ in 0..20 {
+            last = model.train_step(&tokens, &labels, 0.5);
+        }
+        assert!(
+            last < first - 0.3,
+            "loss did not decrease: first={first} last={last}"
+        );
+    }
+
+    #[test]
+    fn embedding_gradient_matches_finite_difference() {
+        let (cfg, tokens, labels) = toy();
+        let model = SerialModel::new(cfg, 2);
+        let (_, grads) = model.lm_grads(&tokens, &labels);
+        let eps = 1e-2f32;
+        // Check a few entries of the embedding gradient (lookup + tied head).
+        for &(r, c) in &[(0usize, 0usize), (3, 5), (11, 7)] {
+            let mut mp = SerialModel::new(cfg, 2);
+            *mp.params.embedding.at_mut(r, c) += eps;
+            let up = mp.lm_loss(&tokens, &labels);
+            let mut mm = SerialModel::new(cfg, 2);
+            *mm.params.embedding.at_mut(r, c) -= eps;
+            let dn = mm.lm_loss(&tokens, &labels);
+            let fd = (up - dn) / (2.0 * eps);
+            let got = grads.embedding.at(r, c);
+            assert!(
+                (got - fd).abs() < 5e-3,
+                "dE[{r},{c}]: analytic={got} fd={fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn layer_weight_gradient_matches_finite_difference() {
+        let (cfg, tokens, labels) = toy();
+        let model = SerialModel::new(cfg, 3);
+        let (_, grads) = model.lm_grads(&tokens, &labels);
+        let eps = 1e-2f32;
+        for &(l, r, c) in &[(0usize, 0usize, 0usize), (1, 3, 9)] {
+            let mut mp = SerialModel::new(cfg, 3);
+            *mp.params.layers[l].w_qkv.at_mut(r, c) += eps;
+            let up = mp.lm_loss(&tokens, &labels);
+            let mut mm = SerialModel::new(cfg, 3);
+            *mm.params.layers[l].w_qkv.at_mut(r, c) -= eps;
+            let dn = mm.lm_loss(&tokens, &labels);
+            let fd = (up - dn) / (2.0 * eps);
+            let got = grads.layers[l].w_qkv.at(r, c);
+            assert!(
+                (got - fd).abs() < 5e-3,
+                "layer {l} dWqkv[{r},{c}]: analytic={got} fd={fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let (cfg, tokens, labels) = toy();
+        let m1 = SerialModel::new(cfg, 4);
+        let m2 = SerialModel::new(cfg, 4);
+        assert_eq!(m1.lm_loss(&tokens, &labels), m2.lm_loss(&tokens, &labels));
+    }
+
+    #[test]
+    fn classifier_branch_produces_per_sequence_logits() {
+        let (cfg, tokens, _) = toy();
+        let model = SerialModel::new(cfg, 5).with_classifier(5);
+        let logits = model.classify_forward(&tokens);
+        assert_eq!(logits.dims(), &[cfg.batch, 2]);
+        let loss = model.classify_loss(&tokens, &[0, 1]);
+        assert!((loss - (2.0f32).ln()).abs() < 0.2, "loss={loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn embed_rejects_bad_token() {
+        let (cfg, mut tokens, _) = toy();
+        tokens[0] = cfg.vocab;
+        SerialModel::new(cfg, 0).embed(&tokens);
+    }
+}

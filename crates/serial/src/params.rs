@@ -1,0 +1,179 @@
+//! Canonical parameter containers and their deterministic initialisation.
+//!
+//! All three implementations (serial, Megatron, Optimus) construct their
+//! parameters by regenerating these full matrices from the same
+//! `(seed, param id)` streams and slicing — see [`tensor::init`].
+
+use crate::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+use tensor::init::{init_matrix, init_vector, param_ids, WEIGHT_STD};
+use tensor::Tensor;
+
+/// Parameters of one pre-LN transformer layer.
+///
+/// The fused QKV weight uses the canonical column layout `[Wq | Wk | Wv]`
+/// (each `[h, h]`); partitioned implementations permute columns as needed
+/// but must map their gradients back to this layout for comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LayerParams {
+    pub ln1_g: Vec<f32>,
+    pub ln1_b: Vec<f32>,
+    /// `[h, 3h]` fused QKV projection.
+    pub w_qkv: Tensor,
+    pub b_qkv: Vec<f32>,
+    /// `[h, h]` attention output projection.
+    pub w_out: Tensor,
+    pub b_out: Vec<f32>,
+    pub ln2_g: Vec<f32>,
+    pub ln2_b: Vec<f32>,
+    /// `[h, 4h]` MLP expansion.
+    pub w_fc1: Tensor,
+    pub b_fc1: Vec<f32>,
+    /// `[4h, h]` MLP contraction.
+    pub w_fc2: Tensor,
+    pub b_fc2: Vec<f32>,
+}
+
+impl LayerParams {
+    /// Deterministic initialisation of layer `idx`.
+    pub fn init(seed: u64, idx: usize, h: usize) -> Self {
+        let id = |off| param_ids::layer(idx, off);
+        LayerParams {
+            ln1_g: init_vector(h, 1.0),
+            ln1_b: init_vector(h, 0.0),
+            w_qkv: init_matrix(seed, id(param_ids::W_QKV), &[h, 3 * h], WEIGHT_STD),
+            b_qkv: init_vector(3 * h, 0.0),
+            w_out: init_matrix(seed, id(param_ids::W_OUT), &[h, h], WEIGHT_STD),
+            b_out: init_vector(h, 0.0),
+            ln2_g: init_vector(h, 1.0),
+            ln2_b: init_vector(h, 0.0),
+            w_fc1: init_matrix(seed, id(param_ids::W_FC1), &[h, 4 * h], WEIGHT_STD),
+            b_fc1: init_vector(4 * h, 0.0),
+            w_fc2: init_matrix(seed, id(param_ids::W_FC2), &[4 * h, h], WEIGHT_STD),
+            b_fc2: init_vector(h, 0.0),
+        }
+    }
+
+    /// Total scalar parameters in this layer.
+    pub fn num_params(&self) -> usize {
+        self.w_qkv.len()
+            + self.b_qkv.len()
+            + self.w_out.len()
+            + self.b_out.len()
+            + self.w_fc1.len()
+            + self.b_fc1.len()
+            + self.w_fc2.len()
+            + self.b_fc2.len()
+            + self.ln1_g.len()
+            + self.ln1_b.len()
+            + self.ln2_g.len()
+            + self.ln2_b.len()
+    }
+}
+
+/// All stem parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Embedding table `[v, h]`, tied with the LM head.
+    pub embedding: Tensor,
+    pub layers: Vec<LayerParams>,
+    pub final_ln_g: Vec<f32>,
+    pub final_ln_b: Vec<f32>,
+}
+
+impl ModelParams {
+    /// Deterministic initialisation of the whole stem.
+    pub fn init(seed: u64, cfg: &ModelConfig) -> Self {
+        ModelParams {
+            embedding: init_matrix(
+                seed,
+                param_ids::EMBEDDING,
+                &[cfg.vocab, cfg.hidden],
+                WEIGHT_STD,
+            ),
+            layers: (0..cfg.layers)
+                .map(|l| LayerParams::init(seed, l, cfg.hidden))
+                .collect(),
+            final_ln_g: init_vector(cfg.hidden, 1.0),
+            final_ln_b: init_vector(cfg.hidden, 0.0),
+        }
+    }
+
+    /// Total scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.embedding.len()
+            + self.layers.iter().map(LayerParams::num_params).sum::<usize>()
+            + self.final_ln_g.len()
+            + self.final_ln_b.len()
+    }
+
+    /// Writes the parameters as JSON (the workspace's checkpoint format —
+    /// every implementation can produce and consume it via
+    /// `gather_params` / `from_params`).
+    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let body = serde_json::to_vec(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, body)
+    }
+
+    /// Reads parameters written by [`ModelParams::save_json`].
+    pub fn load_json(path: &std::path::Path) -> std::io::Result<Self> {
+        let body = std::fs::read(path)?;
+        serde_json::from_slice(&body).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_deterministic() {
+        let cfg = ModelConfig::tiny();
+        let a = ModelParams::init(3, &cfg);
+        let b = ModelParams::init(3, &cfg);
+        assert_eq!(a.embedding, b.embedding);
+        assert_eq!(a.layers[1].w_fc2, b.layers[1].w_fc2);
+    }
+
+    #[test]
+    fn different_layers_get_different_weights() {
+        let cfg = ModelConfig::tiny();
+        let p = ModelParams::init(0, &cfg);
+        assert_ne!(p.layers[0].w_qkv, p.layers[1].w_qkv);
+    }
+
+    #[test]
+    fn param_count_matches_config_formula() {
+        let cfg = ModelConfig::tiny();
+        let p = ModelParams::init(0, &cfg);
+        assert_eq!(p.num_params(), cfg.total_params());
+    }
+
+    #[test]
+    fn layer_norm_starts_at_identity() {
+        let p = LayerParams::init(0, 0, 8);
+        assert!(p.ln1_g.iter().all(|&g| g == 1.0));
+        assert!(p.ln1_b.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let cfg = ModelConfig::tiny();
+        let params = ModelParams::init(9, &cfg);
+        let path = std::env::temp_dir().join("optimus_params_roundtrip.json");
+        params.save_json(&path).unwrap();
+        let back = ModelParams::load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.embedding, params.embedding);
+        assert_eq!(back.layers[1].w_fc1, params.layers[1].w_fc1);
+        assert_eq!(back.final_ln_g, params.final_ln_g);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("optimus_params_garbage.json");
+        std::fs::write(&path, b"not json").unwrap();
+        assert!(ModelParams::load_json(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,154 @@
+//! Cannon's algorithm — the other classic 2D-partition matrix multiply the
+//! paper cites alongside SUMMA (Section 1, ref. [4]).
+//!
+//! Where SUMMA broadcasts panels within rows/columns, Cannon pre-skews the
+//! blocks (row `i` of `A` rotated left by `i`, column `j` of `B` rotated up
+//! by `j`) and then performs `q` rounds of *local multiply + nearest-
+//! neighbour shift*. Its communication is pure point-to-point — a perfect
+//! fit for torus interconnects — but it cannot express `C = ABᵀ`/`C = AᵀB`
+//! as directly as SUMMA, which is one reason the paper builds on SUMMA.
+//!
+//! Provided for comparison and as a drop-in check of the mesh's p2p layer:
+//! `cannon_nn` must produce bit-compatible results with `summa_nn` up to
+//! f32 summation order.
+
+use mesh::Grid2d;
+use tensor::matmul::matmul_nn_acc;
+use tensor::Tensor;
+
+/// Sends `block` to mesh position `(dst_row, dst_col)` and receives the
+/// block arriving from `(src_row, src_col)`.
+fn shift(
+    grid: &Grid2d,
+    block: Tensor,
+    dst: (usize, usize),
+    src: (usize, usize),
+) -> Tensor {
+    let dims = [block.rows(), block.cols()];
+    let dst_rank = grid.rank_at(dst.0, dst.1);
+    let src_rank = grid.rank_at(src.0, src.1);
+    if dst_rank == grid.ctx().rank() {
+        // Self-shift (q == 1 or aligned): nothing moves.
+        assert_eq!(src_rank, grid.ctx().rank());
+        return block;
+    }
+    grid.ctx().send(dst_rank, block.into_vec());
+    Tensor::from_vec(&dims, grid.ctx().recv(src_rank))
+}
+
+/// `C = A B` via Cannon's algorithm on the `q × q` mesh. Block shapes as in
+/// [`crate::summa_nn`]; returns the local `C` block.
+pub fn cannon_nn(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
+    let q = grid.q();
+    let (i, j) = (grid.row(), grid.col());
+    let (mb, kb) = (a.rows(), a.cols());
+    let (kb2, nb) = (b.rows(), b.cols());
+    assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");
+
+    // Initial skew: A(i, j) -> A(i, j - i); B(i, j) -> B(i - j, j).
+    let mut a_blk = shift(
+        grid,
+        a.clone(),
+        (i, (j + q - i) % q),
+        (i, (j + i) % q),
+    );
+    let mut b_blk = shift(
+        grid,
+        b.clone(),
+        ((i + q - j) % q, j),
+        ((i + j) % q, j),
+    );
+
+    let mut c = Tensor::zeros(&[mb, nb]);
+    for step in 0..q {
+        matmul_nn_acc(&mut c, &a_blk, &b_blk);
+        if step + 1 < q {
+            // Shift A left by one, B up by one.
+            a_blk = shift(grid, a_blk, (i, (j + q - 1) % q), (i, (j + 1) % q));
+            b_blk = shift(grid, b_blk, ((i + q - 1) % q, j), ((i + 1) % q, j));
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{collect_blocks, distribute};
+    use crate::summa_nn;
+    use mesh::{CommOp, Mesh2d};
+    use tensor::{assert_close, matmul_nn, Rng, Tensor};
+
+    fn rand(dims: &[usize], seed: u64) -> Tensor {
+        Tensor::randn(dims, 1.0, &mut Rng::new(seed))
+    }
+
+    #[test]
+    fn cannon_matches_serial_matmul() {
+        for q in [1usize, 2, 3, 4] {
+            let a = rand(&[2 * q, 3 * q], 1);
+            let b = rand(&[3 * q, 2 * q], 2);
+            let expect = matmul_nn(&a, &b);
+            let blocks = Mesh2d::run(q, |g| {
+                cannon_nn(g, &distribute(g, &a), &distribute(g, &b))
+            });
+            assert_close(
+                collect_blocks(&blocks, q).as_slice(),
+                expect.as_slice(),
+                1e-4,
+                1e-4,
+            );
+        }
+    }
+
+    #[test]
+    fn cannon_agrees_with_summa() {
+        let q = 3;
+        let a = rand(&[6, 9], 3);
+        let b = rand(&[9, 6], 4);
+        let outs = Mesh2d::run(q, |g| {
+            let (al, bl) = (distribute(g, &a), distribute(g, &b));
+            (cannon_nn(g, &al, &bl), summa_nn(g, &al, &bl))
+        });
+        for (c, s) in outs {
+            assert_close(c.as_slice(), s.as_slice(), 1e-4, 1e-4);
+        }
+    }
+
+    #[test]
+    fn cannon_uses_only_point_to_point() {
+        // No collectives at all: the communication inventory is pure p2p.
+        let q = 2;
+        let a = rand(&[4, 4], 5);
+        let b = rand(&[4, 4], 6);
+        let (_, logs) = Mesh2d::run_with_logs(q, |g| {
+            cannon_nn(g, &distribute(g, &a), &distribute(g, &b))
+        });
+        for log in &logs {
+            assert_eq!(log.op_count(CommOp::Broadcast), 0);
+            assert_eq!(log.op_count(CommOp::Reduce), 0);
+            assert_eq!(log.op_count(CommOp::AllReduce), 0);
+            assert!(log.total_link_elems() > 0, "it does communicate");
+        }
+    }
+
+    #[test]
+    fn cannon_wire_volume_is_summa_like() {
+        // Per device: skew (≤ 2 blocks) + (q−1) shifts of 2 blocks — the
+        // same O(q · |block|) as SUMMA's panel traffic, without the tree
+        // factor. For q=3 with 2x3 / 3x2 blocks:
+        let q = 3;
+        let a = rand(&[6, 9], 7);
+        let b = rand(&[9, 6], 8);
+        let (_, logs) = Mesh2d::run_with_logs(q, |g| {
+            cannon_nn(g, &distribute(g, &a), &distribute(g, &b))
+        });
+        let a_blk = 2 * 3;
+        let b_blk = 3 * 2;
+        for log in &logs {
+            let sent = log.total_link_elems();
+            // At most skew (a+b) + (q-1) shifts (a+b).
+            assert!(sent <= q * (a_blk + b_blk), "sent={sent}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Helpers for moving between full matrices and their `q × q` block
+//! distribution — used at model-construction time (slicing deterministic
+//! full parameter matrices) and in tests (reassembling distributed results).
+
+use mesh::Grid2d;
+use tensor::Tensor;
+
+/// The block of `full` owned by this device: block `(row, col)` of the
+/// `q × q` partition.
+pub fn distribute(grid: &Grid2d, full: &Tensor) -> Tensor {
+    full.summa_block(grid.row(), grid.col(), grid.q())
+}
+
+/// Reassembles per-device blocks (in rank order, as returned by
+/// `Mesh2d::run`) into the full matrix.
+pub fn collect_blocks(blocks: &[Tensor], q: usize) -> Tensor {
+    Tensor::from_summa_blocks(blocks, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::Mesh2d;
+    use tensor::{Rng, Tensor};
+
+    #[test]
+    fn distribute_collect_roundtrip() {
+        let mut rng = Rng::new(0);
+        let full = Tensor::randn(&[6, 9], 1.0, &mut rng);
+        for q in [1usize, 3] {
+            let f = full.clone();
+            let blocks = Mesh2d::run(q, |grid| distribute(grid, &f));
+            let back = collect_blocks(&blocks, q);
+            assert_eq!(back, full);
+        }
+    }
+
+    #[test]
+    fn block_ownership_matches_coordinates() {
+        let full = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let blocks = Mesh2d::run(2, |grid| distribute(grid, &full));
+        assert_eq!(blocks[0].as_slice(), &[1.0]); // (0,0)
+        assert_eq!(blocks[1].as_slice(), &[2.0]); // (0,1)
+        assert_eq!(blocks[2].as_slice(), &[3.0]); // (1,0)
+        assert_eq!(blocks[3].as_slice(), &[4.0]); // (1,1)
+    }
+}

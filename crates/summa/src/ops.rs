@@ -1,0 +1,306 @@
+//! The three SUMMA product forms and their gradients.
+
+use mesh::Grid2d;
+use tensor::matmul::{matmul_nn_acc, matmul_nt_acc, matmul_tn_acc};
+use tensor::ops::bias_add;
+use tensor::Tensor;
+
+/// Broadcasts the root's local block within `group` and returns it as a
+/// tensor of shape `dims` on every member. `root` is a group index.
+fn bcast_block(
+    grid: &Grid2d,
+    group: &mesh::Group,
+    root: usize,
+    local: &Tensor,
+    dims: [usize; 2],
+) -> Tensor {
+    let my_idx = group
+        .index_of(grid.ctx().rank())
+        .expect("device not in group");
+    let mut buf = if my_idx == root {
+        assert_eq!(local.dims(), &dims, "root block has unexpected shape");
+        local.as_slice().to_vec()
+    } else {
+        Vec::new()
+    };
+    grid.ctx().broadcast(group, root, &mut buf);
+    Tensor::from_vec(&dims, buf)
+}
+
+/// `C = A B` (Algorithm 1). `a: [M/q, K/q]`, `b: [K/q, N/q]` local blocks;
+/// returns the local `[M/q, N/q]` block of `C`.
+///
+/// Iteration `l` broadcasts `A`'s column-`l` panel along mesh rows and `B`'s
+/// row-`l` panel along mesh columns, then accumulates the outer product
+/// locally (Fig. 3).
+pub fn summa_nn(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
+    let (mb, kb) = (a.rows(), a.cols());
+    let (kb2, nb) = (b.rows(), b.cols());
+    assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");
+    let mut c = Tensor::zeros(&[mb, nb]);
+    for l in 0..grid.q() {
+        let a_panel = bcast_block(grid, grid.row_group(), l, a, [mb, kb]);
+        let b_panel = bcast_block(grid, grid.col_group(), l, b, [kb, nb]);
+        matmul_nn_acc(&mut c, &a_panel, &b_panel);
+    }
+    c
+}
+
+/// `C = A B` followed by a bias add, where the bias slice `[N/q]` lives on
+/// mesh row 0 and is broadcast down each column (paper Fig. 5a). All
+/// devices receive the bias; only row 0 passes `Some(bias)`.
+pub fn summa_nn_bias(grid: &Grid2d, a: &Tensor, b: &Tensor, bias: Option<&[f32]>) -> Tensor {
+    let mut c = summa_nn(grid, a, b);
+    let mut bias_buf = match bias {
+        Some(bv) => {
+            assert_eq!(grid.row(), 0, "bias must be provided by mesh row 0");
+            bv.to_vec()
+        }
+        None => {
+            assert_ne!(grid.row(), 0, "mesh row 0 must provide the bias");
+            Vec::new()
+        }
+    };
+    grid.ctx().broadcast(grid.col_group(), 0, &mut bias_buf);
+    bias_add(&mut c, &bias_buf);
+    c
+}
+
+/// `C = A Bᵀ` (Algorithm 2). `a: [M/q, K/q]` blocks of `A: [M, K]`;
+/// `b: [N/q, K/q]` blocks of `B: [N, K]`; returns `[M/q, N/q]` blocks of `C`.
+///
+/// Iteration `l` broadcasts `B`'s row-`l` panel along columns, forms the
+/// partial product locally, and reduces it along rows to column `l`.
+pub fn summa_nt(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
+    let (mb, kb) = (a.rows(), a.cols());
+    let (nb, kb2) = (b.rows(), b.cols());
+    assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");
+    let mut c = Tensor::zeros(&[mb, nb]);
+    for l in 0..grid.q() {
+        let b_panel = bcast_block(grid, grid.col_group(), l, b, [nb, kb]);
+        let mut c_temp = Tensor::zeros(&[mb, nb]);
+        matmul_nt_acc(&mut c_temp, a, &b_panel);
+        grid.ctx().reduce(grid.row_group(), l, c_temp.as_mut_slice());
+        if grid.col() == l {
+            c = c_temp;
+        }
+    }
+    c
+}
+
+/// `C = Aᵀ B` (Algorithm 3). `a: [K/q, M/q]` blocks of `A: [K, M]`;
+/// `b: [K/q, N/q]` blocks of `B: [K, N]`; returns `[M/q, N/q]` blocks of `C`.
+///
+/// Iteration `l` broadcasts `A`'s column-`l` panel along rows, forms the
+/// partial product locally, and reduces it along columns to row `l`.
+pub fn summa_tn(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
+    let (kb, mb) = (a.rows(), a.cols());
+    let (kb2, nb) = (b.rows(), b.cols());
+    assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");
+    let mut c = Tensor::zeros(&[mb, nb]);
+    for l in 0..grid.q() {
+        let a_panel = bcast_block(grid, grid.row_group(), l, a, [kb, mb]);
+        let mut c_temp = Tensor::zeros(&[mb, nb]);
+        matmul_tn_acc(&mut c_temp, &a_panel, b);
+        grid.ctx().reduce(grid.col_group(), l, c_temp.as_mut_slice());
+        if grid.row() == l {
+            c = c_temp;
+        }
+    }
+    c
+}
+
+/// Gradients of `C = A B` (paper Eq. 1): `dA = dC Bᵀ`, `dB = Aᵀ dC`.
+pub fn grad_nn(grid: &Grid2d, a: &Tensor, b: &Tensor, dc: &Tensor) -> (Tensor, Tensor) {
+    (summa_nt(grid, dc, b), summa_tn(grid, a, dc))
+}
+
+/// Gradients of `C = A Bᵀ` (paper Eq. 3): `dA = dC B`, `dB = dCᵀ A`.
+pub fn grad_nt(grid: &Grid2d, a: &Tensor, b: &Tensor, dc: &Tensor) -> (Tensor, Tensor) {
+    (summa_nn(grid, dc, b), summa_tn(grid, dc, a))
+}
+
+/// Gradients of `C = Aᵀ B` (paper Eq. 2): `dA = B dCᵀ`, `dB = A dC`.
+pub fn grad_tn(grid: &Grid2d, a: &Tensor, b: &Tensor, dc: &Tensor) -> (Tensor, Tensor) {
+    (summa_nt(grid, b, dc), summa_nn(grid, a, dc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{collect_blocks, distribute};
+    use mesh::Mesh2d;
+    use tensor::{assert_close, matmul_nn, matmul_nt, matmul_tn, Rng, Tensor};
+
+    fn rand(dims: &[usize], seed: u64) -> Tensor {
+        Tensor::randn(dims, 1.0, &mut Rng::new(seed))
+    }
+
+    #[test]
+    fn nn_matches_serial_for_q2_and_q3() {
+        for q in [2usize, 3] {
+            let a = rand(&[6 * q, 4 * q], 1);
+            let b = rand(&[4 * q, 5 * q], 2);
+            let expect = matmul_nn(&a, &b);
+            let blocks = Mesh2d::run(q, |g| {
+                summa_nn(g, &distribute(g, &a), &distribute(g, &b))
+            });
+            let got = collect_blocks(&blocks, q);
+            assert_close(got.as_slice(), expect.as_slice(), 1e-4, 1e-4);
+        }
+    }
+
+    #[test]
+    fn nt_matches_serial() {
+        for q in [2usize, 3] {
+            let a = rand(&[4 * q, 3 * q], 3);
+            let b = rand(&[5 * q, 3 * q], 4);
+            let expect = matmul_nt(&a, &b);
+            let blocks = Mesh2d::run(q, |g| {
+                summa_nt(g, &distribute(g, &a), &distribute(g, &b))
+            });
+            let got = collect_blocks(&blocks, q);
+            assert_close(got.as_slice(), expect.as_slice(), 1e-4, 1e-4);
+        }
+    }
+
+    #[test]
+    fn tn_matches_serial() {
+        for q in [2usize, 3] {
+            let a = rand(&[3 * q, 4 * q], 5);
+            let b = rand(&[3 * q, 5 * q], 6);
+            let expect = matmul_tn(&a, &b);
+            let blocks = Mesh2d::run(q, |g| {
+                summa_tn(g, &distribute(g, &a), &distribute(g, &b))
+            });
+            let got = collect_blocks(&blocks, q);
+            assert_close(got.as_slice(), expect.as_slice(), 1e-4, 1e-4);
+        }
+    }
+
+    #[test]
+    fn q1_degenerates_to_local_matmul() {
+        let a = rand(&[4, 3], 7);
+        let b = rand(&[3, 5], 8);
+        let expect = matmul_nn(&a, &b);
+        let blocks = Mesh2d::run(1, |g| summa_nn(g, &a, &b));
+        assert_close(blocks[0].as_slice(), expect.as_slice(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn grads_match_serial_formulas() {
+        let q = 2;
+        let a = rand(&[4 * q, 3 * q], 9);
+        let b = rand(&[3 * q, 5 * q], 10);
+        let dc = rand(&[4 * q, 5 * q], 11);
+        let expect_da = matmul_nt(&dc, &b);
+        let expect_db = matmul_tn(&a, &dc);
+        let out = Mesh2d::run(q, |g| {
+            grad_nn(g, &distribute(g, &a), &distribute(g, &b), &distribute(g, &dc))
+        });
+        let da: Vec<Tensor> = out.iter().map(|(x, _)| x.clone()).collect();
+        let db: Vec<Tensor> = out.iter().map(|(_, y)| y.clone()).collect();
+        assert_close(
+            collect_blocks(&da, q).as_slice(),
+            expect_da.as_slice(),
+            1e-4,
+            1e-4,
+        );
+        assert_close(
+            collect_blocks(&db, q).as_slice(),
+            expect_db.as_slice(),
+            1e-4,
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn grads_of_nt_and_tn_match_serial_formulas() {
+        let q = 2;
+        // C = A B^T with A [M,K], B [N,K].
+        let a = rand(&[4 * q, 3 * q], 12);
+        let b = rand(&[5 * q, 3 * q], 13);
+        let dc = rand(&[4 * q, 5 * q], 14);
+        let out = Mesh2d::run(q, |g| {
+            grad_nt(g, &distribute(g, &a), &distribute(g, &b), &distribute(g, &dc))
+        });
+        let da: Vec<Tensor> = out.iter().map(|(x, _)| x.clone()).collect();
+        let db: Vec<Tensor> = out.iter().map(|(_, y)| y.clone()).collect();
+        assert_close(
+            collect_blocks(&da, q).as_slice(),
+            matmul_nn(&dc, &b).as_slice(),
+            1e-4,
+            1e-4,
+        );
+        assert_close(
+            collect_blocks(&db, q).as_slice(),
+            matmul_tn(&dc, &a).as_slice(),
+            1e-4,
+            1e-4,
+        );
+
+        // C = A^T B with A [K,M], B [K,N].
+        let a = rand(&[3 * q, 4 * q], 15);
+        let b = rand(&[3 * q, 5 * q], 16);
+        let dc = rand(&[4 * q, 5 * q], 17);
+        let out = Mesh2d::run(q, |g| {
+            grad_tn(g, &distribute(g, &a), &distribute(g, &b), &distribute(g, &dc))
+        });
+        let da: Vec<Tensor> = out.iter().map(|(x, _)| x.clone()).collect();
+        let db: Vec<Tensor> = out.iter().map(|(_, y)| y.clone()).collect();
+        assert_close(
+            collect_blocks(&da, q).as_slice(),
+            matmul_nt(&b, &dc).as_slice(),
+            1e-4,
+            1e-4,
+        );
+        assert_close(
+            collect_blocks(&db, q).as_slice(),
+            matmul_nn(&a, &dc).as_slice(),
+            1e-4,
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn bias_variant_adds_row0_bias_everywhere() {
+        let q = 2;
+        let a = rand(&[4 * q, 3 * q], 18);
+        let b = rand(&[3 * q, 6 * q], 19);
+        let bias: Vec<f32> = (0..6 * q).map(|i| i as f32 * 0.1).collect();
+        let mut expect = matmul_nn(&a, &b);
+        tensor::ops::bias_add(&mut expect, &bias);
+        let blocks = Mesh2d::run(q, |g| {
+            let local_bias: Vec<f32> = if g.row() == 0 {
+                bias[g.col() * 6..(g.col() + 1) * 6].to_vec()
+            } else {
+                Vec::new()
+            };
+            summa_nn_bias(
+                g,
+                &distribute(g, &a),
+                &distribute(g, &b),
+                if g.row() == 0 { Some(&local_bias) } else { None },
+            )
+        });
+        let got = collect_blocks(&blocks, q);
+        assert_close(got.as_slice(), expect.as_slice(), 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn comm_volume_matches_paper_model() {
+        // Each device in summa_nn broadcasts/receives q panels of A and B:
+        // logical payload per broadcast is the block size; per device the
+        // total logged broadcast payload is q*(|A|/p) + q*(|B|/p).
+        let q = 2;
+        let a = rand(&[8, 8], 20);
+        let b = rand(&[8, 8], 21);
+        let (_, logs) = Mesh2d::run_with_logs(q, |g| {
+            summa_nn(g, &distribute(g, &a), &distribute(g, &b))
+        });
+        for log in &logs {
+            assert_eq!(log.op_count(mesh::CommOp::Broadcast), 2 * q);
+            assert_eq!(log.op_elems(mesh::CommOp::Broadcast), q * (16 + 16));
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Pre-allocated communication workspace (paper Section 3.2.3).
+//!
+//! The naive SUMMA loop allocates two fresh panel tensors per iteration
+//! (`2q` allocations per product) plus a partial-product buffer for the
+//! reduce forms. "Inspired by activation checkpointing, we pre-allocate a
+//! piece of memory as a workspace … it suffices to allocate the largest
+//! volume of memory among those required" — [`Workspace`] implements exactly
+//! that: buffers grow to a high-water mark during warm-up and are reused
+//! afterwards. [`Workspace::fresh_allocs`] exposes the growth count so the
+//! ablation benchmark (and a regression test) can prove steady-state reuse.
+
+use mesh::Grid2d;
+use tensor::matmul::{matmul_nn_acc, matmul_nt_acc, matmul_tn_acc};
+use tensor::Tensor;
+
+/// Reusable buffers for SUMMA panel traffic and partial products.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    panel_a: Vec<f32>,
+    panel_b: Vec<f32>,
+    partial: Vec<f32>,
+    /// Number of times any buffer had to grow (0 in steady state).
+    pub fresh_allocs: usize,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Pre-sizes the workspace for products whose panels never exceed
+    /// `max_panel` elements and whose partial blocks never exceed
+    /// `max_partial` elements.
+    pub fn with_capacity(max_panel: usize, max_partial: usize) -> Self {
+        Workspace {
+            panel_a: vec![0.0; max_panel],
+            panel_b: vec![0.0; max_panel],
+            partial: vec![0.0; max_partial],
+            fresh_allocs: 0,
+        }
+    }
+
+    fn ensure(buf: &mut Vec<f32>, len: usize, fresh: &mut usize) {
+        if buf.len() < len {
+            *fresh += 1;
+            buf.resize(len, 0.0);
+        }
+    }
+}
+
+/// Receives a broadcast panel into `buf` (reusing its allocation) and
+/// returns the panel as a borrowed matrix view.
+fn bcast_into<'w>(
+    grid: &Grid2d,
+    group: &mesh::Group,
+    root: usize,
+    local: &Tensor,
+    dims: [usize; 2],
+    buf: &'w mut Vec<f32>,
+    fresh: &mut usize,
+) -> PanelView<'w> {
+    let n = dims[0] * dims[1];
+    Workspace::ensure(buf, n, fresh);
+    let my_idx = group
+        .index_of(grid.ctx().rank())
+        .expect("device not in group");
+    if my_idx == root {
+        assert_eq!(local.len(), n, "root block has unexpected shape");
+        buf[..n].copy_from_slice(local.as_slice());
+        // Transport copy: the channel takes ownership of a Vec; peers'
+        // buffers are the reusable memory being modelled.
+        let mut payload = buf[..n].to_vec();
+        grid.ctx().broadcast(group, root, &mut payload);
+    } else {
+        let mut payload = Vec::new();
+        grid.ctx().broadcast(group, root, &mut payload);
+        buf[..n].copy_from_slice(&payload);
+    }
+    PanelView { data: &buf[..n], dims }
+}
+
+/// A borrowed panel: workspace memory viewed as a matrix.
+struct PanelView<'a> {
+    data: &'a [f32],
+    dims: [usize; 2],
+}
+
+impl PanelView<'_> {
+    fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(&[self.dims[0], self.dims[1]], self.data.to_vec())
+    }
+}
+
+/// `C += A B` into a caller-owned output block, with panels staged through
+/// the workspace. Accumulates (callers reset `c` when needed), mirroring the
+/// paper's forward-buffer discipline.
+pub fn summa_nn_into(grid: &Grid2d, a: &Tensor, b: &Tensor, c: &mut Tensor, ws: &mut Workspace) {
+    let (mb, kb) = (a.rows(), a.cols());
+    let (kb2, nb) = (b.rows(), b.cols());
+    assert_eq!(kb, kb2, "contraction blocks disagree");
+    assert_eq!((c.rows(), c.cols()), (mb, nb), "output block shape");
+    for l in 0..grid.q() {
+        let mut fresh = 0;
+        let a_panel = bcast_into(
+            grid,
+            grid.row_group(),
+            l,
+            a,
+            [mb, kb],
+            &mut ws.panel_a,
+            &mut fresh,
+        )
+        .to_tensor();
+        let b_panel = bcast_into(
+            grid,
+            grid.col_group(),
+            l,
+            b,
+            [kb, nb],
+            &mut ws.panel_b,
+            &mut fresh,
+        )
+        .to_tensor();
+        ws.fresh_allocs += fresh;
+        matmul_nn_acc(c, &a_panel, &b_panel);
+    }
+}
+
+/// `C = A Bᵀ` into a caller-owned output block (overwrites `c`).
+pub fn summa_nt_into(grid: &Grid2d, a: &Tensor, b: &Tensor, c: &mut Tensor, ws: &mut Workspace) {
+    let (mb, kb) = (a.rows(), a.cols());
+    let (nb, kb2) = (b.rows(), b.cols());
+    assert_eq!(kb, kb2, "contraction blocks disagree");
+    assert_eq!((c.rows(), c.cols()), (mb, nb), "output block shape");
+    for l in 0..grid.q() {
+        let mut fresh = 0;
+        let b_panel = bcast_into(
+            grid,
+            grid.col_group(),
+            l,
+            b,
+            [nb, kb],
+            &mut ws.panel_b,
+            &mut fresh,
+        )
+        .to_tensor();
+        Workspace::ensure(&mut ws.partial, mb * nb, &mut fresh);
+        ws.fresh_allocs += fresh;
+        ws.partial[..mb * nb].fill(0.0);
+        let mut c_temp = Tensor::from_vec(&[mb, nb], ws.partial[..mb * nb].to_vec());
+        matmul_nt_acc(&mut c_temp, a, &b_panel);
+        grid.ctx().reduce(grid.row_group(), l, c_temp.as_mut_slice());
+        if grid.col() == l {
+            *c = c_temp;
+        }
+    }
+}
+
+/// `C = Aᵀ B` into a caller-owned output block (overwrites `c`).
+pub fn summa_tn_into(grid: &Grid2d, a: &Tensor, b: &Tensor, c: &mut Tensor, ws: &mut Workspace) {
+    let (kb, mb) = (a.rows(), a.cols());
+    let (kb2, nb) = (b.rows(), b.cols());
+    assert_eq!(kb, kb2, "contraction blocks disagree");
+    assert_eq!((c.rows(), c.cols()), (mb, nb), "output block shape");
+    for l in 0..grid.q() {
+        let mut fresh = 0;
+        let a_panel = bcast_into(
+            grid,
+            grid.row_group(),
+            l,
+            a,
+            [kb, mb],
+            &mut ws.panel_a,
+            &mut fresh,
+        )
+        .to_tensor();
+        Workspace::ensure(&mut ws.partial, mb * nb, &mut fresh);
+        ws.fresh_allocs += fresh;
+        ws.partial[..mb * nb].fill(0.0);
+        let mut c_temp = Tensor::from_vec(&[mb, nb], ws.partial[..mb * nb].to_vec());
+        matmul_tn_acc(&mut c_temp, &a_panel, b);
+        grid.ctx().reduce(grid.col_group(), l, c_temp.as_mut_slice());
+        if grid.row() == l {
+            *c = c_temp;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{collect_blocks, distribute};
+    use mesh::Mesh2d;
+    use tensor::{assert_close, matmul_nn, matmul_nt, matmul_tn, Rng, Tensor};
+
+    fn rand(dims: &[usize], seed: u64) -> Tensor {
+        Tensor::randn(dims, 1.0, &mut Rng::new(seed))
+    }
+
+    #[test]
+    fn workspace_variants_match_plain_summa() {
+        let q = 2;
+        let a = rand(&[4 * q, 6 * q], 0);
+        let b = rand(&[6 * q, 2 * q], 1);
+        let blocks = Mesh2d::run(q, |g| {
+            let mut ws = Workspace::new();
+            let (al, bl) = (distribute(g, &a), distribute(g, &b));
+            let mut c = Tensor::zeros(&[4, 2]);
+            summa_nn_into(g, &al, &bl, &mut c, &mut ws);
+            c
+        });
+        assert_close(
+            collect_blocks(&blocks, q).as_slice(),
+            matmul_nn(&a, &b).as_slice(),
+            1e-4,
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn nt_and_tn_workspace_variants_match_serial() {
+        let q = 2;
+        let a = rand(&[4 * q, 6 * q], 2);
+        let b = rand(&[2 * q, 6 * q], 3);
+        let blocks = Mesh2d::run(q, |g| {
+            let mut ws = Workspace::new();
+            let (al, bl) = (distribute(g, &a), distribute(g, &b));
+            let mut c = Tensor::zeros(&[4, 2]);
+            summa_nt_into(g, &al, &bl, &mut c, &mut ws);
+            c
+        });
+        assert_close(
+            collect_blocks(&blocks, q).as_slice(),
+            matmul_nt(&a, &b).as_slice(),
+            1e-4,
+            1e-4,
+        );
+
+        let a = rand(&[6 * q, 4 * q], 4);
+        let b = rand(&[6 * q, 2 * q], 5);
+        let blocks = Mesh2d::run(q, |g| {
+            let mut ws = Workspace::new();
+            let (al, bl) = (distribute(g, &a), distribute(g, &b));
+            let mut c = Tensor::zeros(&[4, 2]);
+            summa_tn_into(g, &al, &bl, &mut c, &mut ws);
+            c
+        });
+        assert_close(
+            collect_blocks(&blocks, q).as_slice(),
+            matmul_tn(&a, &b).as_slice(),
+            1e-4,
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn steady_state_has_zero_fresh_allocations() {
+        let q = 2;
+        let a = rand(&[8, 8], 6);
+        let b = rand(&[8, 8], 7);
+        let growths = Mesh2d::run(q, |g| {
+            let mut ws = Workspace::new();
+            let (al, bl) = (distribute(g, &a), distribute(g, &b));
+            let mut c = Tensor::zeros(&[4, 4]);
+            // Warm-up step grows the buffers…
+            summa_nn_into(g, &al, &bl, &mut c, &mut ws);
+            let after_warmup = ws.fresh_allocs;
+            assert!(after_warmup > 0, "warm-up must size the workspace");
+            // …steady-state steps must not.
+            for _ in 0..5 {
+                c.zero_();
+                summa_nn_into(g, &al, &bl, &mut c, &mut ws);
+            }
+            ws.fresh_allocs - after_warmup
+        });
+        assert!(growths.iter().all(|&g| g == 0), "growths={growths:?}");
+    }
+
+    #[test]
+    fn with_capacity_never_grows() {
+        let q = 2;
+        let a = rand(&[8, 8], 8);
+        let b = rand(&[8, 8], 9);
+        let growths = Mesh2d::run(q, |g| {
+            let mut ws = Workspace::with_capacity(16, 16);
+            let (al, bl) = (distribute(g, &a), distribute(g, &b));
+            let mut c = Tensor::zeros(&[4, 4]);
+            summa_nn_into(g, &al, &bl, &mut c, &mut ws);
+            ws.fresh_allocs
+        });
+        assert!(growths.iter().all(|&g| g == 0));
+    }
+}

@@ -1,0 +1,245 @@
+//! Mixed-precision training support (paper Section 1's orthogonal method:
+//! "Mixed precision training with dynamic loss scaling replaces 32-bit
+//! float tensors with 16-bit half tensors … while preserving the target
+//! validation accuracy").
+//!
+//! There is no hardware f16 here, so half precision is *emulated* exactly:
+//! [`f32_to_f16_bits`] / [`f16_bits_to_f32`] implement IEEE 754 binary16
+//! conversion with round-to-nearest-even, and [`quantize_f16`] round-trips a
+//! tensor through that representation — giving bit-accurate f16 storage
+//! semantics while computing in f32 (precisely what tensor cores do).
+//! [`DynamicLossScaler`] implements the standard grow/backoff automaton.
+
+use crate::tensor::Tensor;
+
+/// Converts an `f32` to IEEE binary16 bits with round-to-nearest-even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x7f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN.
+        let nan = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan;
+    }
+    // Re-bias: f32 bias 127, f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // Normal f16: keep 10 mantissa bits, round to nearest even.
+        let mant16 = mant >> 13;
+        let rem = mant & 0x1fff;
+        let half = 0x1000;
+        let mut out = ((unbiased + 15) as u32) << 10 | mant16;
+        if rem > half || (rem == half && (mant16 & 1) == 1) {
+            out += 1; // may carry into the exponent — that is correct
+        }
+        return sign | out as u16;
+    }
+    if unbiased >= -24 {
+        // Subnormal f16: value = mant16 · 2⁻²⁴, so mant16 =
+        // round(1.m · 2^(e+24)) = full_mant >> (-e - 1).
+        let full_mant = mant | 0x80_0000; // implicit leading 1
+        let shift = (-1 - unbiased) as u32; // 14..=23 for e in -15..=-24
+        let mant16 = full_mant >> shift;
+        let rem = full_mant & ((1 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut out = mant16;
+        if rem > half || (rem == half && (mant16 & 1) == 1) {
+            out += 1;
+        }
+        return sign | out as u16;
+    }
+    sign // underflow -> signed zero
+}
+
+/// Converts IEEE binary16 bits back to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x3ff) as u32;
+    let bits = if exp == 0x1f {
+        // Inf / NaN.
+        sign | 0x7f80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: normalise.
+            let mut e = -14i32;
+            let mut m = mant;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x3ff;
+            sign | (((e + 127) as u32) << 23) | (m << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds one value through f16 storage.
+pub fn quantize_f16_scalar(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Rounds every element of a tensor through f16 storage (the "cast to half,
+/// cast back for compute" pattern), in place.
+pub fn quantize_f16(t: &mut Tensor) {
+    for v in t.as_mut_slice() {
+        *v = quantize_f16_scalar(*v);
+    }
+}
+
+/// Dynamic loss scaler: multiply the loss by `scale` before backward; if any
+/// gradient overflows f16 range, skip the step and halve the scale,
+/// otherwise grow the scale every `growth_interval` good steps.
+#[derive(Clone, Debug)]
+pub struct DynamicLossScaler {
+    pub scale: f32,
+    pub growth_factor: f32,
+    pub backoff_factor: f32,
+    pub growth_interval: u32,
+    good_steps: u32,
+    /// Steps skipped because of overflow (for monitoring).
+    pub skipped: u32,
+}
+
+impl DynamicLossScaler {
+    pub fn new(initial_scale: f32) -> Self {
+        DynamicLossScaler {
+            scale: initial_scale,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 16,
+            good_steps: 0,
+            skipped: 0,
+        }
+    }
+
+    /// True if any value is non-finite or exceeds the f16 max (65504).
+    pub fn has_overflow(grads: &[f32]) -> bool {
+        grads.iter().any(|g| !g.is_finite() || g.abs() > 65504.0)
+    }
+
+    /// Inspects scaled gradients; returns `true` if the step should be
+    /// applied (after unscaling) or `false` if it must be skipped.
+    pub fn update(&mut self, scaled_grads_overflowed: bool) -> bool {
+        if scaled_grads_overflowed {
+            self.scale = (self.scale * self.backoff_factor).max(1.0);
+            self.good_steps = 0;
+            self.skipped += 1;
+            false
+        } else {
+            self.good_steps += 1;
+            if self.good_steps >= self.growth_interval {
+                self.scale *= self.growth_factor;
+                self.good_steps = 0;
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        // Values exactly representable in f16 survive unchanged.
+        for &x in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, 6.1035156e-5] {
+            assert_eq!(quantize_f16_scalar(x), x, "x={x}");
+        }
+    }
+
+    #[test]
+    fn f16_rounding_error_is_bounded() {
+        let mut rng = Rng::new(0);
+        for _ in 0..10_000 {
+            let x = rng.normal() * 8.0;
+            let q = quantize_f16_scalar(x);
+            // Relative error of binary16: 2^-11.
+            assert!(
+                (q - x).abs() <= x.abs() * 4.9e-4 + 1e-7,
+                "x={x} q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn f16_overflow_saturates_to_infinity() {
+        assert_eq!(f32_to_f16_bits(1e6), 0x7c00);
+        assert_eq!(f32_to_f16_bits(-1e6), 0xfc00);
+        assert!(quantize_f16_scalar(1e6).is_infinite());
+    }
+
+    #[test]
+    fn f16_subnormals_and_underflow() {
+        // Smallest f16 subnormal.
+        let tiny = 5.9604645e-8f32;
+        assert_eq!(quantize_f16_scalar(tiny), tiny);
+        // Below half the smallest subnormal -> zero.
+        assert_eq!(quantize_f16_scalar(1e-9), 0.0);
+        // A subnormal value round-trips.
+        let sub = 3.0e-6f32;
+        let q = quantize_f16_scalar(sub);
+        assert!((q - sub).abs() / sub < 0.02, "sub={sub} q={q}");
+    }
+
+    #[test]
+    fn f16_nan_is_preserved() {
+        assert!(quantize_f16_scalar(f32::NAN).is_nan());
+        assert!(quantize_f16_scalar(f32::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between two f16 values; it must
+        // round to the even mantissa (1.0).
+        let halfway = 1.0f32 + 2f32.powi(-11);
+        assert_eq!(quantize_f16_scalar(halfway), 1.0);
+        // Just above the halfway point rounds up.
+        let above = 1.0f32 + 2f32.powi(-11) + 2f32.powi(-16);
+        assert_eq!(quantize_f16_scalar(above), 1.0 + 2f32.powi(-10));
+    }
+
+    #[test]
+    fn scaler_backs_off_on_overflow_and_regrows() {
+        let mut s = DynamicLossScaler::new(1024.0);
+        assert!(!s.update(true));
+        assert_eq!(s.scale, 512.0);
+        assert_eq!(s.skipped, 1);
+        for _ in 0..s.growth_interval {
+            assert!(s.update(false));
+        }
+        assert_eq!(s.scale, 1024.0);
+    }
+
+    #[test]
+    fn overflow_detection() {
+        assert!(DynamicLossScaler::has_overflow(&[0.0, f32::INFINITY]));
+        assert!(DynamicLossScaler::has_overflow(&[f32::NAN]));
+        assert!(DynamicLossScaler::has_overflow(&[70000.0]));
+        assert!(!DynamicLossScaler::has_overflow(&[1.0, -65504.0]));
+    }
+
+    #[test]
+    fn quantize_tensor_in_place() {
+        let mut rng = Rng::new(1);
+        let mut t = Tensor::randn(&[4, 4], 1.0, &mut rng);
+        let orig = t.clone();
+        quantize_f16(&mut t);
+        for (q, x) in t.as_slice().iter().zip(orig.as_slice()) {
+            assert!((q - x).abs() <= x.abs() * 4.9e-4 + 1e-7);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Finite-difference gradient checking.
+//!
+//! Every layer in the workspace implements its backward pass by hand (the
+//! paper's buffer-management scheme depends on knowing exactly which
+//! activations each backward needs), so mechanical verification against
+//! central differences is the primary guard against sign/transpose mistakes.
+
+use crate::tensor::Tensor;
+
+/// Central-difference derivative of `f` with respect to `x[idx]`.
+pub fn finite_diff<F>(f: &mut F, x: &Tensor, idx: usize, eps: f32) -> f32
+where
+    F: FnMut(&Tensor) -> f32,
+{
+    let mut xp = x.clone();
+    xp.as_mut_slice()[idx] += eps;
+    let mut xm = x.clone();
+    xm.as_mut_slice()[idx] -= eps;
+    (f(&xp) - f(&xm)) / (2.0 * eps)
+}
+
+/// Checks an analytic gradient against central differences on a sample of
+/// indices (all indices when the tensor is small).
+///
+/// `f` must be a pure scalar function of `x`. Panics with a diagnostic on the
+/// first index where the analytic and numeric gradients disagree beyond
+/// `atol + rtol * |fd|`.
+pub fn check_grad<F>(mut f: F, x: &Tensor, analytic: &Tensor, eps: f32, atol: f32, rtol: f32)
+where
+    F: FnMut(&Tensor) -> f32,
+{
+    assert_eq!(x.dims(), analytic.dims(), "gradient shape mismatch");
+    let n = x.len();
+    // Sample deterministically: all indices up to 64, then a strided subset.
+    let stride = (n / 64).max(1);
+    let mut idx = 0;
+    while idx < n {
+        let fd = finite_diff(&mut f, x, idx, eps);
+        let got = analytic.as_slice()[idx];
+        let tol = atol + rtol * fd.abs();
+        assert!(
+            (got - fd).abs() <= tol,
+            "gradient mismatch at index {idx}: analytic={got}, finite-diff={fd}, \
+             |diff|={}, tol={tol}",
+            (got - fd).abs()
+        );
+        idx += stride;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn quadratic_gradient_passes() {
+        let mut rng = Rng::new(0);
+        let x = Tensor::randn(&[4, 4], 1.0, &mut rng);
+        // f(x) = 0.5 * ||x||^2, grad = x.
+        let f = |t: &Tensor| 0.5 * t.as_slice().iter().map(|v| v * v).sum::<f32>();
+        check_grad(f, &x, &x, 1e-3, 1e-3, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn wrong_gradient_fails() {
+        let mut rng = Rng::new(1);
+        let x = Tensor::randn(&[2, 2], 1.0, &mut rng);
+        let f = |t: &Tensor| 0.5 * t.as_slice().iter().map(|v| v * v).sum::<f32>();
+        let mut wrong = x.clone();
+        wrong.scale(2.0);
+        check_grad(f, &x, &wrong, 1e-3, 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn finite_diff_of_linear_is_coefficient() {
+        let x = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]);
+        let mut f = |t: &Tensor| 2.0 * t.as_slice()[0] + 5.0 * t.as_slice()[2];
+        assert!((finite_diff(&mut f, &x, 0, 1e-3) - 2.0).abs() < 1e-3);
+        assert!((finite_diff(&mut f, &x, 1, 1e-3) - 0.0).abs() < 1e-3);
+        assert!((finite_diff(&mut f, &x, 2, 1e-3) - 5.0).abs() < 1e-3);
+    }
+}

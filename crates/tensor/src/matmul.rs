@@ -1,0 +1,300 @@
+//! Matrix-multiplication kernels.
+//!
+//! The paper relies on three product forms that are closed under
+//! differentiation (Section 2.4, Eqs. 1–3):
+//!
+//! * `C = A B`    ([`matmul_nn`])
+//! * `C = A Bᵀ`   ([`matmul_nt`])
+//! * `C = Aᵀ B`   ([`matmul_tn`])
+//!
+//! Each kernel also has an accumulating variant (`C += …`) because SUMMA
+//! accumulates one outer-product panel per iteration into the local output
+//! block. Kernels use an `i-k-j` loop order so the innermost loop streams
+//! both `B` and `C` rows contiguously (auto-vectorisable), and parallelise
+//! over output rows with Rayon once the work crosses a threshold — the
+//! "data parallelism over rows" idiom from the Rayon guide.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Work threshold (in multiply-adds) below which kernels stay serial.
+/// Splitting tiny blocks across threads costs more than it saves, and the
+/// mesh simulator already runs one thread per device.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Number of floating point multiply-add operations for an `m×k×n` product.
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> usize {
+    m * k * n
+}
+
+fn gemm_nn_serial(c: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+    // c: [rows_of_this_chunk, n], a: same rows [.., k], b: [k, n]
+    let rows = c.len() / n;
+    for i in 0..rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (l, &a_il) in a_row.iter().enumerate() {
+            let b_row = &b[l * n..(l + 1) * n];
+            for (c_ij, &b_lj) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_ij += a_il * b_lj;
+            }
+        }
+    }
+}
+
+fn gemm_nt_serial(c: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+    // c: [rows, n], a: [rows, k], b: [n, k] (transposed access)
+    let rows = c.len() / n;
+    for i in 0..rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, c_ij) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *c_ij += acc;
+        }
+    }
+}
+
+/// `C += A B` where `A: [m, k]`, `B: [k, n]`, `C: [m, n]`.
+pub fn matmul_nn_acc(c: &mut Tensor, a: &Tensor, b: &Tensor) {
+    let (m, k) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "inner dims: A is [{m},{k}], B is [{k2},{n}]");
+    assert_eq!((c.rows(), c.cols()), (m, n), "output shape");
+    let (a, b) = (a.as_slice(), b.as_slice());
+    let cs = c.as_mut_slice();
+    if gemm_flops(m, k, n) < PAR_THRESHOLD || m < 2 {
+        gemm_nn_serial(cs, a, b, k, n);
+    } else {
+        let rows_per = m.div_ceil(rayon::current_num_threads().max(1)).max(8);
+        cs.par_chunks_mut(rows_per * n)
+            .zip(a.par_chunks(rows_per * k))
+            .for_each(|(c_chunk, a_chunk)| gemm_nn_serial(c_chunk, a_chunk, b, k, n));
+    }
+}
+
+/// `C = A B`.
+pub fn matmul_nn(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut c = Tensor::zeros(&[a.rows(), b.cols()]);
+    matmul_nn_acc(&mut c, a, b);
+    c
+}
+
+/// `C += A Bᵀ` where `A: [m, k]`, `B: [n, k]`, `C: [m, n]`.
+pub fn matmul_nt_acc(c: &mut Tensor, a: &Tensor, b: &Tensor) {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, k2) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "inner dims: A is [{m},{k}], B is [{n},{k2}]");
+    assert_eq!((c.rows(), c.cols()), (m, n), "output shape");
+    let (a, b) = (a.as_slice(), b.as_slice());
+    let cs = c.as_mut_slice();
+    if gemm_flops(m, k, n) < PAR_THRESHOLD || m < 2 {
+        gemm_nt_serial(cs, a, b, k, n);
+    } else {
+        let rows_per = m.div_ceil(rayon::current_num_threads().max(1)).max(8);
+        cs.par_chunks_mut(rows_per * n)
+            .zip(a.par_chunks(rows_per * k))
+            .for_each(|(c_chunk, a_chunk)| gemm_nt_serial(c_chunk, a_chunk, b, k, n));
+    }
+}
+
+/// `C = A Bᵀ`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut c = Tensor::zeros(&[a.rows(), b.rows()]);
+    matmul_nt_acc(&mut c, a, b);
+    c
+}
+
+/// `C += Aᵀ B` where `A: [k, m]`, `B: [k, n]`, `C: [m, n]`.
+///
+/// Parallelises over the *k* rows of `A`/`B` with per-thread partial outputs
+/// would cost memory; instead we parallelise over column-stripes of `C`,
+/// which needs no reduction.
+pub fn matmul_tn_acc(c: &mut Tensor, a: &Tensor, b: &Tensor) {
+    let (k, m) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "inner dims: A is [{k},{m}], B is [{k2},{n}]");
+    assert_eq!((c.rows(), c.cols()), (m, n), "output shape");
+    let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    let cs = c.as_mut_slice();
+    if gemm_flops(m, k, n) < PAR_THRESHOLD || m < 2 {
+        // C[l, j] += sum_i A[i, l] * B[i, j]; stream rows of B.
+        for i in 0..k {
+            let b_row = &b_s[i * n..(i + 1) * n];
+            for l in 0..m {
+                let a_il = a_s[i * m + l];
+                if a_il == 0.0 {
+                    continue;
+                }
+                let c_row = &mut cs[l * n..(l + 1) * n];
+                for (c_lj, &b_ij) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c_lj += a_il * b_ij;
+                }
+            }
+        }
+    } else {
+        let rows_per = m.div_ceil(rayon::current_num_threads().max(1)).max(8);
+        cs.par_chunks_mut(rows_per * n)
+            .enumerate()
+            .for_each(|(chunk_idx, c_chunk)| {
+                let l0 = chunk_idx * rows_per;
+                let rows = c_chunk.len() / n;
+                for i in 0..k {
+                    let b_row = &b_s[i * n..(i + 1) * n];
+                    for dl in 0..rows {
+                        let a_il = a_s[i * m + l0 + dl];
+                        if a_il == 0.0 {
+                            continue;
+                        }
+                        let c_row = &mut c_chunk[dl * n..(dl + 1) * n];
+                        for (c_lj, &b_ij) in c_row.iter_mut().zip(b_row.iter()) {
+                            *c_lj += a_il * b_ij;
+                        }
+                    }
+                }
+            });
+    }
+}
+
+/// `C = Aᵀ B`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut c = Tensor::zeros(&[a.cols(), b.cols()]);
+    matmul_tn_acc(&mut c, a, b);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::{assert_close, Tensor};
+
+    fn naive_nn(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for l in 0..k {
+                    acc += a.at(i, l) as f64 * b.at(l, j) as f64;
+                }
+                *c.at_mut(i, j) = acc as f32;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn nn_matches_naive() {
+        let mut rng = Rng::new(0);
+        let a = Tensor::randn(&[7, 5], 1.0, &mut rng);
+        let b = Tensor::randn(&[5, 9], 1.0, &mut rng);
+        assert_close(
+            matmul_nn(&a, &b).as_slice(),
+            naive_nn(&a, &b).as_slice(),
+            1e-4,
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn nt_equals_nn_with_explicit_transpose() {
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn(&[6, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[8, 4], 1.0, &mut rng);
+        assert_close(
+            matmul_nt(&a, &b).as_slice(),
+            matmul_nn(&a, &b.transpose()).as_slice(),
+            1e-4,
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn tn_equals_nn_with_explicit_transpose() {
+        let mut rng = Rng::new(2);
+        let a = Tensor::randn(&[4, 6], 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 8], 1.0, &mut rng);
+        assert_close(
+            matmul_tn(&a, &b).as_slice(),
+            matmul_nn(&a.transpose(), &b).as_slice(),
+            1e-4,
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn acc_variants_accumulate() {
+        let mut rng = Rng::new(3);
+        let a = Tensor::randn(&[3, 3], 1.0, &mut rng);
+        let b = Tensor::randn(&[3, 3], 1.0, &mut rng);
+        let mut c = matmul_nn(&a, &b);
+        matmul_nn_acc(&mut c, &a, &b);
+        let mut twice = matmul_nn(&a, &b);
+        twice.scale(2.0);
+        assert_close(c.as_slice(), twice.as_slice(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::new(4);
+        let a = Tensor::randn(&[5, 5], 1.0, &mut rng);
+        let mut eye = Tensor::zeros(&[5, 5]);
+        for i in 0..5 {
+            *eye.at_mut(i, i) = 1.0;
+        }
+        assert_close(matmul_nn(&a, &eye).as_slice(), a.as_slice(), 1e-6, 0.0);
+        assert_close(matmul_nn(&eye, &a).as_slice(), a.as_slice(), 1e-6, 0.0);
+    }
+
+    #[test]
+    fn large_parallel_path_matches_naive() {
+        let mut rng = Rng::new(5);
+        let a = Tensor::randn(&[130, 64], 0.5, &mut rng);
+        let b = Tensor::randn(&[64, 70], 0.5, &mut rng);
+        assert_close(
+            matmul_nn(&a, &b).as_slice(),
+            naive_nn(&a, &b).as_slice(),
+            1e-3,
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn large_parallel_nt_tn_match() {
+        let mut rng = Rng::new(6);
+        let a = Tensor::randn(&[100, 80], 0.5, &mut rng);
+        let b = Tensor::randn(&[90, 80], 0.5, &mut rng);
+        assert_close(
+            matmul_nt(&a, &b).as_slice(),
+            naive_nn(&a, &b.transpose()).as_slice(),
+            1e-3,
+            1e-3,
+        );
+        let a2 = Tensor::randn(&[80, 100], 0.5, &mut rng);
+        let b2 = Tensor::randn(&[80, 90], 0.5, &mut rng);
+        assert_close(
+            matmul_tn(&a2, &b2).as_slice(),
+            naive_nn(&a2.transpose(), &b2).as_slice(),
+            1e-3,
+            1e-3,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn nn_rejects_mismatched_inner_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        matmul_nn(&a, &b);
+    }
+
+    #[test]
+    fn gemm_flops_counts() {
+        assert_eq!(gemm_flops(2, 3, 4), 24);
+    }
+}

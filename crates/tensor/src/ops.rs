@@ -1,0 +1,179 @@
+//! Element-wise and broadcasting operations with manual gradients.
+
+use crate::tensor::Tensor;
+
+/// Adds `bias` (length = cols) to every row of `x`, in place.
+///
+/// This is the paper's "bias-add" non-SUMMA operation (Fig. 5): in the 2D
+/// scheme the bias slice lives on mesh row 0 and is broadcast down columns
+/// before this local op runs.
+pub fn bias_add(x: &mut Tensor, bias: &[f32]) {
+    let cols = x.cols();
+    assert_eq!(bias.len(), cols, "bias length {} != cols {}", bias.len(), cols);
+    for row in x.as_mut_slice().chunks_mut(cols) {
+        for (v, b) in row.iter_mut().zip(bias.iter()) {
+            *v += b;
+        }
+    }
+}
+
+/// Gradient of [`bias_add`] with respect to the bias: column-wise sum of the
+/// upstream gradient.
+pub fn bias_grad(dy: &Tensor) -> Vec<f32> {
+    let cols = dy.cols();
+    let mut g = vec![0.0f32; cols];
+    for row in dy.as_slice().chunks(cols) {
+        for (acc, v) in g.iter_mut().zip(row.iter()) {
+            *acc += v;
+        }
+    }
+    g
+}
+
+/// Exact GELU: `x * Φ(x)` using the error function.
+///
+/// We use the `tanh` approximation from the BERT/Megatron codebases so that
+/// forward and backward are cheap and self-consistent.
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-approximate GELU.
+pub fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+/// Applies GELU element-wise, returning a new tensor.
+pub fn gelu_forward(x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    for v in out.as_mut_slice() {
+        *v = gelu(*v);
+    }
+    out
+}
+
+/// Backward of GELU: `dx = dy * gelu'(x)` (needs the *input*, which is why
+/// the paper's buffer scheme keeps matmul inputs but can discard outputs).
+pub fn gelu_backward(dy: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(dy.dims(), x.dims());
+    let mut dx = dy.clone();
+    for (g, &xi) in dx.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *g *= gelu_grad(xi);
+    }
+    dx
+}
+
+/// Element-wise sum of two tensors.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.dims(), b.dims(), "shape mismatch in add");
+    let mut out = a.clone();
+    out.add_assign(b);
+    out
+}
+
+/// Element-wise (Hadamard) product.
+pub fn hadamard(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.dims(), b.dims(), "shape mismatch in hadamard");
+    let mut out = a.clone();
+    for (x, y) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x *= y;
+    }
+    out
+}
+
+/// Scales each row of `x` by the corresponding entry of `s` (length = rows).
+pub fn row_scale(x: &mut Tensor, s: &[f32]) {
+    let cols = x.cols();
+    assert_eq!(s.len(), x.rows());
+    for (row, &f) in x.as_mut_slice().chunks_mut(cols).zip(s.iter()) {
+        for v in row {
+            *v *= f;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::{assert_close, Tensor};
+
+    #[test]
+    fn bias_add_and_grad_roundtrip() {
+        let mut x = Tensor::zeros(&[3, 2]);
+        bias_add(&mut x, &[1.0, -2.0]);
+        assert_eq!(x.as_slice(), &[1.0, -2.0, 1.0, -2.0, 1.0, -2.0]);
+        let dy = Tensor::full(&[3, 2], 1.0);
+        assert_eq!(bias_grad(&dy), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn gelu_fixed_points() {
+        assert!((gelu(0.0)).abs() < 1e-7);
+        // GELU(x) -> x for large positive x, -> 0 for large negative x.
+        assert!((gelu(10.0) - 10.0).abs() < 1e-4);
+        assert!(gelu(-10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.5, 2.0, 4.0] {
+            let eps = 1e-3f32;
+            let fd = (gelu(x + eps) - gelu(x - eps)) / (2.0 * eps);
+            assert!(
+                (gelu_grad(x) - fd).abs() < 1e-3,
+                "x={x}: analytic={} fd={fd}",
+                gelu_grad(x)
+            );
+        }
+    }
+
+    #[test]
+    fn gelu_forward_backward_shapes() {
+        let mut rng = Rng::new(0);
+        let x = Tensor::randn(&[4, 5], 1.0, &mut rng);
+        let y = gelu_forward(&x);
+        assert_eq!(y.dims(), x.dims());
+        let dy = Tensor::full(&[4, 5], 1.0);
+        let dx = gelu_backward(&dy, &x);
+        assert_eq!(dx.dims(), x.dims());
+        // dx should equal gelu'(x) when dy == 1.
+        for (g, &xi) in dx.as_slice().iter().zip(x.as_slice()) {
+            assert!((g - gelu_grad(xi)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn add_and_hadamard() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[2, 2], vec![4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(add(&a, &b).as_slice(), &[5.0; 4]);
+        assert_eq!(hadamard(&a, &b).as_slice(), &[4.0, 6.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn row_scale_scales_rows() {
+        let mut x = Tensor::full(&[2, 3], 1.0);
+        row_scale(&mut x, &[2.0, 3.0]);
+        assert_eq!(x.as_slice(), &[2.0, 2.0, 2.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn bias_grad_is_linear() {
+        let mut rng = Rng::new(1);
+        let dy1 = Tensor::randn(&[5, 4], 1.0, &mut rng);
+        let dy2 = Tensor::randn(&[5, 4], 1.0, &mut rng);
+        let sum = add(&dy1, &dy2);
+        let g1 = bias_grad(&dy1);
+        let g2 = bias_grad(&dy2);
+        let gs = bias_grad(&sum);
+        let expect: Vec<f32> = g1.iter().zip(g2.iter()).map(|(a, b)| a + b).collect();
+        assert_close(&gs, &expect, 1e-5, 1e-5);
+    }
+}

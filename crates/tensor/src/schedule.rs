@@ -1,0 +1,153 @@
+//! Learning-rate schedules (linear warmup + cosine/linear decay) — the
+//! standard large-model training recipe the paper's experiments inherit
+//! from Megatron-LM.
+
+/// Decay shape after warmup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decay {
+    /// Hold the peak rate forever.
+    Constant,
+    /// Linear to `min_lr` at `total_steps`.
+    Linear,
+    /// Cosine to `min_lr` at `total_steps`.
+    Cosine,
+}
+
+/// A warmup-then-decay learning-rate schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct LrSchedule {
+    pub peak_lr: f32,
+    pub min_lr: f32,
+    pub warmup_steps: u64,
+    pub total_steps: u64,
+    pub decay: Decay,
+}
+
+impl LrSchedule {
+    /// Megatron-style default: linear warmup, cosine decay to 10 % of peak.
+    pub fn cosine(peak_lr: f32, warmup_steps: u64, total_steps: u64) -> Self {
+        LrSchedule {
+            peak_lr,
+            min_lr: peak_lr * 0.1,
+            warmup_steps,
+            total_steps,
+            decay: Decay::Cosine,
+        }
+    }
+
+    /// Learning rate at `step` (0-based).
+    pub fn lr(&self, step: u64) -> f32 {
+        if self.warmup_steps > 0 && step < self.warmup_steps {
+            // Linear warmup from 0 (exclusive) to peak.
+            return self.peak_lr * (step + 1) as f32 / self.warmup_steps as f32;
+        }
+        let decay_steps = self.total_steps.saturating_sub(self.warmup_steps).max(1);
+        let progress =
+            ((step - self.warmup_steps).min(decay_steps)) as f32 / decay_steps as f32;
+        match self.decay {
+            Decay::Constant => self.peak_lr,
+            Decay::Linear => self.peak_lr + (self.min_lr - self.peak_lr) * progress,
+            Decay::Cosine => {
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                self.min_lr + (self.peak_lr - self.min_lr) * cos
+            }
+        }
+    }
+}
+
+/// Global gradient-norm clipping, split into the local and global halves so
+/// distributed callers can all-reduce the squared norm between them:
+///
+/// 1. every shard computes [`sq_norm`] of its local gradients;
+/// 2. the shards' values are summed (all-reduce in the distributed case);
+/// 3. every shard applies [`clip_scale`] with the *global* squared norm.
+pub fn sq_norm(grads: &[f32]) -> f64 {
+    grads.iter().map(|&g| (g as f64) * (g as f64)).sum()
+}
+
+/// The multiplier that caps the global norm at `max_norm` (1.0 if already
+/// within bounds).
+pub fn clip_scale(global_sq_norm: f64, max_norm: f64) -> f32 {
+    let norm = global_sq_norm.sqrt();
+    if norm <= max_norm || norm == 0.0 {
+        1.0
+    } else {
+        (max_norm / norm) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_rises_linearly_to_peak() {
+        let s = LrSchedule::cosine(1.0, 10, 100);
+        assert!((s.lr(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr(4) - 0.5).abs() < 1e-6);
+        assert!((s.lr(9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_decays_to_min() {
+        let s = LrSchedule::cosine(1.0, 10, 100);
+        assert!((s.lr(10) - 1.0).abs() < 1e-3);
+        let mid = s.lr(55);
+        assert!(mid < 1.0 && mid > 0.1);
+        assert!((s.lr(100) - 0.1).abs() < 1e-6);
+        // Past the end it stays at min.
+        assert!((s.lr(1000) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_decay_is_linear() {
+        let s = LrSchedule {
+            peak_lr: 1.0,
+            min_lr: 0.0,
+            warmup_steps: 0,
+            total_steps: 10,
+            decay: Decay::Linear,
+        };
+        assert!((s.lr(0) - 1.0).abs() < 1e-6);
+        assert!((s.lr(5) - 0.5).abs() < 1e-6);
+        assert!((s.lr(10) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_holds_peak() {
+        let s = LrSchedule {
+            peak_lr: 0.3,
+            min_lr: 0.0,
+            warmup_steps: 2,
+            total_steps: 10,
+            decay: Decay::Constant,
+        };
+        assert_eq!(s.lr(5), 0.3);
+        assert_eq!(s.lr(50), 0.3);
+    }
+
+    #[test]
+    fn clipping_caps_the_norm() {
+        let g = vec![3.0f32, 4.0]; // norm 5
+        let scale = clip_scale(sq_norm(&g), 1.0);
+        assert!((scale - 0.2).abs() < 1e-6);
+        // Applying it yields unit norm.
+        let clipped: Vec<f32> = g.iter().map(|v| v * scale).collect();
+        assert!((sq_norm(&clipped).sqrt() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipping_is_identity_within_bounds() {
+        assert_eq!(clip_scale(sq_norm(&[0.1, 0.1]), 1.0), 1.0);
+        assert_eq!(clip_scale(0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn split_norm_equals_whole_norm() {
+        // The distributed decomposition: sum of shard sq-norms = global.
+        let all = vec![1.0f32, -2.0, 3.0, 0.5, -0.25, 4.0];
+        let whole = sq_norm(&all);
+        let split = sq_norm(&all[..2]) + sq_norm(&all[2..4]) + sq_norm(&all[4..]);
+        assert!((whole - split).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! Mixed-precision training (emulated f16) with dynamic loss scaling — the
+//! paper's Section 1 lists this as an orthogonal technique; here we show it
+//! composes with the models: training with f16-quantized gradients matches
+//! fp32 training closely, and loss scaling is what makes that possible.
+
+use optimus::serial::{ModelConfig, SerialModel};
+use optimus::tensor::amp::{quantize_f16_scalar, DynamicLossScaler};
+use optimus::tensor::Rng;
+
+fn data(cfg: &ModelConfig, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = Rng::new(seed);
+    let n = cfg.tokens();
+    (
+        (0..n).map(|_| rng.below(cfg.vocab)).collect(),
+        (0..n).map(|_| rng.below(cfg.vocab)).collect(),
+    )
+}
+
+fn cfg() -> ModelConfig {
+    ModelConfig {
+        batch: 4,
+        seq: 8,
+        hidden: 16,
+        heads: 4,
+        vocab: 20,
+        layers: 2,
+        causal: false,
+    }
+}
+
+/// One "AMP" SGD step: scale gradients (as a scaled loss would), quantize
+/// them through f16 storage, check for overflow, unscale and apply.
+fn amp_step(
+    model: &mut SerialModel,
+    tokens: &[usize],
+    labels: &[usize],
+    lr: f32,
+    scaler: &mut DynamicLossScaler,
+) -> f32 {
+    let (loss, mut grads) = model.lm_grads(tokens, labels);
+    let scale = scaler.scale;
+    let mut overflow = false;
+    let mut quantize = |g: &mut [f32]| {
+        for v in g.iter_mut() {
+            let scaled = quantize_f16_scalar(*v * scale);
+            if !scaled.is_finite() {
+                overflow = true;
+            }
+            *v = scaled / scale;
+        }
+    };
+    quantize(grads.embedding.as_mut_slice());
+    quantize(&mut grads.final_ln_g);
+    quantize(&mut grads.final_ln_b);
+    for lg in &mut grads.layers {
+        quantize(lg.w_qkv.as_mut_slice());
+        quantize(&mut lg.b_qkv);
+        quantize(lg.w_out.as_mut_slice());
+        quantize(&mut lg.b_out);
+        quantize(&mut lg.ln1_g);
+        quantize(&mut lg.ln1_b);
+        quantize(&mut lg.ln2_g);
+        quantize(&mut lg.ln2_b);
+        quantize(lg.w_fc1.as_mut_slice());
+        quantize(&mut lg.b_fc1);
+        quantize(lg.w_fc2.as_mut_slice());
+        quantize(&mut lg.b_fc2);
+    }
+    if scaler.update(overflow) {
+        model.apply_sgd(&grads, lr);
+    }
+    loss
+}
+
+#[test]
+fn amp_training_tracks_fp32_training() {
+    let cfg = cfg();
+    let (tokens, labels) = data(&cfg, 1);
+    let steps = 15;
+    let lr = 0.3;
+
+    let mut fp32 = SerialModel::new(cfg, 3);
+    let mut fp32_last = 0.0;
+    for _ in 0..steps {
+        fp32_last = fp32.train_step(&tokens, &labels, lr);
+    }
+
+    let mut amp = SerialModel::new(cfg, 3);
+    let mut scaler = DynamicLossScaler::new(1024.0);
+    let mut amp_last = 0.0;
+    for _ in 0..steps {
+        amp_last = amp_step(&mut amp, &tokens, &labels, lr, &mut scaler);
+    }
+    assert!(
+        (amp_last - fp32_last).abs() < 0.05,
+        "amp {amp_last} vs fp32 {fp32_last}"
+    );
+    assert_eq!(scaler.skipped, 0, "no overflows expected at this scale");
+}
+
+#[test]
+fn loss_scaling_rescues_underflowing_gradients() {
+    // A gradient of 1e-8 underflows f16 storage (min subnormal ~6e-8)
+    // without scaling, but survives a 2^10 scale.
+    let g = 1.0e-8f32;
+    let unscaled = quantize_f16_scalar(g);
+    assert_eq!(unscaled, 0.0, "tiny gradient must underflow unscaled");
+    let scale = 1024.0f32;
+    let scaled = quantize_f16_scalar(g * scale) / scale;
+    assert!(
+        (scaled - g).abs() / g < 0.05,
+        "scaled round-trip should preserve the gradient: {scaled}"
+    );
+}
+
+#[test]
+fn scaler_skips_steps_until_scale_is_safe() {
+    // Start with an absurd scale; the scaler must back off (skipping those
+    // steps) until gradients stop overflowing, then training proceeds.
+    let cfg = cfg();
+    let (tokens, labels) = data(&cfg, 2);
+    let mut model = SerialModel::new(cfg, 5);
+    // ~11 halvings are needed before gradients fit in f16 range.
+    let mut scaler = DynamicLossScaler::new(1e8);
+    let first = model.lm_loss(&tokens, &labels);
+    for _ in 0..40 {
+        amp_step(&mut model, &tokens, &labels, 0.3, &mut scaler);
+    }
+    assert!(scaler.skipped > 0, "the absurd scale must cause skips");
+    assert!(scaler.scale < 1e8);
+    let last = model.lm_loss(&tokens, &labels);
+    assert!(
+        last < first - 0.2,
+        "training should still make progress: {first} -> {last}"
+    );
+}

@@ -1,0 +1,182 @@
+//! Property-based tests over the distributed substrate: random shapes,
+//! payloads and group partitions, checked against serial ground truth.
+
+use optimus::mesh::{Group, Mesh, Mesh2d};
+use optimus::summa::{collect_blocks, distribute, summa_nn, summa_nt, summa_tn};
+use optimus::tensor::{matmul_nn, matmul_nt, matmul_tn, max_abs_diff, Rng, Tensor};
+use proptest::prelude::*;
+
+
+fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(dims, 1.0, &mut Rng::new(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn summa_nn_matches_serial_for_random_shapes(
+        q in 1usize..=3,
+        mb in 1usize..=4,
+        kb in 1usize..=4,
+        nb in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = (mb * q, kb * q, nb * q);
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed + 1);
+        let expect = matmul_nn(&a, &b);
+        let blocks = Mesh2d::run(q, |g| summa_nn(g, &distribute(g, &a), &distribute(g, &b)));
+        let got = collect_blocks(&blocks, q);
+        prop_assert!(max_abs_diff(got.as_slice(), expect.as_slice()) < 1e-3);
+    }
+
+    #[test]
+    fn summa_nt_and_tn_match_serial_for_random_shapes(
+        q in 2usize..=3,
+        mb in 1usize..=3,
+        kb in 1usize..=3,
+        nb in 1usize..=3,
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = (mb * q, kb * q, nb * q);
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[n, k], seed + 1);
+        let expect = matmul_nt(&a, &b);
+        let blocks = Mesh2d::run(q, |g| summa_nt(g, &distribute(g, &a), &distribute(g, &b)));
+        prop_assert!(max_abs_diff(
+            collect_blocks(&blocks, q).as_slice(),
+            expect.as_slice()
+        ) < 1e-3);
+
+        let a2 = rand_tensor(&[k, m], seed + 2);
+        let b2 = rand_tensor(&[k, n], seed + 3);
+        let expect2 = matmul_tn(&a2, &b2);
+        let blocks2 = Mesh2d::run(q, |g| summa_tn(g, &distribute(g, &a2), &distribute(g, &b2)));
+        prop_assert!(max_abs_diff(
+            collect_blocks(&blocks2, q).as_slice(),
+            expect2.as_slice()
+        ) < 1e-3);
+    }
+
+    #[test]
+    fn all_reduce_equals_elementwise_sum_for_any_group_partition(
+        p in 2usize..=8,
+        len in 0usize..64,
+        seed in 0u64..1000,
+    ) {
+        // Split the world into two disjoint groups at a random boundary and
+        // all-reduce within each; every member must hold its group's sum.
+        let cut = 1 + (seed as usize) % (p.max(2) - 1);
+        let inputs: Vec<Vec<f32>> = (0..p)
+            .map(|r| {
+                let mut rng = Rng::new(seed + r as u64);
+                (0..len).map(|_| rng.normal()).collect()
+            })
+            .collect();
+        let inputs_ref = &inputs;
+        let out = Mesh::run(p, move |ctx| {
+            let (lo, hi) = if ctx.rank() < cut { (0, cut) } else { (cut, p) };
+            let group = Group::new((lo..hi).collect());
+            let mut data = inputs_ref[ctx.rank()].clone();
+            ctx.all_reduce(&group, &mut data);
+            data
+        });
+        #[allow(clippy::needless_range_loop)] // r is the rank under test
+        for r in 0..p {
+            let (lo, hi) = if r < cut { (0, cut) } else { (cut, p) };
+            let expect: Vec<f32> = (0..len)
+                .map(|i| (lo..hi).map(|m| inputs[m][i]).sum())
+                .collect();
+            prop_assert!(max_abs_diff(&out[r], &expect) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_root_payload_from_any_root(
+        p in 2usize..=9,
+        root in 0usize..9,
+        len in 0usize..48,
+        seed in 0u64..1000,
+    ) {
+        let root = root % p;
+        let payload: Vec<f32> = {
+            let mut rng = Rng::new(seed);
+            (0..len).map(|_| rng.normal()).collect()
+        };
+        let payload_ref = &payload;
+        let out = Mesh::run(p, move |ctx| {
+            let g = Group::world(p);
+            let mut data = if ctx.rank() == root {
+                payload_ref.clone()
+            } else {
+                vec![]
+            };
+            ctx.broadcast(&g, root, &mut data);
+            data
+        });
+        for d in out {
+            prop_assert_eq!(&d, &payload);
+        }
+    }
+
+    #[test]
+    fn reduce_then_broadcast_equals_all_reduce(
+        p in 2usize..=6,
+        len in 1usize..32,
+        seed in 0u64..1000,
+    ) {
+        let inputs: Vec<Vec<f32>> = (0..p)
+            .map(|r| {
+                let mut rng = Rng::new(seed + 31 * r as u64);
+                (0..len).map(|_| rng.normal()).collect()
+            })
+            .collect();
+        let inputs_ref = &inputs;
+        let out = Mesh::run(p, move |ctx| {
+            let g = Group::world(p);
+            // Path A: all-reduce.
+            let mut a = inputs_ref[ctx.rank()].clone();
+            ctx.all_reduce(&g, &mut a);
+            // Path B: reduce to 0 then broadcast.
+            let mut b = inputs_ref[ctx.rank()].clone();
+            ctx.reduce(&g, 0, &mut b);
+            ctx.broadcast(&g, 0, &mut b);
+            (a, b)
+        });
+        for (a, b) in out {
+            prop_assert!(max_abs_diff(&a, &b) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn all_gather_then_slice_is_identity(
+        p in 1usize..=6,
+        len in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let out = Mesh::run(p, move |ctx| {
+            let g = Group::world(p);
+            let mut rng = Rng::new(seed + ctx.rank() as u64);
+            let local: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
+            let gathered = ctx.all_gather(&g, &local);
+            let mine = gathered[ctx.rank() * len..(ctx.rank() + 1) * len].to_vec();
+            (local, mine)
+        });
+        for (local, mine) in out {
+            prop_assert_eq!(local, mine);
+        }
+    }
+
+    #[test]
+    fn block_distribution_roundtrips(
+        q in 1usize..=4,
+        rb in 1usize..=4,
+        cb in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let t = rand_tensor(&[rb * q, cb * q], seed);
+        let blocks = Mesh2d::run(q, |g| distribute(g, &t));
+        prop_assert_eq!(collect_blocks(&blocks, q), t);
+    }
+}
