@@ -3,51 +3,83 @@
 //! * activation checkpointing on vs off;
 //! * plain accumulate-then-update vs the fused immediate-update step.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::bench_fn;
 use mesh::Mesh2d;
 use optimus_core::{OptimusConfig, OptimusModel};
 use summa::{distribute, summa_nn, summa_nn_into, Workspace};
 use tensor::{Rng, Tensor};
 
-fn bench_workspace_reuse(c: &mut Criterion) {
+fn bench_workspace_reuse() {
     let q = 2;
     let d = 128;
     let mut rng = Rng::new(0);
     let a = Tensor::randn(&[d, d], 1.0, &mut rng);
     let b = Tensor::randn(&[d, d], 1.0, &mut rng);
 
-    let mut group = c.benchmark_group("summa_workspace");
-    group.sample_size(10);
-    group.bench_function("naive_alloc", |bch| {
-        bch.iter(|| {
-            Mesh2d::run(q, |g| {
-                let (al, bl) = (distribute(g, &a), distribute(g, &b));
-                // 8 products with fresh panel allocations each.
-                let mut acc = 0.0;
-                for _ in 0..8 {
-                    acc += summa_nn(g, &al, &bl).at(0, 0);
-                }
-                acc
-            })
-        });
+    bench_fn("summa_workspace", "naive_alloc", 10, || {
+        Mesh2d::run(q, |g| {
+            let (al, bl) = (distribute(g, &a), distribute(g, &b));
+            // 8 products with fresh panel allocations each.
+            let mut acc = 0.0;
+            for _ in 0..8 {
+                acc += summa_nn(g, &al, &bl).at(0, 0);
+            }
+            acc
+        })
     });
-    group.bench_function("workspace", |bch| {
-        bch.iter(|| {
-            Mesh2d::run(q, |g| {
-                let (al, bl) = (distribute(g, &a), distribute(g, &b));
-                let mut ws = Workspace::new();
-                let mut c = Tensor::zeros(&[d / q, d / q]);
-                let mut acc = 0.0;
-                for _ in 0..8 {
-                    c.zero_();
-                    summa_nn_into(g, &al, &bl, &mut c, &mut ws);
-                    acc += c.at(0, 0);
-                }
-                acc
-            })
-        });
+    bench_fn("summa_workspace", "workspace", 10, || {
+        Mesh2d::run(q, |g| {
+            let (al, bl) = (distribute(g, &a), distribute(g, &b));
+            let mut ws = Workspace::new();
+            let mut c = Tensor::zeros(&[d / q, d / q]);
+            let mut acc = 0.0;
+            for _ in 0..8 {
+                c.zero_();
+                summa_nn_into(g, &al, &bl, &mut c, &mut ws);
+                acc += c.at(0, 0);
+            }
+            acc
+        })
     });
-    group.finish();
+}
+
+/// Regression guard for the zero-alloc live backend: after a warm-up
+/// product has populated both the SUMMA workspace and the mesh's per-device
+/// transport buffer pool, steady-state products must hit neither allocator.
+fn assert_steady_state_zero_allocs() {
+    let q = 2;
+    let d = 64;
+    let mut rng = Rng::new(4);
+    let a = Tensor::randn(&[d, d], 1.0, &mut rng);
+    let b = Tensor::randn(&[d, d], 1.0, &mut rng);
+    let fresh = Mesh2d::run(q, |g| {
+        let (al, bl) = (distribute(g, &a), distribute(g, &b));
+        let mut ws = Workspace::new();
+        let mut c = Tensor::zeros(&[d / q, d / q]);
+        // Warm-up: sizes the workspace and seeds the transport pool.
+        for _ in 0..2 {
+            c.zero_();
+            summa_nn_into(g, &al, &bl, &mut c, &mut ws);
+        }
+        let ws_after_warmup = ws.fresh_allocs;
+        g.ctx().reset_pool_stats();
+        for _ in 0..8 {
+            c.zero_();
+            summa_nn_into(g, &al, &bl, &mut c, &mut ws);
+        }
+        (ws.fresh_allocs - ws_after_warmup, g.ctx().fresh_allocs())
+    });
+    for (rank, (ws_growth, pool_misses)) in fresh.iter().enumerate() {
+        assert_eq!(*ws_growth, 0, "rank {rank}: workspace grew in steady state");
+        assert_eq!(
+            *pool_misses, 0,
+            "rank {rank}: transport pool missed in steady state"
+        );
+    }
+    println!(
+        "steady_state_allocs: workspace=0 pool=0 across {} devices",
+        q * q
+    );
 }
 
 fn train_cfg(checkpoint: bool) -> OptimusConfig {
@@ -65,85 +97,82 @@ fn train_cfg(checkpoint: bool) -> OptimusConfig {
     }
 }
 
-fn bench_checkpointing(c: &mut Criterion) {
+fn bench_checkpointing() {
     let cfg = train_cfg(false);
     let mut rng = Rng::new(1);
-    let tokens: Vec<usize> = (0..cfg.batch * cfg.seq).map(|_| rng.below(cfg.vocab)).collect();
-    let labels: Vec<usize> = (0..cfg.batch * cfg.seq).map(|_| rng.below(cfg.vocab)).collect();
+    let tokens: Vec<usize> = (0..cfg.batch * cfg.seq)
+        .map(|_| rng.below(cfg.vocab))
+        .collect();
+    let labels: Vec<usize> = (0..cfg.batch * cfg.seq)
+        .map(|_| rng.below(cfg.vocab))
+        .collect();
 
-    let mut group = c.benchmark_group("checkpointing");
-    group.sample_size(10);
     for (name, ck) in [("off", false), ("on", true)] {
         let cfg = train_cfg(ck);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                Mesh2d::run(cfg.q, |g| {
-                    let mut m = OptimusModel::new(&cfg, 3, g);
-                    m.train_step(g, &tokens, &labels, 0.01)
-                })
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_fused_update(c: &mut Criterion) {
-    let cfg = train_cfg(true);
-    let mut rng = Rng::new(2);
-    let tokens: Vec<usize> = (0..cfg.batch * cfg.seq).map(|_| rng.below(cfg.vocab)).collect();
-    let labels: Vec<usize> = (0..cfg.batch * cfg.seq).map(|_| rng.below(cfg.vocab)).collect();
-
-    let mut group = c.benchmark_group("update_strategy");
-    group.sample_size(10);
-    group.bench_function("accumulate_then_update", |b| {
-        b.iter(|| {
+        bench_fn("checkpointing", name, 10, || {
             Mesh2d::run(cfg.q, |g| {
                 let mut m = OptimusModel::new(&cfg, 3, g);
                 m.train_step(g, &tokens, &labels, 0.01)
             })
         });
-    });
-    group.bench_function("fused_immediate_update", |b| {
-        b.iter(|| {
-            Mesh2d::run(cfg.q, |g| {
-                let mut m = OptimusModel::new(&cfg, 3, g);
-                m.train_step_fused(g, &tokens, &labels, 0.01)
-            })
-        });
-    });
-    group.finish();
+    }
 }
 
-fn bench_fused_attention(c: &mut Criterion) {
+fn bench_fused_update() {
+    let cfg = train_cfg(true);
+    let mut rng = Rng::new(2);
+    let tokens: Vec<usize> = (0..cfg.batch * cfg.seq)
+        .map(|_| rng.below(cfg.vocab))
+        .collect();
+    let labels: Vec<usize> = (0..cfg.batch * cfg.seq)
+        .map(|_| rng.below(cfg.vocab))
+        .collect();
+
+    bench_fn("update_strategy", "accumulate_then_update", 10, || {
+        Mesh2d::run(cfg.q, |g| {
+            let mut m = OptimusModel::new(&cfg, 3, g);
+            m.train_step(g, &tokens, &labels, 0.01)
+        })
+    });
+    bench_fn("update_strategy", "fused_immediate_update", 10, || {
+        Mesh2d::run(cfg.q, |g| {
+            let mut m = OptimusModel::new(&cfg, 3, g);
+            m.train_step_fused(g, &tokens, &labels, 0.01)
+        })
+    });
+}
+
+fn bench_fused_attention() {
     // Paper Section 6: recompute attention scores instead of caching the
     // [b, n, s, s] tensor — time cost of the recompute vs memory saved.
     let mut cfg = train_cfg(false);
     cfg.seq = 64;
     let mut rng = Rng::new(3);
-    let tokens: Vec<usize> = (0..cfg.batch * cfg.seq).map(|_| rng.below(cfg.vocab)).collect();
-    let labels: Vec<usize> = (0..cfg.batch * cfg.seq).map(|_| rng.below(cfg.vocab)).collect();
+    let tokens: Vec<usize> = (0..cfg.batch * cfg.seq)
+        .map(|_| rng.below(cfg.vocab))
+        .collect();
+    let labels: Vec<usize> = (0..cfg.batch * cfg.seq)
+        .map(|_| rng.below(cfg.vocab))
+        .collect();
 
-    let mut group = c.benchmark_group("fused_attention");
-    group.sample_size(10);
     for (name, fused) in [("cached_scores", false), ("recomputed_scores", true)] {
-        let cfg = OptimusConfig { fused_attention: fused, ..cfg };
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                Mesh2d::run(cfg.q, |g| {
-                    let mut m = OptimusModel::new(&cfg, 3, g);
-                    m.train_step(g, &tokens, &labels, 0.01)
-                })
-            });
+        let cfg = OptimusConfig {
+            fused_attention: fused,
+            ..cfg
+        };
+        bench_fn("fused_attention", name, 10, || {
+            Mesh2d::run(cfg.q, |g| {
+                let mut m = OptimusModel::new(&cfg, 3, g);
+                m.train_step(g, &tokens, &labels, 0.01)
+            })
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_workspace_reuse,
-    bench_checkpointing,
-    bench_fused_update,
-    bench_fused_attention
-);
-criterion_main!(benches);
+fn main() {
+    assert_steady_state_zero_allocs();
+    bench_workspace_reuse();
+    bench_checkpointing();
+    bench_fused_update();
+    bench_fused_attention();
+}

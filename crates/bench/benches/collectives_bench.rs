@@ -2,95 +2,66 @@
 //! (Eq. 4's algorithm) vs ring all-reduce (Eq. 5's), across group sizes and
 //! payloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::bench_fn;
 use mesh::{Group, Mesh};
 
-fn bench_broadcast(c: &mut Criterion) {
-    let mut group = c.benchmark_group("broadcast");
-    group.sample_size(10);
+fn bench_broadcast() {
     for p in [4usize, 9, 16] {
         for elems in [1024usize, 65_536] {
-            group.throughput(Throughput::Bytes((elems * 4) as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("p{p}"), elems),
-                &elems,
-                |b, &elems| {
-                    b.iter(|| {
-                        Mesh::run(p, |ctx| {
-                            let g = Group::world(p);
-                            let mut data = if ctx.rank() == 0 {
-                                vec![1.0f32; elems]
-                            } else {
-                                Vec::new()
-                            };
-                            ctx.broadcast(&g, 0, &mut data);
-                            data.len()
-                        })
-                    });
-                },
-            );
+            bench_fn("broadcast", &format!("p{p}/{elems}"), 10, || {
+                Mesh::run(p, |ctx| {
+                    let g = Group::world(p);
+                    let mut data = if ctx.rank() == 0 {
+                        vec![1.0f32; elems]
+                    } else {
+                        Vec::new()
+                    };
+                    ctx.broadcast(&g, 0, &mut data);
+                    data.len()
+                })
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_all_reduce(c: &mut Criterion) {
-    let mut group = c.benchmark_group("all_reduce");
-    group.sample_size(10);
+fn bench_all_reduce() {
     for p in [4usize, 9, 16] {
         for elems in [1024usize, 65_536] {
-            group.throughput(Throughput::Bytes((elems * 4) as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("p{p}"), elems),
-                &elems,
-                |b, &elems| {
-                    b.iter(|| {
-                        Mesh::run(p, |ctx| {
-                            let g = Group::world(p);
-                            let mut data = vec![ctx.rank() as f32; elems];
-                            ctx.all_reduce(&g, &mut data);
-                            data[0]
-                        })
-                    });
-                },
-            );
+            bench_fn("all_reduce", &format!("p{p}/{elems}"), 10, || {
+                Mesh::run(p, |ctx| {
+                    let g = Group::world(p);
+                    let mut data = vec![ctx.rank() as f32; elems];
+                    ctx.all_reduce(&g, &mut data);
+                    data[0]
+                })
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_reduce_vs_all_reduce(c: &mut Criterion) {
+fn bench_reduce_vs_all_reduce() {
     // The paper's Sec. 2.5 observation: reduce is a sub-task of all-reduce
     // yet the ring all-reduce moves less per device at large p.
-    let mut group = c.benchmark_group("reduce_vs_all_reduce_p16");
-    group.sample_size(10);
     let p = 16;
     let elems = 65_536;
-    group.bench_function("reduce", |b| {
-        b.iter(|| {
-            Mesh::run(p, |ctx| {
-                let g = Group::world(p);
-                let mut data = vec![1.0f32; elems];
-                ctx.reduce(&g, 0, &mut data);
-            })
-        });
+    bench_fn("reduce_vs_all_reduce_p16", "reduce", 10, || {
+        Mesh::run(p, |ctx| {
+            let g = Group::world(p);
+            let mut data = vec![1.0f32; elems];
+            ctx.reduce(&g, 0, &mut data);
+        })
     });
-    group.bench_function("all_reduce", |b| {
-        b.iter(|| {
-            Mesh::run(p, |ctx| {
-                let g = Group::world(p);
-                let mut data = vec![1.0f32; elems];
-                ctx.all_reduce(&g, &mut data);
-            })
-        });
+    bench_fn("reduce_vs_all_reduce_p16", "all_reduce", 10, || {
+        Mesh::run(p, |ctx| {
+            let g = Group::world(p);
+            let mut data = vec![1.0f32; elems];
+            ctx.all_reduce(&g, &mut data);
+        })
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_broadcast,
-    bench_all_reduce,
-    bench_reduce_vs_all_reduce
-);
-criterion_main!(benches);
+fn main() {
+    bench_broadcast();
+    bench_all_reduce();
+    bench_reduce_vs_all_reduce();
+}

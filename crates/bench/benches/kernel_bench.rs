@@ -1,79 +1,54 @@
 //! Single-device kernel benchmarks: the three matmul forms across sizes
-//! (spanning the Rayon parallelisation threshold), plus the layer-level
+//! (spanning the thread-parallelisation threshold), plus the layer-level
 //! primitives — the compute substrate whose achieved rate the `perf`
 //! calibration abstracts as `mac_rate`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::bench_fn;
 use tensor::layernorm::{layer_norm_forward, LN_EPS};
 use tensor::ops::gelu_forward;
 use tensor::softmax::softmax_rows;
 use tensor::{matmul_nn, matmul_nt, matmul_tn, Rng, Tensor};
 
-fn bench_matmul_forms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
-    group.sample_size(10);
+fn bench_matmul_forms() {
     for &d in &[32usize, 128, 256] {
         let mut rng = Rng::new(0);
         let a = Tensor::randn(&[d, d], 1.0, &mut rng);
         let b = Tensor::randn(&[d, d], 1.0, &mut rng);
-        group.throughput(Throughput::Elements((d * d * d) as u64));
-        group.bench_with_input(BenchmarkId::new("nn", d), &d, |bch, _| {
-            bch.iter(|| matmul_nn(&a, &b));
-        });
-        group.bench_with_input(BenchmarkId::new("nt", d), &d, |bch, _| {
-            bch.iter(|| matmul_nt(&a, &b));
-        });
-        group.bench_with_input(BenchmarkId::new("tn", d), &d, |bch, _| {
-            bch.iter(|| matmul_tn(&a, &b));
-        });
+        bench_fn("matmul", &format!("nn/{d}"), 10, || matmul_nn(&a, &b));
+        bench_fn("matmul", &format!("nt/{d}"), 10, || matmul_nt(&a, &b));
+        bench_fn("matmul", &format!("tn/{d}"), 10, || matmul_tn(&a, &b));
     }
-    group.finish();
 }
 
-fn bench_rectangular_shapes(c: &mut Criterion) {
+fn bench_rectangular_shapes() {
     // Transformer-shaped products: activations [bs, h] x weights [h, 4h].
-    let mut group = c.benchmark_group("matmul_transformer_shapes");
-    group.sample_size(10);
     for &(bs, h) in &[(256usize, 64usize), (512, 128)] {
         let mut rng = Rng::new(1);
         let x = Tensor::randn(&[bs, h], 1.0, &mut rng);
         let w = Tensor::randn(&[h, 4 * h], 1.0, &mut rng);
-        group.throughput(Throughput::Elements((bs * h * 4 * h) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("fc1", format!("{bs}x{h}")),
-            &bs,
-            |bch, _| {
-                bch.iter(|| matmul_nn(&x, &w));
-            },
+        bench_fn(
+            "matmul_transformer_shapes",
+            &format!("fc1/{bs}x{h}"),
+            10,
+            || matmul_nn(&x, &w),
         );
     }
-    group.finish();
 }
 
-fn bench_pointwise(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pointwise");
-    group.sample_size(20);
+fn bench_pointwise() {
     let mut rng = Rng::new(2);
     let x = Tensor::randn(&[512, 512], 1.0, &mut rng);
     let gamma = vec![1.0f32; 512];
     let beta = vec![0.0f32; 512];
-    group.throughput(Throughput::Elements((512 * 512) as u64));
-    group.bench_function("gelu", |b| {
-        b.iter(|| gelu_forward(&x));
+    bench_fn("pointwise", "gelu", 20, || gelu_forward(&x));
+    bench_fn("pointwise", "softmax_rows", 20, || softmax_rows(&x));
+    bench_fn("pointwise", "layer_norm", 20, || {
+        layer_norm_forward(&x, &gamma, &beta, LN_EPS)
     });
-    group.bench_function("softmax_rows", |b| {
-        b.iter(|| softmax_rows(&x));
-    });
-    group.bench_function("layer_norm", |b| {
-        b.iter(|| layer_norm_forward(&x, &gamma, &beta, LN_EPS));
-    });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_matmul_forms,
-    bench_rectangular_shapes,
-    bench_pointwise
-);
-criterion_main!(benches);
+fn main() {
+    bench_matmul_forms();
+    bench_rectangular_shapes();
+    bench_pointwise();
+}

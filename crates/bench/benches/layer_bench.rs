@@ -2,7 +2,7 @@
 //! (Megatron) and 2D (Optimus) schemes on real thread meshes at equal
 //! global problem size (the executed analogue of Tables 2–3).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::bench_fn;
 use megatron::{layer1d_forward, Layer1dParams, MegatronConfig, MegatronModel};
 use mesh::{Group, Mesh, Mesh2d};
 use optimus_core::{layer2d_forward, Layer2dParams, OptimusConfig, OptimusModel};
@@ -21,93 +21,74 @@ fn model_cfg() -> ModelConfig {
     }
 }
 
-fn bench_layer_forward(c: &mut Criterion) {
+fn optimus_cfg(cfg: &ModelConfig) -> OptimusConfig {
+    OptimusConfig {
+        q: 2,
+        batch: cfg.batch,
+        seq: cfg.seq,
+        hidden: cfg.hidden,
+        heads: cfg.heads,
+        vocab: cfg.vocab,
+        layers: cfg.layers,
+        causal: false,
+        checkpoint: false,
+        fused_attention: false,
+    }
+}
+
+fn bench_layer_forward() {
     let cfg = model_cfg();
     let full = LayerParams::init(0, 0, cfg.hidden);
     let mut rng = Rng::new(0);
     let x = Tensor::randn(&[cfg.tokens(), cfg.hidden], 1.0, &mut rng);
 
-    let mut group = c.benchmark_group("layer_forward");
-    group.sample_size(10);
-    group.bench_function("serial", |b| {
-        b.iter(|| layer_forward(&cfg, &full, &x));
+    bench_fn("layer_forward", "serial", 10, || {
+        layer_forward(&cfg, &full, &x)
     });
-    group.bench_function("megatron_p4", |b| {
-        let mcfg = MegatronConfig::new(cfg, 4);
-        b.iter(|| {
-            Mesh::run(4, |ctx| {
-                let world = Group::world(4);
-                let p = Layer1dParams::from_full(&full, cfg.hidden, 4, ctx.rank());
-                layer1d_forward(ctx, &world, &mcfg, &p, &x).0
-            })
-        });
+    let mcfg = MegatronConfig::new(cfg, 4);
+    bench_fn("layer_forward", "megatron_p4", 10, || {
+        Mesh::run(4, |ctx| {
+            let world = Group::world(4);
+            let p = Layer1dParams::from_full(&full, cfg.hidden, 4, ctx.rank());
+            layer1d_forward(ctx, &world, &mcfg, &p, &x).0
+        })
     });
-    group.bench_function("optimus_q2", |b| {
-        let ocfg = OptimusConfig {
-            q: 2,
-            batch: cfg.batch,
-            seq: cfg.seq,
-            hidden: cfg.hidden,
-            heads: cfg.heads,
-            vocab: cfg.vocab,
-            layers: cfg.layers,
-            causal: false,
-            checkpoint: false,
-            fused_attention: false,
-        };
-        b.iter(|| {
-            Mesh2d::run(2, |g| {
-                let p = Layer2dParams::from_full(g, &full);
-                layer2d_forward(g, &ocfg, &p, &summa::distribute(g, &x)).0
-            })
-        });
+    let ocfg = optimus_cfg(&cfg);
+    bench_fn("layer_forward", "optimus_q2", 10, || {
+        Mesh2d::run(2, |g| {
+            let p = Layer2dParams::from_full(g, &full);
+            layer2d_forward(g, &ocfg, &p, &summa::distribute(g, &x)).0
+        })
     });
-    group.finish();
 }
 
-fn bench_train_step(c: &mut Criterion) {
+fn bench_train_step() {
     let cfg = model_cfg();
     let mut rng = Rng::new(1);
     let tokens: Vec<usize> = (0..cfg.tokens()).map(|_| rng.below(cfg.vocab)).collect();
     let labels: Vec<usize> = (0..cfg.tokens()).map(|_| rng.below(cfg.vocab)).collect();
 
-    let mut group = c.benchmark_group("train_step");
-    group.sample_size(10);
-    group.bench_function("serial", |b| {
-        let mut m = SerialModel::new(cfg, 3);
-        b.iter(|| m.train_step(&tokens, &labels, 0.01));
+    let mut m = SerialModel::new(cfg, 3);
+    bench_fn("train_step", "serial", 10, || {
+        m.train_step(&tokens, &labels, 0.01)
     });
-    group.bench_function("megatron_p4", |b| {
-        let mcfg = MegatronConfig::new(cfg, 4);
-        b.iter(|| {
-            Mesh::run(4, |ctx| {
-                let mut m = MegatronModel::new(mcfg, 3, ctx);
-                m.train_step(ctx, &tokens, &labels, 0.01)
-            })
-        });
+    let mcfg = MegatronConfig::new(cfg, 4);
+    bench_fn("train_step", "megatron_p4", 10, || {
+        Mesh::run(4, |ctx| {
+            let mut m = MegatronModel::new(mcfg, 3, ctx);
+            m.train_step(ctx, &tokens, &labels, 0.01)
+        })
     });
-    group.bench_function("optimus_q2", |b| {
-        let ocfg = OptimusConfig {
-            q: 2,
-            batch: cfg.batch,
-            seq: cfg.seq,
-            hidden: cfg.hidden,
-            heads: cfg.heads,
-            vocab: cfg.vocab,
-            layers: cfg.layers,
-            causal: false,
-            checkpoint: false,
-            fused_attention: false,
-        };
-        b.iter(|| {
-            Mesh2d::run(2, |g| {
-                let mut m = OptimusModel::new(&ocfg, 3, g);
-                m.train_step(g, &tokens, &labels, 0.01)
-            })
-        });
+    let ocfg = optimus_cfg(&cfg);
+    bench_fn("train_step", "optimus_q2", 10, || {
+        Mesh2d::run(2, |g| {
+            let mut m = OptimusModel::new(&ocfg, 3, g);
+            m.train_step(g, &tokens, &labels, 0.01)
+        })
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_layer_forward, bench_train_step);
-criterion_main!(benches);
+fn main() {
+    bench_layer_forward();
+    bench_train_step();
+}

@@ -2,13 +2,13 @@
 //! across stage/microbatch configurations on the thread mesh, showing the
 //! GPipe bubble shrinking as microbatches increase.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::bench_fn;
 use mesh::Mesh;
 use pipeline::{PipelineConfig, PipelineStage};
 use serial::ModelConfig;
 use tensor::Rng;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let model = ModelConfig {
         batch: 8,
         seq: 16,
@@ -19,28 +19,25 @@ fn bench_pipeline(c: &mut Criterion) {
         causal: false,
     };
     let mut rng = Rng::new(0);
-    let tokens: Vec<usize> = (0..model.tokens()).map(|_| rng.below(model.vocab)).collect();
-    let labels: Vec<usize> = (0..model.tokens()).map(|_| rng.below(model.vocab)).collect();
+    let tokens: Vec<usize> = (0..model.tokens())
+        .map(|_| rng.below(model.vocab))
+        .collect();
+    let labels: Vec<usize> = (0..model.tokens())
+        .map(|_| rng.below(model.vocab))
+        .collect();
 
-    let mut group = c.benchmark_group("pipeline_train_step");
-    group.sample_size(10);
     for (stages, micro) in [(2usize, 1usize), (2, 4), (4, 1), (4, 8)] {
         let cfg = PipelineConfig::new(model, stages, micro);
-        group.bench_with_input(
-            BenchmarkId::new(format!("s{stages}"), micro),
-            &micro,
-            |b, _| {
-                b.iter(|| {
-                    Mesh::run(stages, |ctx| {
-                        let mut st = PipelineStage::new(cfg, 3, ctx);
-                        st.train_step(ctx, &tokens, &labels, 0.01)
-                    })
-                });
+        bench_fn(
+            "pipeline_train_step",
+            &format!("s{stages}/m{micro}"),
+            10,
+            || {
+                Mesh::run(stages, |ctx| {
+                    let mut st = PipelineStage::new(cfg, 3, ctx);
+                    st.train_step(ctx, &tokens, &labels, 0.01)
+                })
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

@@ -2,84 +2,65 @@
 //! problem, on real thread meshes (supports Table 1's computation parity
 //! and measures the simulation's communication overhead).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::bench_fn;
 use mesh::Mesh2d;
 use summa::{cannon_nn, distribute, summa_nn, summa_nt, summa_tn};
 use tensor::{matmul_nn, Rng, Tensor};
 
-fn bench_summa_vs_local(c: &mut Criterion) {
-    let mut group = c.benchmark_group("summa_nn_vs_local");
-    group.sample_size(10);
+fn bench_summa_vs_local() {
     for &(m, k, n) in &[(96usize, 96usize, 96usize), (192, 192, 192)] {
         let mut rng = Rng::new(0);
         let a = Tensor::randn(&[m, k], 1.0, &mut rng);
         let b = Tensor::randn(&[k, n], 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::new("local", m), &(m, k, n), |bch, _| {
-            bch.iter(|| matmul_nn(&a, &b));
+        bench_fn("summa_nn_vs_local", &format!("local/{m}"), 10, || {
+            matmul_nn(&a, &b)
         });
         for q in [2usize, 3] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("summa_q{q}"), m),
-                &(m, k, n),
-                |bch, _| {
-                    bch.iter(|| {
-                        Mesh2d::run(q, |g| {
-                            summa_nn(g, &distribute(g, &a), &distribute(g, &b))
-                        })
-                    });
-                },
-            );
+            bench_fn("summa_nn_vs_local", &format!("summa_q{q}/{m}"), 10, || {
+                Mesh2d::run(q, |g| summa_nn(g, &distribute(g, &a), &distribute(g, &b)))
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_product_forms(c: &mut Criterion) {
+fn bench_product_forms() {
     // The three closed-set product forms should cost about the same — the
     // symmetry behind the paper's "backward = 3x forward" accounting.
-    let mut group = c.benchmark_group("summa_product_forms");
-    group.sample_size(10);
     let q = 2;
     let d = 128;
     let mut rng = Rng::new(1);
     let a = Tensor::randn(&[d, d], 1.0, &mut rng);
     let b = Tensor::randn(&[d, d], 1.0, &mut rng);
-    group.bench_function("nn", |bch| {
-        bch.iter(|| Mesh2d::run(q, |g| summa_nn(g, &distribute(g, &a), &distribute(g, &b))));
+    bench_fn("summa_product_forms", "nn", 10, || {
+        Mesh2d::run(q, |g| summa_nn(g, &distribute(g, &a), &distribute(g, &b)))
     });
-    group.bench_function("nt", |bch| {
-        bch.iter(|| Mesh2d::run(q, |g| summa_nt(g, &distribute(g, &a), &distribute(g, &b))));
+    bench_fn("summa_product_forms", "nt", 10, || {
+        Mesh2d::run(q, |g| summa_nt(g, &distribute(g, &a), &distribute(g, &b)))
     });
-    group.bench_function("tn", |bch| {
-        bch.iter(|| Mesh2d::run(q, |g| summa_tn(g, &distribute(g, &a), &distribute(g, &b))));
+    bench_fn("summa_product_forms", "tn", 10, || {
+        Mesh2d::run(q, |g| summa_tn(g, &distribute(g, &a), &distribute(g, &b)))
     });
-    group.finish();
 }
 
-fn bench_summa_vs_cannon(c: &mut Criterion) {
+fn bench_summa_vs_cannon() {
     // The two classic 2D algorithms the paper cites: broadcast-based SUMMA
     // vs shift-based Cannon, identical math, different communication shape.
-    let mut group = c.benchmark_group("summa_vs_cannon");
-    group.sample_size(10);
     for q in [2usize, 3] {
         let d = 32 * q;
         let mut rng = Rng::new(2);
         let a = Tensor::randn(&[d, d], 1.0, &mut rng);
         let b = Tensor::randn(&[d, d], 1.0, &mut rng);
-        group.bench_function(format!("summa_q{q}"), |bch| {
-            bch.iter(|| Mesh2d::run(q, |g| summa_nn(g, &distribute(g, &a), &distribute(g, &b))));
+        bench_fn("summa_vs_cannon", &format!("summa_q{q}"), 10, || {
+            Mesh2d::run(q, |g| summa_nn(g, &distribute(g, &a), &distribute(g, &b)))
         });
-        group.bench_function(format!("cannon_q{q}"), |bch| {
-            bch.iter(|| Mesh2d::run(q, |g| cannon_nn(g, &distribute(g, &a), &distribute(g, &b))));
+        bench_fn("summa_vs_cannon", &format!("cannon_q{q}"), 10, || {
+            Mesh2d::run(q, |g| cannon_nn(g, &distribute(g, &a), &distribute(g, &b)))
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_summa_vs_local,
-    bench_product_forms,
-    bench_summa_vs_cannon
-);
-criterion_main!(benches);
+fn main() {
+    bench_summa_vs_local();
+    bench_product_forms();
+    bench_summa_vs_cannon();
+}

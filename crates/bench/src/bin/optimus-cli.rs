@@ -6,15 +6,22 @@
 //! optimus-cli train    --scheme optimus --q 2 --layers 2 --steps 40 --save model.json
 //! optimus-cli eval     --load model.json --q 2
 //! optimus-cli generate --load model.json --len 24
+//! optimus-cli --dry-run [--q 8 --hidden 64 ...]
 //! optimus-cli info
 //! ```
+//!
+//! `--dry-run` (usable bare or with `train`) replays one Optimus training
+//! step per rank through the trace-only [`mesh::DryRunComm`] backend — no
+//! device threads, no data movement — and prices the recorded communication
+//! schedule with the α-β cost model on a projected mesh (8 × 8 by default).
 //!
 //! The training corpus is the built-in cyclic-pattern language (the same one
 //! the tests and examples use), so runs are self-contained and deterministic.
 
 use megatron::{MegatronConfig, MegatronModel};
-use mesh::{Mesh, Mesh2d};
+use mesh::{Arrangement, Mesh, Mesh2d, Topology};
 use optimus_core::{OptimusConfig, OptimusModel};
+use perf::{CostModel, HardwareProfile};
 use serial::{ModelConfig, ModelParams, SerialModel};
 use std::collections::HashMap;
 use std::path::Path;
@@ -37,6 +44,7 @@ struct Args {
     lr: f32,
     seed: u64,
     len: usize,
+    dry_run: bool,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,22 +70,40 @@ impl Default for Args {
             lr: 0.5,
             seed: 7,
             len: 16,
+            dry_run: false,
+        }
+    }
+}
+
+impl Args {
+    /// Defaults for a dry-run projection: the paper-scale 8 × 8 mesh, with
+    /// the model dimensions scaled to stay divisible by `q = 8`. Explicit
+    /// flags still override any of these.
+    fn dry_run_defaults() -> Self {
+        Args {
+            q: 8,
+            hidden: 64,
+            heads: 8,
+            dry_run: true,
+            ..Args::default()
         }
     }
 }
 
 /// Parses `--key value` pairs (order-free). Returns the remaining error on
-/// unknown keys so typos fail loudly.
+/// unknown keys so typos fail loudly. `--dry-run` is valueless.
 fn parse_flags(argv: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
-    let mut it = argv.iter();
+    let mut it = argv.iter().peekable();
     while let Some(k) = it.next() {
         let key = k
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{k}'"))?;
-        let v = it
-            .next()
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+        if key == "dry-run" && it.peek().is_none_or(|n| n.starts_with("--")) {
+            out.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         out.insert(key.to_string(), v.clone());
     }
     Ok(out)
@@ -107,6 +133,7 @@ fn apply_flags(mut args: Args, flags: &HashMap<String, String>) -> Result<Args, 
             "len" => args.len = us(v)?,
             "seed" => args.seed = v.parse().map_err(|e| format!("--seed: {e}"))?,
             "lr" => args.lr = v.parse().map_err(|e| format!("--lr: {e}"))?,
+            "dry-run" => args.dry_run = v.parse().map_err(|e| format!("--dry-run: {e}"))?,
             "save" | "load" => {} // handled by the caller
             other => return Err(format!("unknown flag --{other}")),
         }
@@ -143,7 +170,9 @@ fn pattern_batch(cfg: &ModelConfig, rng: &mut Rng) -> (Vec<usize>, Vec<usize>) {
 fn train(a: &Args) -> (Vec<f32>, ModelParams) {
     let cfg = model_cfg(a);
     let mut rng = Rng::new(a.seed ^ 0xDA7A);
-    let batches: Vec<_> = (0..a.steps).map(|_| pattern_batch(&cfg, &mut rng)).collect();
+    let batches: Vec<_> = (0..a.steps)
+        .map(|_| pattern_batch(&cfg, &mut rng))
+        .collect();
     match a.scheme {
         Scheme::Serial => {
             let mut m = SerialModel::new(cfg, a.seed);
@@ -265,6 +294,68 @@ fn generate(a: &Args, params: ModelParams) -> Vec<usize> {
     out
 }
 
+/// Traces one Optimus training step per rank through [`mesh::DryRunComm`]
+/// (no device threads, no data movement) and prices the recorded schedule
+/// with the α-β cost model on the projected `q × q` mesh.
+fn dry_run_projection(a: &Args) {
+    let cfg = model_cfg(a);
+    let ocfg = OptimusConfig {
+        q: a.q,
+        batch: cfg.batch,
+        seq: cfg.seq,
+        hidden: cfg.hidden,
+        heads: cfg.heads,
+        vocab: cfg.vocab,
+        layers: cfg.layers,
+        causal: cfg.causal,
+        checkpoint: true,
+        fused_attention: false,
+    };
+    ocfg.validate();
+    let mut rng = Rng::new(a.seed ^ 0xDA7A);
+    let (tokens, labels) = pattern_batch(&cfg, &mut rng);
+    // The loss values are garbage (trace-backend payloads are zeros); only
+    // the communication logs matter here.
+    let (_, logs) = Mesh2d::dry_run_with_logs(a.q, |g| {
+        let mut m = OptimusModel::new(&ocfg, a.seed, g);
+        m.train_step(g, &tokens, &labels, a.lr)
+    });
+
+    let profile = HardwareProfile::frontera_rtx5000();
+    let gpn = profile.gpus_per_node.min(a.q * a.q);
+    let cost = CostModel::new(
+        profile.clone(),
+        Topology::new(a.q, gpn, Arrangement::Bunched),
+    );
+    println!(
+        "dry-run projection: {q}x{q} mesh ({p} devices), one Optimus train step",
+        q = a.q,
+        p = a.q * a.q
+    );
+    println!(
+        "model: batch={} seq={} hidden={} heads={} vocab={} layers={}",
+        cfg.batch, cfg.seq, cfg.hidden, cfg.heads, cfg.vocab, cfg.layers
+    );
+    println!(
+        "cost model: profile={}, bunched placement, {gpn} devices/node",
+        profile.name
+    );
+    println!("per-device comm time (ms), device (i, j) at row i, column j:");
+    for i in 0..a.q {
+        let row: Vec<String> = (0..a.q)
+            .map(|j| format!("{:8.3}", cost.replay(&logs[i * a.q + j]) * 1e3))
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+    let ops: usize = logs.iter().map(|l| l.ops.len()).sum();
+    let elems: usize = logs.iter().map(|l| l.total_link_elems()).sum();
+    println!("totals: {ops} collective participations, {elems} f32 sent on links");
+    println!(
+        "projected step comm time (slowest device): {:.3} ms",
+        cost.replay_max(&logs) * 1e3
+    );
+}
+
 fn infer_dims(a: &Args, params: &ModelParams) -> Args {
     Args {
         vocab: params.embedding.rows(),
@@ -276,7 +367,9 @@ fn infer_dims(a: &Args, params: &ModelParams) -> Args {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // A bare `optimus-cli --dry-run ...` is sugar for `train --dry-run ...`.
     let (cmd, rest) = match argv.split_first() {
+        Some((c, _)) if c.starts_with("--") => ("train".to_string(), argv.clone()),
         Some((c, r)) => (c.clone(), r.to_vec()),
         None => {
             eprintln!("usage: optimus-cli [train|eval|generate|info] --flag value ...");
@@ -290,7 +383,12 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let args = match apply_flags(Args::default(), &flags) {
+    let base = if flags.contains_key("dry-run") {
+        Args::dry_run_defaults()
+    } else {
+        Args::default()
+    };
+    let args = match apply_flags(base, &flags) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -299,6 +397,7 @@ fn main() {
     };
 
     match cmd.as_str() {
+        "train" if args.dry_run => dry_run_projection(&args),
         "train" => {
             println!(
                 "training ({:?}, {} devices) {} steps on the pattern corpus…",

@@ -12,9 +12,7 @@
 
 use bench::{f3, f4, render_table, write_csv};
 use perf::memory;
-use perf::scaling::{
-    self, optimus_stem_times, strong_scaling, weak_scaling, LAYERS, SEQ,
-};
+use perf::scaling::{self, optimus_stem_times, strong_scaling, weak_scaling, LAYERS, SEQ};
 use perf::table1::{megatron_layer_costs, optimus_layer_costs};
 use perf::{CostModel, HardwareProfile};
 
@@ -46,7 +44,9 @@ const PAPER_STRONG_OPT: [(f64, f64, f64, f64); 4] = [
 ];
 
 fn table1() {
-    println!("== Table 1: per-layer, per-device communication (f32 elems) and computation (MACs) ==");
+    println!(
+        "== Table 1: per-layer, per-device communication (f32 elems) and computation (MACs) =="
+    );
     println!("   symbolic entries evaluated at b=32, s=512, h=4096, p=16\n");
     let (b, s, h, p) = (32, 512, 4096, 16);
     let m = megatron_layer_costs(b, s, h, p);
@@ -117,8 +117,15 @@ fn scaling_table(
     let _ = write_csv(
         csv,
         &[
-            "nodes", "gpus", "batch", "hidden", "heads", "fwd_per_seq", "bwd_per_seq",
-            "throughput", "inference",
+            "nodes",
+            "gpus",
+            "batch",
+            "hidden",
+            "heads",
+            "fwd_per_seq",
+            "bwd_per_seq",
+            "throughput",
+            "inference",
         ],
         &rows,
     );
@@ -138,9 +145,16 @@ fn table2(profile: &HardwareProfile) {
 }
 
 fn table3(profile: &HardwareProfile) {
-    println!("== Table 3: strong scaling (fixed problem, h=3072, s=512, N=24) — model (paper) ==\n");
+    println!(
+        "== Table 3: strong scaling (fixed problem, h=3072, s=512, N=24) — model (paper) ==\n"
+    );
     let (meg, opt) = strong_scaling(profile);
-    scaling_table("Megatron (b=12)", "table3_megatron", &meg, &PAPER_STRONG_MEG);
+    scaling_table(
+        "Megatron (b=12)",
+        "table3_megatron",
+        &meg,
+        &PAPER_STRONG_MEG,
+    );
     scaling_table("Optimus (b=24)", "table3_optimus", &opt, &PAPER_STRONG_OPT);
 }
 
@@ -149,11 +163,7 @@ fn fig7(profile: &HardwareProfile) {
     let (wm, wo) = weak_scaling(profile);
     let mut rows = Vec::new();
     for (m, o) in wm.iter().zip(&wo) {
-        rows.push(vec![
-            m.gpus.to_string(),
-            f3(m.efficiency),
-            f3(o.efficiency),
-        ]);
+        rows.push(vec![m.gpus.to_string(), f3(m.efficiency), f3(o.efficiency)]);
     }
     println!("weak scaling efficiency  E = T_serial / (p · T_p)");
     let t = render_table(&["#GPUs", "Megatron", "Optimus"], &rows);
@@ -174,14 +184,17 @@ fn fig7(profile: &HardwareProfile) {
     println!("strong scaling: efficiency E = T_serial/(p·T_p) and speedup S = T_serial/T_p");
     println!("(the paper's right panel shows Megatron falling and Optimus rising with a 64-GPU");
     println!(" crossover; in this model the crossover appears in E, S and raw throughput)");
-    let t = render_table(
-        &["#GPUs", "Meg E", "Opt E", "Meg S", "Opt S"],
-        &rows,
-    );
+    let t = render_table(&["#GPUs", "Meg E", "Opt E", "Meg S", "Opt S"], &rows);
     println!("{t}");
     let _ = write_csv(
         "fig7_strong",
-        &["gpus", "megatron_eff", "optimus_eff", "megatron_speedup", "optimus_speedup"],
+        &[
+            "gpus",
+            "megatron_eff",
+            "optimus_eff",
+            "megatron_speedup",
+            "optimus_speedup",
+        ],
         &rows,
     );
 }
@@ -197,7 +210,10 @@ fn fig8(profile: &HardwareProfile) {
     let mut rows = Vec::new();
     let col: Vec<usize> = (0..4).map(|i| i * 4 + 1).collect();
     let elems = 16 << 20;
-    for (name, arr) in [("naive", Arrangement::Naive), ("bunched", Arrangement::Bunched)] {
+    for (name, arr) in [
+        ("naive", Arrangement::Naive),
+        ("bunched", Arrangement::Bunched),
+    ] {
         let cm = CostModel::new(profile.clone(), Topology::new(4, 4, arr));
         let topo = Topology::new(4, 4, arr);
         rows.push(vec![
@@ -208,7 +224,11 @@ fn fig8(profile: &HardwareProfile) {
     }
     let t = render_table(&["arrangement", "nodes spanned", "bcast time s"], &rows);
     println!("{t}");
-    let _ = write_csv("fig8_collective", &["arrangement", "nodes_spanned", "bcast_s"], &rows);
+    let _ = write_csv(
+        "fig8_collective",
+        &["arrangement", "nodes_spanned", "bcast_s"],
+        &rows,
+    );
 
     // (b) Whole-stem ablation: the aggregate picture depends on the traffic
     // mix. Activation panels (the 7bsh term) ride mesh *rows*, which the
@@ -222,7 +242,10 @@ fn fig8(profile: &HardwareProfile) {
             continue; // single node: arrangements coincide
         }
         let t = |arr| {
-            let cm = CostModel::new(profile.clone(), Topology::new(q, profile.gpus_per_node, arr));
+            let cm = CostModel::new(
+                profile.clone(),
+                Topology::new(q, profile.gpus_per_node, arr),
+            );
             let (fwd, bwd) = optimus_stem_times(&cm, b, SEQ, h, LAYERS, q);
             fwd + bwd
         };
@@ -237,7 +260,13 @@ fn fig8(profile: &HardwareProfile) {
         ]);
     }
     let t = render_table(
-        &["#GPUs", "mesh", "naive iter s", "bunched iter s", "naive/bunched"],
+        &[
+            "#GPUs",
+            "mesh",
+            "naive iter s",
+            "bunched iter s",
+            "naive/bunched",
+        ],
         &rows,
     );
     println!("{t}");
@@ -262,14 +291,26 @@ fn fig9(profile: &HardwareProfile) {
         ]);
     }
     let t = render_table(
-        &["#GPUs", "hidden", "Megatron max b", "Optimus max b", "advantage"],
+        &[
+            "#GPUs",
+            "hidden",
+            "Megatron max b",
+            "Optimus max b",
+            "advantage",
+        ],
         &rows,
     );
     println!("{t}");
     println!("paper: Optimus runs b=480 on 64 GPUs, 8x Megatron's limit\n");
     let _ = write_csv(
         "fig9",
-        &["gpus", "hidden", "megatron_runs", "optimus_runs", "advantage"],
+        &[
+            "gpus",
+            "hidden",
+            "megatron_runs",
+            "optimus_runs",
+            "advantage",
+        ],
         &rows,
     );
 }
@@ -293,7 +334,10 @@ fn paradigms(profile: &HardwareProfile) {
         let (of, ob) = optimus_stem_times(&cm_mesh, b_opt, SEQ, h, LAYERS, q);
         // Pipeline with as many stages as devices (layers=24 divides by 4,
         // not by 36/64 — cap stages at a divisor of 24).
-        let stages = (1..=gpus.min(LAYERS)).rev().find(|s| LAYERS.is_multiple_of(*s)).unwrap();
+        let stages = (1..=gpus.min(LAYERS))
+            .rev()
+            .find(|s| LAYERS.is_multiple_of(*s))
+            .unwrap();
         let (pf, pb) = pipeline_stem_times(&cm_flat, b_opt, SEQ, h, LAYERS, stages, 8);
         rows.push(vec![
             gpus.to_string(),
@@ -304,7 +348,13 @@ fn paradigms(profile: &HardwareProfile) {
         ]);
     }
     let t = render_table(
-        &["#GPUs", "hidden", "megatron (scaled)", "optimus", "pipeline"],
+        &[
+            "#GPUs",
+            "hidden",
+            "megatron (scaled)",
+            "optimus",
+            "pipeline",
+        ],
         &rows,
     );
     println!("{t}");
@@ -340,7 +390,10 @@ fn paradigms(profile: &HardwareProfile) {
 fn projection(profile: &HardwareProfile) {
     println!("== Projection: weak scaling extended to 1024 devices (beyond the paper) ==\n");
     use perf::projection::{torus_profile, weak_scaling_projection};
-    for (name, prof) in [("frontera", profile.clone()), ("torus (TPU-like)", torus_profile())] {
+    for (name, prof) in [
+        ("frontera", profile.clone()),
+        ("torus (TPU-like)", torus_profile()),
+    ] {
         println!("-- {name} --");
         let pts = weak_scaling_projection(&prof);
         let mut rows = Vec::new();
@@ -356,13 +409,29 @@ fn projection(profile: &HardwareProfile) {
             ]);
         }
         let t = render_table(
-            &["#GPUs", "hidden", "b_meg", "b_opt", "meg thr", "opt thr", "advantage"],
+            &[
+                "#GPUs",
+                "hidden",
+                "b_meg",
+                "b_opt",
+                "meg thr",
+                "opt thr",
+                "advantage",
+            ],
             &rows,
         );
         println!("{t}");
         let _ = write_csv(
             &format!("projection_{}", name.split(' ').next().unwrap()),
-            &["gpus", "hidden", "b_meg", "b_opt", "meg_thr", "opt_thr", "advantage"],
+            &[
+                "gpus",
+                "hidden",
+                "b_meg",
+                "b_opt",
+                "meg_thr",
+                "opt_thr",
+                "advantage",
+            ],
             &rows,
         );
     }
@@ -412,7 +481,11 @@ fn validate() {
         "[megatron fwd comm]   executed ring wire volume {} elems, Table 1 gives {} -> {}",
         wire,
         expect,
-        if (wire as f64 - expect).abs() < 1e-6 { "OK" } else { "MISMATCH" }
+        if (wire as f64 - expect).abs() < 1e-6 {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
     assert!((wire as f64 - expect).abs() < 1e-6);
     let _ = bsh;
@@ -449,20 +522,31 @@ fn validate() {
         "[optimus fwd panels]  executed broadcast payload {} elems, closed form {} -> {}",
         measured,
         summa_payload,
-        if measured == summa_payload { "OK" } else { "MISMATCH" }
+        if measured == summa_payload {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
     assert_eq!(measured, summa_payload);
 
     // (c) Numerics: serial vs Megatron vs Optimus losses.
     let mut rng = Rng::new(1);
-    let tokens: Vec<usize> = (0..model_cfg.tokens()).map(|_| rng.below(model_cfg.vocab)).collect();
-    let labels: Vec<usize> = (0..model_cfg.tokens()).map(|_| rng.below(model_cfg.vocab)).collect();
+    let tokens: Vec<usize> = (0..model_cfg.tokens())
+        .map(|_| rng.below(model_cfg.vocab))
+        .collect();
+    let labels: Vec<usize> = (0..model_cfg.tokens())
+        .map(|_| rng.below(model_cfg.vocab))
+        .collect();
     let l_serial = SerialModel::new(model_cfg, 7).lm_loss(&tokens, &labels);
     let l_meg = Mesh::run(p, |ctx| {
         megatron::MegatronModel::new(mcfg, 7, ctx).lm_loss(ctx, &tokens, &labels)
     })[0];
     let cfg2 = OptimusConfig { layers: 2, ..ocfg };
-    let model_cfg2 = ModelConfig { layers: 2, ..model_cfg };
+    let model_cfg2 = ModelConfig {
+        layers: 2,
+        ..model_cfg
+    };
     let l_serial2 = SerialModel::new(model_cfg2, 7).lm_loss(&tokens, &labels);
     let l_opt = Mesh2d::run(cfg2.q, |g| {
         OptimusModel::new(&cfg2, 7, g).lm_loss(g, &tokens, &labels)
@@ -490,7 +574,8 @@ fn validate() {
         c.checkpoint = ck;
         Mesh2d::run(c.q, |g| {
             let mut m = OptimusModel::new(&c, 5, g);
-            m.train_step_detailed(g, &tokens, &labels, 0.1).peak_activation_bytes
+            m.train_step_detailed(g, &tokens, &labels, 0.1)
+                .peak_activation_bytes
         })[0]
     };
     let (off, on) = (peak(false), peak(true));

@@ -1,8 +1,44 @@
-//! Shared helpers for the reproduction harness: text-table rendering and
-//! CSV output for the `repro` binary and the Criterion benches.
+//! Shared helpers for the reproduction harness: text-table rendering, CSV
+//! output for the `repro` binary, and a minimal wall-clock microbenchmark
+//! runner used by every target under `benches/` (all of which are plain
+//! `harness = false` binaries).
 
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Runs `f` a few warm-up times, then `samples` timed times, and prints a
+/// `group/label: min/median/mean` line. Returns the median seconds so
+/// callers can assert relative speed if they want to.
+///
+/// Deliberately tiny: no statistics beyond min/median/mean, no outlier
+/// rejection — enough to eyeball the ablation deltas the paper discusses.
+pub fn bench_fn<T>(group: &str, label: &str, samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    let samples = samples.max(1);
+    for _ in 0..2.min(samples) {
+        black_box(f());
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean: f64 = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{group}/{label:<28} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}",
+        std::time::Duration::from_secs_f64(min),
+        std::time::Duration::from_secs_f64(median),
+        std::time::Duration::from_secs_f64(mean),
+    );
+    median
+}
 
 /// Renders an aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -74,10 +110,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = render_table(
             &["a", "long-header"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -20,7 +20,7 @@
 //! test `rejected_partition_comm_blowup_is_real` quantifies the difference
 //! from executed communication logs.
 
-use mesh::Grid2d;
+use mesh::{Communicator, Grid2d};
 use serial::ModelConfig;
 use summa::{collect_blocks, distribute, summa_nn, summa_nt};
 use tensor::loss::{partial_row_max, partial_sumexp};
@@ -28,7 +28,7 @@ use tensor::Tensor;
 
 /// Distributed softmax over the last dimension of an `[s/q, s/q]` block
 /// whose full rows span the mesh row group.
-fn softmax_rows_2d(grid: &Grid2d, scores: &Tensor) -> Tensor {
+fn softmax_rows_2d<C: Communicator>(grid: &Grid2d<C>, scores: &Tensor) -> Tensor {
     let mut m = partial_row_max(scores);
     grid.ctx().all_reduce_max(grid.row_group(), &mut m);
     let mut se = partial_sumexp(scores, &m);
@@ -51,8 +51,8 @@ fn softmax_rows_2d(grid: &Grid2d, scores: &Tensor) -> Tensor {
 /// the serial reference produces); each device slices its own blocks — the
 /// layout bookkeeping is not the point of this module, the communication
 /// pattern is. Returns the full `[b·s, h]` context on every device.
-pub fn attention_sh_forward(
-    grid: &Grid2d,
+pub fn attention_sh_forward<C: Communicator>(
+    grid: &Grid2d<C>,
     cfg: &ModelConfig,
     q_full: &Tensor,
     k_full: &Tensor,
@@ -61,7 +61,11 @@ pub fn attention_sh_forward(
     let (b, s, n, d) = (cfg.batch, cfg.seq, cfg.heads, cfg.head_dim());
     let q = grid.q();
     assert_eq!(s % q, 0, "s must divide by q for the (s,h) partition");
-    assert_eq!(d % q, 0, "head dim must divide by q for the (s,h) partition");
+    assert_eq!(
+        d % q,
+        0,
+        "head dim must divide by q for the (s,h) partition"
+    );
     let scale = 1.0 / (d as f32).sqrt();
 
     let mut ctxt = Tensor::zeros(&[b * s, n * d]);
@@ -71,7 +75,11 @@ pub fn attention_sh_forward(
             let qh = q_full.block(bi * s, head * d, s, d);
             let kh = k_full.block(bi * s, head * d, s, d);
             let vh = v_full.block(bi * s, head * d, s, d);
-            let (ql, kl, vl) = (distribute(grid, &qh), distribute(grid, &kh), distribute(grid, &vh));
+            let (ql, kl, vl) = (
+                distribute(grid, &qh),
+                distribute(grid, &kh),
+                distribute(grid, &vh),
+            );
 
             // A = QKᵀ (Algorithm 2), then scale + distributed softmax.
             let mut a = summa_nt(grid, &ql, &kl);
@@ -137,10 +145,7 @@ mod tests {
         // A broadcast (the s² terms the paper objects to). The adopted
         // (b, h) partition moves *zero* attention-internal traffic.
         let comm_at = |s: usize| {
-            let c = ModelConfig {
-                seq: s,
-                ..cfg()
-            };
+            let c = ModelConfig { seq: s, ..cfg() };
             let mut rng = Rng::new(1);
             let q = Tensor::randn(&[c.tokens(), c.hidden], 0.8, &mut rng);
             let k = Tensor::randn(&[c.tokens(), c.hidden], 0.8, &mut rng);

@@ -51,10 +51,7 @@ impl BufferPool {
 
     /// Total elements currently parked in the pool.
     pub fn pooled_elems(&self) -> usize {
-        self.free
-            .iter()
-            .map(|(len, list)| len * list.len())
-            .sum()
+        self.free.iter().map(|(len, list)| len * list.len()).sum()
     }
 }
 

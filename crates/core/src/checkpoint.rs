@@ -4,20 +4,25 @@
 //!
 //! The canonical form is `serial::ModelParams` — the same structure the
 //! deterministic initialiser produces — so a gathered checkpoint can be
-//! saved with serde, loaded into the serial reference, resharded onto a
+//! saved as JSON, loaded into the serial reference, resharded onto a
 //! *different* mesh size, or handed to the Megatron implementation.
 
 use crate::layernorm2d::LayerNorm2d;
 use crate::linear2d::Linear2d;
 use crate::model::OptimusModel;
 use crate::params2d::Layer2dParams;
-use mesh::Grid2d;
+use mesh::{Communicator, Grid2d};
 use serial::{LayerParams, ModelParams};
 use tensor::Tensor;
 
 /// Gathers the `q × q` blocks of one matrix to mesh position (0,0).
 /// Returns `Some(full)` there, `None` elsewhere.
-fn gather_matrix(grid: &Grid2d, local: &Tensor, full_rows: usize, full_cols: usize) -> Option<Tensor> {
+fn gather_matrix<C: Communicator>(
+    grid: &Grid2d<C>,
+    local: &Tensor,
+    full_rows: usize,
+    full_cols: usize,
+) -> Option<Tensor> {
     let mesh = grid.mesh_group();
     let root_rank = mesh.rank_of(0);
     let flat = grid.ctx().gather(&mesh, 0, local.as_slice());
@@ -36,7 +41,10 @@ fn gather_matrix(grid: &Grid2d, local: &Tensor, full_rows: usize, full_cols: usi
 
 /// Gathers a row-0-hosted vector (bias / LN affine) to mesh position (0,0).
 /// Only mesh-row-0 devices participate; everyone else returns `None`.
-fn gather_row0_vector(grid: &Grid2d, local: Option<&Vec<f32>>) -> Option<Vec<f32>> {
+fn gather_row0_vector<C: Communicator>(
+    grid: &Grid2d<C>,
+    local: Option<&Vec<f32>>,
+) -> Option<Vec<f32>> {
     if grid.row() != 0 {
         assert!(local.is_none(), "non-row-0 device holds a hosted vector");
         return None;
@@ -83,10 +91,10 @@ impl OptimusModel {
     /// Builds a device's shard from explicit canonical parameters (the
     /// inverse of [`OptimusModel::gather_params`]). The parameters must
     /// match `cfg.model()`'s dimensions.
-    pub fn from_params(
+    pub fn from_params<C: Communicator>(
         cfg: &crate::OptimusConfig,
         params: &ModelParams,
-        grid: &Grid2d,
+        grid: &Grid2d<C>,
     ) -> Self {
         cfg.validate();
         assert_eq!(grid.q(), cfg.q, "grid side must equal cfg.q");
@@ -113,7 +121,7 @@ impl OptimusModel {
     /// Gathers every parameter block to mesh position (0,0) and reassembles
     /// the canonical [`ModelParams`]. Returns `Some` only there. All mesh
     /// devices must call this together (it is a collective).
-    pub fn gather_params(&self, grid: &Grid2d) -> Option<ModelParams> {
+    pub fn gather_params<C: Communicator>(&self, grid: &Grid2d<C>) -> Option<ModelParams> {
         let (h, v) = (self.cfg.hidden, self.cfg.vocab);
         let q = self.cfg.q;
         let embedding = gather_matrix(grid, &self.table, v, h);
@@ -231,7 +239,12 @@ mod tests {
             1e-4,
             1e-3,
         );
-        tensor::assert_close(&got.layers[0].b_fc1, &reference.params.layers[0].b_fc1, 1e-4, 1e-3);
+        tensor::assert_close(
+            &got.layers[0].b_fc1,
+            &reference.params.layers[0].b_fc1,
+            1e-4,
+            1e-3,
+        );
     }
 
     #[test]
@@ -261,8 +274,8 @@ mod tests {
         let params = gathered[0].0.as_ref().unwrap();
         let loss_2x2 = gathered[0].1;
 
-        let json = serde_json::to_string(params).unwrap();
-        let loaded: ModelParams = serde_json::from_str(&json).unwrap();
+        let json = params.to_json().to_string();
+        let loaded = ModelParams::from_json(&minjson::parse(&json).unwrap()).unwrap();
 
         let cfg3 = OptimusConfig { q: 3, ..cfg2 };
         let losses = Mesh2d::run(cfg3.q, |g| {

@@ -10,12 +10,16 @@
 //! batch, which the integration tests assert.
 
 use crate::model::{Model2dGrads, OptimusModel};
-use mesh::{DeviceCtx, Grid2d, Group};
+use mesh::{Communicator, Grid2d, Group};
 
 /// Computes this device's role in a `d × (q × q)` hybrid layout over a world
 /// of `d·q²` devices: its replica's sub-mesh grid, its data-parallel group
 /// (same mesh position across replicas) and its replica index.
-pub fn hybrid_layout(ctx: &DeviceCtx, dp: usize, q: usize) -> (Grid2d<'_>, Group, usize) {
+pub fn hybrid_layout<C: Communicator>(
+    ctx: &C,
+    dp: usize,
+    q: usize,
+) -> (Grid2d<'_, C>, Group, usize) {
     let p = q * q;
     assert_eq!(
         ctx.world_size(),
@@ -62,9 +66,9 @@ fn visit_grads_mut(grads: &mut Model2dGrads, f: &mut impl FnMut(&mut [f32])) {
 /// across the data-parallel group (ring all-reduce, the standard DP
 /// pattern), and the update is applied locally. Returns the global mean
 /// loss, identical on every device.
-pub fn hybrid_train_step(
+pub fn hybrid_train_step<C: Communicator>(
     model: &mut OptimusModel,
-    grid: &Grid2d,
+    grid: &Grid2d<C>,
     dp_group: &Group,
     replica: usize,
     tokens: &[usize],
@@ -111,9 +115,9 @@ fn shard_start(n: usize, d: usize, i: usize) -> usize {
 /// updates its shard, and the fresh shards are broadcast back. Optimizer
 /// memory per replica drops by `d×` while the math stays identical to
 /// full-state data-parallel Adam (asserted by tests).
-pub fn hybrid_train_step_zero1(
+pub fn hybrid_train_step_zero1<C: Communicator>(
     model: &mut OptimusModel,
-    grid: &Grid2d,
+    grid: &Grid2d<C>,
     dp_group: &Group,
     replica: usize,
     tokens: &[usize],
@@ -150,7 +154,8 @@ pub fn hybrid_train_step_zero1(
             let mut buf = if r == replica {
                 param[r0..r1].to_vec()
             } else {
-                Vec::new()
+                // Pre-sized so the trace backend knows the payload length.
+                vec![0.0; r1 - r0]
             };
             ctx.broadcast(dp_group, r, &mut buf);
             param[r0..r1].copy_from_slice(&buf);
@@ -198,12 +203,7 @@ mod tests {
         let (dp, q) = (2usize, 2usize);
         let out = Mesh::run(dp * q * q, |ctx| {
             let (grid, dp_group, replica) = hybrid_layout(ctx, dp, q);
-            (
-                replica,
-                grid.row(),
-                grid.col(),
-                dp_group.ranks().to_vec(),
-            )
+            (replica, grid.row(), grid.col(), dp_group.ranks().to_vec())
         });
         // Rank 5 = replica 1, local position 1 -> row 0, col 1; its DP
         // group pairs it with rank 1.
@@ -239,9 +239,7 @@ mod tests {
             let mut model = OptimusModel::new(&cfg, 5, &grid);
             (0..4)
                 .map(|_| {
-                    hybrid_train_step(
-                        &mut model, &grid, &dp_group, replica, &tokens, &labels, 0.2,
-                    )
+                    hybrid_train_step(&mut model, &grid, &dp_group, replica, &tokens, &labels, 0.2)
                 })
                 .collect::<Vec<f32>>()
         });
@@ -316,7 +314,10 @@ mod tests {
         assert_eq!(total, model_cfg.total_params() * 8);
         // And each DP pair splits its blocks roughly in half.
         let pair_total = bytes[0] + bytes[q * q];
-        assert!(bytes[0] < pair_total * 6 / 10, "shard not balanced: {bytes:?}");
+        assert!(
+            bytes[0] < pair_total * 6 / 10,
+            "shard not balanced: {bytes:?}"
+        );
     }
 
     #[test]

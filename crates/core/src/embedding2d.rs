@@ -10,20 +10,19 @@
 //! the cross-entropy reduces `max` / `Σexp` / label-logit partials along
 //! mesh rows (the vocabulary spans a row).
 
-use mesh::Grid2d;
+use mesh::{Communicator, Grid2d};
 use summa::{summa_nn, summa_tn};
-use tensor::loss::{
-    ce_grad_local, partial_label_logit, partial_row_max, partial_sumexp,
-};
+use tensor::loss::{ce_grad_local, partial_label_logit, partial_row_max, partial_sumexp};
 use tensor::Tensor;
 
 /// Broadcasts the root row's table block down each column and returns it.
-fn table_panel(grid: &Grid2d, table_block: &Tensor, root_row: usize) -> Tensor {
+fn table_panel<C: Communicator>(grid: &Grid2d<C>, table_block: &Tensor, root_row: usize) -> Tensor {
     let dims = [table_block.rows(), table_block.cols()];
     let mut buf = if grid.row() == root_row {
         table_block.as_slice().to_vec()
     } else {
-        Vec::new()
+        // Pre-sized so the trace backend knows the payload length.
+        vec![0.0; dims[0] * dims[1]]
     };
     grid.ctx().broadcast(grid.col_group(), root_row, &mut buf);
     Tensor::from_vec(&dims, buf)
@@ -35,8 +34,8 @@ fn table_panel(grid: &Grid2d, table_block: &Tensor, root_row: usize) -> Tensor {
 /// mesh row, hidden columns block = mesh column). `tokens_local` are the
 /// `b/q · s` token ids of this mesh row's batch block. Returns the local
 /// `[b/q·s, h/q]` activation block.
-pub fn embed2d_forward(
-    grid: &Grid2d,
+pub fn embed2d_forward<C: Communicator>(
+    grid: &Grid2d<C>,
     table_block: &Tensor,
     tokens_local: &[usize],
     vocab: usize,
@@ -65,8 +64,8 @@ pub fn embed2d_forward(
 /// Embedding lookup backward: the gradient of vocab slice `l` is
 /// scatter-accumulated locally and reduced down the column to mesh row `l`
 /// (the transpose of the forward broadcast). Adds into `d_table_block`.
-pub fn embed2d_backward(
-    grid: &Grid2d,
+pub fn embed2d_backward<C: Communicator>(
+    grid: &Grid2d<C>,
     dx: &Tensor,
     tokens_local: &[usize],
     vocab: usize,
@@ -86,7 +85,8 @@ pub fn embed2d_backward(
                 }
             }
         }
-        grid.ctx().reduce(grid.col_group(), l, partial.as_mut_slice());
+        grid.ctx()
+            .reduce(grid.col_group(), l, partial.as_mut_slice());
         if grid.row() == l {
             d_table_block.add_assign(&partial);
         }
@@ -95,13 +95,17 @@ pub fn embed2d_backward(
 
 /// Tied LM head forward (Algorithm 2): `logits = H·Eᵀ`, local block
 /// `[b/q·s, v/q]`.
-pub fn lm_head2d_forward(grid: &Grid2d, hidden: &Tensor, table_block: &Tensor) -> Tensor {
+pub fn lm_head2d_forward<C: Communicator>(
+    grid: &Grid2d<C>,
+    hidden: &Tensor,
+    table_block: &Tensor,
+) -> Tensor {
     summa::summa_nt(grid, hidden, table_block)
 }
 
 /// Tied LM head backward (paper Eq. 3): `dH = dL·E`, `dE += dLᵀ·H`.
-pub fn lm_head2d_backward(
-    grid: &Grid2d,
+pub fn lm_head2d_backward<C: Communicator>(
+    grid: &Grid2d<C>,
     dlogits: &Tensor,
     hidden: &Tensor,
     table_block: &Tensor,
@@ -119,8 +123,8 @@ pub fn lm_head2d_backward(
 /// dimension, Section 3.2.2); per-block loss sums are then all-reduced along
 /// the **column** so every device reports the same global mean loss.
 /// Returns `(global mean loss, local dlogits block)`.
-pub fn ce2d(
-    grid: &Grid2d,
+pub fn ce2d<C: Communicator>(
+    grid: &Grid2d<C>,
     logits: &Tensor,
     labels_local: &[usize],
     vocab: usize,

@@ -8,7 +8,7 @@
 use crate::config::OptimusConfig;
 use crate::layernorm2d::Ln2dCache;
 use crate::params2d::Layer2dParams;
-use mesh::Grid2d;
+use mesh::{Communicator, Grid2d};
 use serial::{
     attention_backward, attention_backward_recomputed, attention_ctx_only, attention_forward,
     AttnCache,
@@ -76,8 +76,8 @@ pub struct Layer2dGrads {
 }
 
 /// Layer forward over the local input block `x: [b/q·s, h/q]`.
-pub fn layer2d_forward(
-    grid: &Grid2d,
+pub fn layer2d_forward<C: Communicator>(
+    grid: &Grid2d<C>,
     cfg: &OptimusConfig,
     p: &Layer2dParams,
     x: &Tensor,
@@ -132,8 +132,8 @@ pub fn layer2d_forward(
 
 /// Layer backward: local output-gradient block in, local input-gradient
 /// block and local parameter gradients out.
-pub fn layer2d_backward(
-    grid: &Grid2d,
+pub fn layer2d_backward<C: Communicator>(
+    grid: &Grid2d<C>,
     cfg: &OptimusConfig,
     p: &Layer2dParams,
     cache: &Layer2dCache,

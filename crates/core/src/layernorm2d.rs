@@ -6,7 +6,7 @@
 //! affine parameters γ, β are hosted by mesh row 0 (like biases, Fig. 5):
 //! broadcast down columns in forward, gradients reduced back in backward.
 
-use mesh::Grid2d;
+use mesh::{Communicator, Grid2d};
 use tensor::layernorm::{
     ln_affine, ln_backward_finish, ln_backward_partials, ln_finish, ln_param_grads,
     ln_partial_sums, LN_EPS,
@@ -30,7 +30,11 @@ pub struct Ln2dCache {
 
 impl LayerNorm2d {
     /// Builds from full `[h]` parameter vectors, slicing column `j`.
-    pub fn from_full(grid: &Grid2d, gamma_full: &[f32], beta_full: &[f32]) -> Self {
+    pub fn from_full<C: Communicator>(
+        grid: &Grid2d<C>,
+        gamma_full: &[f32],
+        beta_full: &[f32],
+    ) -> Self {
         if grid.row() == 0 {
             let w = gamma_full.len() / grid.q();
             LayerNorm2d {
@@ -47,10 +51,16 @@ impl LayerNorm2d {
 
     /// Forward over the local `[rows/q, h/q]` block; `h_total` is the full
     /// hidden size.
-    pub fn forward(&self, grid: &Grid2d, x: &Tensor, h_total: usize) -> (Tensor, Ln2dCache) {
-        // Parameters come down the column from row 0.
-        let mut gamma = self.gamma.clone().unwrap_or_default();
-        let mut beta = self.beta.clone().unwrap_or_default();
+    pub fn forward<C: Communicator>(
+        &self,
+        grid: &Grid2d<C>,
+        x: &Tensor,
+        h_total: usize,
+    ) -> (Tensor, Ln2dCache) {
+        // Parameters come down the column from row 0; non-root buffers are
+        // pre-sized so the trace backend knows the payload length.
+        let mut gamma = self.gamma.clone().unwrap_or_else(|| vec![0.0; x.cols()]);
+        let mut beta = self.beta.clone().unwrap_or_else(|| vec![0.0; x.cols()]);
         grid.ctx().broadcast(grid.col_group(), 0, &mut gamma);
         grid.ctx().broadcast(grid.col_group(), 0, &mut beta);
 
@@ -71,9 +81,9 @@ impl LayerNorm2d {
     }
 
     /// Backward: returns `dx` and (on mesh row 0) the parameter gradients.
-    pub fn backward(
+    pub fn backward<C: Communicator>(
         &self,
-        grid: &Grid2d,
+        grid: &Grid2d<C>,
         dy: &Tensor,
         cache: &Ln2dCache,
         h_total: usize,
@@ -86,7 +96,14 @@ impl LayerNorm2d {
         let (mut sum_gx, mut sum_g) = ln_backward_partials(&dxhat, &cache.xhat);
         grid.ctx().all_reduce(grid.row_group(), &mut sum_gx);
         grid.ctx().all_reduce(grid.row_group(), &mut sum_g);
-        let dx = ln_backward_finish(&dxhat, &cache.xhat, &cache.inv_std, &sum_gx, &sum_g, h_total);
+        let dx = ln_backward_finish(
+            &dxhat,
+            &cache.xhat,
+            &cache.inv_std,
+            &sum_gx,
+            &sum_g,
+            h_total,
+        );
 
         if grid.row() == 0 {
             (dx, Some(dgamma), Some(dbeta))

@@ -33,9 +33,9 @@
 pub mod attention_sh;
 pub mod buffers;
 pub mod checkpoint;
+mod config;
 pub mod dp;
 pub mod embedding2d;
-mod config;
 mod layer2d;
 mod layernorm2d;
 mod linear2d;
@@ -43,8 +43,8 @@ mod model;
 mod params2d;
 
 pub use buffers::{BufferPool, MemMeter};
-pub use dp::{hybrid_layout, hybrid_train_step, hybrid_train_step_zero1};
 pub use config::OptimusConfig;
+pub use dp::{hybrid_layout, hybrid_train_step, hybrid_train_step_zero1};
 pub use layer2d::{layer2d_backward, layer2d_forward, Layer2dCache, Layer2dGrads};
 pub use layernorm2d::{LayerNorm2d, Ln2dCache};
 pub use linear2d::Linear2d;

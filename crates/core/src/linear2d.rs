@@ -1,6 +1,6 @@
 //! SUMMA linear layer with row-0 bias hosting (paper Fig. 5).
 
-use mesh::Grid2d;
+use mesh::{Communicator, Grid2d};
 use summa::{summa_nn, summa_nt, summa_tn};
 use tensor::ops::{bias_add, bias_grad};
 use tensor::Tensor;
@@ -30,7 +30,7 @@ impl Linear2d {
     }
 
     /// Builds the local block of a full `[in, out]` weight and `[out]` bias.
-    pub fn from_full(grid: &Grid2d, w_full: &Tensor, b_full: &[f32]) -> Self {
+    pub fn from_full<C: Communicator>(grid: &Grid2d<C>, w_full: &Tensor, b_full: &[f32]) -> Self {
         assert_eq!(w_full.cols(), b_full.len());
         let w = w_full.summa_block(grid.row(), grid.col(), grid.q());
         let bias = if grid.row() == 0 {
@@ -44,14 +44,15 @@ impl Linear2d {
 
     /// `y = x W + b` over the mesh: SUMMA `C = AB` plus the column bias
     /// broadcast. `x: [rows/q, in/q]` local block.
-    pub fn forward(&self, grid: &Grid2d, x: &Tensor) -> Tensor {
+    pub fn forward<C: Communicator>(&self, grid: &Grid2d<C>, x: &Tensor) -> Tensor {
         let mut y = summa_nn(grid, x, &self.w);
         let mut bias_buf = match &self.bias {
             Some(b) => {
                 debug_assert_eq!(grid.row(), 0);
                 b.clone()
             }
-            None => Vec::new(),
+            // Pre-sized so the trace backend knows the payload length.
+            None => vec![0.0; y.cols()],
         };
         grid.ctx().broadcast(grid.col_group(), 0, &mut bias_buf);
         bias_add(&mut y, &bias_buf);
@@ -61,9 +62,9 @@ impl Linear2d {
     /// Backward (paper Eq. 1 + Fig. 5b): returns
     /// `dx = dy Wᵀ` (Algorithm 2), `dw = xᵀ dy` (Algorithm 3), and the bias
     /// gradient — `Some` only on mesh row 0, where the bias lives.
-    pub fn backward(
+    pub fn backward<C: Communicator>(
         &self,
-        grid: &Grid2d,
+        grid: &Grid2d<C>,
         x: &Tensor,
         dy: &Tensor,
     ) -> (Tensor, Tensor, Option<Vec<f32>>) {

@@ -11,7 +11,7 @@ use crate::embedding2d::{
 use crate::layer2d::{layer2d_backward, layer2d_forward, Layer2dGrads};
 use crate::layernorm2d::LayerNorm2d;
 use crate::params2d::Layer2dParams;
-use mesh::Grid2d;
+use mesh::{Communicator, Grid2d};
 use tensor::Tensor;
 
 /// Device-local gradients for everything this device owns.
@@ -117,7 +117,7 @@ fn tensor_bytes(t: &Tensor) -> usize {
 impl OptimusModel {
     /// Builds this device's shard by slicing the canonical full parameters
     /// generated deterministically from `seed`.
-    pub fn new(cfg: &OptimusConfig, seed: u64, grid: &Grid2d) -> Self {
+    pub fn new<C: Communicator>(cfg: &OptimusConfig, seed: u64, grid: &Grid2d<C>) -> Self {
         let full = serial::ModelParams::init(seed, &cfg.model());
         OptimusModel::from_params(cfg, &full, grid)
     }
@@ -125,7 +125,12 @@ impl OptimusModel {
     /// Adds the sentence-classification branch (Fig. 1): a `[h, c]` head
     /// applied to the first token's hidden state of every sequence, blocked
     /// like every other parameter. Requires `q | num_classes`.
-    pub fn with_classifier(mut self, grid: &Grid2d, seed: u64, num_classes: usize) -> Self {
+    pub fn with_classifier<C: Communicator>(
+        mut self,
+        grid: &Grid2d<C>,
+        seed: u64,
+        num_classes: usize,
+    ) -> Self {
         assert_eq!(
             num_classes % self.cfg.q,
             0,
@@ -156,7 +161,7 @@ impl OptimusModel {
     }
 
     /// Classification logits for this device's sequences: `[b/q, c/q]`.
-    pub fn classify_forward(&self, grid: &Grid2d, tokens: &[usize]) -> Tensor {
+    pub fn classify_forward<C: Communicator>(&self, grid: &Grid2d<C>, tokens: &[usize]) -> Tensor {
         let cls = self.cls.as_ref().expect("built without classifier head");
         let cfg = self.cfg;
         let tokens_local = cfg.local_tokens(tokens, grid.row());
@@ -170,7 +175,12 @@ impl OptimusModel {
 
     /// Global mean classification loss for per-sequence labels `[b]`
     /// (identical on every device).
-    pub fn classify_loss(&self, grid: &Grid2d, tokens: &[usize], labels: &[usize]) -> f32 {
+    pub fn classify_loss<C: Communicator>(
+        &self,
+        grid: &Grid2d<C>,
+        tokens: &[usize],
+        labels: &[usize],
+    ) -> f32 {
         assert_eq!(labels.len(), self.cfg.batch, "one label per sequence");
         let cls = self.cls.as_ref().expect("built without classifier head");
         let num_classes = cls.w.cols() * self.cfg.q;
@@ -182,7 +192,12 @@ impl OptimusModel {
 
     /// Evaluation loss (no gradients). `tokens`/`labels` are the full
     /// `b·s` arrays; each device uses its batch block.
-    pub fn lm_loss(&self, grid: &Grid2d, tokens: &[usize], labels: &[usize]) -> f32 {
+    pub fn lm_loss<C: Communicator>(
+        &self,
+        grid: &Grid2d<C>,
+        tokens: &[usize],
+        labels: &[usize],
+    ) -> f32 {
         let tokens_local = self.cfg.local_tokens(tokens, grid.row());
         let labels_local = self.cfg.local_tokens(labels, grid.row());
         let mut x = embed2d_forward(grid, &self.table, tokens_local, self.cfg.vocab);
@@ -205,9 +220,9 @@ impl OptimusModel {
     /// layer's input block is kept during forward and the layer is
     /// recomputed inside backward (Section 3.2.3). Returns the loss and all
     /// local gradients; `self.meter` holds the step's activation peak.
-    pub fn lm_grads(
+    pub fn lm_grads<C: Communicator>(
         &mut self,
-        grid: &Grid2d,
+        grid: &Grid2d<C>,
         tokens: &[usize],
         labels: &[usize],
     ) -> (f32, Model2dGrads) {
@@ -288,9 +303,9 @@ impl OptimusModel {
 
     /// One SGD step (gradients accumulated, then applied). Returns the
     /// pre-update loss.
-    pub fn train_step(
+    pub fn train_step<C: Communicator>(
         &mut self,
-        grid: &Grid2d,
+        grid: &Grid2d<C>,
         tokens: &[usize],
         labels: &[usize],
         lr: f32,
@@ -299,9 +314,9 @@ impl OptimusModel {
     }
 
     /// [`OptimusModel::train_step`] plus memory accounting.
-    pub fn train_step_detailed(
+    pub fn train_step_detailed<C: Communicator>(
         &mut self,
-        grid: &Grid2d,
+        grid: &Grid2d<C>,
         tokens: &[usize],
         labels: &[usize],
         lr: f32,
@@ -318,9 +333,9 @@ impl OptimusModel {
     /// after its backward pass and release its gradient buffer, so only one
     /// layer's parameter gradients are ever live. Requires checkpointing.
     /// Mathematically identical to [`OptimusModel::train_step`].
-    pub fn train_step_fused(
+    pub fn train_step_fused<C: Communicator>(
         &mut self,
-        grid: &Grid2d,
+        grid: &Grid2d<C>,
         tokens: &[usize],
         labels: &[usize],
         lr: f32,
@@ -371,7 +386,7 @@ impl OptimusModel {
     /// the per-row results are then all-gathered along the **column** (group
     /// order = mesh row = batch order), so every device returns the full
     /// `b` next tokens.
-    pub fn greedy_next(&self, grid: &Grid2d, tokens: &[usize]) -> Vec<usize> {
+    pub fn greedy_next<C: Communicator>(&self, grid: &Grid2d<C>, tokens: &[usize]) -> Vec<usize> {
         let cfg = self.cfg;
         let tokens_local = cfg.local_tokens(tokens, grid.row());
         let mut x = embed2d_forward(grid, &self.table, tokens_local, cfg.vocab);
@@ -442,9 +457,9 @@ impl OptimusModel {
     /// accumulation): each `(tokens, labels)` pair is a full `b·s` batch for
     /// this config; the averaged gradients are exactly those of one large
     /// batch of `k·b` sequences. Returns the mean loss.
-    pub fn train_step_accumulated(
+    pub fn train_step_accumulated<C: Communicator>(
         &mut self,
-        grid: &Grid2d,
+        grid: &Grid2d<C>,
         microbatches: &[(Vec<usize>, Vec<usize>)],
         lr: f32,
     ) -> f32 {
@@ -472,9 +487,9 @@ impl OptimusModel {
     /// one scalar all-reduce shares it, and the uniform clip is applied as
     /// an effective learning-rate scale. Returns `(loss, clip scale)` —
     /// identical on every device and to the serial model.
-    pub fn train_step_clipped(
+    pub fn train_step_clipped<C: Communicator>(
         &mut self,
-        grid: &Grid2d,
+        grid: &Grid2d<C>,
         tokens: &[usize],
         labels: &[usize],
         lr: f32,
@@ -495,9 +510,9 @@ impl OptimusModel {
     /// Because every parameter is hosted (and therefore Adam-updated) on
     /// exactly one device, the distributed Adam trajectory is identical to
     /// the serial one — asserted by the integration tests.
-    pub fn train_step_adam(
+    pub fn train_step_adam<C: Communicator>(
         &mut self,
-        grid: &Grid2d,
+        grid: &Grid2d<C>,
         tokens: &[usize],
         labels: &[usize],
         opt: &mut tensor::optim::AdamSet,

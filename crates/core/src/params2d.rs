@@ -2,7 +2,7 @@
 
 use crate::layernorm2d::LayerNorm2d;
 use crate::linear2d::Linear2d;
-use mesh::Grid2d;
+use mesh::{Communicator, Grid2d};
 use serial::LayerParams;
 use tensor::Tensor;
 
@@ -47,7 +47,7 @@ pub struct Layer2dParams {
 
 impl Layer2dParams {
     /// Slices the canonical full layer parameters for this device.
-    pub fn from_full(grid: &Grid2d, full: &LayerParams) -> Self {
+    pub fn from_full<C: Communicator>(grid: &Grid2d<C>, full: &LayerParams) -> Self {
         let h = full.w_out.rows();
         let (q, i, j) = (grid.q(), grid.row(), grid.col());
         let qkv_w = slice_qkv_block(&full.w_qkv, h, q, i, j);
@@ -73,7 +73,10 @@ impl Layer2dParams {
         let ln = |l: &LayerNorm2d| {
             l.gamma.as_ref().map_or(0, Vec::len) + l.beta.as_ref().map_or(0, Vec::len)
         };
-        lin(&self.qkv) + lin(&self.out) + lin(&self.fc1) + lin(&self.fc2)
+        lin(&self.qkv)
+            + lin(&self.out)
+            + lin(&self.fc1)
+            + lin(&self.fc2)
             + ln(&self.ln1)
             + ln(&self.ln2)
     }

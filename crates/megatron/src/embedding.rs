@@ -6,7 +6,7 @@
 //! computed from local partial reductions — the same decomposition the
 //! Optimus 2D cross-entropy uses along mesh rows (Section 3.2.2).
 
-use mesh::{DeviceCtx, Group};
+use mesh::{Communicator, Group};
 use tensor::loss::{
     ce_grad_local, ce_loss_from_parts, partial_label_logit, partial_row_max, partial_sumexp,
 };
@@ -15,8 +15,8 @@ use tensor::{matmul_nn, matmul_nt, Tensor};
 /// Embedding forward. `table_local: [v/p, h]` is this device's vocabulary
 /// slice starting at `vocab_offset`. Returns the replicated `[b·s, h]`
 /// activations.
-pub fn embed_forward(
-    ctx: &DeviceCtx,
+pub fn embed_forward<C: Communicator>(
+    ctx: &C,
     world: &Group,
     table_local: &Tensor,
     tokens: &[usize],
@@ -27,7 +27,8 @@ pub fn embed_forward(
     let mut x = Tensor::zeros(&[tokens.len(), h]);
     for (r, &t) in tokens.iter().enumerate() {
         if t >= vocab_offset && t < vocab_offset + v_local {
-            x.row_mut(r).copy_from_slice(table_local.row(t - vocab_offset));
+            x.row_mut(r)
+                .copy_from_slice(table_local.row(t - vocab_offset));
         }
     }
     ctx.all_reduce(world, x.as_mut_slice());
@@ -60,8 +61,8 @@ pub fn lm_head_forward(hidden: &Tensor, table_local: &Tensor) -> Tensor {
 
 /// Tied LM head backward: returns the replicated `dH` (after all-reduce) and
 /// adds the head's contribution to the local table gradient.
-pub fn lm_head_backward(
-    ctx: &DeviceCtx,
+pub fn lm_head_backward<C: Communicator>(
+    ctx: &C,
     world: &Group,
     dlogits_local: &Tensor,
     hidden: &Tensor,
@@ -78,8 +79,8 @@ pub fn lm_head_backward(
 /// Vocab-parallel cross-entropy: three scalar-per-row all-reduces (max,
 /// Σexp, label logit) then a local softmax-minus-onehot gradient.
 /// Returns the global mean loss and the local `dlogits` block.
-pub fn vocab_parallel_ce(
-    ctx: &DeviceCtx,
+pub fn vocab_parallel_ce<C: Communicator>(
+    ctx: &C,
     world: &Group,
     logits_local: &Tensor,
     labels: &[usize],
@@ -94,7 +95,14 @@ pub fn vocab_parallel_ce(
     let mut ll = partial_label_logit(logits_local, labels, vocab_offset);
     ctx.all_reduce(world, &mut ll);
     let loss = ce_loss_from_parts(&m, &se, &ll);
-    let grad = ce_grad_local(logits_local, labels, vocab_offset, &m, &se, 1.0 / rows as f32);
+    let grad = ce_grad_local(
+        logits_local,
+        labels,
+        vocab_offset,
+        &m,
+        &se,
+        1.0 / rows as f32,
+    );
     (loss, grad)
 }
 
@@ -107,7 +115,12 @@ mod tests {
     use tensor::{assert_close, init::init_matrix, Rng};
 
     fn table(cfg: &ModelConfig) -> Tensor {
-        init_matrix(0, tensor::init::param_ids::EMBEDDING, &[cfg.vocab, cfg.hidden], 0.5)
+        init_matrix(
+            0,
+            tensor::init::param_ids::EMBEDDING,
+            &[cfg.vocab, cfg.hidden],
+            0.5,
+        )
     }
 
     #[test]

@@ -2,12 +2,12 @@
 //! (checkpoint saving), mirroring `optimus_core::checkpoint`.
 
 use crate::model::MegatronModel;
-use mesh::{DeviceCtx, Group};
+use mesh::{Communicator, Group};
 use serial::{LayerParams, ModelParams};
 use tensor::Tensor;
 
-fn gather_concat_rows(
-    ctx: &DeviceCtx,
+fn gather_concat_rows<C: Communicator>(
+    ctx: &C,
     world: &Group,
     local: &Tensor,
     full_rows: usize,
@@ -22,8 +22,8 @@ fn gather_concat_rows(
 
 /// Reassembles column-sliced weights: device `j` holds columns
 /// `[j·w, (j+1)·w)` of a `[rows, p·w]` matrix.
-fn gather_concat_cols(
-    ctx: &DeviceCtx,
+fn gather_concat_cols<C: Communicator>(
+    ctx: &C,
     world: &Group,
     local: &Tensor,
     rows: usize,
@@ -43,12 +43,7 @@ fn gather_concat_cols(
 
 /// Reassembles the permuted fused-QKV weight: device `j`'s local matrix is
 /// `[Wq_j | Wk_j | Wv_j]` (each `[h, h/p]`); canonical is contiguous thirds.
-fn gather_qkv(
-    ctx: &DeviceCtx,
-    world: &Group,
-    local: &Tensor,
-    h: usize,
-) -> Option<Tensor> {
+fn gather_qkv<C: Communicator>(ctx: &C, world: &Group, local: &Tensor, h: usize) -> Option<Tensor> {
     let p = world.len();
     let w = h / p;
     let flat = ctx.gather(world, 0, local.as_slice());
@@ -65,7 +60,12 @@ fn gather_qkv(
     })
 }
 
-fn gather_qkv_bias(ctx: &DeviceCtx, world: &Group, local: &[f32], h: usize) -> Option<Vec<f32>> {
+fn gather_qkv_bias<C: Communicator>(
+    ctx: &C,
+    world: &Group,
+    local: &[f32],
+    h: usize,
+) -> Option<Vec<f32>> {
     let p = world.len();
     let w = h / p;
     let flat = ctx.gather(world, 0, local);
@@ -81,7 +81,7 @@ fn gather_qkv_bias(ctx: &DeviceCtx, world: &Group, local: &[f32], h: usize) -> O
     })
 }
 
-fn gather_concat_vec(ctx: &DeviceCtx, world: &Group, local: &[f32]) -> Option<Vec<f32>> {
+fn gather_concat_vec<C: Communicator>(ctx: &C, world: &Group, local: &[f32]) -> Option<Vec<f32>> {
     let flat = ctx.gather(world, 0, local);
     (ctx.rank() == 0).then_some(flat)
 }
@@ -91,7 +91,7 @@ impl MegatronModel {
     /// [`ModelParams`]. All devices must call this together. Replicated
     /// parameters (layer norms, second-matrix biases) are taken from rank
     /// 0's copy — the replicas are bit-identical by construction.
-    pub fn gather_params(&self, ctx: &DeviceCtx) -> Option<ModelParams> {
+    pub fn gather_params<C: Communicator>(&self, ctx: &C) -> Option<ModelParams> {
         let h = self.cfg.model.hidden;
         let v = self.cfg.model.vocab;
         let world = &self.world;
@@ -142,9 +142,7 @@ mod tests {
     fn gather_recovers_initial_parameters() {
         let model_cfg = ModelConfig::tiny();
         let cfg = MegatronConfig::new(model_cfg, 2);
-        let gathered = Mesh::run(2, |ctx| {
-            MegatronModel::new(cfg, 13, ctx).gather_params(ctx)
-        });
+        let gathered = Mesh::run(2, |ctx| MegatronModel::new(cfg, 13, ctx).gather_params(ctx));
         let full = ModelParams::init(13, &model_cfg);
         let got = gathered[0].as_ref().expect("rank 0 has the params");
         assert_eq!(got.embedding, full.embedding);

@@ -6,7 +6,7 @@
 //! two more restore it for the input gradients in the backward pass.
 
 use crate::params::{Layer1dParams, MegatronConfig};
-use mesh::{DeviceCtx, Group};
+use mesh::{Communicator, Group};
 use serial::{attention_backward, attention_forward, AttnCache, Linear};
 use tensor::layernorm::{layer_norm_backward, layer_norm_forward, LnCache, LN_EPS};
 use tensor::ops::{bias_add, bias_grad, gelu_backward, gelu_forward};
@@ -46,8 +46,8 @@ pub struct Layer1dGrads {
 }
 
 /// Layer forward. `x` is the replicated `[b·s, h]` input.
-pub fn layer1d_forward(
-    ctx: &DeviceCtx,
+pub fn layer1d_forward<C: Communicator>(
+    ctx: &C,
     world: &Group,
     cfg: &MegatronConfig,
     p: &Layer1dParams,
@@ -105,8 +105,8 @@ pub fn layer1d_forward(
 
 /// Layer backward. `dy` is the replicated output gradient; returns the
 /// replicated input gradient and the device-local parameter gradients.
-pub fn layer1d_backward(
-    ctx: &DeviceCtx,
+pub fn layer1d_backward<C: Communicator>(
+    ctx: &C,
     world: &Group,
     cfg: &MegatronConfig,
     p: &Layer1dParams,

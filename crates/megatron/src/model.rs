@@ -7,7 +7,7 @@ use crate::embedding::{
 };
 use crate::layer::{layer1d_backward, layer1d_forward, Layer1dCache, Layer1dGrads};
 use crate::params::{Layer1dParams, MegatronConfig};
-use mesh::{DeviceCtx, Group};
+use mesh::{Communicator, Group};
 use tensor::layernorm::{layer_norm_backward, layer_norm_forward, LnCache, LN_EPS};
 use tensor::Tensor;
 
@@ -42,7 +42,7 @@ pub struct MegatronModel {
 
 impl MegatronModel {
     /// Builds this device's shard by slicing the canonical full parameters.
-    pub fn new(cfg: MegatronConfig, seed: u64, ctx: &DeviceCtx) -> Self {
+    pub fn new<C: Communicator>(cfg: MegatronConfig, seed: u64, ctx: &C) -> Self {
         assert_eq!(ctx.world_size(), cfg.p, "mesh size must equal cfg.p");
         let full = serial::ModelParams::init(seed, &cfg.model);
         let rank = ctx.rank();
@@ -64,7 +64,7 @@ impl MegatronModel {
     }
 
     /// Stem forward; the returned hidden states are replicated.
-    pub fn forward(&self, ctx: &DeviceCtx, tokens: &[usize]) -> Stem1dCache {
+    pub fn forward<C: Communicator>(&self, ctx: &C, tokens: &[usize]) -> Stem1dCache {
         let mut x = embed_forward(ctx, &self.world, &self.table, tokens, self.vocab_offset);
         let mut caches = Vec::with_capacity(self.layers.len());
         for lp in &self.layers {
@@ -81,7 +81,7 @@ impl MegatronModel {
     }
 
     /// Mean LM loss (identical on every device).
-    pub fn lm_loss(&self, ctx: &DeviceCtx, tokens: &[usize], labels: &[usize]) -> f32 {
+    pub fn lm_loss<C: Communicator>(&self, ctx: &C, tokens: &[usize], labels: &[usize]) -> f32 {
         let cache = self.forward(ctx, tokens);
         let logits = lm_head_forward(&cache.hidden, &self.table);
         vocab_parallel_ce(ctx, &self.world, &logits, labels, self.vocab_offset).0
@@ -93,9 +93,9 @@ impl MegatronModel {
     /// input is kept during forward and the layer is recomputed (including
     /// its two all-reduces — the source of Table 1's `8(p−1)/p·bsh`
     /// backward communication) inside the backward sweep.
-    pub fn lm_grads(
+    pub fn lm_grads<C: Communicator>(
         &self,
-        ctx: &DeviceCtx,
+        ctx: &C,
         tokens: &[usize],
         labels: &[usize],
     ) -> (f32, Model1dGrads) {
@@ -158,9 +158,9 @@ impl MegatronModel {
     }
 
     /// One SGD step; returns the pre-update loss.
-    pub fn train_step(
+    pub fn train_step<C: Communicator>(
         &mut self,
-        ctx: &DeviceCtx,
+        ctx: &C,
         tokens: &[usize],
         labels: &[usize],
         lr: f32,
@@ -173,7 +173,7 @@ impl MegatronModel {
     /// Greedy next-token prediction: each device holds a `[b·s, v/p]`
     /// logits slice; the final-position slices are all-gathered across the
     /// world (group order = rank = vocabulary order) and argmaxed.
-    pub fn greedy_next(&self, ctx: &DeviceCtx, tokens: &[usize]) -> Vec<usize> {
+    pub fn greedy_next<C: Communicator>(&self, ctx: &C, tokens: &[usize]) -> Vec<usize> {
         let cache = self.forward(ctx, tokens);
         let logits = lm_head_forward(&cache.hidden, &self.table);
         let s = self.cfg.model.seq;
@@ -218,9 +218,9 @@ impl MegatronModel {
     }
 
     /// One Adam training step; `opt` holds this device's moments.
-    pub fn train_step_adam(
+    pub fn train_step_adam<C: Communicator>(
         &mut self,
-        ctx: &DeviceCtx,
+        ctx: &C,
         tokens: &[usize],
         labels: &[usize],
         opt: &mut tensor::optim::AdamSet,

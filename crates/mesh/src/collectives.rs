@@ -19,8 +19,9 @@ use crate::group::Group;
 use crate::stats::CommOp;
 
 /// Start offset of ring chunk `i` when splitting `n` elements into `g`
-/// near-equal chunks.
-fn chunk_start(n: usize, g: usize, i: usize) -> usize {
+/// near-equal chunks. Shared with the trace-only backend so both compute
+/// identical wire sizes.
+pub(crate) fn chunk_start(n: usize, g: usize, i: usize) -> usize {
     (n * i) / g
 }
 
@@ -48,7 +49,15 @@ impl DeviceCtx {
         let mut mask = 1usize;
         while mask < g {
             if rel & mask != 0 {
-                *data = self.recv(abs(rel - mask));
+                let incoming = self.recv(abs(rel - mask));
+                if data.len() == incoming.len() {
+                    // Caller pre-sized the buffer: copy in place and keep
+                    // both allocations alive (theirs and the pool's).
+                    data.copy_from_slice(&incoming);
+                    self.recycle(incoming);
+                } else {
+                    self.recycle(std::mem::replace(data, incoming));
+                }
                 break;
             }
             mask <<= 1;
@@ -56,7 +65,7 @@ impl DeviceCtx {
         mask >>= 1;
         while mask > 0 {
             if rel + mask < g {
-                self.send(abs(rel + mask), data.clone());
+                self.send_copy(abs(rel + mask), data);
             }
             mask >>= 1;
         }
@@ -85,13 +94,14 @@ impl DeviceCtx {
                 if rel + mask < g {
                     let incoming = self.recv(abs(rel + mask));
                     assert_eq!(incoming.len(), data.len(), "reduce size mismatch");
-                    for (d, v) in data.iter_mut().zip(incoming) {
+                    for (d, v) in data.iter_mut().zip(&incoming) {
                         *d += v;
                     }
+                    self.recycle(incoming);
                 }
                 mask <<= 1;
             } else {
-                self.send(abs(rel - mask), data.to_vec());
+                self.send_copy(abs(rel - mask), data);
                 break;
             }
         }
@@ -118,21 +128,23 @@ impl DeviceCtx {
         for step in 0..g - 1 {
             let (s0, s1) = bounds((me + g - step) % g);
             let (t0, t1) = bounds((me + 2 * g - step - 1) % g);
-            self.send(right, data[s0..s1].to_vec());
+            self.send_copy(right, &data[s0..s1]);
             let incoming = self.recv(left);
             assert_eq!(incoming.len(), t1 - t0, "ring chunk size mismatch");
-            for (d, v) in data[t0..t1].iter_mut().zip(incoming) {
-                *d = combine(*d, v);
+            for (d, v) in data[t0..t1].iter_mut().zip(&incoming) {
+                *d = combine(*d, *v);
             }
+            self.recycle(incoming);
         }
         // Phase 2: ring all-gather of the completed chunks.
         for step in 0..g - 1 {
             let (s0, s1) = bounds((me + 1 + g - step) % g);
             let (t0, t1) = bounds((me + g - step) % g);
-            self.send(right, data[s0..s1].to_vec());
+            self.send_copy(right, &data[s0..s1]);
             let incoming = self.recv(left);
             assert_eq!(incoming.len(), t1 - t0, "ring chunk size mismatch");
             data[t0..t1].copy_from_slice(&incoming);
+            self.recycle(incoming);
         }
     }
 
@@ -164,10 +176,11 @@ impl DeviceCtx {
         for step in 0..g - 1 {
             let s = (me + g - step) % g;
             let t = (me + 2 * g - step - 1) % g;
-            self.send(right, out[s * n..(s + 1) * n].to_vec());
+            self.send_copy(right, &out[s * n..(s + 1) * n]);
             let incoming = self.recv(left);
             assert_eq!(incoming.len(), n, "all-gather size mismatch");
             out[t * n..(t + 1) * n].copy_from_slice(&incoming);
+            self.recycle(incoming);
         }
         out
     }
@@ -191,12 +204,13 @@ impl DeviceCtx {
         for step in 0..g - 1 {
             let (s0, s1) = bounds((me + 2 * g - step - 1) % g);
             let (t0, t1) = bounds((me + 2 * g - step - 2) % g);
-            self.send(right, data[s0..s1].to_vec());
+            self.send_copy(right, &data[s0..s1]);
             let incoming = self.recv(left);
             assert_eq!(incoming.len(), t1 - t0, "ring chunk size mismatch");
-            for (d, v) in data[t0..t1].iter_mut().zip(incoming) {
+            for (d, v) in data[t0..t1].iter_mut().zip(&incoming) {
                 *d += v;
             }
+            self.recycle(incoming);
         }
         let (m0, m1) = bounds(me);
         data[m0..m1].to_vec()
@@ -217,7 +231,7 @@ impl DeviceCtx {
                     continue;
                 }
                 let (s0, s1) = (chunk_start(n, g, i), chunk_start(n, g, i + 1));
-                self.send(group.rank_of(i), data[s0..s1].to_vec());
+                self.send_copy(group.rank_of(i), &data[s0..s1]);
             }
             let (m0, m1) = (chunk_start(n, g, me), chunk_start(n, g, me + 1));
             data[m0..m1].to_vec()
@@ -237,16 +251,19 @@ impl DeviceCtx {
         let me = self.my_index(group);
         self.record_op(CommOp::AllGather, group, local.len());
         if me == root {
-            let mut chunks: Vec<Vec<f32>> = (0..g).map(|_| Vec::new()).collect();
-            chunks[me] = local.to_vec();
-            for (i, chunk) in chunks.iter_mut().enumerate() {
-                if i != root {
-                    *chunk = self.recv(group.rank_of(i));
+            let mut out: Vec<f32> = Vec::new();
+            for i in 0..g {
+                if i == root {
+                    out.extend_from_slice(local);
+                } else {
+                    let incoming = self.recv(group.rank_of(i));
+                    out.extend_from_slice(&incoming);
+                    self.recycle(incoming);
                 }
             }
-            chunks.concat()
+            out
         } else {
-            self.send(group.rank_of(root), local.to_vec());
+            self.send_copy(group.rank_of(root), local);
             Vec::new()
         }
     }
@@ -263,6 +280,7 @@ impl DeviceCtx {
 
 #[cfg(test)]
 mod tests {
+    use super::chunk_start;
     use crate::{Group, Mesh};
 
     #[test]
@@ -308,8 +326,7 @@ mod tests {
             let out = Mesh::run(p, |ctx| {
                 let g = Group::world(p);
                 // Distinct per-rank payload with length not divisible by p.
-                let mut data: Vec<f32> =
-                    (0..13).map(|i| (ctx.rank() * 100 + i) as f32).collect();
+                let mut data: Vec<f32> = (0..13).map(|i| (ctx.rank() * 100 + i) as f32).collect();
                 ctx.all_reduce(&g, &mut data);
                 data
             });
@@ -358,8 +375,7 @@ mod tests {
             ctx.reduce_scatter(&g, &mut data)
         });
         for (r, d) in out.iter().enumerate() {
-            let expected: Vec<f32> =
-                (2 * r..2 * r + 2).map(|i| (i * p) as f32).collect();
+            let expected: Vec<f32> = (2 * r..2 * r + 2).map(|i| (i * p) as f32).collect();
             assert_eq!(d, &expected, "rank={r}");
         }
     }
@@ -474,12 +490,72 @@ mod tests {
     }
 
     #[test]
+    fn reduce_scatter_count_not_divisible_by_group() {
+        // n=7 over g=4: near-equal ring chunks of sizes 1, 2, 2, 2
+        // (boundaries from `chunk_start`). Every rank contributes the same
+        // vector, so member i must receive its chunk scaled by g.
+        let (p, n) = (4usize, 7usize);
+        let out = Mesh::run(p, |ctx| {
+            let g = Group::world(p);
+            let mut data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            ctx.reduce_scatter(&g, &mut data)
+        });
+        for (r, d) in out.iter().enumerate() {
+            let expect: Vec<f32> = (chunk_start(n, p, r)..chunk_start(n, p, r + 1))
+                .map(|i| (i * p) as f32)
+                .collect();
+            assert_eq!(d, &expect, "rank={r}");
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_payload_smaller_than_group() {
+        // n=3 over g=5: two members own empty chunks; the ring must still
+        // deliver the right (possibly empty) slice everywhere.
+        let (p, n) = (5usize, 3usize);
+        let out = Mesh::run(p, |ctx| {
+            let g = Group::world(p);
+            let mut data: Vec<f32> = (0..n).map(|i| 1.0 + i as f32).collect();
+            ctx.reduce_scatter(&g, &mut data)
+        });
+        for (r, d) in out.iter().enumerate() {
+            let expect: Vec<f32> = (chunk_start(n, p, r)..chunk_start(n, p, r + 1))
+                .map(|i| ((1 + i) * p) as f32)
+                .collect();
+            assert_eq!(d, &expect, "rank={r}");
+        }
+        assert!(out.iter().any(|d| d.is_empty()), "some chunk must be empty");
+    }
+
+    #[test]
+    fn all_gather_local_len_not_divisible_by_group() {
+        // Local blocks of 5 elements over a group of 3: 15-element result,
+        // rank order preserved.
+        let p = 3;
+        let out = Mesh::run(p, |ctx| {
+            let g = Group::world(p);
+            let local: Vec<f32> = (0..5).map(|k| (10 * ctx.rank() + k) as f32).collect();
+            ctx.all_gather(&g, &local)
+        });
+        let expect: Vec<f32> = (0..p)
+            .flat_map(|r| (0..5).map(move |k| (10 * r + k) as f32))
+            .collect();
+        for d in out {
+            assert_eq!(d, expect);
+        }
+    }
+
+    #[test]
     fn broadcast_then_reduce_roundtrip() {
         // broadcast(x) then reduce(sum) should yield g*x at the root.
         let p = 8;
         let out = Mesh::run(p, |ctx| {
             let g = Group::world(p);
-            let mut data = if ctx.rank() == 0 { vec![2.5; 6] } else { vec![] };
+            let mut data = if ctx.rank() == 0 {
+                vec![2.5; 6]
+            } else {
+                vec![]
+            };
             ctx.broadcast(&g, 0, &mut data);
             ctx.reduce(&g, 0, &mut data);
             data

@@ -1,0 +1,129 @@
+//! The pluggable collective surface.
+//!
+//! Every distributed layer in the workspace (`summa`, `megatron`,
+//! `optimus-core`, `pipeline`) speaks to its devices through this trait
+//! rather than a concrete context, so the same program runs on two backends:
+//!
+//! * [`crate::DeviceCtx`] — the **live** backend: one OS thread per device,
+//!   real data movement over channels, pooled per-hop scratch buffers.
+//! * [`crate::DryRunComm`] — the **trace-only** backend: no threads, no data
+//!   movement; it just replays each collective's communication pattern into
+//!   the [`CommLog`], producing op/link streams identical to the live
+//!   backend's so the `perf` cost model can price a step without running it.
+//!
+//! # Contract
+//!
+//! Implementations must preserve the live backend's logging discipline:
+//! every collective appends exactly one [`crate::OpRecord`] per
+//! participating device, and one [`crate::LinkRecord`] per point-to-point
+//! send that device performs, in program order. Callers must follow the
+//! deadlock discipline documented at the crate root (same collectives, same
+//! groups, same order on every member), and — because the trace backend
+//! cannot learn payload sizes from the wire — must pre-size non-root
+//! `broadcast` buffers to the root's payload length.
+
+use crate::group::Group;
+use crate::stats::CommLog;
+
+/// A device's handle to the communication fabric: identity, point-to-point
+/// transfers, collectives, and the per-device communication log.
+pub trait Communicator {
+    /// This device's world rank.
+    fn rank(&self) -> usize;
+
+    /// Number of devices in the world.
+    fn world_size(&self) -> usize;
+
+    /// Point-to-point send (logged as a link record).
+    fn send(&self, to: usize, data: Vec<f32>);
+
+    /// Point-to-point receive (blocking on the live backend).
+    fn recv(&self, from: usize) -> Vec<f32>;
+
+    /// Broadcast from group index `root` (binomial tree). Non-root buffers
+    /// should be pre-sized to the root's payload length; the live backend
+    /// tolerates unsized buffers, the trace backend requires pre-sizing.
+    fn broadcast(&self, group: &Group, root: usize, data: &mut Vec<f32>);
+
+    /// Sum-reduce to group index `root` (reverse binomial tree). Non-root
+    /// buffers hold partial sums afterwards and must be treated as scratch.
+    fn reduce(&self, group: &Group, root: usize, data: &mut [f32]);
+
+    /// Ring all-reduce (sum).
+    fn all_reduce(&self, group: &Group, data: &mut [f32]);
+
+    /// Ring all-reduce (max) — for the distributed log-sum-exp.
+    fn all_reduce_max(&self, group: &Group, data: &mut [f32]);
+
+    /// Ring all-gather: concatenation of every member's equal-length
+    /// `local` in group order.
+    fn all_gather(&self, group: &Group, local: &[f32]) -> Vec<f32>;
+
+    /// Ring reduce-scatter (sum): returns this member's chunk (`n·i/g`
+    /// boundaries).
+    fn reduce_scatter(&self, group: &Group, data: &mut [f32]) -> Vec<f32>;
+
+    /// Scatter from group index `root` in ring-chunk boundaries.
+    fn scatter(&self, group: &Group, root: usize, data: &[f32]) -> Vec<f32>;
+
+    /// Gather to group index `root` (inverse of scatter); non-roots get an
+    /// empty vector.
+    fn gather(&self, group: &Group, root: usize, local: &[f32]) -> Vec<f32>;
+
+    /// Barrier over a group.
+    fn barrier(&self, group: &Group);
+
+    /// Read-only snapshot of the accumulated communication log.
+    fn log_snapshot(&self) -> CommLog;
+
+    /// Extracts the accumulated communication log, resetting it.
+    fn take_log(&self) -> CommLog;
+}
+
+impl Communicator for crate::DeviceCtx {
+    fn rank(&self) -> usize {
+        crate::DeviceCtx::rank(self)
+    }
+    fn world_size(&self) -> usize {
+        crate::DeviceCtx::world_size(self)
+    }
+    fn send(&self, to: usize, data: Vec<f32>) {
+        crate::DeviceCtx::send(self, to, data)
+    }
+    fn recv(&self, from: usize) -> Vec<f32> {
+        crate::DeviceCtx::recv(self, from)
+    }
+    fn broadcast(&self, group: &Group, root: usize, data: &mut Vec<f32>) {
+        crate::DeviceCtx::broadcast(self, group, root, data)
+    }
+    fn reduce(&self, group: &Group, root: usize, data: &mut [f32]) {
+        crate::DeviceCtx::reduce(self, group, root, data)
+    }
+    fn all_reduce(&self, group: &Group, data: &mut [f32]) {
+        crate::DeviceCtx::all_reduce(self, group, data)
+    }
+    fn all_reduce_max(&self, group: &Group, data: &mut [f32]) {
+        crate::DeviceCtx::all_reduce_max(self, group, data)
+    }
+    fn all_gather(&self, group: &Group, local: &[f32]) -> Vec<f32> {
+        crate::DeviceCtx::all_gather(self, group, local)
+    }
+    fn reduce_scatter(&self, group: &Group, data: &mut [f32]) -> Vec<f32> {
+        crate::DeviceCtx::reduce_scatter(self, group, data)
+    }
+    fn scatter(&self, group: &Group, root: usize, data: &[f32]) -> Vec<f32> {
+        crate::DeviceCtx::scatter(self, group, root, data)
+    }
+    fn gather(&self, group: &Group, root: usize, local: &[f32]) -> Vec<f32> {
+        crate::DeviceCtx::gather(self, group, root, local)
+    }
+    fn barrier(&self, group: &Group) {
+        crate::DeviceCtx::barrier(self, group)
+    }
+    fn log_snapshot(&self) -> CommLog {
+        crate::DeviceCtx::log_snapshot(self)
+    }
+    fn take_log(&self) -> CommLog {
+        crate::DeviceCtx::take_log(self)
+    }
+}

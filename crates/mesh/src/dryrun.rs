@@ -1,0 +1,474 @@
+//! The trace-only [`Communicator`] backend.
+//!
+//! [`DryRunComm`] moves no data and spawns no threads. Each collective walks
+//! the *same* tree/ring schedule as the live `DeviceCtx` implementation and
+//! records the op/link stream that schedule would produce — and nothing
+//! else. Running a distributed program once per rank on a single thread
+//! therefore yields communication logs byte-for-byte identical to a live
+//! mesh run (asserted by `tests/dryrun_equivalence.rs`), at the cost of the
+//! numerical results being garbage: received payloads are zeros.
+//!
+//! This works because every distributed program in this workspace is
+//! **data-independent**: its communication pattern depends only on shapes
+//! and mesh geometry, never on tensor values. That is also the property the
+//! α-β cost model relies on, so a dry run is exactly enough to price a step
+//! on a projected mesh (`optimus-cli --dry-run`) without simulating it.
+//!
+//! # Limitations
+//!
+//! * Non-root `broadcast` buffers must be pre-sized (the live backend learns
+//!   the size from the wire; there is no wire here). Library call sites do
+//!   this unconditionally.
+//! * `scatter` panics on non-root members (chunk size is unknowable without
+//!   data movement); no library code calls it.
+//! * Point-to-point `recv` requires the matching `send` to have already run,
+//!   i.e. the sender's rank was replayed earlier. Forward pipelines satisfy
+//!   this; cyclic p2p patterns (Cannon shifts) need the live backend.
+
+use crate::collectives::chunk_start;
+use crate::comm::Communicator;
+use crate::group::Group;
+use crate::stats::{record_group_op, CommLog, CommOp};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Shared p2p bookkeeping: payload sizes in flight per (src, dst) pair.
+#[derive(Default)]
+pub(crate) struct DryWire {
+    queued: HashMap<(usize, usize), VecDeque<usize>>,
+}
+
+/// Trace-only communicator for one simulated rank. See the module docs.
+pub struct DryRunComm {
+    rank: usize,
+    p: usize,
+    log: RefCell<CommLog>,
+    wire: Rc<RefCell<DryWire>>,
+}
+
+impl DryRunComm {
+    pub(crate) fn new(rank: usize, p: usize, wire: Rc<RefCell<DryWire>>) -> Self {
+        DryRunComm {
+            rank,
+            p,
+            log: RefCell::new(CommLog::new(rank)),
+            wire,
+        }
+    }
+
+    fn my_index(&self, group: &Group) -> usize {
+        group
+            .index_of(self.rank)
+            .unwrap_or_else(|| panic!("device {} is not in group {:?}", self.rank, group))
+    }
+
+    fn record_op(&self, op: CommOp, group: &Group, elems: usize) {
+        record_group_op(&mut self.log.borrow_mut(), op, group, elems);
+    }
+
+    fn record_send(&self, to: usize, elems: usize) {
+        assert!(to < self.p, "send to rank {to} out of range (p={})", self.p);
+        self.log.borrow_mut().record_link(self.rank, to, elems);
+    }
+}
+
+impl Communicator for DryRunComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.p
+    }
+
+    fn send(&self, to: usize, data: Vec<f32>) {
+        self.record_send(to, data.len());
+        self.wire
+            .borrow_mut()
+            .queued
+            .entry((self.rank, to))
+            .or_default()
+            .push_back(data.len());
+    }
+
+    fn recv(&self, from: usize) -> Vec<f32> {
+        let len = self
+            .wire
+            .borrow_mut()
+            .queued
+            .get_mut(&(from, self.rank))
+            .and_then(|q| q.pop_front())
+            .unwrap_or_else(|| {
+                panic!(
+                    "dry-run recv at {} from {from} has no matching send; \
+                     p2p patterns with cyclic dependencies need the live backend",
+                    self.rank
+                )
+            });
+        vec![0.0; len]
+    }
+
+    fn broadcast(&self, group: &Group, root: usize, data: &mut Vec<f32>) {
+        let g = group.len();
+        assert!(root < g, "root index {root} out of range for group of {g}");
+        let me = self.my_index(group);
+        if g > 1 {
+            let rel = (me + g - root) % g;
+            let abs = |r: usize| group.rank_of((r + root) % g);
+            // Same binomial-tree walk as the live backend; the receive is
+            // silent (links are recorded by senders), sends are recorded.
+            let mut mask = 1usize;
+            while mask < g {
+                if rel & mask != 0 {
+                    break;
+                }
+                mask <<= 1;
+            }
+            mask >>= 1;
+            while mask > 0 {
+                if rel + mask < g {
+                    self.record_send(abs(rel + mask), data.len());
+                }
+                mask >>= 1;
+            }
+        }
+        self.record_op(CommOp::Broadcast, group, data.len());
+    }
+
+    fn reduce(&self, group: &Group, root: usize, data: &mut [f32]) {
+        let g = group.len();
+        assert!(root < g, "root index {root} out of range for group of {g}");
+        let me = self.my_index(group);
+        self.record_op(CommOp::Reduce, group, data.len());
+        if g == 1 {
+            return;
+        }
+        let rel = (me + g - root) % g;
+        let abs = |r: usize| group.rank_of((r + root) % g);
+        let mut mask = 1usize;
+        while mask < g {
+            if rel & mask == 0 {
+                mask <<= 1;
+            } else {
+                self.record_send(abs(rel - mask), data.len());
+                break;
+            }
+        }
+    }
+
+    fn all_reduce(&self, group: &Group, data: &mut [f32]) {
+        ring_all_reduce_trace(self, group, data.len());
+    }
+
+    fn all_reduce_max(&self, group: &Group, data: &mut [f32]) {
+        ring_all_reduce_trace(self, group, data.len());
+    }
+
+    fn all_gather(&self, group: &Group, local: &[f32]) -> Vec<f32> {
+        let g = group.len();
+        let me = self.my_index(group);
+        self.record_op(CommOp::AllGather, group, local.len());
+        let n = local.len();
+        let mut out = vec![0.0f32; n * g];
+        out[me * n..(me + 1) * n].copy_from_slice(local);
+        if g == 1 {
+            return out;
+        }
+        let right = group.rank_of((me + 1) % g);
+        for _ in 0..g - 1 {
+            self.record_send(right, n);
+        }
+        out
+    }
+
+    fn reduce_scatter(&self, group: &Group, data: &mut [f32]) -> Vec<f32> {
+        let g = group.len();
+        let me = self.my_index(group);
+        self.record_op(CommOp::ReduceScatter, group, data.len());
+        let n = data.len();
+        if g == 1 {
+            return data.to_vec();
+        }
+        let right = group.rank_of((me + 1) % g);
+        for step in 0..g - 1 {
+            let i = (me + 2 * g - step - 1) % g;
+            let elems = chunk_start(n, g, i + 1) - chunk_start(n, g, i);
+            self.record_send(right, elems);
+        }
+        let (m0, m1) = (chunk_start(n, g, me), chunk_start(n, g, me + 1));
+        data[m0..m1].to_vec()
+    }
+
+    fn scatter(&self, group: &Group, root: usize, data: &[f32]) -> Vec<f32> {
+        let g = group.len();
+        assert!(root < g, "root index {root} out of range for group of {g}");
+        let me = self.my_index(group);
+        if me != root {
+            panic!(
+                "DryRunComm cannot scatter on non-root members: the chunk \
+                 size only exists on the wire"
+            );
+        }
+        self.record_op(CommOp::ReduceScatter, group, data.len());
+        let n = data.len();
+        for i in 0..g {
+            if i != root {
+                let elems = chunk_start(n, g, i + 1) - chunk_start(n, g, i);
+                self.record_send(group.rank_of(i), elems);
+            }
+        }
+        let (m0, m1) = (chunk_start(n, g, me), chunk_start(n, g, me + 1));
+        data[m0..m1].to_vec()
+    }
+
+    fn gather(&self, group: &Group, root: usize, local: &[f32]) -> Vec<f32> {
+        let g = group.len();
+        assert!(root < g, "root index {root} out of range for group of {g}");
+        let me = self.my_index(group);
+        self.record_op(CommOp::AllGather, group, local.len());
+        if me == root {
+            // Assume equal-length contributions (the pattern every library
+            // call site uses); peers' payloads are zeros here.
+            let n = local.len();
+            let mut out = vec![0.0f32; n * g];
+            out[me * n..(me + 1) * n].copy_from_slice(local);
+            out
+        } else {
+            self.record_send(group.rank_of(root), local.len());
+            Vec::new()
+        }
+    }
+
+    fn barrier(&self, group: &Group) {
+        self.record_op(CommOp::Barrier, group, 0);
+        self.reduce(group, 0, &mut []);
+        let mut token: Vec<f32> = Vec::new();
+        self.broadcast(group, 0, &mut token);
+    }
+
+    fn log_snapshot(&self) -> CommLog {
+        self.log.borrow().clone()
+    }
+
+    fn take_log(&self) -> CommLog {
+        std::mem::replace(&mut self.log.borrow_mut(), CommLog::new(self.rank))
+    }
+}
+
+/// The send schedule of the live ring all-reduce: 2(g−1) chunk sends to the
+/// right neighbour (phase 1 then phase 2), sizes from the shared
+/// [`chunk_start`] boundaries.
+fn ring_all_reduce_trace(comm: &DryRunComm, group: &Group, n: usize) {
+    let g = group.len();
+    let me = comm.my_index(group);
+    comm.record_op(CommOp::AllReduce, group, n);
+    if g == 1 {
+        return;
+    }
+    let right = group.rank_of((me + 1) % g);
+    let chunk = |i: usize| chunk_start(n, g, (i % g) + 1) - chunk_start(n, g, i % g);
+    for step in 0..g - 1 {
+        comm.record_send(right, chunk((me + g - step) % g));
+    }
+    for step in 0..g - 1 {
+        comm.record_send(right, chunk((me + 1 + g - step) % g));
+    }
+}
+
+impl crate::Mesh {
+    /// Replays `f` once per rank of a `p`-device world on the **current
+    /// thread** with a [`DryRunComm`], returning results and communication
+    /// logs shaped exactly like [`crate::Mesh::run_with_logs`]. No threads
+    /// are spawned and no data moves.
+    pub fn dry_run_with_logs<T, F>(p: usize, f: F) -> (Vec<T>, Vec<CommLog>)
+    where
+        F: Fn(&DryRunComm) -> T,
+    {
+        assert!(p > 0, "mesh needs at least one device");
+        let wire = Rc::new(RefCell::new(DryWire::default()));
+        let mut outs = Vec::with_capacity(p);
+        let mut logs = Vec::with_capacity(p);
+        for rank in 0..p {
+            let comm = DryRunComm::new(rank, p, Rc::clone(&wire));
+            outs.push(f(&comm));
+            logs.push(comm.take_log());
+        }
+        (outs, logs)
+    }
+}
+
+impl crate::Mesh2d {
+    /// Trace-only analogue of [`crate::Mesh2d::run_with_logs`]: replays `f`
+    /// per rank of a `q × q` mesh through [`DryRunComm`].
+    pub fn dry_run_with_logs<T, F>(q: usize, f: F) -> (Vec<T>, Vec<CommLog>)
+    where
+        F: Fn(&crate::Grid2d<DryRunComm>) -> T,
+    {
+        assert!(q > 0, "mesh side must be positive");
+        crate::Mesh::dry_run_with_logs(q * q, |comm| {
+            let grid = crate::Grid2d::new(comm, q);
+            f(&grid)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Group, Mesh};
+
+    /// Assert the dry-run op and link streams equal the live ones for a
+    /// given closure runnable on both backends.
+    fn assert_logs_match<FL, FD>(p: usize, live: FL, dry: FD)
+    where
+        FL: Fn(&crate::DeviceCtx) + Sync,
+        FD: Fn(&DryRunComm),
+    {
+        let (_, live_logs) = Mesh::run_with_logs(p, |ctx| live(ctx));
+        let (_, dry_logs) = Mesh::dry_run_with_logs(p, |c| dry(c));
+        for (l, d) in live_logs.iter().zip(&dry_logs) {
+            assert_eq!(l.ops, d.ops, "op stream mismatch at rank {}", l.rank);
+            assert_eq!(l.links, d.links, "link stream mismatch at rank {}", l.rank);
+        }
+    }
+
+    #[test]
+    fn broadcast_trace_matches_live() {
+        for p in [2usize, 3, 4, 7] {
+            for root in 0..p {
+                assert_logs_match(
+                    p,
+                    |ctx| {
+                        let g = Group::world(p);
+                        let mut data = vec![1.0f32; 10];
+                        crate::DeviceCtx::broadcast(ctx, &g, root, &mut data);
+                    },
+                    |c| {
+                        let g = Group::world(p);
+                        let mut data = vec![0.0f32; 10];
+                        c.broadcast(&g, root, &mut data);
+                    },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_trace_matches_live() {
+        for p in [2usize, 5, 8] {
+            assert_logs_match(
+                p,
+                |ctx| {
+                    let g = Group::world(p);
+                    let mut data = vec![1.0f32; 7];
+                    crate::DeviceCtx::reduce(ctx, &g, p - 1, &mut data);
+                },
+                |c| {
+                    let g = Group::world(p);
+                    let mut data = vec![0.0f32; 7];
+                    c.reduce(&g, p - 1, &mut data);
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn ring_traces_match_live_including_uneven_chunks() {
+        // 13 elements over 4 or 6 members: uneven ring chunks.
+        for p in [4usize, 6] {
+            assert_logs_match(
+                p,
+                |ctx| {
+                    let g = Group::world(p);
+                    let mut data = vec![1.0f32; 13];
+                    crate::DeviceCtx::all_reduce(ctx, &g, &mut data);
+                    let mut data = vec![1.0f32; 13];
+                    let _ = crate::DeviceCtx::reduce_scatter(ctx, &g, &mut data);
+                    let _ = crate::DeviceCtx::all_gather(ctx, &g, &[0.0; 3]);
+                },
+                |c| {
+                    let g = Group::world(p);
+                    let mut data = vec![0.0f32; 13];
+                    c.all_reduce(&g, &mut data);
+                    let mut data = vec![0.0f32; 13];
+                    let _ = c.reduce_scatter(&g, &mut data);
+                    let _ = c.all_gather(&g, &[0.0; 3]);
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_and_subgroup_traces_match_live() {
+        assert_logs_match(
+            4,
+            |ctx| {
+                let row = if crate::DeviceCtx::rank(ctx) < 2 {
+                    Group::new(vec![0, 1])
+                } else {
+                    Group::new(vec![2, 3])
+                };
+                ctx.barrier(&row);
+                let mut d = vec![1.0f32; 5];
+                crate::DeviceCtx::all_reduce(ctx, &row, &mut d);
+            },
+            |c| {
+                let row = if c.rank() < 2 {
+                    Group::new(vec![0, 1])
+                } else {
+                    Group::new(vec![2, 3])
+                };
+                c.barrier(&row);
+                let mut d = vec![0.0f32; 5];
+                c.all_reduce(&row, &mut d);
+            },
+        );
+    }
+
+    #[test]
+    fn p2p_forward_chain_works() {
+        // Rank r sends to r+1; replay order (0, 1, 2, ...) satisfies the
+        // matching-send requirement.
+        let (outs, logs) = Mesh::dry_run_with_logs(3, |c| {
+            if c.rank() > 0 {
+                let got = c.recv(c.rank() - 1);
+                assert_eq!(got.len(), 4);
+            }
+            if c.rank() + 1 < c.world_size() {
+                c.send(c.rank() + 1, vec![0.0; 4]);
+            }
+            c.rank()
+        });
+        assert_eq!(outs, vec![0, 1, 2]);
+        assert_eq!(logs[0].total_link_elems(), 4);
+        assert_eq!(logs[2].total_link_elems(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn p2p_backward_dependency_panics() {
+        Mesh::dry_run_with_logs(2, |c| {
+            if c.rank() == 0 {
+                c.recv(1); // rank 1 has not replayed yet
+            }
+        });
+    }
+
+    #[test]
+    fn gather_and_scatter_root_traces_match_live() {
+        let p = 4;
+        let (_, live_logs) = Mesh::run_with_logs(p, |ctx| {
+            let g = Group::world(p);
+            let _ = crate::DeviceCtx::gather(ctx, &g, 0, &[1.0; 3]);
+        });
+        let (_, dry_logs) = Mesh::dry_run_with_logs(p, |c| {
+            let g = Group::world(p);
+            let _ = c.gather(&g, 0, &[1.0; 3]);
+        });
+        for (l, d) in live_logs.iter().zip(&dry_logs) {
+            assert_eq!(l.ops, d.ops);
+            assert_eq!(l.links, d.links);
+        }
+    }
+}

@@ -1,15 +1,19 @@
 //! The channel fabric connecting simulated devices, and the per-device
 //! context handle.
 
+use crate::pool::BufferPool;
 use crate::stats::{CommLog, CommOp};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::cell::RefCell;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Per-device handle: identity plus point-to-point channels to every peer.
 ///
 /// All collectives ([`DeviceCtx::broadcast`], [`DeviceCtx::reduce`],
 /// [`DeviceCtx::all_reduce`], …) are built on [`DeviceCtx::send`] /
-/// [`DeviceCtx::recv`] and are defined in `collectives.rs`.
+/// [`DeviceCtx::recv`] and are defined in `collectives.rs`. Per-hop scratch
+/// buffers come from a per-device [`BufferPool`]; consumed receive buffers
+/// are recycled back into it, so steady-state collective traffic allocates
+/// nothing.
 pub struct DeviceCtx {
     rank: usize,
     p: usize,
@@ -18,6 +22,7 @@ pub struct DeviceCtx {
     /// `receivers[src]` — channel from `src` to this device.
     receivers: Vec<Receiver<Vec<f32>>>,
     log: RefCell<CommLog>,
+    pool: RefCell<BufferPool>,
 }
 
 /// Builds a fully connected fabric of `p` devices.
@@ -27,7 +32,7 @@ pub(crate) fn build_fabric(p: usize) -> Vec<DeviceCtx> {
     let mut receivers: Vec<Vec<Receiver<Vec<f32>>>> = (0..p).map(|_| Vec::new()).collect();
     for sender_row in senders.iter_mut() {
         for receiver_row in receivers.iter_mut() {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             sender_row.push(tx);
             receiver_row.push(rx);
         }
@@ -45,6 +50,7 @@ pub(crate) fn build_fabric(p: usize) -> Vec<DeviceCtx> {
             senders: s,
             receivers: r,
             log: RefCell::new(CommLog::new(rank)),
+            pool: RefCell::new(BufferPool::new()),
         })
         .collect()
 }
@@ -77,25 +83,35 @@ impl DeviceCtx {
             .unwrap_or_else(|_| panic!("device {from} disconnected (recv at {})", self.rank))
     }
 
+    /// Sends a copy of `data`, drawing the owned buffer from the scratch
+    /// pool instead of allocating. The collective hot path.
+    pub(crate) fn send_copy(&self, to: usize, data: &[f32]) {
+        let mut buf = self.pool.borrow_mut().take(data.len());
+        buf.extend_from_slice(data);
+        self.send(to, buf);
+    }
+
+    /// Returns a consumed receive buffer to the scratch pool so a later
+    /// [`DeviceCtx::send_copy`] can reuse its allocation.
+    pub fn recycle(&self, buf: Vec<f32>) {
+        self.pool.borrow_mut().put(buf);
+    }
+
+    /// Buffers the scratch pool had to allocate fresh (pool misses) since
+    /// the mesh started or [`DeviceCtx::reset_pool_stats`] was called.
+    pub fn fresh_allocs(&self) -> usize {
+        self.pool.borrow().fresh_allocs()
+    }
+
+    /// Zeroes the pool-miss counter — call after a warm-up pass to assert
+    /// steady-state collectives are allocation-free.
+    pub fn reset_pool_stats(&self) {
+        self.pool.borrow_mut().reset_stats();
+    }
+
     /// Records a collective operation in the log (used by `collectives.rs`).
     pub(crate) fn record_op(&self, op: CommOp, group: &crate::Group, elems: usize) {
-        let ranks = group.ranks();
-        let stride = if ranks.len() > 1 {
-            let s = ranks[1].wrapping_sub(ranks[0]);
-            let arithmetic = ranks
-                .windows(2)
-                .all(|w| w[1].wrapping_sub(w[0]) == s);
-            if arithmetic {
-                s
-            } else {
-                0
-            }
-        } else {
-            0
-        };
-        self.log
-            .borrow_mut()
-            .record_op(op, ranks.len(), elems, ranks[0], stride);
+        crate::stats::record_group_op(&mut self.log.borrow_mut(), op, group, elems);
     }
 
     /// Extracts the accumulated communication log (resets it).

@@ -5,7 +5,7 @@
 //! collective operations the paper's analysis assumes — binomial-**tree
 //! broadcast** and **reduce** within a mesh row/column (cost `log(q)·β·B`,
 //! Eq. 4) and **ring all-reduce** across a group (cost `2(p−1)/p·β·B`,
-//! Eq. 5) — are implemented from scratch on top of crossbeam channels.
+//! Eq. 5) — are implemented from scratch on top of std mpsc channels.
 //!
 //! Two properties matter for the reproduction:
 //!
@@ -17,23 +17,57 @@
 //!    α-β cost model and which the integration tests validate against the
 //!    closed forms of the paper's Table 1.
 //!
+//! # Communicator backends
+//!
+//! The collective surface is a trait, [`Communicator`], with two backends:
+//!
+//! * [`DeviceCtx`] — the **live** backend. One OS thread per device, real
+//!   payloads over per-pair FIFO channels. Per-hop scratch buffers are drawn
+//!   from a per-device [`BufferPool`] and recycled on receive, so
+//!   steady-state collective traffic performs no heap allocation
+//!   ([`DeviceCtx::fresh_allocs`] counts pool misses; the ablation bench
+//!   asserts it stays at zero after warm-up).
+//! * [`DryRunComm`] — the **trace-only** backend. No threads, no data
+//!   movement: each collective records the op/link stream its live
+//!   counterpart would produce, and received payloads are zeros. Because
+//!   every distributed program here is data-independent (communication
+//!   depends on shapes and mesh geometry, never tensor values), a dry run
+//!   emits logs byte-for-byte identical to a live run — cheap input for the
+//!   `perf` cost model at mesh sizes too big to simulate
+//!   (`optimus-cli --dry-run`).
+//!
+//! Library code is generic: layers take `&Grid2d<C>` (or `&C`) with
+//! `C: Communicator` and run unmodified on either backend. Entry points:
+//! [`Mesh::run_with_logs`] / [`Mesh2d::run_with_logs`] (live) and
+//! [`Mesh::dry_run_with_logs`] / [`Mesh2d::dry_run_with_logs`] (trace).
+//!
 //! # Deadlock discipline
 //!
 //! Collectives are matched by program order per (sender, receiver) pair: all
 //! members of a group must call the same sequence of collectives on that
 //! group. If a device thread panics, its channel endpoints drop and every
 //! peer blocked on it panics with a "disconnected" error instead of hanging.
+//! Two further rules keep the backends interchangeable: non-root `broadcast`
+//! buffers are pre-sized by callers (the trace backend cannot learn sizes
+//! from the wire), and point-to-point receives in a dry run must be matched
+//! by a send already replayed on a lower-or-equal rank.
 
 mod collectives;
+mod comm;
+mod dryrun;
 mod fabric;
 mod group;
 mod mesh2d;
+mod pool;
 mod stats;
 mod topology;
 
+pub use comm::Communicator;
+pub use dryrun::DryRunComm;
 pub use fabric::DeviceCtx;
 pub use group::Group;
 pub use mesh2d::{Grid2d, Mesh2d};
+pub use pool::BufferPool;
 pub use stats::{CommLog, CommOp, LinkRecord, OpRecord};
 pub use topology::{Arrangement, Topology};
 

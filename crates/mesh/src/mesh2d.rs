@@ -1,5 +1,6 @@
 //! The `q × q` SUMMA mesh view over a flat device world.
 
+use crate::comm::Communicator;
 use crate::fabric::DeviceCtx;
 use crate::group::Group;
 use crate::Mesh;
@@ -36,8 +37,13 @@ impl Mesh2d {
 
 /// Per-device view of a `q × q` mesh: coordinates plus precomputed row and
 /// column groups.
-pub struct Grid2d<'a> {
-    ctx: &'a DeviceCtx,
+///
+/// Generic over the [`Communicator`] backend: `Grid2d<'_>` (the default) is
+/// a view over a live [`DeviceCtx`]; `Grid2d<'_, DryRunComm>` is the same
+/// view over the trace-only backend. All distributed layers in the
+/// workspace take `&Grid2d<C>` and therefore run unmodified on either.
+pub struct Grid2d<'a, C: Communicator = DeviceCtx> {
+    ctx: &'a C,
     q: usize,
     row: usize,
     col: usize,
@@ -45,9 +51,9 @@ pub struct Grid2d<'a> {
     col_group: Group,
 }
 
-impl<'a> Grid2d<'a> {
+impl<'a, C: Communicator> Grid2d<'a, C> {
     /// Wraps a device context as a position in a `q × q` mesh.
-    pub fn new(ctx: &'a DeviceCtx, q: usize) -> Self {
+    pub fn new(ctx: &'a C, q: usize) -> Self {
         assert_eq!(ctx.world_size(), q * q, "world size must be q^2");
         Grid2d::sub_mesh(ctx, q, 0)
     }
@@ -56,7 +62,7 @@ impl<'a> Grid2d<'a> {
     /// contiguous rank range `[first, first + q²)` of a larger world — the
     /// building block for hybrid data-parallel × tensor-parallel training,
     /// where each data-parallel replica owns one sub-mesh.
-    pub fn sub_mesh(ctx: &'a DeviceCtx, q: usize, first: usize) -> Self {
+    pub fn sub_mesh(ctx: &'a C, q: usize, first: usize) -> Self {
         assert!(
             first + q * q <= ctx.world_size(),
             "sub-mesh [{first}, {}) exceeds world of {}",
@@ -82,8 +88,8 @@ impl<'a> Grid2d<'a> {
         }
     }
 
-    /// The underlying device context (for p2p and world collectives).
-    pub fn ctx(&self) -> &DeviceCtx {
+    /// The underlying communicator (for p2p and world collectives).
+    pub fn ctx(&self) -> &C {
         self.ctx
     }
 

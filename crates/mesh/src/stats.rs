@@ -68,6 +68,25 @@ pub struct CommLog {
     pub links: Vec<LinkRecord>,
 }
 
+/// Records a collective participation, encoding the group as
+/// first/stride when its membership is arithmetic. Shared by both
+/// [`crate::Communicator`] backends so their op streams are byte-identical.
+pub(crate) fn record_group_op(log: &mut CommLog, op: CommOp, group: &crate::Group, elems: usize) {
+    let ranks = group.ranks();
+    let stride = if ranks.len() > 1 {
+        let s = ranks[1].wrapping_sub(ranks[0]);
+        let arithmetic = ranks.windows(2).all(|w| w[1].wrapping_sub(w[0]) == s);
+        if arithmetic {
+            s
+        } else {
+            0
+        }
+    } else {
+        0
+    };
+    log.record_op(op, ranks.len(), elems, ranks[0], stride);
+}
+
 impl CommLog {
     pub fn new(rank: usize) -> Self {
         CommLog {

@@ -58,7 +58,11 @@ impl Topology {
             Arrangement::Bunched => {
                 // Tile the q x q mesh with (a x b) rectangles, a*b = g.
                 let a = tile_side(gpus_per_node).min(q);
-                let a = if gpus_per_node.is_multiple_of(a) { a } else { 1 };
+                let a = if gpus_per_node.is_multiple_of(a) {
+                    a
+                } else {
+                    1
+                };
                 let b = gpus_per_node / a;
                 if !q.is_multiple_of(a) || !q.is_multiple_of(b) {
                     // Mesh not tileable by this rectangle; fall back to

@@ -24,7 +24,10 @@ fn main() {
     ];
     let (meg, opt) = weak_scaling(&profile);
     println!("=== WEAK SCALING (Table 2) ===");
-    for (rows, paper, name) in [(&meg, &paper_meg, "megatron"), (&opt, &paper_opt, "optimus")] {
+    for (rows, paper, name) in [
+        (&meg, &paper_meg, "megatron"),
+        (&opt, &paper_opt, "optimus"),
+    ] {
         println!("-- {name} --");
         println!("gpus  b    h      fwd/seq (model|paper)  bwd/seq (model|paper)  thr (model|paper)  inf (model|paper)  eff");
         for (r, p) in rows.iter().zip(paper.iter()) {
@@ -50,7 +53,10 @@ fn main() {
     ];
     let (meg3, opt3) = strong_scaling(&profile);
     println!("\n=== STRONG SCALING (Table 3) ===");
-    for (rows, paper, name) in [(&meg3, &paper_meg3, "megatron"), (&opt3, &paper_opt3, "optimus")] {
+    for (rows, paper, name) in [
+        (&meg3, &paper_meg3, "megatron"),
+        (&opt3, &paper_opt3, "optimus"),
+    ] {
         println!("-- {name} --");
         for (r, p) in rows.iter().zip(paper.iter()) {
             println!(

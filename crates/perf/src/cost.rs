@@ -104,9 +104,7 @@ impl CostModel {
 
     /// Replays a whole mesh run: the slowest device's communication time.
     pub fn replay_max(&self, logs: &[CommLog]) -> f64 {
-        logs.iter()
-            .map(|l| self.replay(l))
-            .fold(0.0, f64::max)
+        logs.iter().map(|l| self.replay(l)).fold(0.0, f64::max)
     }
 }
 
@@ -205,8 +203,7 @@ mod tests {
             ctx.broadcast(&g, 0, &mut d);
         });
         let m = uniform_model(1e-9);
-        let expect = m.all_reduce_time(&[0, 1, 2, 3], 1000)
-            + m.broadcast_time(&[0, 1, 2, 3], 1000);
+        let expect = m.all_reduce_time(&[0, 1, 2, 3], 1000) + m.broadcast_time(&[0, 1, 2, 3], 1000);
         for log in &logs {
             let t = m.replay(log);
             assert!((t - expect).abs() < 1e-12, "t={t} expect={expect}");

@@ -55,9 +55,7 @@ mod tests {
     fn optimus_grows_much_slower() {
         // √p·log₂p = p exactly at p = 16, so the curves touch there and
         // Optimus wins strictly beyond.
-        assert!(
-            (optimus_isoefficiency(16.0) - megatron_isoefficiency(16.0)).abs() < 1e-9
-        );
+        assert!((optimus_isoefficiency(16.0) - megatron_isoefficiency(16.0)).abs() < 1e-9);
         for p in [64.0, 256.0, 1024.0] {
             assert!(
                 optimus_isoefficiency(p) < megatron_isoefficiency(p),

@@ -17,7 +17,6 @@
 //! grows (~8× more batch at 64 GPUs).
 
 use crate::profile::HardwareProfile;
-use serde::Serialize;
 
 /// Bytes per f32.
 const F: f64 = 4.0;
@@ -35,7 +34,7 @@ pub struct MemoryConfig {
 }
 
 /// Breakdown of one device's memory use at batch `b`, in bytes.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MemoryEstimate {
     pub params: f64,
     pub grads: f64,
@@ -85,11 +84,9 @@ pub fn optimus_bytes(c: &MemoryConfig, b: usize) -> MemoryEstimate {
     // Everything is 1/p: the same 16 bsh-equivalents plus scores, plus the
     // SUMMA workspace (two panels: the largest activation panel 4bsh/p and
     // weight panel 4h²/p, Sec. 3.2.3).
-    let working = (16.0 * bsh / p
-        + bf * c.heads as f64 * s * s / p
-        + 4.0 * bsh / p
-        + 4.0 * h * h / p * q)
-        * F;
+    let working =
+        (16.0 * bsh / p + bf * c.heads as f64 * s * s / p + 4.0 * bsh / p + 4.0 * h * h / p * q)
+            * F;
     let total = params + grads + checkpoints + working;
     MemoryEstimate {
         params,
@@ -139,7 +136,7 @@ pub fn max_batch(
 
 /// One point of Figure 9: max batch that runs, and the next step that OOMs
 /// (the paper's `ξ(η)` labels).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Fig9Point {
     pub gpus: usize,
     pub hidden: usize,
@@ -206,8 +203,7 @@ mod tests {
         // shrink, Optimus's everything does.
         let c64 = MemoryConfig { p: 64, ..c };
         let ratio16 = m.working_set / o.working_set;
-        let ratio64 =
-            megatron_bytes(&c64, 64).working_set / optimus_bytes(&c64, 64).working_set;
+        let ratio64 = megatron_bytes(&c64, 64).working_set / optimus_bytes(&c64, 64).working_set;
         assert!(ratio64 > 2.0 * ratio16, "{ratio16} -> {ratio64}");
     }
 

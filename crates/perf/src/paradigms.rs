@@ -32,8 +32,7 @@ pub fn pipeline_stem_times(
     micro: usize,
 ) -> (f64, f64) {
     assert!(stages >= 1 && micro >= 1);
-    let stage_macs_per_micro =
-        layer_macs(b / micro, s, h) * (layers as f64 / stages as f64);
+    let stage_macs_per_micro = layer_macs(b / micro, s, h) * (layers as f64 / stages as f64);
     let stage_fwd = cm.compute_time(stage_macs_per_micro);
     // Boundary hop for one microbatch activation (worst link: inter-node).
     let hop = if stages > 1 {
@@ -95,10 +94,7 @@ mod tests {
     use mesh::Topology;
 
     fn cm() -> CostModel {
-        CostModel::new(
-            HardwareProfile::frontera_rtx5000(),
-            Topology::flat(4, 4),
-        )
+        CostModel::new(HardwareProfile::frontera_rtx5000(), Topology::flat(4, 4))
     }
 
     #[test]

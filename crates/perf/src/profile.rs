@@ -1,6 +1,6 @@
 //! Hardware profiles for the cost model.
 
-use serde::{Deserialize, Serialize};
+use minjson::Json;
 
 /// Machine constants for the α-β + flop-rate model.
 ///
@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// transferred (the paper's "time to transfer a scalar"). `α` is the
 /// per-message latency (the paper drops it as negligible for its payload
 /// sizes; we keep it for fidelity at small block sizes).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HardwareProfile {
     pub name: String,
     /// Effective multiply-accumulate rate per device (MAC/s), i.e. achieved
@@ -63,6 +63,41 @@ impl HardwareProfile {
             gpus_per_node: usize::MAX,
         }
     }
+
+    /// Profile as JSON. Non-finite `mem_bytes` (the idealised profiles)
+    /// serializes as `null`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("mac_rate", Json::Num(self.mac_rate)),
+            ("alpha", Json::Num(self.alpha)),
+            ("beta_intra", Json::Num(self.beta_intra)),
+            ("beta_inter", Json::Num(self.beta_inter)),
+            ("mem_bytes", Json::Num(self.mem_bytes)),
+            ("gpus_per_node", Json::Num(self.gpus_per_node as f64)),
+        ])
+    }
+
+    /// Inverse of [`HardwareProfile::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let name = match v.get("name")? {
+            Json::Str(s) => s.clone(),
+            other => return Err(format!("expected string name, got {other:?}")),
+        };
+        let mem_bytes = match v.get("mem_bytes")? {
+            Json::Null => f64::INFINITY,
+            other => other.as_f64()?,
+        };
+        Ok(HardwareProfile {
+            name,
+            mac_rate: v.get("mac_rate")?.as_f64()?,
+            alpha: v.get("alpha")?.as_f64()?,
+            beta_intra: v.get("beta_intra")?.as_f64()?,
+            beta_inter: v.get("beta_inter")?.as_f64()?,
+            mem_bytes,
+            gpus_per_node: v.get("gpus_per_node")?.as_usize()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -81,9 +116,10 @@ mod tests {
     #[test]
     fn profile_serializes() {
         let p = HardwareProfile::frontera_rtx5000();
-        let s = serde_json::to_string(&p).unwrap();
-        let back: HardwareProfile = serde_json::from_str(&s).unwrap();
+        let s = p.to_json().to_string();
+        let back = HardwareProfile::from_json(&minjson::parse(&s).unwrap()).unwrap();
         assert_eq!(back.name, p.name);
         assert_eq!(back.gpus_per_node, p.gpus_per_node);
+        assert_eq!(back.mac_rate, p.mac_rate);
     }
 }

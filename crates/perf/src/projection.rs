@@ -14,10 +14,9 @@ use crate::cost::CostModel;
 use crate::profile::HardwareProfile;
 use crate::scaling::{megatron_stem_times, optimus_stem_times, LAYERS, SEQ};
 use mesh::{Arrangement, Topology};
-use serde::Serialize;
 
 /// One projected operating point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ProjectionPoint {
     pub gpus: usize,
     pub hidden: usize,
@@ -46,10 +45,7 @@ pub fn weak_scaling_projection(profile: &HardwareProfile) -> Vec<ProjectionPoint
 
         let gpn = profile.gpus_per_node.min(gpus);
         let cm_meg = CostModel::new(profile.clone(), Topology::flat(gpus, gpn));
-        let cm_opt = CostModel::new(
-            profile.clone(),
-            Topology::new(q, gpn, Arrangement::Bunched),
-        );
+        let cm_opt = CostModel::new(profile.clone(), Topology::new(q, gpn, Arrangement::Bunched));
         let (mf, mb) = megatron_stem_times(&cm_meg, b_meg, SEQ, h, LAYERS, gpus);
         let (of, ob) = optimus_stem_times(&cm_opt, b_opt, SEQ, h, LAYERS, q);
         let m_thr = b_meg as f64 / (mf + mb);
@@ -104,7 +100,11 @@ mod tests {
             );
         }
         // At 1024 devices the gap is large.
-        assert!(pts[4].advantage > 3.0, "1024-GPU advantage {}", pts[4].advantage);
+        assert!(
+            pts[4].advantage > 3.0,
+            "1024-GPU advantage {}",
+            pts[4].advantage
+        );
     }
 
     #[test]

@@ -14,14 +14,13 @@ use crate::cost::CostModel;
 use crate::profile::HardwareProfile;
 use crate::table1::layer_macs;
 use mesh::{Arrangement, Topology};
-use serde::Serialize;
 
 /// Paper constants: all scaling experiments fix `s = 512`, `N = 24`.
 pub const SEQ: usize = 512;
 pub const LAYERS: usize = 24;
 
 /// One row of Table 2 / Table 3.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ScalingRow {
     pub scheme: &'static str,
     pub nodes: usize,
@@ -72,9 +71,9 @@ fn layer_products(b: usize, s: usize, h: usize, q: usize) -> [(usize, usize); 4]
     let bsh = b * s * h;
     let h2 = h * h;
     [
-        (bsh / p, 3 * h2 / p), // QKV projection [bs,h]x[h,3h]
-        (bsh / p, h2 / p),     // attention output [bs,h]x[h,h]
-        (bsh / p, 4 * h2 / p), // MLP expansion [bs,h]x[h,4h]
+        (bsh / p, 3 * h2 / p),     // QKV projection [bs,h]x[h,3h]
+        (bsh / p, h2 / p),         // attention output [bs,h]x[h,h]
+        (bsh / p, 4 * h2 / p),     // MLP expansion [bs,h]x[h,4h]
         (4 * bsh / p, 4 * h2 / p), // MLP contraction [bs,4h]x[4h,h]
     ]
 }
@@ -114,8 +113,7 @@ pub fn optimus_stem_times(
     // all-reduce two row-length vectors along the row, plus column
     // broadcasts of the h/q parameter slices. Small but priced.
     let ln_rows = b * s / q;
-    let ln = 2.0
-        * (2.0 * cm.all_reduce_time(&row, ln_rows) + 2.0 * cm.broadcast_time(&col, h / q));
+    let ln = 2.0 * (2.0 * cm.all_reduce_time(&row, ln_rows) + 2.0 * cm.broadcast_time(&col, h / q));
     comm_fwd += ln;
     comm_bwd_grads += ln;
 
@@ -126,7 +124,13 @@ pub fn optimus_stem_times(
 
 /// Theoretical serial time for the same stem (the paper's baseline for
 /// efficiency: the 1-GPU-characterised compute cost, no recompute).
-pub fn serial_stem_time(profile: &HardwareProfile, b: usize, s: usize, h: usize, layers: usize) -> f64 {
+pub fn serial_stem_time(
+    profile: &HardwareProfile,
+    b: usize,
+    s: usize,
+    h: usize,
+    layers: usize,
+) -> f64 {
     3.0 * layers as f64 * layer_macs(b, s, h) / profile.mac_rate
 }
 

@@ -33,8 +33,8 @@ pub fn megatron_layer_costs(b: usize, s: usize, h: usize, p: usize) -> LayerCost
     let pf = p as f64;
     let ar = 2.0 * (pf - 1.0) / pf * bsh; // wire volume of one bsh all-reduce
     LayerCosts {
-        fwd_comm: 2.0 * ar,       // = 4(p−1)/p·bsh
-        bwd_comm: 4.0 * ar,       // = 8(p−1)/p·bsh (2 grad ARs + recompute)
+        fwd_comm: 2.0 * ar, // = 4(p−1)/p·bsh
+        bwd_comm: 4.0 * ar, // = 8(p−1)/p·bsh (2 grad ARs + recompute)
         fwd_macs: layer_macs(b, s, h) / pf,
         bwd_macs: 3.0 * layer_macs(b, s, h) / pf,
     }

@@ -18,7 +18,12 @@ fn head_block(x: &Tensor, b: usize, head: usize, s: usize, d: usize) -> Tensor {
 
 /// Attention forward. `q`, `k`, `v` are `[b·s, h]` (head `j` occupies
 /// columns `j·d..(j+1)·d`); returns the `[b·s, h]` context and the cache.
-pub fn attention_forward(cfg: &ModelConfig, q: &Tensor, k: &Tensor, v: &Tensor) -> (Tensor, AttnCache) {
+pub fn attention_forward(
+    cfg: &ModelConfig,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+) -> (Tensor, AttnCache) {
     let (b, s, n, d) = (cfg.batch, cfg.seq, cfg.heads, cfg.head_dim());
     assert_eq!(q.dims(), &[b * s, n * d]);
     let scale = 1.0 / (d as f32).sqrt();
@@ -173,7 +178,11 @@ mod tests {
     }
 
     fn dot(a: &Tensor, b: &Tensor) -> f32 {
-        a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).sum()
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x * y)
+            .sum()
     }
 
     #[test]
@@ -199,8 +208,7 @@ mod tests {
         let (out, _) = attention_forward(&c, &q, &k, &v);
         for bi in 0..2 {
             for col in 0..8 {
-                let mean: f32 =
-                    (0..3).map(|t| v.at(bi * 3 + t, col)).sum::<f32>() / 3.0;
+                let mean: f32 = (0..3).map(|t| v.at(bi * 3 + t, col)).sum::<f32>() / 3.0;
                 for t in 0..3 {
                     assert!((out.at(bi * 3 + t, col) - mean).abs() < 1e-5);
                 }

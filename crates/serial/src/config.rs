@@ -44,19 +44,54 @@ impl ModelConfig {
     /// Validates divisibility constraints for a `q × q` 2D partition:
     /// the paper requires `q | b`, `q | h`, `q | n`, `q | v`.
     pub fn validate_2d(&self, q: usize) {
-        assert_eq!(self.batch % q, 0, "b={} must be divisible by q={q}", self.batch);
-        assert_eq!(self.hidden % q, 0, "h={} must be divisible by q={q}", self.hidden);
-        assert_eq!(self.heads % q, 0, "n={} must be divisible by q={q}", self.heads);
-        assert_eq!(self.vocab % q, 0, "v={} must be divisible by q={q}", self.vocab);
+        assert_eq!(
+            self.batch % q,
+            0,
+            "b={} must be divisible by q={q}",
+            self.batch
+        );
+        assert_eq!(
+            self.hidden % q,
+            0,
+            "h={} must be divisible by q={q}",
+            self.hidden
+        );
+        assert_eq!(
+            self.heads % q,
+            0,
+            "n={} must be divisible by q={q}",
+            self.heads
+        );
+        assert_eq!(
+            self.vocab % q,
+            0,
+            "v={} must be divisible by q={q}",
+            self.vocab
+        );
     }
 
     /// Validates divisibility constraints for a `p`-way 1D partition:
     /// Megatron requires `p | n` (and thus `p | h`), plus `p | v` for the
     /// vocab-parallel embedding.
     pub fn validate_1d(&self, p: usize) {
-        assert_eq!(self.heads % p, 0, "n={} must be divisible by p={p}", self.heads);
-        assert_eq!(self.hidden % p, 0, "h={} must be divisible by p={p}", self.hidden);
-        assert_eq!(self.vocab % p, 0, "v={} must be divisible by p={p}", self.vocab);
+        assert_eq!(
+            self.heads % p,
+            0,
+            "n={} must be divisible by p={p}",
+            self.heads
+        );
+        assert_eq!(
+            self.hidden % p,
+            0,
+            "h={} must be divisible by p={p}",
+            self.hidden
+        );
+        assert_eq!(
+            self.vocab % p,
+            0,
+            "v={} must be divisible by p={p}",
+            self.vocab
+        );
     }
 
     /// Number of parameters in one transformer layer: `12h² + 13h`

@@ -119,8 +119,7 @@ pub fn layer_backward(
     // Attention branch.
     let out_lin = Linear::new(p.w_out.clone(), p.b_out.clone());
     let (dctxt, dw_out, db_out) = out_lin.backward(&cache.ctxt, &dx1);
-    let (dq, dk, dv) =
-        attention_backward(cfg, &dctxt, &cache.q, &cache.k, &cache.v, &cache.attn);
+    let (dq, dk, dv) = attention_backward(cfg, &dctxt, &cache.q, &cache.k, &cache.v, &cache.attn);
     let mut dqkv = Tensor::zeros(&[rows, 3 * h]);
     dqkv.set_block(0, 0, &dq);
     dqkv.set_block(0, h, &dk);
@@ -176,7 +175,11 @@ mod tests {
     }
 
     fn dot(a: &Tensor, b: &Tensor) -> f32 {
-        a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).sum()
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x * y)
+            .sum()
     }
 
     #[test]

@@ -53,7 +53,11 @@ mod tests {
     }
 
     fn dot(a: &Tensor, b: &Tensor) -> f32 {
-        a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).sum()
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x * y)
+            .sum()
     }
 
     #[test]

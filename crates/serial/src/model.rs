@@ -127,13 +127,7 @@ impl SerialModel {
             layer_norm_backward(&dhidden, &cache.final_ln, &self.params.final_ln_g);
 
         let mut layer_grads: Vec<LayerGrads> = Vec::with_capacity(self.cfg.layers);
-        for (lp, lc) in self
-            .params
-            .layers
-            .iter()
-            .zip(cache.layers.iter())
-            .rev()
-        {
+        for (lp, lc) in self.params.layers.iter().zip(cache.layers.iter()).rev() {
             let (dprev, g) = layer_backward(&self.cfg, lp, lc, &dx);
             layer_grads.push(g);
             dx = dprev;
@@ -312,10 +306,7 @@ mod tests {
         let model = SerialModel::new(cfg, 1);
         let loss = model.lm_loss(&tokens, &labels);
         let uniform = (cfg.vocab as f32).ln();
-        assert!(
-            (loss - uniform).abs() < 0.5,
-            "loss={loss}, log v={uniform}"
-        );
+        assert!((loss - uniform).abs() < 0.5, "loss={loss}, log v={uniform}");
     }
 
     #[test]

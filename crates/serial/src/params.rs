@@ -5,7 +5,7 @@
 //! `(seed, param id)` streams and slicing — see [`tensor::init`].
 
 use crate::config::ModelConfig;
-use serde::{Deserialize, Serialize};
+use minjson::Json;
 use tensor::init::{init_matrix, init_vector, param_ids, WEIGHT_STD};
 use tensor::Tensor;
 
@@ -14,7 +14,7 @@ use tensor::Tensor;
 /// The fused QKV weight uses the canonical column layout `[Wq | Wk | Wv]`
 /// (each `[h, h]`); partitioned implementations permute columns as needed
 /// but must map their gradients back to this layout for comparison.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LayerParams {
     pub ln1_g: Vec<f32>,
     pub ln1_b: Vec<f32>,
@@ -69,10 +69,46 @@ impl LayerParams {
             + self.ln2_g.len()
             + self.ln2_b.len()
     }
+
+    /// Checkpoint JSON (an object keyed by field name).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("ln1_g", Json::f32_arr(&self.ln1_g)),
+            ("ln1_b", Json::f32_arr(&self.ln1_b)),
+            ("w_qkv", self.w_qkv.to_json()),
+            ("b_qkv", Json::f32_arr(&self.b_qkv)),
+            ("w_out", self.w_out.to_json()),
+            ("b_out", Json::f32_arr(&self.b_out)),
+            ("ln2_g", Json::f32_arr(&self.ln2_g)),
+            ("ln2_b", Json::f32_arr(&self.ln2_b)),
+            ("w_fc1", self.w_fc1.to_json()),
+            ("b_fc1", Json::f32_arr(&self.b_fc1)),
+            ("w_fc2", self.w_fc2.to_json()),
+            ("b_fc2", Json::f32_arr(&self.b_fc2)),
+        ])
+    }
+
+    /// Inverse of [`LayerParams::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(LayerParams {
+            ln1_g: v.get("ln1_g")?.as_f32_vec()?,
+            ln1_b: v.get("ln1_b")?.as_f32_vec()?,
+            w_qkv: Tensor::from_json(v.get("w_qkv")?)?,
+            b_qkv: v.get("b_qkv")?.as_f32_vec()?,
+            w_out: Tensor::from_json(v.get("w_out")?)?,
+            b_out: v.get("b_out")?.as_f32_vec()?,
+            ln2_g: v.get("ln2_g")?.as_f32_vec()?,
+            ln2_b: v.get("ln2_b")?.as_f32_vec()?,
+            w_fc1: Tensor::from_json(v.get("w_fc1")?)?,
+            b_fc1: v.get("b_fc1")?.as_f32_vec()?,
+            w_fc2: Tensor::from_json(v.get("w_fc2")?)?,
+            b_fc2: v.get("b_fc2")?.as_f32_vec()?,
+        })
+    }
 }
 
 /// All stem parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ModelParams {
     /// Embedding table `[v, h]`, tied with the LM head.
     pub embedding: Tensor,
@@ -102,23 +138,55 @@ impl ModelParams {
     /// Total scalar parameters.
     pub fn num_params(&self) -> usize {
         self.embedding.len()
-            + self.layers.iter().map(LayerParams::num_params).sum::<usize>()
+            + self
+                .layers
+                .iter()
+                .map(LayerParams::num_params)
+                .sum::<usize>()
             + self.final_ln_g.len()
             + self.final_ln_b.len()
+    }
+
+    /// Checkpoint JSON (an object keyed by field name).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("embedding", self.embedding.to_json()),
+            (
+                "layers",
+                Json::Arr(self.layers.iter().map(LayerParams::to_json).collect()),
+            ),
+            ("final_ln_g", Json::f32_arr(&self.final_ln_g)),
+            ("final_ln_b", Json::f32_arr(&self.final_ln_b)),
+        ])
+    }
+
+    /// Inverse of [`ModelParams::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(ModelParams {
+            embedding: Tensor::from_json(v.get("embedding")?)?,
+            layers: v
+                .get("layers")?
+                .as_arr()?
+                .iter()
+                .map(LayerParams::from_json)
+                .collect::<Result<_, _>>()?,
+            final_ln_g: v.get("final_ln_g")?.as_f32_vec()?,
+            final_ln_b: v.get("final_ln_b")?.as_f32_vec()?,
+        })
     }
 
     /// Writes the parameters as JSON (the workspace's checkpoint format —
     /// every implementation can produce and consume it via
     /// `gather_params` / `from_params`).
     pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let body = serde_json::to_vec(self).map_err(std::io::Error::other)?;
-        std::fs::write(path, body)
+        std::fs::write(path, self.to_json().to_string())
     }
 
     /// Reads parameters written by [`ModelParams::save_json`].
     pub fn load_json(path: &std::path::Path) -> std::io::Result<Self> {
-        let body = std::fs::read(path)?;
-        serde_json::from_slice(&body).map_err(std::io::Error::other)
+        let body = std::fs::read_to_string(path)?;
+        let v = minjson::parse(&body).map_err(std::io::Error::other)?;
+        Self::from_json(&v).map_err(std::io::Error::other)
     }
 }
 

@@ -12,14 +12,14 @@
 //! `cannon_nn` must produce bit-compatible results with `summa_nn` up to
 //! f32 summation order.
 
-use mesh::Grid2d;
+use mesh::{Communicator, Grid2d};
 use tensor::matmul::matmul_nn_acc;
 use tensor::Tensor;
 
 /// Sends `block` to mesh position `(dst_row, dst_col)` and receives the
 /// block arriving from `(src_row, src_col)`.
-fn shift(
-    grid: &Grid2d,
+fn shift<C: Communicator>(
+    grid: &Grid2d<C>,
     block: Tensor,
     dst: (usize, usize),
     src: (usize, usize),
@@ -38,7 +38,7 @@ fn shift(
 
 /// `C = A B` via Cannon's algorithm on the `q × q` mesh. Block shapes as in
 /// [`crate::summa_nn`]; returns the local `C` block.
-pub fn cannon_nn(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
+pub fn cannon_nn<C: Communicator>(grid: &Grid2d<C>, a: &Tensor, b: &Tensor) -> Tensor {
     let q = grid.q();
     let (i, j) = (grid.row(), grid.col());
     let (mb, kb) = (a.rows(), a.cols());
@@ -46,18 +46,8 @@ pub fn cannon_nn(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");
 
     // Initial skew: A(i, j) -> A(i, j - i); B(i, j) -> B(i - j, j).
-    let mut a_blk = shift(
-        grid,
-        a.clone(),
-        (i, (j + q - i) % q),
-        (i, (j + i) % q),
-    );
-    let mut b_blk = shift(
-        grid,
-        b.clone(),
-        ((i + q - j) % q, j),
-        ((i + j) % q, j),
-    );
+    let mut a_blk = shift(grid, a.clone(), (i, (j + q - i) % q), (i, (j + i) % q));
+    let mut b_blk = shift(grid, b.clone(), ((i + q - j) % q, j), ((i + j) % q, j));
 
     let mut c = Tensor::zeros(&[mb, nb]);
     for step in 0..q {
@@ -89,9 +79,7 @@ mod tests {
             let a = rand(&[2 * q, 3 * q], 1);
             let b = rand(&[3 * q, 2 * q], 2);
             let expect = matmul_nn(&a, &b);
-            let blocks = Mesh2d::run(q, |g| {
-                cannon_nn(g, &distribute(g, &a), &distribute(g, &b))
-            });
+            let blocks = Mesh2d::run(q, |g| cannon_nn(g, &distribute(g, &a), &distribute(g, &b)));
             assert_close(
                 collect_blocks(&blocks, q).as_slice(),
                 expect.as_slice(),
@@ -121,9 +109,8 @@ mod tests {
         let q = 2;
         let a = rand(&[4, 4], 5);
         let b = rand(&[4, 4], 6);
-        let (_, logs) = Mesh2d::run_with_logs(q, |g| {
-            cannon_nn(g, &distribute(g, &a), &distribute(g, &b))
-        });
+        let (_, logs) =
+            Mesh2d::run_with_logs(q, |g| cannon_nn(g, &distribute(g, &a), &distribute(g, &b)));
         for log in &logs {
             assert_eq!(log.op_count(CommOp::Broadcast), 0);
             assert_eq!(log.op_count(CommOp::Reduce), 0);
@@ -140,9 +127,8 @@ mod tests {
         let q = 3;
         let a = rand(&[6, 9], 7);
         let b = rand(&[9, 6], 8);
-        let (_, logs) = Mesh2d::run_with_logs(q, |g| {
-            cannon_nn(g, &distribute(g, &a), &distribute(g, &b))
-        });
+        let (_, logs) =
+            Mesh2d::run_with_logs(q, |g| cannon_nn(g, &distribute(g, &a), &distribute(g, &b)));
         let a_blk = 2 * 3;
         let b_blk = 3 * 2;
         for log in &logs {

@@ -2,12 +2,12 @@
 //! distribution — used at model-construction time (slicing deterministic
 //! full parameter matrices) and in tests (reassembling distributed results).
 
-use mesh::Grid2d;
+use mesh::{Communicator, Grid2d};
 use tensor::Tensor;
 
 /// The block of `full` owned by this device: block `(row, col)` of the
 /// `q × q` partition.
-pub fn distribute(grid: &Grid2d, full: &Tensor) -> Tensor {
+pub fn distribute<C: Communicator>(grid: &Grid2d<C>, full: &Tensor) -> Tensor {
     full.summa_block(grid.row(), grid.col(), grid.q())
 }
 

@@ -25,7 +25,5 @@ mod workspace;
 
 pub use cannon::cannon_nn;
 pub use dist::{collect_blocks, distribute};
-pub use ops::{
-    grad_nn, grad_nt, grad_tn, summa_nn, summa_nt, summa_tn, summa_nn_bias,
-};
+pub use ops::{grad_nn, grad_nt, grad_tn, summa_nn, summa_nn_bias, summa_nt, summa_tn};
 pub use workspace::{summa_nn_into, summa_nt_into, summa_tn_into, Workspace};

@@ -1,14 +1,14 @@
 //! The three SUMMA product forms and their gradients.
 
-use mesh::Grid2d;
+use mesh::{Communicator, Grid2d};
 use tensor::matmul::{matmul_nn_acc, matmul_nt_acc, matmul_tn_acc};
 use tensor::ops::bias_add;
 use tensor::Tensor;
 
 /// Broadcasts the root's local block within `group` and returns it as a
 /// tensor of shape `dims` on every member. `root` is a group index.
-fn bcast_block(
-    grid: &Grid2d,
+fn bcast_block<C: Communicator>(
+    grid: &Grid2d<C>,
     group: &mesh::Group,
     root: usize,
     local: &Tensor,
@@ -21,7 +21,8 @@ fn bcast_block(
         assert_eq!(local.dims(), &dims, "root block has unexpected shape");
         local.as_slice().to_vec()
     } else {
-        Vec::new()
+        // Pre-sized so the trace backend knows the payload length.
+        vec![0.0; dims[0] * dims[1]]
     };
     grid.ctx().broadcast(group, root, &mut buf);
     Tensor::from_vec(&dims, buf)
@@ -33,7 +34,7 @@ fn bcast_block(
 /// Iteration `l` broadcasts `A`'s column-`l` panel along mesh rows and `B`'s
 /// row-`l` panel along mesh columns, then accumulates the outer product
 /// locally (Fig. 3).
-pub fn summa_nn(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
+pub fn summa_nn<C: Communicator>(grid: &Grid2d<C>, a: &Tensor, b: &Tensor) -> Tensor {
     let (mb, kb) = (a.rows(), a.cols());
     let (kb2, nb) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");
@@ -49,7 +50,12 @@ pub fn summa_nn(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
 /// `C = A B` followed by a bias add, where the bias slice `[N/q]` lives on
 /// mesh row 0 and is broadcast down each column (paper Fig. 5a). All
 /// devices receive the bias; only row 0 passes `Some(bias)`.
-pub fn summa_nn_bias(grid: &Grid2d, a: &Tensor, b: &Tensor, bias: Option<&[f32]>) -> Tensor {
+pub fn summa_nn_bias<C: Communicator>(
+    grid: &Grid2d<C>,
+    a: &Tensor,
+    b: &Tensor,
+    bias: Option<&[f32]>,
+) -> Tensor {
     let mut c = summa_nn(grid, a, b);
     let mut bias_buf = match bias {
         Some(bv) => {
@@ -58,7 +64,8 @@ pub fn summa_nn_bias(grid: &Grid2d, a: &Tensor, b: &Tensor, bias: Option<&[f32]>
         }
         None => {
             assert_ne!(grid.row(), 0, "mesh row 0 must provide the bias");
-            Vec::new()
+            // Pre-sized: the bias slice has the output block's column count.
+            vec![0.0; c.cols()]
         }
     };
     grid.ctx().broadcast(grid.col_group(), 0, &mut bias_buf);
@@ -71,7 +78,7 @@ pub fn summa_nn_bias(grid: &Grid2d, a: &Tensor, b: &Tensor, bias: Option<&[f32]>
 ///
 /// Iteration `l` broadcasts `B`'s row-`l` panel along columns, forms the
 /// partial product locally, and reduces it along rows to column `l`.
-pub fn summa_nt(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
+pub fn summa_nt<C: Communicator>(grid: &Grid2d<C>, a: &Tensor, b: &Tensor) -> Tensor {
     let (mb, kb) = (a.rows(), a.cols());
     let (nb, kb2) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");
@@ -80,7 +87,8 @@ pub fn summa_nt(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
         let b_panel = bcast_block(grid, grid.col_group(), l, b, [nb, kb]);
         let mut c_temp = Tensor::zeros(&[mb, nb]);
         matmul_nt_acc(&mut c_temp, a, &b_panel);
-        grid.ctx().reduce(grid.row_group(), l, c_temp.as_mut_slice());
+        grid.ctx()
+            .reduce(grid.row_group(), l, c_temp.as_mut_slice());
         if grid.col() == l {
             c = c_temp;
         }
@@ -93,7 +101,7 @@ pub fn summa_nt(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Iteration `l` broadcasts `A`'s column-`l` panel along rows, forms the
 /// partial product locally, and reduces it along columns to row `l`.
-pub fn summa_tn(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
+pub fn summa_tn<C: Communicator>(grid: &Grid2d<C>, a: &Tensor, b: &Tensor) -> Tensor {
     let (kb, mb) = (a.rows(), a.cols());
     let (kb2, nb) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");
@@ -102,7 +110,8 @@ pub fn summa_tn(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
         let a_panel = bcast_block(grid, grid.row_group(), l, a, [kb, mb]);
         let mut c_temp = Tensor::zeros(&[mb, nb]);
         matmul_tn_acc(&mut c_temp, &a_panel, b);
-        grid.ctx().reduce(grid.col_group(), l, c_temp.as_mut_slice());
+        grid.ctx()
+            .reduce(grid.col_group(), l, c_temp.as_mut_slice());
         if grid.row() == l {
             c = c_temp;
         }
@@ -111,17 +120,32 @@ pub fn summa_tn(grid: &Grid2d, a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// Gradients of `C = A B` (paper Eq. 1): `dA = dC Bᵀ`, `dB = Aᵀ dC`.
-pub fn grad_nn(grid: &Grid2d, a: &Tensor, b: &Tensor, dc: &Tensor) -> (Tensor, Tensor) {
+pub fn grad_nn<C: Communicator>(
+    grid: &Grid2d<C>,
+    a: &Tensor,
+    b: &Tensor,
+    dc: &Tensor,
+) -> (Tensor, Tensor) {
     (summa_nt(grid, dc, b), summa_tn(grid, a, dc))
 }
 
 /// Gradients of `C = A Bᵀ` (paper Eq. 3): `dA = dC B`, `dB = dCᵀ A`.
-pub fn grad_nt(grid: &Grid2d, a: &Tensor, b: &Tensor, dc: &Tensor) -> (Tensor, Tensor) {
+pub fn grad_nt<C: Communicator>(
+    grid: &Grid2d<C>,
+    a: &Tensor,
+    b: &Tensor,
+    dc: &Tensor,
+) -> (Tensor, Tensor) {
     (summa_nn(grid, dc, b), summa_tn(grid, dc, a))
 }
 
 /// Gradients of `C = Aᵀ B` (paper Eq. 2): `dA = B dCᵀ`, `dB = A dC`.
-pub fn grad_tn(grid: &Grid2d, a: &Tensor, b: &Tensor, dc: &Tensor) -> (Tensor, Tensor) {
+pub fn grad_tn<C: Communicator>(
+    grid: &Grid2d<C>,
+    a: &Tensor,
+    b: &Tensor,
+    dc: &Tensor,
+) -> (Tensor, Tensor) {
     (summa_nt(grid, b, dc), summa_nn(grid, a, dc))
 }
 
@@ -142,9 +166,7 @@ mod tests {
             let a = rand(&[6 * q, 4 * q], 1);
             let b = rand(&[4 * q, 5 * q], 2);
             let expect = matmul_nn(&a, &b);
-            let blocks = Mesh2d::run(q, |g| {
-                summa_nn(g, &distribute(g, &a), &distribute(g, &b))
-            });
+            let blocks = Mesh2d::run(q, |g| summa_nn(g, &distribute(g, &a), &distribute(g, &b)));
             let got = collect_blocks(&blocks, q);
             assert_close(got.as_slice(), expect.as_slice(), 1e-4, 1e-4);
         }
@@ -156,9 +178,7 @@ mod tests {
             let a = rand(&[4 * q, 3 * q], 3);
             let b = rand(&[5 * q, 3 * q], 4);
             let expect = matmul_nt(&a, &b);
-            let blocks = Mesh2d::run(q, |g| {
-                summa_nt(g, &distribute(g, &a), &distribute(g, &b))
-            });
+            let blocks = Mesh2d::run(q, |g| summa_nt(g, &distribute(g, &a), &distribute(g, &b)));
             let got = collect_blocks(&blocks, q);
             assert_close(got.as_slice(), expect.as_slice(), 1e-4, 1e-4);
         }
@@ -170,9 +190,7 @@ mod tests {
             let a = rand(&[3 * q, 4 * q], 5);
             let b = rand(&[3 * q, 5 * q], 6);
             let expect = matmul_tn(&a, &b);
-            let blocks = Mesh2d::run(q, |g| {
-                summa_tn(g, &distribute(g, &a), &distribute(g, &b))
-            });
+            let blocks = Mesh2d::run(q, |g| summa_tn(g, &distribute(g, &a), &distribute(g, &b)));
             let got = collect_blocks(&blocks, q);
             assert_close(got.as_slice(), expect.as_slice(), 1e-4, 1e-4);
         }
@@ -196,7 +214,12 @@ mod tests {
         let expect_da = matmul_nt(&dc, &b);
         let expect_db = matmul_tn(&a, &dc);
         let out = Mesh2d::run(q, |g| {
-            grad_nn(g, &distribute(g, &a), &distribute(g, &b), &distribute(g, &dc))
+            grad_nn(
+                g,
+                &distribute(g, &a),
+                &distribute(g, &b),
+                &distribute(g, &dc),
+            )
         });
         let da: Vec<Tensor> = out.iter().map(|(x, _)| x.clone()).collect();
         let db: Vec<Tensor> = out.iter().map(|(_, y)| y.clone()).collect();
@@ -222,7 +245,12 @@ mod tests {
         let b = rand(&[5 * q, 3 * q], 13);
         let dc = rand(&[4 * q, 5 * q], 14);
         let out = Mesh2d::run(q, |g| {
-            grad_nt(g, &distribute(g, &a), &distribute(g, &b), &distribute(g, &dc))
+            grad_nt(
+                g,
+                &distribute(g, &a),
+                &distribute(g, &b),
+                &distribute(g, &dc),
+            )
         });
         let da: Vec<Tensor> = out.iter().map(|(x, _)| x.clone()).collect();
         let db: Vec<Tensor> = out.iter().map(|(_, y)| y.clone()).collect();
@@ -244,7 +272,12 @@ mod tests {
         let b = rand(&[3 * q, 5 * q], 16);
         let dc = rand(&[4 * q, 5 * q], 17);
         let out = Mesh2d::run(q, |g| {
-            grad_tn(g, &distribute(g, &a), &distribute(g, &b), &distribute(g, &dc))
+            grad_tn(
+                g,
+                &distribute(g, &a),
+                &distribute(g, &b),
+                &distribute(g, &dc),
+            )
         });
         let da: Vec<Tensor> = out.iter().map(|(x, _)| x.clone()).collect();
         let db: Vec<Tensor> = out.iter().map(|(_, y)| y.clone()).collect();
@@ -280,7 +313,11 @@ mod tests {
                 g,
                 &distribute(g, &a),
                 &distribute(g, &b),
-                if g.row() == 0 { Some(&local_bias) } else { None },
+                if g.row() == 0 {
+                    Some(&local_bias)
+                } else {
+                    None
+                },
             )
         });
         let got = collect_blocks(&blocks, q);
@@ -295,9 +332,8 @@ mod tests {
         let q = 2;
         let a = rand(&[8, 8], 20);
         let b = rand(&[8, 8], 21);
-        let (_, logs) = Mesh2d::run_with_logs(q, |g| {
-            summa_nn(g, &distribute(g, &a), &distribute(g, &b))
-        });
+        let (_, logs) =
+            Mesh2d::run_with_logs(q, |g| summa_nn(g, &distribute(g, &a), &distribute(g, &b)));
         for log in &logs {
             assert_eq!(log.op_count(mesh::CommOp::Broadcast), 2 * q);
             assert_eq!(log.op_elems(mesh::CommOp::Broadcast), q * (16 + 16));

@@ -9,7 +9,7 @@
 //! afterwards. [`Workspace::fresh_allocs`] exposes the growth count so the
 //! ablation benchmark (and a regression test) can prove steady-state reuse.
 
-use mesh::Grid2d;
+use mesh::{Communicator, Grid2d};
 use tensor::matmul::{matmul_nn_acc, matmul_nt_acc, matmul_tn_acc};
 use tensor::Tensor;
 
@@ -51,8 +51,8 @@ impl Workspace {
 
 /// Receives a broadcast panel into `buf` (reusing its allocation) and
 /// returns the panel as a borrowed matrix view.
-fn bcast_into<'w>(
-    grid: &Grid2d,
+fn bcast_into<'w, C: Communicator>(
+    grid: &Grid2d<C>,
     group: &mesh::Group,
     root: usize,
     local: &Tensor,
@@ -73,11 +73,15 @@ fn bcast_into<'w>(
         let mut payload = buf[..n].to_vec();
         grid.ctx().broadcast(group, root, &mut payload);
     } else {
-        let mut payload = Vec::new();
+        // Pre-sized so the trace backend knows the payload length.
+        let mut payload = vec![0.0; n];
         grid.ctx().broadcast(group, root, &mut payload);
         buf[..n].copy_from_slice(&payload);
     }
-    PanelView { data: &buf[..n], dims }
+    PanelView {
+        data: &buf[..n],
+        dims,
+    }
 }
 
 /// A borrowed panel: workspace memory viewed as a matrix.
@@ -95,7 +99,13 @@ impl PanelView<'_> {
 /// `C += A B` into a caller-owned output block, with panels staged through
 /// the workspace. Accumulates (callers reset `c` when needed), mirroring the
 /// paper's forward-buffer discipline.
-pub fn summa_nn_into(grid: &Grid2d, a: &Tensor, b: &Tensor, c: &mut Tensor, ws: &mut Workspace) {
+pub fn summa_nn_into<C: Communicator>(
+    grid: &Grid2d<C>,
+    a: &Tensor,
+    b: &Tensor,
+    c: &mut Tensor,
+    ws: &mut Workspace,
+) {
     let (mb, kb) = (a.rows(), a.cols());
     let (kb2, nb) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree");
@@ -128,7 +138,13 @@ pub fn summa_nn_into(grid: &Grid2d, a: &Tensor, b: &Tensor, c: &mut Tensor, ws: 
 }
 
 /// `C = A Bᵀ` into a caller-owned output block (overwrites `c`).
-pub fn summa_nt_into(grid: &Grid2d, a: &Tensor, b: &Tensor, c: &mut Tensor, ws: &mut Workspace) {
+pub fn summa_nt_into<C: Communicator>(
+    grid: &Grid2d<C>,
+    a: &Tensor,
+    b: &Tensor,
+    c: &mut Tensor,
+    ws: &mut Workspace,
+) {
     let (mb, kb) = (a.rows(), a.cols());
     let (nb, kb2) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree");
@@ -150,7 +166,8 @@ pub fn summa_nt_into(grid: &Grid2d, a: &Tensor, b: &Tensor, c: &mut Tensor, ws: 
         ws.partial[..mb * nb].fill(0.0);
         let mut c_temp = Tensor::from_vec(&[mb, nb], ws.partial[..mb * nb].to_vec());
         matmul_nt_acc(&mut c_temp, a, &b_panel);
-        grid.ctx().reduce(grid.row_group(), l, c_temp.as_mut_slice());
+        grid.ctx()
+            .reduce(grid.row_group(), l, c_temp.as_mut_slice());
         if grid.col() == l {
             *c = c_temp;
         }
@@ -158,7 +175,13 @@ pub fn summa_nt_into(grid: &Grid2d, a: &Tensor, b: &Tensor, c: &mut Tensor, ws: 
 }
 
 /// `C = Aᵀ B` into a caller-owned output block (overwrites `c`).
-pub fn summa_tn_into(grid: &Grid2d, a: &Tensor, b: &Tensor, c: &mut Tensor, ws: &mut Workspace) {
+pub fn summa_tn_into<C: Communicator>(
+    grid: &Grid2d<C>,
+    a: &Tensor,
+    b: &Tensor,
+    c: &mut Tensor,
+    ws: &mut Workspace,
+) {
     let (kb, mb) = (a.rows(), a.cols());
     let (kb2, nb) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree");
@@ -180,7 +203,8 @@ pub fn summa_tn_into(grid: &Grid2d, a: &Tensor, b: &Tensor, c: &mut Tensor, ws: 
         ws.partial[..mb * nb].fill(0.0);
         let mut c_temp = Tensor::from_vec(&[mb, nb], ws.partial[..mb * nb].to_vec());
         matmul_tn_acc(&mut c_temp, &a_panel, b);
-        grid.ctx().reduce(grid.col_group(), l, c_temp.as_mut_slice());
+        grid.ctx()
+            .reduce(grid.col_group(), l, c_temp.as_mut_slice());
         if grid.row() == l {
             *c = c_temp;
         }

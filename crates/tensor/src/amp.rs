@@ -168,10 +168,7 @@ mod tests {
             let x = rng.normal() * 8.0;
             let q = quantize_f16_scalar(x);
             // Relative error of binary16: 2^-11.
-            assert!(
-                (q - x).abs() <= x.abs() * 4.9e-4 + 1e-7,
-                "x={x} q={q}"
-            );
+            assert!((q - x).abs() <= x.abs() * 4.9e-4 + 1e-7, "x={x} q={q}");
         }
     }
 

@@ -263,7 +263,11 @@ mod tests {
             let (yp, _) = layer_norm_forward(&x, &gp, &beta, LN_EPS);
             let (ym, _) = layer_norm_forward(&x, &gm, &beta, LN_EPS);
             let fd = (loss(&yp, &w) - loss(&ym, &w)) / (2.0 * eps);
-            assert!((dgamma[c] - fd).abs() < 2e-2, "dgamma[{c}]={} fd={fd}", dgamma[c]);
+            assert!(
+                (dgamma[c] - fd).abs() < 2e-2,
+                "dgamma[{c}]={} fd={fd}",
+                dgamma[c]
+            );
 
             let mut bp = beta.clone();
             bp[c] += eps;
@@ -272,7 +276,11 @@ mod tests {
             let (yp, _) = layer_norm_forward(&x, &gamma, &bp, LN_EPS);
             let (ym, _) = layer_norm_forward(&x, &gamma, &bm, LN_EPS);
             let fd = (loss(&yp, &w) - loss(&ym, &w)) / (2.0 * eps);
-            assert!((dbeta[c] - fd).abs() < 2e-2, "dbeta[{c}]={} fd={fd}", dbeta[c]);
+            assert!(
+                (dbeta[c] - fd).abs() < 2e-2,
+                "dbeta[{c}]={} fd={fd}",
+                dbeta[c]
+            );
         }
     }
 

@@ -24,10 +24,10 @@ pub mod amp;
 pub mod gradcheck;
 pub mod init;
 pub mod layernorm;
-pub mod optim;
 pub mod loss;
 pub mod matmul;
 pub mod ops;
+pub mod optim;
 pub mod rng;
 pub mod schedule;
 pub mod softmax;

@@ -102,7 +102,11 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     let rows = logits.rows();
     assert_eq!(labels.len(), rows);
     for &l in labels {
-        assert!(l < logits.cols(), "label {l} out of vocab {}", logits.cols());
+        assert!(
+            l < logits.cols(),
+            "label {l} out of vocab {}",
+            logits.cols()
+        );
     }
     let m = partial_row_max(logits);
     let se = partial_sumexp(logits, &m);

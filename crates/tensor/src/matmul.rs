@@ -11,16 +11,36 @@
 //! accumulates one outer-product panel per iteration into the local output
 //! block. Kernels use an `i-k-j` loop order so the innermost loop streams
 //! both `B` and `C` rows contiguously (auto-vectorisable), and parallelise
-//! over output rows with Rayon once the work crosses a threshold — the
-//! "data parallelism over rows" idiom from the Rayon guide.
+//! over output rows with scoped std threads once the work crosses a
+//! threshold — the "data parallelism over rows" idiom, with no external
+//! runtime.
 
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
 /// Work threshold (in multiply-adds) below which kernels stay serial.
 /// Splitting tiny blocks across threads costs more than it saves, and the
 /// mesh simulator already runs one thread per device.
 const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Hardware threads to fan output-row stripes across.
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `cs` into `chunk_len`-sized row stripes and runs `f(stripe_index,
+/// stripe)` on each, one scoped thread per stripe (the stripe count is
+/// already capped at the hardware thread count by the callers' `rows_per`).
+fn par_row_stripes<F>(cs: &mut [f32], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (i, chunk) in cs.chunks_mut(chunk_len).enumerate() {
+            scope.spawn(move || f(i, chunk));
+        }
+    });
+}
 
 /// Number of floating point multiply-add operations for an `m×k×n` product.
 pub fn gemm_flops(m: usize, k: usize, n: usize) -> usize {
@@ -70,10 +90,12 @@ pub fn matmul_nn_acc(c: &mut Tensor, a: &Tensor, b: &Tensor) {
     if gemm_flops(m, k, n) < PAR_THRESHOLD || m < 2 {
         gemm_nn_serial(cs, a, b, k, n);
     } else {
-        let rows_per = m.div_ceil(rayon::current_num_threads().max(1)).max(8);
-        cs.par_chunks_mut(rows_per * n)
-            .zip(a.par_chunks(rows_per * k))
-            .for_each(|(c_chunk, a_chunk)| gemm_nn_serial(c_chunk, a_chunk, b, k, n));
+        let rows_per = m.div_ceil(num_threads()).max(8);
+        par_row_stripes(cs, rows_per * n, |i, c_chunk| {
+            let rows = c_chunk.len() / n;
+            let a_chunk = &a[i * rows_per * k..i * rows_per * k + rows * k];
+            gemm_nn_serial(c_chunk, a_chunk, b, k, n);
+        });
     }
 }
 
@@ -95,10 +117,12 @@ pub fn matmul_nt_acc(c: &mut Tensor, a: &Tensor, b: &Tensor) {
     if gemm_flops(m, k, n) < PAR_THRESHOLD || m < 2 {
         gemm_nt_serial(cs, a, b, k, n);
     } else {
-        let rows_per = m.div_ceil(rayon::current_num_threads().max(1)).max(8);
-        cs.par_chunks_mut(rows_per * n)
-            .zip(a.par_chunks(rows_per * k))
-            .for_each(|(c_chunk, a_chunk)| gemm_nt_serial(c_chunk, a_chunk, b, k, n));
+        let rows_per = m.div_ceil(num_threads()).max(8);
+        par_row_stripes(cs, rows_per * n, |i, c_chunk| {
+            let rows = c_chunk.len() / n;
+            let a_chunk = &a[i * rows_per * k..i * rows_per * k + rows * k];
+            gemm_nt_serial(c_chunk, a_chunk, b, k, n);
+        });
     }
 }
 
@@ -137,26 +161,24 @@ pub fn matmul_tn_acc(c: &mut Tensor, a: &Tensor, b: &Tensor) {
             }
         }
     } else {
-        let rows_per = m.div_ceil(rayon::current_num_threads().max(1)).max(8);
-        cs.par_chunks_mut(rows_per * n)
-            .enumerate()
-            .for_each(|(chunk_idx, c_chunk)| {
-                let l0 = chunk_idx * rows_per;
-                let rows = c_chunk.len() / n;
-                for i in 0..k {
-                    let b_row = &b_s[i * n..(i + 1) * n];
-                    for dl in 0..rows {
-                        let a_il = a_s[i * m + l0 + dl];
-                        if a_il == 0.0 {
-                            continue;
-                        }
-                        let c_row = &mut c_chunk[dl * n..(dl + 1) * n];
-                        for (c_lj, &b_ij) in c_row.iter_mut().zip(b_row.iter()) {
-                            *c_lj += a_il * b_ij;
-                        }
+        let rows_per = m.div_ceil(num_threads()).max(8);
+        par_row_stripes(cs, rows_per * n, |chunk_idx, c_chunk| {
+            let l0 = chunk_idx * rows_per;
+            let rows = c_chunk.len() / n;
+            for i in 0..k {
+                let b_row = &b_s[i * n..(i + 1) * n];
+                for dl in 0..rows {
+                    let a_il = a_s[i * m + l0 + dl];
+                    if a_il == 0.0 {
+                        continue;
+                    }
+                    let c_row = &mut c_chunk[dl * n..(dl + 1) * n];
+                    for (c_lj, &b_ij) in c_row.iter_mut().zip(b_row.iter()) {
+                        *c_lj += a_il * b_ij;
                     }
                 }
-            });
+            }
+        });
     }
 }
 

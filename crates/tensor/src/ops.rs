@@ -9,7 +9,13 @@ use crate::tensor::Tensor;
 /// before this local op runs.
 pub fn bias_add(x: &mut Tensor, bias: &[f32]) {
     let cols = x.cols();
-    assert_eq!(bias.len(), cols, "bias length {} != cols {}", bias.len(), cols);
+    assert_eq!(
+        bias.len(),
+        cols,
+        "bias length {} != cols {}",
+        bias.len(),
+        cols
+    );
     for row in x.as_mut_slice().chunks_mut(cols) {
         for (v, b) in row.iter_mut().zip(bias.iter()) {
             *v += b;

@@ -19,7 +19,11 @@ impl Sgd {
         Sgd {
             lr,
             momentum,
-            velocity: if momentum != 0.0 { vec![0.0; n] } else { Vec::new() },
+            velocity: if momentum != 0.0 {
+                vec![0.0; n]
+            } else {
+                Vec::new()
+            },
         }
     }
 

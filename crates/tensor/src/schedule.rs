@@ -42,8 +42,7 @@ impl LrSchedule {
             return self.peak_lr * (step + 1) as f32 / self.warmup_steps as f32;
         }
         let decay_steps = self.total_steps.saturating_sub(self.warmup_steps).max(1);
-        let progress =
-            ((step - self.warmup_steps).min(decay_steps)) as f32 / decay_steps as f32;
+        let progress = ((step - self.warmup_steps).min(decay_steps)) as f32 / decay_steps as f32;
         match self.decay {
             Decay::Constant => self.peak_lr,
             Decay::Linear => self.peak_lr + (self.min_lr - self.peak_lr) * progress,

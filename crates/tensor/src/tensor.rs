@@ -153,7 +153,10 @@ impl Tensor {
     /// view as a new `[nr, nc]` tensor.
     pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Tensor {
         let cols = self.cols();
-        assert!(r0 + nr <= self.rows() && c0 + nc <= cols, "block out of range");
+        assert!(
+            r0 + nr <= self.rows() && c0 + nc <= cols,
+            "block out of range"
+        );
         let mut out = Vec::with_capacity(nr * nc);
         for r in r0..r0 + nr {
             out.extend_from_slice(&self.data[r * cols + c0..r * cols + c0 + nc]);
@@ -165,7 +168,10 @@ impl Tensor {
     pub fn set_block(&mut self, r0: usize, c0: usize, src: &Tensor) {
         let (nr, nc) = (src.rows(), src.cols());
         let cols = self.cols();
-        assert!(r0 + nr <= self.rows() && c0 + nc <= cols, "block out of range");
+        assert!(
+            r0 + nr <= self.rows() && c0 + nc <= cols,
+            "block out of range"
+        );
         for r in 0..nr {
             let dst = &mut self.data[(r0 + r) * cols + c0..(r0 + r) * cols + c0 + nc];
             dst.copy_from_slice(src.row(r));
@@ -248,23 +254,33 @@ impl Tensor {
     }
 }
 
-impl serde::Serialize for Tensor {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        // Serialize as (dims, data) so the on-disk format is obvious and
-        // stable across refactors of the in-memory layout.
-        (&self.dims, &self.data).serialize(s)
+impl Tensor {
+    /// JSON as a `[dims, data]` pair so the on-disk format is obvious and
+    /// stable across refactors of the in-memory layout.
+    pub fn to_json(&self) -> minjson::Json {
+        minjson::Json::Arr(vec![
+            minjson::Json::usize_arr(&self.dims),
+            minjson::Json::f32_arr(&self.data),
+        ])
     }
-}
 
-impl<'de> serde::Deserialize<'de> for Tensor {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let (dims, data): (Vec<usize>, Vec<f32>) = serde::Deserialize::deserialize(d)?;
+    /// Inverse of [`Tensor::to_json`]; rejects shape/payload mismatches.
+    pub fn from_json(v: &minjson::Json) -> Result<Tensor, String> {
+        let pair = v.as_arr()?;
+        if pair.len() != 2 {
+            return Err(format!(
+                "expected [dims, data] pair, got {} items",
+                pair.len()
+            ));
+        }
+        let dims = pair[0].as_usize_vec()?;
+        let data = pair[1].as_f32_vec()?;
         let n: usize = dims.iter().product();
         if n != data.len() {
-            return Err(serde::de::Error::custom(format!(
+            return Err(format!(
                 "tensor shape {dims:?} does not match {} elements",
                 data.len()
-            )));
+            ));
         }
         Ok(Tensor { dims, data })
     }
@@ -315,9 +331,7 @@ mod tests {
         let mut rng = Rng::new(0);
         let t = Tensor::randn(&[6, 8], 1.0, &mut rng);
         let q = 2;
-        let blocks: Vec<Tensor> = (0..q * q)
-            .map(|r| t.summa_block(r / q, r % q, q))
-            .collect();
+        let blocks: Vec<Tensor> = (0..q * q).map(|r| t.summa_block(r / q, r % q, q)).collect();
         let back = Tensor::from_summa_blocks(&blocks, q);
         assert_eq!(back, t);
     }
@@ -362,17 +376,17 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let mut rng = Rng::new(7);
         let t = Tensor::randn(&[3, 5], 1.0, &mut rng);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Tensor = serde_json::from_str(&json).unwrap();
+        let json = t.to_json().to_string();
+        let back = Tensor::from_json(&minjson::parse(&json).unwrap()).unwrap();
         assert_eq!(back, t);
     }
 
     #[test]
-    fn serde_rejects_inconsistent_shape() {
+    fn json_rejects_inconsistent_shape() {
         let bad = r#"[[2, 2], [1.0, 2.0, 3.0]]"#;
-        assert!(serde_json::from_str::<Tensor>(bad).is_err());
+        assert!(Tensor::from_json(&minjson::parse(bad).unwrap()).is_err());
     }
 }

@@ -50,8 +50,10 @@ fn main() {
     params.save_json(&path).expect("save checkpoint");
     let loaded = ModelParams::load_json(&path).expect("load checkpoint");
     std::fs::remove_file(&path).ok();
-    println!("phase 2: checkpoint round-tripped through {} bytes of JSON",
-        serde_json_len(&loaded));
+    println!(
+        "phase 2: checkpoint round-tripped through {} bytes of JSON",
+        json_len(&loaded)
+    );
 
     // Phase 3a: reshard onto a 3x3 mesh (9 devices) and evaluate.
     let cfg3 = OptimusConfig { q: 3, ..cfg2 };
@@ -95,7 +97,10 @@ fn main() {
 
     // Consistency assertions.
     assert!((loss_3x3 - loss_serial).abs() < 1e-4);
-    assert!(cont[0][0] <= loss_after_p1 + 1e-3, "training must continue smoothly");
+    assert!(
+        cont[0][0] <= loss_after_p1 + 1e-3,
+        "training must continue smoothly"
+    );
     assert!(cont[0].last().unwrap() < &cont[0][0]);
 
     // Megatron can consume the serial-form checkpoint too (its constructor
@@ -108,6 +113,6 @@ fn main() {
     println!("checkpoint → JSON → reshard 2x2→3x3 → continue: all consistent ✓");
 }
 
-fn serde_json_len(p: &ModelParams) -> usize {
-    serde_json::to_vec(p).map(|v| v.len()).unwrap_or(0)
+fn json_len(p: &ModelParams) -> usize {
+    p.to_json().to_string().len()
 }

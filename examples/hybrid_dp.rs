@@ -62,7 +62,10 @@ fn main() {
     println!("\nstep   hybrid(2x2x2)   serial(b=8)   |diff|");
     for (step, &loss) in losses[0].iter().enumerate() {
         let r = reference.train_step(&tokens, &labels, lr);
-        println!("{step:>4}   {loss:>12.6}   {r:>11.6}   {:.2e}", (loss - r).abs());
+        println!(
+            "{step:>4}   {loss:>12.6}   {r:>11.6}   {:.2e}",
+            (loss - r).abs()
+        );
         assert!((loss - r).abs() < 5e-3, "hybrid and serial diverged");
     }
     println!("\nhybrid data x tensor parallel == serial on the global batch ✓");

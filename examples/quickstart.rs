@@ -33,7 +33,10 @@ fn main() {
     let tokens: Vec<usize> = (0..n).map(|_| rng.below(cfg.vocab)).collect();
     let labels: Vec<usize> = (0..n).map(|_| rng.below(cfg.vocab)).collect();
 
-    println!("Optimus quickstart: {}x{} mesh, b={}, s={}, h={}, {} layers", cfg.q, cfg.q, cfg.batch, cfg.seq, cfg.hidden, cfg.layers);
+    println!(
+        "Optimus quickstart: {}x{} mesh, b={}, s={}, h={}, {} layers",
+        cfg.q, cfg.q, cfg.batch, cfg.seq, cfg.hidden, cfg.layers
+    );
 
     // Train for 10 SGD steps on the mesh. Every device reports the same
     // global loss because activations and loss reductions are exact.

@@ -15,7 +15,10 @@ use optimus::perf::HardwareProfile;
 
 fn main() {
     let profile = HardwareProfile::frontera_rtx5000();
-    println!("hardware profile: {} (see EXPERIMENTS.md for calibration)\n", profile.name);
+    println!(
+        "hardware profile: {} (see EXPERIMENTS.md for calibration)\n",
+        profile.name
+    );
 
     println!("== weak scaling (h ∝ q, per-device parameters fixed) ==");
     let (meg, opt) = weak_scaling(&profile);
@@ -26,7 +29,11 @@ fn main() {
             m.gpus,
             m.throughput,
             o.throughput,
-            if o.throughput > m.throughput { "optimus" } else { "megatron" }
+            if o.throughput > m.throughput {
+                "optimus"
+            } else {
+                "megatron"
+            }
         );
     }
     let last = meg.len() - 1;
@@ -45,10 +52,15 @@ fn main() {
             m.gpus, m.throughput, o.throughput, m.speedup, o.speedup
         );
     }
-    assert!(opt[3].throughput > meg[3].throughput, "crossover by 64 GPUs");
+    assert!(
+        opt[3].throughput > meg[3].throughput,
+        "crossover by 64 GPUs"
+    );
 
     println!("\n== isoefficiency: problem size needed to hold efficiency constant ==");
-    println!("   (normalised, W(4) = 64 for both; paper: Megatron W~p^3, Optimus W~(sqrt(p) log p)^3)");
+    println!(
+        "   (normalised, W(4) = 64 for both; paper: Megatron W~p^3, Optimus W~(sqrt(p) log p)^3)"
+    );
     println!("    p    megatron          optimus          ratio");
     for p in [4.0, 16.0, 64.0, 256.0, 1024.0] {
         let m = megatron_isoefficiency(p);

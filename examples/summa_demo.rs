@@ -30,9 +30,8 @@ fn main() {
         );
     }
 
-    let (blocks, logs) = Mesh2d::run_with_logs(q, |g| {
-        summa_nn(g, &distribute(g, &a), &distribute(g, &b))
-    });
+    let (blocks, logs) =
+        Mesh2d::run_with_logs(q, |g| summa_nn(g, &distribute(g, &a), &distribute(g, &b)));
     let got = collect_blocks(&blocks, q);
     println!(
         "\nreassembled C matches the serial product: max |diff| = {:.2e}",
@@ -59,7 +58,12 @@ fn main() {
     println!("\ngradients via the closed set (Eq. 1): dA = dC·Bᵀ, dB = Aᵀ·dC");
     let dc = Tensor::randn(&[6 * q, 5 * q], 1.0, &mut rng);
     let outs = Mesh2d::run(q, |g| {
-        grad_nn(g, &distribute(g, &a), &distribute(g, &b), &distribute(g, &dc))
+        grad_nn(
+            g,
+            &distribute(g, &a),
+            &distribute(g, &b),
+            &distribute(g, &dc),
+        )
     });
     let da: Vec<Tensor> = outs.iter().map(|(x, _)| x.clone()).collect();
     let db: Vec<Tensor> = outs.iter().map(|(_, y)| y.clone()).collect();

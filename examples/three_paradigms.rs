@@ -26,8 +26,12 @@ fn main() {
         causal: false,
     };
     let mut rng = Rng::new(0);
-    let tokens: Vec<usize> = (0..model.tokens()).map(|_| rng.below(model.vocab)).collect();
-    let labels: Vec<usize> = (0..model.tokens()).map(|_| rng.below(model.vocab)).collect();
+    let tokens: Vec<usize> = (0..model.tokens())
+        .map(|_| rng.below(model.vocab))
+        .collect();
+    let labels: Vec<usize> = (0..model.tokens())
+        .map(|_| rng.below(model.vocab))
+        .collect();
     let steps = 3;
     let lr = 0.3;
     let seed = 11;

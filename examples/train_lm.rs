@@ -20,7 +20,9 @@ fn corpus_window(rng: &mut Rng, seq: usize) -> Vec<usize> {
     // Repeating pattern with a random phase: "abcdefgh." cycled.
     let pattern: Vec<usize> = (0..9).map(|i| i % ALPHABET.len()).collect();
     let phase = rng.below(pattern.len());
-    (0..seq).map(|t| pattern[(phase + t) % pattern.len()]).collect()
+    (0..seq)
+        .map(|t| pattern[(phase + t) % pattern.len()])
+        .collect()
 }
 
 fn main() {
@@ -32,8 +34,8 @@ fn main() {
         heads: 4,
         vocab: ALPHABET.len(),
         layers: 2,
-        causal: true,      // decoder-style LM
-        checkpoint: true,  // train with the paper's memory scheme
+        causal: true,     // decoder-style LM
+        checkpoint: true, // train with the paper's memory scheme
         fused_attention: false,
     };
     cfg.validate();

@@ -68,6 +68,7 @@
 
 pub use megatron;
 pub use mesh;
+pub use minjson;
 pub use optimus_core;
 pub use perf;
 pub use pipeline;

@@ -58,8 +58,7 @@ fn replayed_forward_matches_stem_model() {
     // subtracting the pure-compute term.
     let (fwd_model, _) = optimus_stem_times(&cm, cfg.batch, cfg.seq, cfg.hidden, 1, cfg.q);
     let comp = cm.compute_time(
-        optimus::perf::table1::layer_macs(cfg.batch, cfg.seq, cfg.hidden)
-            / (cfg.q * cfg.q) as f64,
+        optimus::perf::table1::layer_macs(cfg.batch, cfg.seq, cfg.hidden) / (cfg.q * cfg.q) as f64,
     );
     let model_comm = fwd_model - comp;
 

@@ -57,7 +57,10 @@ fn all_three_schemes_agree_on_the_loss() {
             MegatronModel::new(mcfg, 11, ctx).lm_loss(ctx, &tokens, &labels)
         });
         for l in losses {
-            assert!((l - reference).abs() < 1e-4, "megatron p={p}: {l} vs {reference}");
+            assert!(
+                (l - reference).abs() < 1e-4,
+                "megatron p={p}: {l} vs {reference}"
+            );
         }
     }
     for q in [1usize, 2, 3] {
@@ -66,7 +69,10 @@ fn all_three_schemes_agree_on_the_loss() {
             OptimusModel::new(&ocfg, 11, g).lm_loss(g, &tokens, &labels)
         });
         for l in losses {
-            assert!((l - reference).abs() < 1e-4, "optimus q={q}: {l} vs {reference}");
+            assert!(
+                (l - reference).abs() < 1e-4,
+                "optimus q={q}: {l} vs {reference}"
+            );
         }
     }
 }
@@ -101,8 +107,16 @@ fn training_trajectories_are_identical_across_schemes() {
 
     for step in 0..steps {
         let r = ref_losses[step];
-        assert!((meg[0][step] - r).abs() < 2e-3, "megatron step {step}: {} vs {r}", meg[0][step]);
-        assert!((opt[0][step] - r).abs() < 2e-3, "optimus step {step}: {} vs {r}", opt[0][step]);
+        assert!(
+            (meg[0][step] - r).abs() < 2e-3,
+            "megatron step {step}: {} vs {r}",
+            meg[0][step]
+        );
+        assert!(
+            (opt[0][step] - r).abs() < 2e-3,
+            "optimus step {step}: {} vs {r}",
+            opt[0][step]
+        );
     }
     // Losses must decrease overall.
     assert!(ref_losses[steps - 1] < ref_losses[0]);

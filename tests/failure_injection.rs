@@ -16,7 +16,11 @@ fn crashing_device_unblocks_collective_peers() {
             panic!("injected failure");
         }
         let g = Group::world(4);
-        let mut data = if ctx.rank() == 0 { vec![1.0; 8] } else { vec![] };
+        let mut data = if ctx.rank() == 0 {
+            vec![1.0; 8]
+        } else {
+            vec![]
+        };
         ctx.broadcast(&g, 0, &mut data);
         data
     });

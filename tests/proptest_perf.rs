@@ -1,73 +1,79 @@
-//! Property tests over the performance/memory models: the monotonicity and
-//! consistency properties that make the table generators trustworthy.
+//! Property-style tests over the performance/memory models: the
+//! monotonicity and consistency properties that make the table generators
+//! trustworthy. Cases come from the workspace's seeded PRNG (deterministic).
 
 use optimus::mesh::{Arrangement, Topology};
 use optimus::perf::memory::{megatron_bytes, optimus_bytes, MemoryConfig};
 use optimus::perf::scaling::{megatron_stem_times, optimus_stem_times};
 use optimus::perf::table1::{layer_macs, megatron_layer_costs, optimus_layer_costs};
 use optimus::perf::{CostModel, HardwareProfile};
-use proptest::prelude::*;
+use optimus::tensor::Rng;
 
 fn profile() -> HardwareProfile {
     HardwareProfile::frontera_rtx5000()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn collective_costs_are_monotone_in_payload(
-        g in 2usize..16,
-        elems in 1usize..1_000_000,
-    ) {
+#[test]
+fn collective_costs_are_monotone_in_payload() {
+    let mut case = Rng::new(0x9E01);
+    for _ in 0..32 {
+        let g = 2 + case.below(14);
+        let elems = 1 + case.below(1_000_000);
         let cm = CostModel::new(profile(), Topology::flat(16, 4));
         let ranks: Vec<usize> = (0..g).collect();
         let t1 = cm.broadcast_time(&ranks, elems);
         let t2 = cm.broadcast_time(&ranks, elems * 2);
-        prop_assert!(t2 >= t1);
+        assert!(t2 >= t1, "g={g} elems={elems}");
         let a1 = cm.all_reduce_time(&ranks, elems);
         let a2 = cm.all_reduce_time(&ranks, elems * 2);
-        prop_assert!(a2 >= a1);
-        prop_assert!(t1 > 0.0 && a1 > 0.0);
+        assert!(a2 >= a1, "g={g} elems={elems}");
+        assert!(t1 > 0.0 && a1 > 0.0);
     }
+}
 
-    #[test]
-    fn intra_node_groups_are_never_slower_than_spanning_ones(
-        elems in 1usize..1_000_000,
-    ) {
+#[test]
+fn intra_node_groups_are_never_slower_than_spanning_ones() {
+    let mut case = Rng::new(0x9E02);
+    for _ in 0..32 {
+        let elems = 1 + case.below(1_000_000);
         let cm = CostModel::new(profile(), Topology::flat(8, 4));
-        let intra: Vec<usize> = (0..4).collect();      // one node
-        let spanning: Vec<usize> = (2..6).collect();   // two nodes
-        prop_assert!(
-            cm.broadcast_time(&intra, elems) <= cm.broadcast_time(&spanning, elems)
+        let intra: Vec<usize> = (0..4).collect(); // one node
+        let spanning: Vec<usize> = (2..6).collect(); // two nodes
+        assert!(
+            cm.broadcast_time(&intra, elems) <= cm.broadcast_time(&spanning, elems),
+            "elems={elems}"
         );
     }
+}
 
-    #[test]
-    fn table1_costs_scale_linearly_in_batch(
-        b in 1usize..64,
-        h in (1usize..32).prop_map(|x| x * 64),
-        p in prop::sample::select(vec![4usize, 16, 64]),
-    ) {
+#[test]
+fn table1_costs_scale_linearly_in_batch() {
+    let mut case = Rng::new(0x9E03);
+    for _ in 0..32 {
+        let b = 1 + case.below(63);
+        let h = (1 + case.below(31)) * 64;
+        let p = [4usize, 16, 64][case.below(3)];
         let s = 128;
         let m1 = megatron_layer_costs(b, s, h, p);
         let m2 = megatron_layer_costs(2 * b, s, h, p);
-        prop_assert!((m2.fwd_comm / m1.fwd_comm - 2.0).abs() < 1e-9);
-        prop_assert!((m2.fwd_macs / m1.fwd_macs - 2.0).abs() < 1e-9);
+        assert!((m2.fwd_comm / m1.fwd_comm - 2.0).abs() < 1e-9);
+        assert!((m2.fwd_macs / m1.fwd_macs - 2.0).abs() < 1e-9);
         // Optimus comm has a batch-independent h² term, so it grows
         // sublinearly in b.
         let o1 = optimus_layer_costs(b, s, h, p);
         let o2 = optimus_layer_costs(2 * b, s, h, p);
-        prop_assert!(o2.fwd_comm < 2.0 * o1.fwd_comm + 1e-9);
-        prop_assert!(o2.fwd_comm > o1.fwd_comm);
+        assert!(o2.fwd_comm < 2.0 * o1.fwd_comm + 1e-9);
+        assert!(o2.fwd_comm > o1.fwd_comm);
     }
+}
 
-    #[test]
-    fn stem_times_exceed_pure_compute(
-        b in 1usize..32,
-        hq in 1usize..8,
-        q in prop::sample::select(vec![2usize, 4, 8]),
-    ) {
+#[test]
+fn stem_times_exceed_pure_compute() {
+    let mut case = Rng::new(0x9E04);
+    for _ in 0..16 {
+        let b = 1 + case.below(31);
+        let hq = 1 + case.below(7);
+        let q = [2usize, 4, 8][case.below(3)];
         let h = 128 * hq * q; // keep divisibility
         let s = 128;
         let layers = 4;
@@ -77,22 +83,23 @@ proptest! {
             profile(),
             Topology::new(q, 4.min(gpus), Arrangement::Bunched),
         );
-        let compute = layers as f64
-            * cm.compute_time(layer_macs(b, s, h) / gpus as f64);
+        let compute = layers as f64 * cm.compute_time(layer_macs(b, s, h) / gpus as f64);
         let (mf, mb_) = megatron_stem_times(&cm, b, s, h, layers, gpus);
-        prop_assert!(mf >= compute);
-        prop_assert!(mb_ >= 3.0 * compute);
+        assert!(mf >= compute);
+        assert!(mb_ >= 3.0 * compute);
         let (of, ob) = optimus_stem_times(&cm2, b, s, h, layers, q);
-        prop_assert!(of >= compute);
-        prop_assert!(ob >= 3.0 * compute);
+        assert!(of >= compute);
+        assert!(ob >= 3.0 * compute);
     }
+}
 
-    #[test]
-    fn memory_models_are_monotone_and_positive(
-        b in 1usize..256,
-        h in (1usize..16).prop_map(|x| x * 512),
-        p in prop::sample::select(vec![4usize, 16, 64]),
-    ) {
+#[test]
+fn memory_models_are_monotone_and_positive() {
+    let mut case = Rng::new(0x9E05);
+    for _ in 0..32 {
+        let b = 1 + case.below(255);
+        let h = (1 + case.below(15)) * 512;
+        let p = [4usize, 16, 64][case.below(3)];
         let c = MemoryConfig {
             seq: 512,
             hidden: h,
@@ -103,30 +110,31 @@ proptest! {
         };
         let m = megatron_bytes(&c, b);
         let o = optimus_bytes(&c, b);
-        prop_assert!(m.total > 0.0 && o.total > 0.0);
-        prop_assert!(megatron_bytes(&c, b + 1).total > m.total);
-        prop_assert!(optimus_bytes(&c, b + 1).total > o.total);
+        assert!(m.total > 0.0 && o.total > 0.0);
+        assert!(megatron_bytes(&c, b + 1).total > m.total);
+        assert!(optimus_bytes(&c, b + 1).total > o.total);
         // Optimus never needs more memory than Megatron at equal batch.
-        prop_assert!(o.total <= m.total + 1.0);
+        assert!(o.total <= m.total + 1.0, "b={b} h={h} p={p}");
     }
+}
 
-    #[test]
-    fn topology_placements_are_complete_partitions(
-        q in prop::sample::select(vec![2usize, 4, 6, 8]),
-        gpn in prop::sample::select(vec![1usize, 2, 4]),
-    ) {
-        if (q * q) % gpn != 0 {
-            return Ok(());
-        }
-        for arr in [Arrangement::Naive, Arrangement::Bunched] {
-            let t = Topology::new(q, gpn, arr);
-            prop_assert_eq!(t.num_devices(), q * q);
-            // Every node hosts exactly gpus_per_node devices.
-            let mut counts = vec![0usize; t.num_nodes()];
-            for r in 0..q * q {
-                counts[t.node_of(r)] += 1;
+#[test]
+fn topology_placements_are_complete_partitions() {
+    for q in [2usize, 4, 6, 8] {
+        for gpn in [1usize, 2, 4] {
+            if (q * q) % gpn != 0 {
+                continue;
             }
-            prop_assert!(counts.iter().all(|&c| c == gpn), "{arr:?}: {counts:?}");
+            for arr in [Arrangement::Naive, Arrangement::Bunched] {
+                let t = Topology::new(q, gpn, arr);
+                assert_eq!(t.num_devices(), q * q);
+                // Every node hosts exactly gpus_per_node devices.
+                let mut counts = vec![0usize; t.num_nodes()];
+                for r in 0..q * q {
+                    counts[t.node_of(r)] += 1;
+                }
+                assert!(counts.iter().all(|&c| c == gpn), "{arr:?}: {counts:?}");
+            }
         }
     }
 }

@@ -218,8 +218,7 @@ fn non_summa_comm_is_negligible() {
     let threshold = (h * h) / p;
     let (mut summa, mut other) = (0usize, 0usize);
     for o in &logs[0].ops {
-        let is_panel =
-            matches!(o.op, CommOp::Broadcast | CommOp::Reduce) && o.elems >= threshold;
+        let is_panel = matches!(o.op, CommOp::Broadcast | CommOp::Reduce) && o.elems >= threshold;
         if is_panel {
             summa += o.elems;
         } else {
