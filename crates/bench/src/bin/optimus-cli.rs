@@ -6,7 +6,8 @@
 //! optimus-cli train    --scheme optimus --q 2 --layers 2 --steps 40 --save model.json
 //! optimus-cli eval     --load model.json --q 2
 //! optimus-cli generate --load model.json --len 24
-//! optimus-cli --dry-run [--q 8 --hidden 64 ...]
+//! optimus-cli --dry-run [--q 8 --hidden 64 ...] [--trace out.json]
+//! optimus-cli train --scheme optimus --trace out.json
 //! optimus-cli info
 //! ```
 //!
@@ -14,6 +15,14 @@
 //! step per rank through the trace-only [`mesh::DryRunComm`] backend — no
 //! device threads, no data movement — and prices the recorded communication
 //! schedule with the α-β cost model on a projected mesh (8 × 8 by default).
+//!
+//! `--trace out.json` additionally records a phase-scoped timeline and
+//! writes it as Chrome `trace_event` JSON (load in Perfetto or
+//! `chrome://tracing`; see OBSERVABILITY.md). Under `--dry-run` the
+//! timeline is stamped with α-β model time; under a live `train` it is
+//! wall-clock, traced over one extra training step after training ends.
+//! Either way a per-phase summary table (measured vs modeled time per
+//! collective kind) is printed.
 //!
 //! The training corpus is the built-in cyclic-pattern language (the same one
 //! the tests and examples use), so runs are self-contained and deterministic.
@@ -134,7 +143,7 @@ fn apply_flags(mut args: Args, flags: &HashMap<String, String>) -> Result<Args, 
             "seed" => args.seed = v.parse().map_err(|e| format!("--seed: {e}"))?,
             "lr" => args.lr = v.parse().map_err(|e| format!("--lr: {e}"))?,
             "dry-run" => args.dry_run = v.parse().map_err(|e| format!("--dry-run: {e}"))?,
-            "save" | "load" => {} // handled by the caller
+            "save" | "load" | "trace" => {} // handled by the caller
             other => return Err(format!("unknown flag --{other}")),
         }
     }
@@ -294,10 +303,36 @@ fn generate(a: &Args, params: ModelParams) -> Vec<usize> {
     out
 }
 
+/// The projection's cost model: the paper's hardware profile, bunched
+/// placement (Fig. 8) on the projected `q × q` mesh.
+fn projection_cost(a: &Args) -> (HardwareProfile, usize, CostModel) {
+    let profile = HardwareProfile::frontera_rtx5000();
+    let gpn = profile.gpus_per_node.min(a.q * a.q);
+    let cost = CostModel::new(
+        profile.clone(),
+        Topology::new(a.q, gpn, Arrangement::Bunched),
+    );
+    (profile, gpn, cost)
+}
+
+/// Writes `traces` as a Chrome `trace_event` JSON file and prints the
+/// per-phase summary table, with `cost` supplying the modeled column.
+fn emit_trace(path: &str, traces: &[trace::DeviceTrace], cost: &CostModel) {
+    let json = trace::chrome_trace(traces);
+    std::fs::write(path, json.to_string()).expect("write trace file");
+    println!(
+        "wrote Chrome trace ({} ranks) to {path} — load in Perfetto or chrome://tracing",
+        traces.len()
+    );
+    let rows = trace::summarize(traces, |m| cost.meta_time(m));
+    print!("{}", trace::render_summary(&rows));
+}
+
 /// Traces one Optimus training step per rank through [`mesh::DryRunComm`]
 /// (no device threads, no data movement) and prices the recorded schedule
-/// with the α-β cost model on the projected `q × q` mesh.
-fn dry_run_projection(a: &Args) {
+/// with the α-β cost model on the projected `q × q` mesh. With `trace_path`,
+/// also records the model-time timeline and exports it as Chrome JSON.
+fn dry_run_projection(a: &Args, trace_path: Option<&str>) {
     let cfg = model_cfg(a);
     let ocfg = OptimusConfig {
         q: a.q,
@@ -314,19 +349,20 @@ fn dry_run_projection(a: &Args) {
     ocfg.validate();
     let mut rng = Rng::new(a.seed ^ 0xDA7A);
     let (tokens, labels) = pattern_batch(&cfg, &mut rng);
+    let (profile, gpn, cost) = projection_cost(a);
     // The loss values are garbage (trace-backend payloads are zeros); only
-    // the communication logs matter here.
-    let (_, logs) = Mesh2d::dry_run_with_logs(a.q, |g| {
+    // the communication logs and the timeline matter here.
+    let step = |g: &mesh::Grid2d<mesh::DryRunComm>| {
         let mut m = OptimusModel::new(&ocfg, a.seed, g);
         m.train_step(g, &tokens, &labels, a.lr)
-    });
+    };
+    let (logs, traces) = if trace_path.is_some() {
+        let (_, logs, traces) = Mesh2d::dry_run_traced(a.q, cost.ns_pricer(), step);
+        (logs, Some(traces))
+    } else {
+        (Mesh2d::dry_run_with_logs(a.q, step).1, None)
+    };
 
-    let profile = HardwareProfile::frontera_rtx5000();
-    let gpn = profile.gpus_per_node.min(a.q * a.q);
-    let cost = CostModel::new(
-        profile.clone(),
-        Topology::new(a.q, gpn, Arrangement::Bunched),
-    );
     println!(
         "dry-run projection: {q}x{q} mesh ({p} devices), one Optimus train step",
         q = a.q,
@@ -354,6 +390,56 @@ fn dry_run_projection(a: &Args) {
         "projected step comm time (slowest device): {:.3} ms",
         cost.replay_max(&logs) * 1e3
     );
+    if let (Some(path), Some(traces)) = (trace_path, traces) {
+        emit_trace(path, &traces, &cost);
+    }
+}
+
+/// Runs one extra wall-clock-traced training step (after `train` finishes)
+/// under the chosen scheme and exports the timeline; the summary's modeled
+/// column uses the same projection cost model as `--dry-run`, so the table
+/// is a direct measured-vs-Eq. 4–5 comparison.
+fn live_trace_step(a: &Args, path: &str) {
+    let cfg = model_cfg(a);
+    let mut rng = Rng::new(a.seed ^ 0x7ACE);
+    let (tokens, labels) = pattern_batch(&cfg, &mut rng);
+    let (_, _, cost) = projection_cost(a);
+    let traces = match a.scheme {
+        Scheme::Optimus => {
+            let ocfg = OptimusConfig {
+                q: a.q,
+                batch: cfg.batch,
+                seq: cfg.seq,
+                hidden: cfg.hidden,
+                heads: cfg.heads,
+                vocab: cfg.vocab,
+                layers: cfg.layers,
+                causal: cfg.causal,
+                checkpoint: true,
+                fused_attention: false,
+            };
+            Mesh2d::run_traced(a.q, |g| {
+                let mut m = OptimusModel::new(&ocfg, a.seed, g);
+                m.train_step(g, &tokens, &labels, a.lr)
+            })
+            .2
+        }
+        Scheme::Megatron => {
+            let p = a.q * a.q;
+            let mcfg = MegatronConfig::new(cfg, p).with_checkpoint();
+            Mesh::run_traced(p, |ctx| {
+                let mut m = MegatronModel::new(mcfg, a.seed, ctx);
+                m.train_step(ctx, &tokens, &labels, a.lr)
+            })
+            .2
+        }
+        other => {
+            eprintln!("--trace supports --scheme optimus|megatron (got {other:?}); skipping");
+            return;
+        }
+    };
+    println!("traced one extra {:?} training step (wall-clock)", a.scheme);
+    emit_trace(path, &traces, &cost);
 }
 
 fn infer_dims(a: &Args, params: &ModelParams) -> Args {
@@ -397,7 +483,9 @@ fn main() {
     };
 
     match cmd.as_str() {
-        "train" if args.dry_run => dry_run_projection(&args),
+        "train" if args.dry_run => {
+            dry_run_projection(&args, flags.get("trace").map(|s| s.as_str()))
+        }
         "train" => {
             println!(
                 "training ({:?}, {} devices) {} steps on the pattern corpus…",
@@ -412,6 +500,9 @@ fn main() {
             if let Some(path) = flags.get("save") {
                 params.save_json(Path::new(path)).expect("write checkpoint");
                 println!("saved canonical checkpoint to {path}");
+            }
+            if let Some(path) = flags.get("trace") {
+                live_trace_step(&args, path);
             }
         }
         "eval" => {

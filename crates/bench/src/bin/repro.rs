@@ -1,14 +1,16 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [table1|table2|table3|fig7|fig8|fig9|projection|paradigms|validate|all]
+//! repro [table1|table2|table3|fig7|fig8|fig9|projection|paradigms|trace|validate|all]
 //! ```
 //!
 //! Model numbers come from the calibrated Frontera profile (see
 //! EXPERIMENTS.md); the paper's published numbers are printed alongside.
-//! `validate` runs the *executed* thread-mesh simulation at small scale and
-//! checks the communication volumes against the Table 1 closed forms, and
-//! the distributed losses against the serial reference.
+//! `trace` records one training step's phase-scoped timeline on a 4×4
+//! dry-run mesh and cross-checks it against Table 1 (the worked example of
+//! OBSERVABILITY.md). `validate` runs the *executed* thread-mesh simulation
+//! at small scale and checks the communication volumes against the Table 1
+//! closed forms, and the distributed losses against the serial reference.
 
 use bench::{f3, f4, render_table, write_csv};
 use perf::memory;
@@ -437,6 +439,94 @@ fn projection(profile: &HardwareProfile) {
     }
 }
 
+/// Traces one Optimus training step on a 4×4 dry-run mesh (timeline stamped
+/// with α-β model time), prints the per-phase summary, and cross-checks the
+/// recorded volumes against the Table 1 closed forms — the worked example of
+/// EXPERIMENTS.md and OBSERVABILITY.md.
+fn trace_demo(profile: &HardwareProfile) {
+    use mesh::{Arrangement, Communicator, Mesh, Mesh2d, Topology};
+    use optimus_core::{OptimusConfig, OptimusModel};
+    use perf::tracecheck;
+    use tensor::Rng;
+
+    println!("== Trace: one Optimus train step on a 4x4 dry-run mesh ==\n");
+    let q = 4;
+    let ocfg = OptimusConfig {
+        q,
+        batch: 8,
+        seq: 16,
+        hidden: 64,
+        heads: 8,
+        vocab: 32,
+        layers: 2,
+        causal: true,
+        checkpoint: true,
+        fused_attention: false,
+    };
+    let mut rng = Rng::new(0x7ACE);
+    let n = ocfg.batch * ocfg.seq;
+    let tokens: Vec<usize> = (0..n).map(|_| rng.below(ocfg.vocab)).collect();
+    let labels: Vec<usize> = (0..n).map(|_| rng.below(ocfg.vocab)).collect();
+    let cost = CostModel::new(
+        profile.clone(),
+        Topology::new(q, profile.gpus_per_node, Arrangement::Bunched),
+    );
+    let (_, _, traces) = Mesh2d::dry_run_traced(q, cost.ns_pricer(), |g| {
+        let mut m = OptimusModel::new(&ocfg, 7, g);
+        m.train_step(g, &tokens, &labels, 0.1)
+    });
+    let rows = trace::summarize(&traces, |m| cost.meta_time(m));
+    print!("{}", trace::render_summary(&rows));
+    let totals = tracecheck::op_totals(&cost, &traces);
+    println!(
+        "max relative |measured - modeled| gap across op kinds: {:.2e} (dry-run is priced by the model)\n",
+        tracecheck::max_rel_gap(&totals)
+    );
+
+    // Table 1 cross-check, Megatron column: one layer forward on p = q²
+    // devices does two ring all-reduces of b·s·h elements; the wire volume
+    // per device is 4(p−1)/p·bsh — exactly Table 1's forward entry.
+    let p = q * q;
+    let model_cfg = serial::ModelConfig {
+        batch: ocfg.batch,
+        seq: ocfg.seq,
+        hidden: ocfg.hidden,
+        heads: 16, // heads must divide by p for the 1D scheme
+        vocab: ocfg.vocab,
+        layers: 1,
+        causal: true,
+    };
+    let mcfg = megatron::MegatronConfig::new(model_cfg, p);
+    let full = serial::LayerParams::init(0, 0, model_cfg.hidden);
+    let mut rng = Rng::new(1);
+    let x = tensor::Tensor::randn(&[model_cfg.tokens(), model_cfg.hidden], 1.0, &mut rng);
+    let flat = CostModel::new(profile.clone(), Topology::flat(p, profile.gpus_per_node));
+    let (_, _, mtraces) = Mesh::dry_run_traced(p, flat.ns_pricer(), |ctx| {
+        let world = mesh::Group::world(p);
+        let lp = megatron::Layer1dParams::from_full(&full, model_cfg.hidden, p, ctx.rank());
+        megatron::layer1d_forward(ctx, &world, &mcfg, &lp, &x);
+    });
+    let mtotals = tracecheck::op_totals(&flat, &mtraces);
+    let ar = mtotals
+        .iter()
+        .find(|t| t.kind == "AllReduce")
+        .expect("layer forward all-reduces");
+    let wire_per_dev = ar.wire_elems / p;
+    let table1 = megatron_layer_costs(model_cfg.batch, model_cfg.seq, model_cfg.hidden, p).fwd_comm;
+    println!(
+        "[table 1 cross-check] traced AllReduce wire volume {} elems/device, closed form 4(p-1)/p*bsh = {} -> {}",
+        wire_per_dev,
+        table1,
+        if (wire_per_dev as f64 - table1).abs() < 1e-6 {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
+    );
+    assert!((wire_per_dev as f64 - table1).abs() < 1e-6);
+    println!();
+}
+
 /// Executes the real thread-mesh simulation at small scale and validates
 /// (a) communication volumes against Table 1 and (b) numerics against the
 /// serial reference.
@@ -602,6 +692,7 @@ fn main() {
         "fig9" => fig9(&profile),
         "projection" => projection(&profile),
         "paradigms" => paradigms(&profile),
+        "trace" => trace_demo(&profile),
         "validate" => validate(),
         "all" => {
             table1();
@@ -612,11 +703,12 @@ fn main() {
             fig9(&profile);
             projection(&profile);
             paradigms(&profile);
+            trace_demo(&profile);
             validate();
         }
         other => {
             eprintln!("unknown artifact '{other}'");
-            eprintln!("usage: repro [table1|table2|table3|fig7|fig8|fig9|projection|paradigms|validate|all]");
+            eprintln!("usage: repro [table1|table2|table3|fig7|fig8|fig9|projection|paradigms|trace|validate|all]");
             std::process::exit(2);
         }
     }

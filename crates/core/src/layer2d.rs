@@ -82,6 +82,7 @@ pub fn layer2d_forward<C: Communicator>(
     p: &Layer2dParams,
     x: &Tensor,
 ) -> (Tensor, Layer2dCache) {
+    let _span = trace::span_guard("fwd.layer2d");
     let local = cfg.local_view();
     let hb = cfg.local_cols();
     let rows = cfg.local_rows();
@@ -139,6 +140,7 @@ pub fn layer2d_backward<C: Communicator>(
     cache: &Layer2dCache,
     dy: &Tensor,
 ) -> (Tensor, Layer2dGrads) {
+    let _span = trace::span_guard("bwd.layer2d");
     let local = cfg.local_view();
     let hb = cfg.local_cols();
     let rows = cfg.local_rows();

@@ -45,6 +45,7 @@ impl Linear2d {
     /// `y = x W + b` over the mesh: SUMMA `C = AB` plus the column bias
     /// broadcast. `x: [rows/q, in/q]` local block.
     pub fn forward<C: Communicator>(&self, grid: &Grid2d<C>, x: &Tensor) -> Tensor {
+        let _span = trace::span_guard("fwd.linear2d");
         let mut y = summa_nn(grid, x, &self.w);
         let mut bias_buf = match &self.bias {
             Some(b) => {
@@ -68,6 +69,7 @@ impl Linear2d {
         x: &Tensor,
         dy: &Tensor,
     ) -> (Tensor, Tensor, Option<Vec<f32>>) {
+        let _span = trace::span_guard("bwd.linear2d");
         let dx = summa_nt(grid, dy, &self.w);
         let dw = summa_tn(grid, x, dy);
         let mut db = bias_grad(dy);

@@ -233,6 +233,7 @@ impl OptimusModel {
         self.meter = MemMeter::new();
 
         // ---- Forward ----
+        let fwd_span = trace::span_guard("fwd");
         let x0 = embed2d_forward(grid, &self.table, tokens_local, cfg.vocab);
         self.meter.alloc(tensor_bytes(&x0));
 
@@ -253,8 +254,10 @@ impl OptimusModel {
         }
         let (hidden, final_ln_cache) = self.final_ln.forward(grid, &x, cfg.hidden);
         self.meter.alloc(tensor_bytes(&hidden));
+        drop(fwd_span);
 
         // ---- Loss head ----
+        let loss_span = trace::span_guard("loss_head");
         let logits = lm_head2d_forward(grid, &hidden, &self.table);
         self.meter.alloc(tensor_bytes(&logits));
         let (loss, dlogits) = ce2d(grid, &logits, labels_local, cfg.vocab, total_rows);
@@ -262,13 +265,15 @@ impl OptimusModel {
         let mut d_table = Tensor::zeros(&[self.table.rows(), self.table.cols()]);
         let dhidden = lm_head2d_backward(grid, &dlogits, &hidden, &self.table, &mut d_table);
         self.meter.free(tensor_bytes(&logits));
+        drop(loss_span);
 
+        // ---- Layer backward (reverse) ----
+        let bwd_span = trace::span_guard("bwd");
         let (mut dx, final_ln_g, final_ln_b) =
             self.final_ln
                 .backward(grid, &dhidden, &final_ln_cache, cfg.hidden);
         self.meter.free(tensor_bytes(&hidden));
 
-        // ---- Layer backward (reverse) ----
         let mut layer_grads: Vec<Layer2dGrads> = Vec::with_capacity(cfg.layers);
         for l in (0..cfg.layers).rev() {
             let cache = if cfg.checkpoint {
@@ -289,6 +294,7 @@ impl OptimusModel {
 
         embed2d_backward(grid, &dx, tokens_local, cfg.vocab, &mut d_table);
         self.meter.free(tensor_bytes(&x0));
+        drop(bwd_span);
 
         (
             loss,
@@ -322,7 +328,7 @@ impl OptimusModel {
         lr: f32,
     ) -> TrainOutput {
         let (loss, grads) = self.lm_grads(grid, tokens, labels);
-        self.apply_sgd(&grads, lr);
+        trace::span("update", || self.apply_sgd(&grads, lr));
         TrainOutput {
             loss,
             peak_activation_bytes: self.meter.peak(),

@@ -53,6 +53,7 @@ pub fn layer1d_forward<C: Communicator>(
     p: &Layer1dParams,
     x: &Tensor,
 ) -> (Tensor, Layer1dCache) {
+    let _span = trace::span_guard("fwd.layer1d");
     let local = cfg.local_view();
     let w = cfg.local_hidden();
     let rows = cfg.model.tokens();
@@ -113,6 +114,7 @@ pub fn layer1d_backward<C: Communicator>(
     cache: &Layer1dCache,
     dy: &Tensor,
 ) -> (Tensor, Layer1dGrads) {
+    let _span = trace::span_guard("bwd.layer1d");
     let local = cfg.local_view();
     let w = cfg.local_hidden();
     let rows = cfg.model.tokens();

@@ -100,6 +100,7 @@ impl MegatronModel {
         labels: &[usize],
     ) -> (f32, Model1dGrads) {
         // ---- Forward ----
+        let fwd_span = trace::span_guard("fwd");
         let mut x = embed_forward(ctx, &self.world, &self.table, tokens, self.vocab_offset);
         let mut inputs: Vec<Tensor> = Vec::with_capacity(self.layers.len());
         let mut caches = Vec::new();
@@ -112,8 +113,10 @@ impl MegatronModel {
             x = y;
         }
         let (hidden, final_ln) = layer_norm_forward(&x, &self.final_ln_g, &self.final_ln_b, LN_EPS);
+        drop(fwd_span);
 
         // ---- Loss head ----
+        let loss_span = trace::span_guard("loss_head");
         let logits = lm_head_forward(&hidden, &self.table);
         let (loss, dlogits) =
             vocab_parallel_ce(ctx, &self.world, &logits, labels, self.vocab_offset);
@@ -126,10 +129,12 @@ impl MegatronModel {
             &self.table,
             &mut d_table,
         );
-        let (mut dx, final_ln_g, final_ln_b) =
-            layer_norm_backward(&dhidden, &final_ln, &self.final_ln_g);
+        drop(loss_span);
 
         // ---- Layer backward (reverse), recomputing when checkpointed ----
+        let bwd_span = trace::span_guard("bwd");
+        let (mut dx, final_ln_g, final_ln_b) =
+            layer_norm_backward(&dhidden, &final_ln, &self.final_ln_g);
         let mut layer_grads = Vec::with_capacity(self.layers.len());
         for l in (0..self.layers.len()).rev() {
             let cache = if self.cfg.checkpoint {
@@ -145,6 +150,7 @@ impl MegatronModel {
         layer_grads.reverse();
 
         embed_backward(&mut d_table, &dx, tokens, self.vocab_offset);
+        drop(bwd_span);
 
         (
             loss,
@@ -166,7 +172,7 @@ impl MegatronModel {
         lr: f32,
     ) -> f32 {
         let (loss, grads) = self.lm_grads(ctx, tokens, labels);
-        self.apply_sgd(&grads, lr);
+        trace::span("update", || self.apply_sgd(&grads, lr));
         loss
     }
 

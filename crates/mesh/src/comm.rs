@@ -11,6 +11,11 @@
 //!   the [`CommLog`], producing op/link streams identical to the live
 //!   backend's so the `perf` cost model can price a step without running it.
 //!
+//! Both trait impls additionally emit one [`trace`] op event per collective
+//! when a trace collector is active on the calling thread (see
+//! [`crate::Mesh::run_traced`] / [`crate::Mesh::dry_run_traced`]); untraced
+//! runs pay a single thread-local read per collective.
+//!
 //! # Contract
 //!
 //! Implementations must preserve the live backend's logging discipline:
@@ -21,9 +26,33 @@
 //! groups, same order on every member), and — because the trace backend
 //! cannot learn payload sizes from the wire — must pre-size non-root
 //! `broadcast` buffers to the root's payload length.
+//!
+//! The contract is runnable: the same generic program produces identical
+//! communication logs on both backends.
+//!
+//! ```
+//! use mesh::{Communicator, Group, Mesh};
+//!
+//! fn program<C: Communicator>(comm: &C) -> Vec<mesh::OpRecord> {
+//!     let world = Group::world(comm.world_size());
+//!     // Every member calls the same collectives on the same groups in the
+//!     // same program order (the deadlock discipline) ...
+//!     let mut x = vec![comm.rank() as f32; 4];
+//!     comm.all_reduce(&world, &mut x);
+//!     // ... and non-root broadcast buffers are PRE-SIZED to the root's
+//!     // payload length: the trace backend has no wire to learn it from.
+//!     let mut y = vec![0.0f32; 3];
+//!     comm.broadcast(&world, 0, &mut y);
+//!     comm.log_snapshot().ops
+//! }
+//!
+//! let (live, _) = Mesh::run_with_logs(4, |ctx| program(ctx));
+//! let (dry, _) = Mesh::dry_run_with_logs(4, |c| program(c));
+//! assert_eq!(live, dry); // op streams are identical, rank by rank
+//! ```
 
 use crate::group::Group;
-use crate::stats::CommLog;
+use crate::stats::{group_shape, CommLog, CommOp};
 
 /// A device's handle to the communication fabric: identity, point-to-point
 /// transfers, collectives, and the per-device communication log.
@@ -80,6 +109,43 @@ pub trait Communicator {
     fn take_log(&self) -> CommLog;
 }
 
+/// Runs one collective under a trace op event (when a collector is active).
+///
+/// `run` executes the collective and returns `(result, logical_elems)`; the
+/// logical payload is computed *after* the call because a live non-root
+/// broadcast only learns its size from the wire. `wire` is an O(1) probe of
+/// the device's total sent elements, sampled before/after to attribute wire
+/// traffic to the event. Nested calls (a barrier built from reduce +
+/// broadcast) are collapsed into the outermost event by the tracer's depth
+/// guard, so both backends emit exactly one event per logical collective.
+pub(crate) fn traced_op<T>(
+    op: CommOp,
+    group: &Group,
+    wire: impl Fn() -> usize,
+    run: impl FnOnce() -> (T, usize),
+) -> T {
+    if !trace::is_active() {
+        return run().0;
+    }
+    let wire_before = wire();
+    let timer = trace::op_begin();
+    let (out, elems) = run();
+    let wire_elems = wire() - wire_before;
+    let (group_size, group_first, group_stride) = group_shape(group);
+    trace::op_end(
+        timer,
+        trace::OpMeta {
+            kind: op.name(),
+            group_size,
+            group_first,
+            group_stride,
+            elems,
+            wire_elems,
+        },
+    );
+    out
+}
+
 impl Communicator for crate::DeviceCtx {
     fn rank(&self) -> usize {
         crate::DeviceCtx::rank(self)
@@ -94,31 +160,114 @@ impl Communicator for crate::DeviceCtx {
         crate::DeviceCtx::recv(self, from)
     }
     fn broadcast(&self, group: &Group, root: usize, data: &mut Vec<f32>) {
-        crate::DeviceCtx::broadcast(self, group, root, data)
+        traced_op(
+            CommOp::Broadcast,
+            group,
+            || self.wire_total(),
+            || {
+                crate::DeviceCtx::broadcast(self, group, root, data);
+                ((), data.len())
+            },
+        )
     }
     fn reduce(&self, group: &Group, root: usize, data: &mut [f32]) {
-        crate::DeviceCtx::reduce(self, group, root, data)
+        traced_op(
+            CommOp::Reduce,
+            group,
+            || self.wire_total(),
+            || {
+                crate::DeviceCtx::reduce(self, group, root, data);
+                ((), data.len())
+            },
+        )
     }
     fn all_reduce(&self, group: &Group, data: &mut [f32]) {
-        crate::DeviceCtx::all_reduce(self, group, data)
+        traced_op(
+            CommOp::AllReduce,
+            group,
+            || self.wire_total(),
+            || {
+                crate::DeviceCtx::all_reduce(self, group, data);
+                ((), data.len())
+            },
+        )
     }
     fn all_reduce_max(&self, group: &Group, data: &mut [f32]) {
-        crate::DeviceCtx::all_reduce_max(self, group, data)
+        traced_op(
+            CommOp::AllReduce,
+            group,
+            || self.wire_total(),
+            || {
+                crate::DeviceCtx::all_reduce_max(self, group, data);
+                ((), data.len())
+            },
+        )
     }
     fn all_gather(&self, group: &Group, local: &[f32]) -> Vec<f32> {
-        crate::DeviceCtx::all_gather(self, group, local)
+        traced_op(
+            CommOp::AllGather,
+            group,
+            || self.wire_total(),
+            || {
+                (
+                    crate::DeviceCtx::all_gather(self, group, local),
+                    local.len(),
+                )
+            },
+        )
     }
     fn reduce_scatter(&self, group: &Group, data: &mut [f32]) -> Vec<f32> {
-        crate::DeviceCtx::reduce_scatter(self, group, data)
+        traced_op(
+            CommOp::ReduceScatter,
+            group,
+            || self.wire_total(),
+            || {
+                let n = data.len();
+                (crate::DeviceCtx::reduce_scatter(self, group, data), n)
+            },
+        )
     }
     fn scatter(&self, group: &Group, root: usize, data: &[f32]) -> Vec<f32> {
-        crate::DeviceCtx::scatter(self, group, root, data)
+        traced_op(
+            CommOp::ReduceScatter,
+            group,
+            || self.wire_total(),
+            || {
+                let out = crate::DeviceCtx::scatter(self, group, root, data);
+                // Non-roots pass an empty slice and learn the logical size from
+                // their chunk — mirroring what the CommLog records.
+                let elems = if data.is_empty() {
+                    out.len() * group.len()
+                } else {
+                    data.len()
+                };
+                (out, elems)
+            },
+        )
     }
     fn gather(&self, group: &Group, root: usize, local: &[f32]) -> Vec<f32> {
-        crate::DeviceCtx::gather(self, group, root, local)
+        traced_op(
+            CommOp::AllGather,
+            group,
+            || self.wire_total(),
+            || {
+                (
+                    crate::DeviceCtx::gather(self, group, root, local),
+                    local.len(),
+                )
+            },
+        )
     }
     fn barrier(&self, group: &Group) {
-        crate::DeviceCtx::barrier(self, group)
+        traced_op(
+            CommOp::Barrier,
+            group,
+            || self.wire_total(),
+            || {
+                crate::DeviceCtx::barrier(self, group);
+                ((), 0)
+            },
+        )
     }
     fn log_snapshot(&self) -> CommLog {
         crate::DeviceCtx::log_snapshot(self)

@@ -14,6 +14,11 @@
 //! α-β cost model relies on, so a dry run is exactly enough to price a step
 //! on a projected mesh (`optimus-cli --dry-run`) without simulating it.
 //!
+//! With [`crate::Mesh::dry_run_traced`] the same replay also produces full
+//! [`trace::DeviceTrace`] timelines: a fresh virtual-clock collector is
+//! installed per rank, advanced by a caller-supplied α-β pricer, so the
+//! "measured" durations of a dry-run trace *are* the model's predictions.
+//!
 //! # Limitations
 //!
 //! * Non-root `broadcast` buffers must be pre-sized (the live backend learns
@@ -26,7 +31,7 @@
 //!   this; cyclic p2p patterns (Cannon shifts) need the live backend.
 
 use crate::collectives::chunk_start;
-use crate::comm::Communicator;
+use crate::comm::{traced_op, Communicator};
 use crate::group::Group;
 use crate::stats::{record_group_op, CommLog, CommOp};
 use std::cell::RefCell;
@@ -47,6 +52,10 @@ pub struct DryRunComm {
     wire: Rc<RefCell<DryWire>>,
 }
 
+/// The collective schedules, as inherent methods mirroring
+/// [`crate::DeviceCtx`]'s: the [`Communicator`] impl wraps these with trace
+/// op events, and composites (barrier) call the inherent forms directly so
+/// both backends emit exactly one event per logical collective.
 impl DryRunComm {
     pub(crate) fn new(rank: usize, p: usize, wire: Rc<RefCell<DryWire>>) -> Self {
         DryRunComm {
@@ -71,15 +80,10 @@ impl DryRunComm {
         assert!(to < self.p, "send to rank {to} out of range (p={})", self.p);
         self.log.borrow_mut().record_link(self.rank, to, elems);
     }
-}
 
-impl Communicator for DryRunComm {
-    fn rank(&self) -> usize {
-        self.rank
-    }
-
-    fn world_size(&self) -> usize {
-        self.p
+    /// O(1) total of elements "sent" so far (tracer wire attribution).
+    pub(crate) fn wire_total(&self) -> usize {
+        self.log.borrow().total_link_elems()
     }
 
     fn send(&self, to: usize, data: Vec<f32>) {
@@ -109,7 +113,7 @@ impl Communicator for DryRunComm {
         vec![0.0; len]
     }
 
-    fn broadcast(&self, group: &Group, root: usize, data: &mut Vec<f32>) {
+    fn broadcast(&self, group: &Group, root: usize, data: &mut [f32]) {
         let g = group.len();
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
@@ -158,10 +162,6 @@ impl Communicator for DryRunComm {
     }
 
     fn all_reduce(&self, group: &Group, data: &mut [f32]) {
-        ring_all_reduce_trace(self, group, data.len());
-    }
-
-    fn all_reduce_max(&self, group: &Group, data: &mut [f32]) {
         ring_all_reduce_trace(self, group, data.len());
     }
 
@@ -246,6 +246,131 @@ impl Communicator for DryRunComm {
         let mut token: Vec<f32> = Vec::new();
         self.broadcast(group, 0, &mut token);
     }
+}
+
+impl Communicator for DryRunComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.p
+    }
+
+    fn send(&self, to: usize, data: Vec<f32>) {
+        DryRunComm::send(self, to, data)
+    }
+
+    fn recv(&self, from: usize) -> Vec<f32> {
+        DryRunComm::recv(self, from)
+    }
+
+    fn broadcast(&self, group: &Group, root: usize, data: &mut Vec<f32>) {
+        traced_op(
+            CommOp::Broadcast,
+            group,
+            || self.wire_total(),
+            || {
+                DryRunComm::broadcast(self, group, root, data);
+                ((), data.len())
+            },
+        )
+    }
+
+    fn reduce(&self, group: &Group, root: usize, data: &mut [f32]) {
+        traced_op(
+            CommOp::Reduce,
+            group,
+            || self.wire_total(),
+            || {
+                DryRunComm::reduce(self, group, root, data);
+                ((), data.len())
+            },
+        )
+    }
+
+    fn all_reduce(&self, group: &Group, data: &mut [f32]) {
+        traced_op(
+            CommOp::AllReduce,
+            group,
+            || self.wire_total(),
+            || {
+                DryRunComm::all_reduce(self, group, data);
+                ((), data.len())
+            },
+        )
+    }
+
+    fn all_reduce_max(&self, group: &Group, data: &mut [f32]) {
+        traced_op(
+            CommOp::AllReduce,
+            group,
+            || self.wire_total(),
+            || {
+                DryRunComm::all_reduce(self, group, data);
+                ((), data.len())
+            },
+        )
+    }
+
+    fn all_gather(&self, group: &Group, local: &[f32]) -> Vec<f32> {
+        traced_op(
+            CommOp::AllGather,
+            group,
+            || self.wire_total(),
+            || (DryRunComm::all_gather(self, group, local), local.len()),
+        )
+    }
+
+    fn reduce_scatter(&self, group: &Group, data: &mut [f32]) -> Vec<f32> {
+        traced_op(
+            CommOp::ReduceScatter,
+            group,
+            || self.wire_total(),
+            || {
+                let n = data.len();
+                (DryRunComm::reduce_scatter(self, group, data), n)
+            },
+        )
+    }
+
+    fn scatter(&self, group: &Group, root: usize, data: &[f32]) -> Vec<f32> {
+        traced_op(
+            CommOp::ReduceScatter,
+            group,
+            || self.wire_total(),
+            || {
+                let out = DryRunComm::scatter(self, group, root, data);
+                let elems = if data.is_empty() {
+                    out.len() * group.len()
+                } else {
+                    data.len()
+                };
+                (out, elems)
+            },
+        )
+    }
+
+    fn gather(&self, group: &Group, root: usize, local: &[f32]) -> Vec<f32> {
+        traced_op(
+            CommOp::AllGather,
+            group,
+            || self.wire_total(),
+            || (DryRunComm::gather(self, group, root, local), local.len()),
+        )
+    }
+
+    fn barrier(&self, group: &Group) {
+        traced_op(
+            CommOp::Barrier,
+            group,
+            || self.wire_total(),
+            || {
+                DryRunComm::barrier(self, group);
+                ((), 0)
+            },
+        )
+    }
 
     fn log_snapshot(&self) -> CommLog {
         self.log.borrow().clone()
@@ -285,16 +410,53 @@ impl crate::Mesh {
     where
         F: Fn(&DryRunComm) -> T,
     {
+        let (outs, logs, _) = Self::dry_run_inner(p, f, None);
+        (outs, logs)
+    }
+
+    /// Like [`crate::Mesh::dry_run_with_logs`], but installs a fresh
+    /// virtual-clock [`trace`] collector per rank and returns the per-device
+    /// timelines. `pricer` maps each collective's [`trace::OpMeta`] to its
+    /// modeled duration in nanoseconds (build one from `perf::CostModel`),
+    /// so the trace's "measured" durations are the α-β model's predictions.
+    pub fn dry_run_traced<T, F>(
+        p: usize,
+        pricer: impl Fn(&trace::OpMeta) -> u64 + 'static,
+        f: F,
+    ) -> (Vec<T>, Vec<CommLog>, Vec<trace::DeviceTrace>)
+    where
+        F: Fn(&DryRunComm) -> T,
+    {
+        let pricer: trace::Pricer = Rc::new(pricer);
+        let (outs, logs, traces) = Self::dry_run_inner(p, f, Some(pricer));
+        (outs, logs, traces)
+    }
+
+    fn dry_run_inner<T, F>(
+        p: usize,
+        f: F,
+        pricer: Option<trace::Pricer>,
+    ) -> (Vec<T>, Vec<CommLog>, Vec<trace::DeviceTrace>)
+    where
+        F: Fn(&DryRunComm) -> T,
+    {
         assert!(p > 0, "mesh needs at least one device");
         let wire = Rc::new(RefCell::new(DryWire::default()));
         let mut outs = Vec::with_capacity(p);
         let mut logs = Vec::with_capacity(p);
+        let mut traces = Vec::new();
         for rank in 0..p {
             let comm = DryRunComm::new(rank, p, Rc::clone(&wire));
+            if let Some(pricer) = &pricer {
+                trace::start_virtual(Rc::clone(pricer));
+            }
             outs.push(f(&comm));
-            logs.push(comm.take_log());
+            if pricer.is_some() {
+                traces.push(trace::finish(rank).expect("collector installed above"));
+            }
+            logs.push(Communicator::take_log(&comm));
         }
-        (outs, logs)
+        (outs, logs, traces)
     }
 }
 
@@ -307,6 +469,23 @@ impl crate::Mesh2d {
     {
         assert!(q > 0, "mesh side must be positive");
         crate::Mesh::dry_run_with_logs(q * q, |comm| {
+            let grid = crate::Grid2d::new(comm, q);
+            f(&grid)
+        })
+    }
+
+    /// Trace-only analogue of [`crate::Mesh2d::run_traced`]; see
+    /// [`crate::Mesh::dry_run_traced`] for the pricer contract.
+    pub fn dry_run_traced<T, F>(
+        q: usize,
+        pricer: impl Fn(&trace::OpMeta) -> u64 + 'static,
+        f: F,
+    ) -> (Vec<T>, Vec<CommLog>, Vec<trace::DeviceTrace>)
+    where
+        F: Fn(&crate::Grid2d<DryRunComm>) -> T,
+    {
+        assert!(q > 0, "mesh side must be positive");
+        crate::Mesh::dry_run_traced(q * q, pricer, |comm| {
             let grid = crate::Grid2d::new(comm, q);
             f(&grid)
         })
@@ -347,7 +526,7 @@ mod tests {
                     |c| {
                         let g = Group::world(p);
                         let mut data = vec![0.0f32; 10];
-                        c.broadcast(&g, root, &mut data);
+                        DryRunComm::broadcast(c, &g, root, &mut data);
                     },
                 );
             }
@@ -367,7 +546,7 @@ mod tests {
                 |c| {
                     let g = Group::world(p);
                     let mut data = vec![0.0f32; 7];
-                    c.reduce(&g, p - 1, &mut data);
+                    DryRunComm::reduce(c, &g, p - 1, &mut data);
                 },
             );
         }
@@ -390,10 +569,10 @@ mod tests {
                 |c| {
                     let g = Group::world(p);
                     let mut data = vec![0.0f32; 13];
-                    c.all_reduce(&g, &mut data);
+                    DryRunComm::all_reduce(c, &g, &mut data);
                     let mut data = vec![0.0f32; 13];
-                    let _ = c.reduce_scatter(&g, &mut data);
-                    let _ = c.all_gather(&g, &[0.0; 3]);
+                    let _ = DryRunComm::reduce_scatter(c, &g, &mut data);
+                    let _ = DryRunComm::all_gather(c, &g, &[0.0; 3]);
                 },
             );
         }
@@ -414,14 +593,14 @@ mod tests {
                 crate::DeviceCtx::all_reduce(ctx, &row, &mut d);
             },
             |c| {
-                let row = if c.rank() < 2 {
+                let row = if Communicator::rank(c) < 2 {
                     Group::new(vec![0, 1])
                 } else {
                     Group::new(vec![2, 3])
                 };
-                c.barrier(&row);
+                DryRunComm::barrier(c, &row);
                 let mut d = vec![0.0f32; 5];
-                c.all_reduce(&row, &mut d);
+                DryRunComm::all_reduce(c, &row, &mut d);
             },
         );
     }
@@ -431,14 +610,14 @@ mod tests {
         // Rank r sends to r+1; replay order (0, 1, 2, ...) satisfies the
         // matching-send requirement.
         let (outs, logs) = Mesh::dry_run_with_logs(3, |c| {
-            if c.rank() > 0 {
-                let got = c.recv(c.rank() - 1);
+            if Communicator::rank(c) > 0 {
+                let got = DryRunComm::recv(c, Communicator::rank(c) - 1);
                 assert_eq!(got.len(), 4);
             }
-            if c.rank() + 1 < c.world_size() {
-                c.send(c.rank() + 1, vec![0.0; 4]);
+            if Communicator::rank(c) + 1 < c.world_size() {
+                DryRunComm::send(c, Communicator::rank(c) + 1, vec![0.0; 4]);
             }
-            c.rank()
+            Communicator::rank(c)
         });
         assert_eq!(outs, vec![0, 1, 2]);
         assert_eq!(logs[0].total_link_elems(), 4);
@@ -449,8 +628,8 @@ mod tests {
     #[should_panic]
     fn p2p_backward_dependency_panics() {
         Mesh::dry_run_with_logs(2, |c| {
-            if c.rank() == 0 {
-                c.recv(1); // rank 1 has not replayed yet
+            if Communicator::rank(c) == 0 {
+                DryRunComm::recv(c, 1); // rank 1 has not replayed yet
             }
         });
     }
@@ -464,11 +643,85 @@ mod tests {
         });
         let (_, dry_logs) = Mesh::dry_run_with_logs(p, |c| {
             let g = Group::world(p);
-            let _ = c.gather(&g, 0, &[1.0; 3]);
+            let _ = DryRunComm::gather(c, &g, 0, &[1.0; 3]);
         });
         for (l, d) in live_logs.iter().zip(&dry_logs) {
             assert_eq!(l.ops, d.ops);
             assert_eq!(l.links, d.links);
+        }
+    }
+
+    #[test]
+    fn dry_run_traced_prices_with_virtual_clock() {
+        // 1 ns per logical element: two all-reduces of 100 elems end at
+        // t=100 and t=200 virtual ns on every rank.
+        let (_, _, traces) = Mesh::dry_run_traced(
+            2,
+            |m: &trace::OpMeta| m.elems as u64,
+            |c| {
+                let g = Group::world(2);
+                let mut d = vec![0.0f32; 100];
+                Communicator::all_reduce(c, &g, &mut d);
+                Communicator::all_reduce(c, &g, &mut d);
+            },
+        );
+        assert_eq!(traces.len(), 2);
+        for dev in &traces {
+            let ends: Vec<u64> = dev
+                .events
+                .iter()
+                .map(|e| match e {
+                    trace::Event::Op { t1_ns, .. } => *t1_ns,
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect();
+            assert_eq!(ends, vec![100, 200]);
+        }
+    }
+
+    #[test]
+    fn traced_barrier_is_one_event() {
+        // The dry barrier is built from reduce + broadcast; the tracer's
+        // depth guard must collapse it to a single Barrier op event.
+        let (_, logs, traces) = Mesh::dry_run_traced(
+            2,
+            |_: &trace::OpMeta| 1,
+            |c| Communicator::barrier(c, &Group::world(2)),
+        );
+        for dev in &traces {
+            assert_eq!(dev.events.len(), 1, "events: {:?}", dev.events);
+            match &dev.events[0] {
+                trace::Event::Op { meta, .. } => assert_eq!(meta.kind, "Barrier"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // The CommLog still sees the constituent collectives.
+        assert_eq!(logs[0].ops.len(), 3);
+    }
+
+    #[test]
+    fn commlog_records_are_span_tagged() {
+        let (_, logs, traces) = Mesh::dry_run_traced(
+            2,
+            |_: &trace::OpMeta| 1,
+            |c| {
+                let g = Group::world(2);
+                trace::span("phase", || {
+                    let mut d = vec![0.0f32; 8];
+                    Communicator::all_reduce(c, &g, &mut d);
+                });
+            },
+        );
+        for log in &logs {
+            assert_eq!(log.ops[0].span, 1, "op should carry the open span id");
+            for l in &log.links {
+                assert_eq!(l.span, 1);
+            }
+        }
+        // And the op event sits under the same span.
+        match &traces[0].events[1] {
+            trace::Event::Op { span, .. } => assert_eq!(*span, 1),
+            other => panic!("unexpected {other:?}"),
         }
     }
 }

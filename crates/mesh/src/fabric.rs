@@ -92,7 +92,7 @@ impl DeviceCtx {
     }
 
     /// Returns a consumed receive buffer to the scratch pool so a later
-    /// [`DeviceCtx::send_copy`] can reuse its allocation.
+    /// internal `send_copy` can reuse its allocation.
     pub fn recycle(&self, buf: Vec<f32>) {
         self.pool.borrow_mut().put(buf);
     }
@@ -112,6 +112,12 @@ impl DeviceCtx {
     /// Records a collective operation in the log (used by `collectives.rs`).
     pub(crate) fn record_op(&self, op: CommOp, group: &crate::Group, elems: usize) {
         crate::stats::record_group_op(&mut self.log.borrow_mut(), op, group, elems);
+    }
+
+    /// O(1) total of elements this device has sent so far; the tracer
+    /// samples it before/after a collective to attribute wire traffic.
+    pub(crate) fn wire_total(&self) -> usize {
+        self.log.borrow().total_link_elems()
     }
 
     /// Extracts the accumulated communication log (resets it).

@@ -41,6 +41,17 @@
 //! [`Mesh::run_with_logs`] / [`Mesh2d::run_with_logs`] (live) and
 //! [`Mesh::dry_run_with_logs`] / [`Mesh2d::dry_run_with_logs`] (trace).
 //!
+//! # Structured tracing
+//!
+//! The `*_traced` entry points ([`Mesh::run_traced`],
+//! [`Mesh::dry_run_traced`] and their `Mesh2d` analogues) additionally
+//! return per-device [`trace::DeviceTrace`] timelines: every collective
+//! issued through the [`Communicator`] trait becomes a timed op event, and
+//! library code groups them into phases with `trace::span`. Live devices
+//! stamp wall-clock time; dry runs stamp α-β model time from a caller
+//! pricer, so both produce *structurally identical* traces of the same
+//! program. See `OBSERVABILITY.md` at the repo root.
+//!
 //! # Deadlock discipline
 //!
 //! Collectives are matched by program order per (sender, receiver) pair: all
@@ -126,6 +137,26 @@ impl Mesh {
             logs.push(log);
         }
         (outs, logs)
+    }
+
+    /// Like [`Mesh::run_with_logs`], but installs a wall-clock [`trace`]
+    /// collector on every device thread and returns the per-device
+    /// timelines alongside results and logs. Spans opened with
+    /// `trace::span` inside `f` and op events from every
+    /// [`Communicator`] collective land in the device's own timeline.
+    pub fn run_traced<T, F>(p: usize, f: F) -> (Vec<T>, Vec<CommLog>, Vec<trace::DeviceTrace>)
+    where
+        T: Send,
+        F: Fn(&DeviceCtx) -> T + Sync,
+    {
+        let (pairs, logs) = Self::run_with_logs(p, |ctx| {
+            trace::start_wall();
+            let out = f(ctx);
+            let trace = trace::finish(ctx.rank()).expect("collector installed above");
+            (out, trace)
+        });
+        let (outs, traces) = pairs.into_iter().unzip();
+        (outs, logs, traces)
     }
 }
 

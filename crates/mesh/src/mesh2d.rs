@@ -33,6 +33,23 @@ impl Mesh2d {
             f(&grid)
         })
     }
+
+    /// Like [`Mesh2d::run_with_logs`], but with a wall-clock [`trace`]
+    /// collector per device; see [`Mesh::run_traced`].
+    pub fn run_traced<T, F>(
+        q: usize,
+        f: F,
+    ) -> (Vec<T>, Vec<crate::CommLog>, Vec<trace::DeviceTrace>)
+    where
+        T: Send,
+        F: Fn(&Grid2d) -> T + Sync,
+    {
+        assert!(q > 0, "mesh side must be positive");
+        Mesh::run_traced(q * q, |ctx| {
+            let grid = Grid2d::new(ctx, q);
+            f(&grid)
+        })
+    }
 }
 
 /// Per-device view of a `q × q` mesh: coordinates plus precomputed row and

@@ -5,6 +5,11 @@
 //! α-β cost model (each collective's cost depends only on its kind, group
 //! size and payload — exactly the granularity of the paper's Eqs. 4–5), and
 //! uses [`LinkRecord`]s for the topology/contention analysis of Figure 8.
+//!
+//! Records double as the raw material of the structured tracer: each record
+//! carries the [`trace`] span that was open when it was made (`span` 0 when
+//! the run was untraced), and [`OpRecord`]s carry the recording `rank`, so
+//! attribution survives [`CommLog::merge`].
 
 /// Kind of collective a device participated in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -15,6 +20,34 @@ pub enum CommOp {
     AllGather,
     ReduceScatter,
     Barrier,
+}
+
+impl CommOp {
+    /// Stable display name, also used as the trace event kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommOp::Broadcast => "Broadcast",
+            CommOp::Reduce => "Reduce",
+            CommOp::AllReduce => "AllReduce",
+            CommOp::AllGather => "AllGather",
+            CommOp::ReduceScatter => "ReduceScatter",
+            CommOp::Barrier => "Barrier",
+        }
+    }
+
+    /// Inverse of [`CommOp::name`].
+    pub fn from_name(name: &str) -> Option<CommOp> {
+        [
+            CommOp::Broadcast,
+            CommOp::Reduce,
+            CommOp::AllReduce,
+            CommOp::AllGather,
+            CommOp::ReduceScatter,
+            CommOp::Barrier,
+        ]
+        .into_iter()
+        .find(|op| op.name() == name)
+    }
 }
 
 /// One collective participation: the payload is the *logical* tensor size in
@@ -32,6 +65,11 @@ pub struct OpRecord {
     pub elems: usize,
     pub group_first: usize,
     pub group_stride: usize,
+    /// The device that recorded this participation (preserved by
+    /// [`CommLog::merge`], so merged logs keep per-rank attribution).
+    pub rank: usize,
+    /// The innermost [`trace`] span open when the op ran (0 = untraced).
+    pub span: u32,
 }
 
 impl OpRecord {
@@ -52,12 +90,15 @@ impl OpRecord {
     }
 }
 
-/// One point-to-point transfer on a concrete link.
+/// One point-to-point transfer on a concrete link. The sender is `from`, so
+/// link attribution survives [`CommLog::merge`] by construction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LinkRecord {
     pub from: usize,
     pub to: usize,
     pub elems: usize,
+    /// The innermost [`trace`] span open when the send ran (0 = untraced).
+    pub span: u32,
 }
 
 /// Per-device log of all communication in a mesh run.
@@ -66,12 +107,14 @@ pub struct CommLog {
     pub rank: usize,
     pub ops: Vec<OpRecord>,
     pub links: Vec<LinkRecord>,
+    /// Running total of link elements; kept incrementally so the tracer can
+    /// take O(1) before/after snapshots around each collective.
+    wire: usize,
 }
 
-/// Records a collective participation, encoding the group as
-/// first/stride when its membership is arithmetic. Shared by both
-/// [`crate::Communicator`] backends so their op streams are byte-identical.
-pub(crate) fn record_group_op(log: &mut CommLog, op: CommOp, group: &crate::Group, elems: usize) {
+/// The `(size, first, stride)` encoding of a group's membership; stride 0
+/// marks an irregular (non-arithmetic) group.
+pub(crate) fn group_shape(group: &crate::Group) -> (usize, usize, usize) {
     let ranks = group.ranks();
     let stride = if ranks.len() > 1 {
         let s = ranks[1].wrapping_sub(ranks[0]);
@@ -84,7 +127,15 @@ pub(crate) fn record_group_op(log: &mut CommLog, op: CommOp, group: &crate::Grou
     } else {
         0
     };
-    log.record_op(op, ranks.len(), elems, ranks[0], stride);
+    (ranks.len(), ranks[0], stride)
+}
+
+/// Records a collective participation, encoding the group as
+/// first/stride when its membership is arithmetic. Shared by both
+/// [`crate::Communicator`] backends so their op streams are byte-identical.
+pub(crate) fn record_group_op(log: &mut CommLog, op: CommOp, group: &crate::Group, elems: usize) {
+    let (size, first, stride) = group_shape(group);
+    log.record_op(op, size, elems, first, stride);
 }
 
 impl CommLog {
@@ -93,6 +144,7 @@ impl CommLog {
             rank,
             ops: Vec::new(),
             links: Vec::new(),
+            wire: 0,
         }
     }
 
@@ -110,16 +162,25 @@ impl CommLog {
             elems,
             group_first,
             group_stride,
+            rank: self.rank,
+            span: trace::current_span(),
         });
     }
 
     pub(crate) fn record_link(&mut self, from: usize, to: usize, elems: usize) {
-        self.links.push(LinkRecord { from, to, elems });
+        self.wire += elems;
+        self.links.push(LinkRecord {
+            from,
+            to,
+            elems,
+            span: trace::current_span(),
+        });
     }
 
-    /// Total `f32` elements this device pushed onto the fabric.
+    /// Total `f32` elements this device pushed onto the fabric. O(1).
     pub fn total_link_elems(&self) -> usize {
-        self.links.iter().map(|l| l.elems).sum()
+        debug_assert_eq!(self.wire, self.links.iter().map(|l| l.elems).sum::<usize>());
+        self.wire
     }
 
     /// Total logical payload across collectives of a given kind.
@@ -137,10 +198,20 @@ impl CommLog {
     }
 
     /// Merges another device's log into this one (used for whole-mesh
-    /// summaries).
+    /// summaries). Per-rank attribution is preserved: every merged
+    /// [`OpRecord`] keeps its recording `rank` and every [`LinkRecord`] its
+    /// `from` rank, so a merged log can still be split or filtered by
+    /// source device.
     pub fn merge(&mut self, other: &CommLog) {
         self.ops.extend_from_slice(&other.ops);
         self.links.extend_from_slice(&other.links);
+        self.wire += other.wire;
+    }
+
+    /// The subset of a (possibly merged) log recorded by `rank`, in
+    /// original program order.
+    pub fn ops_by_rank(&self, rank: usize) -> impl Iterator<Item = &OpRecord> {
+        self.ops.iter().filter(move |r| r.rank == rank)
     }
 }
 
@@ -156,6 +227,8 @@ mod tests {
             elems: 10,
             group_first: 6,
             group_stride: 1,
+            rank: 0,
+            span: 0,
         };
         assert_eq!(row.group_ranks(), Some(vec![6, 7, 8]));
         let col = OpRecord {
@@ -199,5 +272,39 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total_link_elems(), 15);
         assert_eq!(a.links.len(), 2);
+    }
+
+    #[test]
+    fn merge_preserves_per_rank_attribution() {
+        let mut a = CommLog::new(0);
+        a.record_op(CommOp::Broadcast, 4, 100, 0, 1);
+        let mut b = CommLog::new(1);
+        b.record_op(CommOp::Reduce, 4, 50, 0, 1);
+        b.record_link(1, 0, 50);
+        a.merge(&b);
+        // Ops remember who recorded them...
+        assert_eq!(a.ops[0].rank, 0);
+        assert_eq!(a.ops[1].rank, 1);
+        assert_eq!(
+            a.ops_by_rank(1).map(|r| r.elems).collect::<Vec<_>>(),
+            vec![50]
+        );
+        // ...and links always carried their sender.
+        assert_eq!(a.links[0].from, 1);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        for op in [
+            CommOp::Broadcast,
+            CommOp::Reduce,
+            CommOp::AllReduce,
+            CommOp::AllGather,
+            CommOp::ReduceScatter,
+            CommOp::Barrier,
+        ] {
+            assert_eq!(CommOp::from_name(op.name()), Some(op));
+        }
+        assert_eq!(CommOp::from_name("Gossip"), None);
     }
 }

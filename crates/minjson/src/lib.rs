@@ -2,7 +2,7 @@
 //!
 //! The workspace builds with **zero external dependencies** so the
 //! reproduction is self-contained and compiles offline. Checkpoints
-//! ([`serial`]'s `ModelParams::save_json`) and the hardware-profile
+//! (`serial`'s `ModelParams::save_json`) and the hardware-profile
 //! round-trip in `perf` need structured serialization; this crate provides
 //! the small slice of JSON they use: a [`Json`] value enum, a recursive
 //! descent [`parse`], and a compact writer ([`Json::to_string`]).
@@ -295,10 +295,22 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 encoded char.
-                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = s.chars().next().unwrap();
+            Some(&byte) if byte < 0x80 => {
+                out.push(byte as char);
+                *pos += 1;
+            }
+            Some(&byte) => {
+                // Consume one multi-byte UTF-8 char: its length comes from
+                // the lead byte, so only that window is validated — not the
+                // whole remaining buffer (which made parsing quadratic).
+                let len = match byte {
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let end = (*pos + len).min(b.len());
+                let s = std::str::from_utf8(&b[*pos..end]).map_err(|e| e.to_string())?;
+                let c = s.chars().next().ok_or("truncated UTF-8 char")?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -353,6 +365,32 @@ mod tests {
         let v = Json::f32_arr(&xs);
         let back = parse(&v.to_string()).unwrap().as_f32_vec().unwrap();
         assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn roundtrip_multibyte_strings() {
+        // 2-, 3- and 4-byte UTF-8 sequences through the fast char scanner.
+        let v = Json::Str("α-β model → 2×2 mesh 🦀".into());
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn large_document_parses_quickly() {
+        // Regression guard for the quadratic string scan: ~1 MB of string
+        // data must parse in well under a second even in debug builds.
+        let v = Json::Arr(
+            (0..20_000)
+                .map(|i| Json::Str(format!("event {i} in phase fwd.linear2d on rank {i}")))
+                .collect(),
+        );
+        let text = v.to_string();
+        let t0 = std::time::Instant::now();
+        assert_eq!(parse(&text).unwrap(), v);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "string parsing is quadratic again: {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

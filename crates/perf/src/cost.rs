@@ -83,18 +83,45 @@ impl CostModel {
         macs / self.profile.mac_rate
     }
 
+    /// Cost of one collective participation of a given kind.
+    fn kind_time(&self, op: CommOp, ranks: &[usize], elems: usize) -> f64 {
+        match op {
+            CommOp::Broadcast | CommOp::Reduce => self.broadcast_time(ranks, elems),
+            CommOp::AllReduce => self.all_reduce_time(ranks, elems),
+            CommOp::AllGather | CommOp::ReduceScatter => self.ring_pass_time(ranks, elems),
+            CommOp::Barrier => 2.0 * log2_ceil(ranks.len()) * self.profile.alpha,
+        }
+    }
+
     /// Cost of one logged collective participation.
     pub fn op_time(&self, op: &OpRecord) -> f64 {
         let ranks = op.group_ranks().unwrap_or_else(|| {
             // Irregular group: be conservative, treat as inter-node.
             (0..op.group_size).collect()
         });
-        match op.op {
-            CommOp::Broadcast | CommOp::Reduce => self.broadcast_time(&ranks, op.elems),
-            CommOp::AllReduce => self.all_reduce_time(&ranks, op.elems),
-            CommOp::AllGather | CommOp::ReduceScatter => self.ring_pass_time(&ranks, op.elems),
-            CommOp::Barrier => 2.0 * log2_ceil(op.group_size) * self.profile.alpha,
-        }
+        self.kind_time(op.op, &ranks, op.elems)
+    }
+
+    /// Cost of one trace op event, in seconds — the same Eq. 4–5 pricing as
+    /// [`CostModel::op_time`] applied to a [`trace::OpMeta`]. Unknown kinds
+    /// cost zero.
+    pub fn meta_time(&self, meta: &trace::OpMeta) -> f64 {
+        let Some(op) = CommOp::from_name(meta.kind) else {
+            return 0.0;
+        };
+        let ranks = meta
+            .group_ranks()
+            .unwrap_or_else(|| (0..meta.group_size).collect());
+        self.kind_time(op, &ranks, meta.elems)
+    }
+
+    /// A nanosecond pricer for [`mesh::Mesh::dry_run_traced`]: dry-run
+    /// traces advanced by this closure stamp exactly this model's times, so
+    /// the trace's "measured" durations equal [`CostModel::meta_time`] up to
+    /// sub-nanosecond rounding.
+    pub fn ns_pricer(&self) -> impl Fn(&trace::OpMeta) -> u64 + 'static {
+        let model = self.clone();
+        move |meta| (model.meta_time(meta) * 1e9).round() as u64
     }
 
     /// Replays one device's communication log through the model.

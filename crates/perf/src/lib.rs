@@ -21,6 +21,8 @@
 //!   vs bunched arrangements) with NIC-contention modelling.
 //! * [`isoeff`] — the isoefficiency functions `W ~ p³` (Megatron) vs
 //!   `W ~ (√p·log p)³` (Optimus).
+//! * [`tracecheck`] — cross-checks of recorded [`trace`] timelines against
+//!   the cost model (and, via the integration tests, Table 1).
 
 pub mod cost;
 pub mod isoeff;
@@ -30,6 +32,7 @@ pub mod profile;
 pub mod projection;
 pub mod scaling;
 pub mod table1;
+pub mod tracecheck;
 
 pub use cost::CostModel;
 pub use profile::HardwareProfile;

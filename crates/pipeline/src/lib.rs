@@ -25,6 +25,15 @@
 //! Numerical contract (asserted by tests): from the same seed, both
 //! schedules follow the serial model's trajectory exactly — microbatching
 //! only reorders the *summation* of gradients.
+//!
+//! The stage loop runs on [`mesh::DeviceCtx`], the **live** communicator:
+//! its cyclic send/recv pattern (stage `s` blocks on stage `s±1` across
+//! loop iterations) is exactly the shape the trace-only `DryRunComm`
+//! backend cannot replay sequentially, as documented on the `Communicator`
+//! trait. Wall-clock traces still work — run a step under
+//! `mesh::Mesh::run_traced` to see the pipeline bubble on Perfetto tracks
+//! (`OBSERVABILITY.md` at the repo root); for α-β projections of pipeline
+//! schedules use `perf`'s analytic pipeline cost model instead.
 
 use mesh::{DeviceCtx, Group};
 use serial::{layer_backward, layer_forward, LayerCache, LayerGrads, LayerParams, ModelConfig};

@@ -12,6 +12,12 @@
 //! The model follows the structure of the paper's Figure 1: a token-wise
 //! language-modelling branch (LM head + token labels) plus a sentence-level
 //! classification branch ([`SerialModel::classify_forward`]).
+//!
+//! Being single-device, this crate performs no communication and carries no
+//! trace spans: in an observability story it is the *denominator* — the
+//! distributed schemes' traced timelines (`OBSERVABILITY.md` at the repo
+//! root) show exactly the collectives their math added on top of this
+//! model, and the equivalence tests pin that math to these kernels.
 
 mod attention;
 mod config;

@@ -17,6 +17,16 @@
 //! `grad_*` helpers. [`Workspace`] provides the paper's Section 3.2.3
 //! pre-allocated communication buffers: after warm-up, a training step
 //! performs zero fresh panel allocations.
+//!
+//! All routines are generic over `mesh`'s `Communicator` trait, so they run
+//! unchanged on the live thread mesh and on the trace-only dry-run backend
+//! (see the trait docs for the blocking/pre-sizing contract). Every product
+//! opens a `trace` span — `"summa.nn"`, `"summa.nt"`, `"summa.tn"`, shared
+//! by the allocating and [`Workspace`] variants — so a traced run attributes
+//! each broadcast/reduce wave to the algorithm that issued it
+//! (`OBSERVABILITY.md` at the repo root shows the resulting timelines).
+//! The per-panel communication volumes are priced in closed form by
+//! `perf::table1` and cross-checked against executed runs in tests.
 
 mod cannon;
 mod dist;

@@ -35,6 +35,7 @@ fn bcast_block<C: Communicator>(
 /// row-`l` panel along mesh columns, then accumulates the outer product
 /// locally (Fig. 3).
 pub fn summa_nn<C: Communicator>(grid: &Grid2d<C>, a: &Tensor, b: &Tensor) -> Tensor {
+    let _span = trace::span_guard("summa.nn");
     let (mb, kb) = (a.rows(), a.cols());
     let (kb2, nb) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");
@@ -79,6 +80,7 @@ pub fn summa_nn_bias<C: Communicator>(
 /// Iteration `l` broadcasts `B`'s row-`l` panel along columns, forms the
 /// partial product locally, and reduces it along rows to column `l`.
 pub fn summa_nt<C: Communicator>(grid: &Grid2d<C>, a: &Tensor, b: &Tensor) -> Tensor {
+    let _span = trace::span_guard("summa.nt");
     let (mb, kb) = (a.rows(), a.cols());
     let (nb, kb2) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");
@@ -102,6 +104,7 @@ pub fn summa_nt<C: Communicator>(grid: &Grid2d<C>, a: &Tensor, b: &Tensor) -> Te
 /// Iteration `l` broadcasts `A`'s column-`l` panel along rows, forms the
 /// partial product locally, and reduces it along columns to row `l`.
 pub fn summa_tn<C: Communicator>(grid: &Grid2d<C>, a: &Tensor, b: &Tensor) -> Tensor {
+    let _span = trace::span_guard("summa.tn");
     let (kb, mb) = (a.rows(), a.cols());
     let (kb2, nb) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");

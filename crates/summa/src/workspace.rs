@@ -106,6 +106,7 @@ pub fn summa_nn_into<C: Communicator>(
     c: &mut Tensor,
     ws: &mut Workspace,
 ) {
+    let _span = trace::span_guard("summa.nn");
     let (mb, kb) = (a.rows(), a.cols());
     let (kb2, nb) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree");
@@ -145,6 +146,7 @@ pub fn summa_nt_into<C: Communicator>(
     c: &mut Tensor,
     ws: &mut Workspace,
 ) {
+    let _span = trace::span_guard("summa.nt");
     let (mb, kb) = (a.rows(), a.cols());
     let (nb, kb2) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree");
@@ -182,6 +184,7 @@ pub fn summa_tn_into<C: Communicator>(
     c: &mut Tensor,
     ws: &mut Workspace,
 ) {
+    let _span = trace::span_guard("summa.tn");
     let (kb, mb) = (a.rows(), a.cols());
     let (kb2, nb) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree");

@@ -26,6 +26,10 @@
 //! * [`pipeline`] — GPipe-style pipeline parallelism (the related-work
 //!   paradigm): stage-split stem with both the flush and the memory-bounded
 //!   1F1B schedules.
+//! * [`trace`] — structured tracing: phase-scoped spans, per-device
+//!   timelines from both `Communicator` backends, Chrome `trace_event`
+//!   export (Perfetto-loadable) and per-phase summaries (see
+//!   `OBSERVABILITY.md`).
 //! * [`perf`] — the α-β communication cost model, memory model,
 //!   isoefficiency analysis, and the generators for every table and figure
 //!   of the paper's evaluation (Tables 1–3, Figures 7–9), plus projections
@@ -75,3 +79,4 @@ pub use pipeline;
 pub use serial;
 pub use summa;
 pub use tensor;
+pub use trace;
