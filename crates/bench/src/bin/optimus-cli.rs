@@ -8,6 +8,7 @@
 //! optimus-cli generate --load model.json --len 24
 //! optimus-cli --dry-run [--q 8 --hidden 64 ...] [--trace out.json]
 //! optimus-cli train --scheme optimus --trace out.json
+//! optimus-cli calibrate [--bench BENCH_gemm.json]
 //! optimus-cli info
 //! ```
 //!
@@ -24,13 +25,21 @@
 //! Either way a per-phase summary table (measured vs modeled time per
 //! collective kind) is printed.
 //!
+//! `calibrate` measures (or reads from a `gemm-bench` artifact) the GFLOP/s
+//! the in-tree GEMM engine actually achieves on this host and stores it at
+//! `results/calibration.json`. Later `--dry-run` projections pick the file
+//! up automatically, so Eq. 4–5 track the measured kernels instead of the
+//! paper's GPU profile; `--profile frontera` forces the paper profile back.
+//!
 //! The training corpus is the built-in cyclic-pattern language (the same one
 //! the tests and examples use), so runs are self-contained and deterministic.
 
 use megatron::{MegatronConfig, MegatronModel};
 use mesh::{Arrangement, Mesh, Mesh2d, Topology};
+use minjson::Json;
 use optimus_core::{OptimusConfig, OptimusModel};
-use perf::{CostModel, HardwareProfile};
+use perf::calibration::CALIBRATION_PATH;
+use perf::{Calibration, CostModel, HardwareProfile};
 use serial::{ModelConfig, ModelParams, SerialModel};
 use std::collections::HashMap;
 use std::path::Path;
@@ -54,6 +63,7 @@ struct Args {
     seed: u64,
     len: usize,
     dry_run: bool,
+    profile: ProfileChoice,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,6 +72,15 @@ enum Scheme {
     Megatron,
     Optimus,
     Pipeline,
+}
+
+/// Which compute rate the projection cost model uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ProfileChoice {
+    /// Paper profile, overridden by `results/calibration.json` when present.
+    Auto,
+    /// Always the paper's Frontera rtx profile, even if calibrated.
+    Frontera,
 }
 
 impl Default for Args {
@@ -80,6 +99,7 @@ impl Default for Args {
             seed: 7,
             len: 16,
             dry_run: false,
+            profile: ProfileChoice::Auto,
         }
     }
 }
@@ -143,7 +163,14 @@ fn apply_flags(mut args: Args, flags: &HashMap<String, String>) -> Result<Args, 
             "seed" => args.seed = v.parse().map_err(|e| format!("--seed: {e}"))?,
             "lr" => args.lr = v.parse().map_err(|e| format!("--lr: {e}"))?,
             "dry-run" => args.dry_run = v.parse().map_err(|e| format!("--dry-run: {e}"))?,
-            "save" | "load" | "trace" => {} // handled by the caller
+            "profile" => {
+                args.profile = match v.as_str() {
+                    "auto" => ProfileChoice::Auto,
+                    "frontera" => ProfileChoice::Frontera,
+                    other => return Err(format!("unknown profile '{other}' (auto|frontera)")),
+                }
+            }
+            "save" | "load" | "trace" | "bench" => {} // handled by the caller
             other => return Err(format!("unknown flag --{other}")),
         }
     }
@@ -304,15 +331,141 @@ fn generate(a: &Args, params: ModelParams) -> Vec<usize> {
 }
 
 /// The projection's cost model: the paper's hardware profile, bunched
-/// placement (Fig. 8) on the projected `q × q` mesh.
+/// placement (Fig. 8) on the projected `q × q` mesh. Under the default
+/// `--profile auto`, a `results/calibration.json` written by
+/// `optimus-cli calibrate` overrides the compute rate with the one this
+/// host's GEMM engine actually measured (communication terms keep modelling
+/// the paper's fabric either way).
 fn projection_cost(a: &Args) -> (HardwareProfile, usize, CostModel) {
-    let profile = HardwareProfile::frontera_rtx5000();
+    let mut profile = HardwareProfile::frontera_rtx5000();
+    if a.profile == ProfileChoice::Auto {
+        match Calibration::load(CALIBRATION_PATH) {
+            Ok(Some(cal)) => {
+                println!(
+                    "compute rate calibrated to {:.2} GFLOP/s from {CALIBRATION_PATH} \
+                     (source: {}; pass --profile frontera for the paper profile)",
+                    cal.gflops(),
+                    cal.source,
+                );
+                profile = cal.apply(profile);
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: ignoring calibration: {e}"),
+        }
+    }
     let gpn = profile.gpus_per_node.min(a.q * a.q);
     let cost = CostModel::new(
         profile.clone(),
         Topology::new(a.q, gpn, Arrangement::Bunched),
     );
     (profile, gpn, cost)
+}
+
+/// Extracts a [`Calibration`] from a `gemm-bench` artifact: the
+/// single-thread engine row with the most MACs (the most load-bearing
+/// measurement, `square-512` in a full run). `Ok(None)` if the file is
+/// absent so the caller can fall back to measuring in-process.
+fn calibration_from_bench(path: &str) -> Result<Option<Calibration>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("read {path}: {e}")),
+    };
+    let doc = minjson::parse(&text).map_err(|e| format!("parse {path}: {e:?}"))?;
+    let results = match doc.get("results")? {
+        Json::Arr(rows) => rows,
+        other => return Err(format!("expected results array, got {other:?}")),
+    };
+    let mut best: Option<(usize, Calibration)> = None;
+    for row in results {
+        if row.get("threads")?.as_usize()? != 1 {
+            continue;
+        }
+        let (m, k, n) = (
+            row.get("m")?.as_usize()?,
+            row.get("k")?.as_usize()?,
+            row.get("n")?.as_usize()?,
+        );
+        let macs = m * k * n;
+        if best.as_ref().is_none_or(|(b, _)| macs > *b) {
+            let name = match row.get("name")? {
+                Json::Str(s) => s.clone(),
+                other => return Err(format!("expected string name, got {other:?}")),
+            };
+            best = Some((
+                macs,
+                Calibration {
+                    mac_rate: row.get("gflops")?.as_f64()? * 1e9 / 2.0,
+                    shape: [m, k, n],
+                    threads: 1,
+                    source: format!("{path}:{name}"),
+                },
+            ));
+        }
+    }
+    match best {
+        Some((_, cal)) => Ok(Some(cal)),
+        None => Err(format!("{path} has no single-thread result rows")),
+    }
+}
+
+/// Measures the engine in-process at 512³ single-threaded (the same
+/// configuration `gemm-bench` uses for its seed-speedup headline).
+fn calibration_measured() -> Calibration {
+    use tensor::gemm::{gemm_acc, Form};
+    const S: usize = 512;
+    let a = tensor::Tensor::randn(&[S, S], 1.0, &mut Rng::new(1)).into_vec();
+    let b = tensor::Tensor::randn(&[S, S], 1.0, &mut Rng::new(2)).into_vec();
+    let mut c = vec![0.0f32; S * S];
+    let secs = bench::bench_fn("calibrate", "square-512/t1", 5, || {
+        tensor::pool::with_thread_cap(1, || gemm_acc(Form::NN, &mut c, S, S, &a, &b, S));
+        c[0]
+    });
+    Calibration {
+        mac_rate: (S * S * S) as f64 / secs,
+        shape: [S, S, S],
+        threads: 1,
+        source: format!("measured in-process ({})", tensor::gemm::kernel_name()),
+    }
+}
+
+/// The `calibrate` command: derive the measured compute rate (preferring an
+/// existing `gemm-bench` artifact, measuring in-process otherwise) and
+/// persist it where [`projection_cost`] auto-loads it.
+fn calibrate(flags: &HashMap<String, String>) {
+    let bench_path = flags
+        .get("bench")
+        .map(String::as_str)
+        .unwrap_or("BENCH_gemm.json");
+    let cal = match calibration_from_bench(bench_path) {
+        Ok(Some(cal)) => {
+            println!("read measured rate from {bench_path}");
+            cal
+        }
+        Ok(None) => {
+            println!("{bench_path} not found; measuring 512^3 in-process (~seconds)…");
+            calibration_measured()
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let out = flags
+        .get("save")
+        .map(String::as_str)
+        .unwrap_or(CALIBRATION_PATH);
+    cal.save(out).expect("write calibration file");
+    println!(
+        "calibrated: {:.2} GFLOP/s at {}x{}x{} ({} thread{}) — wrote {out}",
+        cal.gflops(),
+        cal.shape[0],
+        cal.shape[1],
+        cal.shape[2],
+        cal.threads,
+        if cal.threads == 1 { "" } else { "s" },
+    );
+    println!("dry-run projections now use this rate (override with --profile frontera)");
 }
 
 /// Writes `traces` as a Chrome `trace_event` JSON file and prints the
@@ -458,7 +611,7 @@ fn main() {
         Some((c, _)) if c.starts_with("--") => ("train".to_string(), argv.clone()),
         Some((c, r)) => (c.clone(), r.to_vec()),
         None => {
-            eprintln!("usage: optimus-cli [train|eval|generate|info] --flag value ...");
+            eprintln!("usage: optimus-cli [train|eval|generate|calibrate|info] --flag value ...");
             std::process::exit(2);
         }
     };
@@ -519,6 +672,7 @@ fn main() {
             let tokens = generate(&args, params);
             println!("greedy continuation (token ids): {tokens:?}");
         }
+        "calibrate" => calibrate(&flags),
         "info" => {
             println!("optimus-rs CLI — schemes: serial | megatron | optimus | pipeline");
             println!("defaults: {:?}", Args::default());
@@ -590,6 +744,35 @@ mod tests {
                 1e-2,
             );
         }
+    }
+
+    #[test]
+    fn calibration_prefers_largest_single_thread_row() {
+        let dir = std::env::temp_dir().join("optimus-cli-calibrate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_gemm.json");
+        // Two t=1 rows plus a pooled row that must be ignored; the 512³ row
+        // wins even though the pooled one is faster.
+        std::fs::write(
+            &path,
+            r#"{"results": [
+                {"name": "square-256", "m": 256, "k": 256, "n": 256, "threads": 1, "secs": 0.001, "gflops": 40.0},
+                {"name": "square-512", "m": 512, "k": 512, "n": 512, "threads": 1, "secs": 0.005, "gflops": 50.0},
+                {"name": "square-512", "m": 512, "k": 512, "n": 512, "threads": 8, "secs": 0.001, "gflops": 250.0}
+            ]}"#,
+        )
+        .unwrap();
+        let cal = calibration_from_bench(path.to_str().unwrap())
+            .unwrap()
+            .unwrap();
+        assert_eq!(cal.shape, [512, 512, 512]);
+        assert_eq!(cal.threads, 1);
+        assert!((cal.gflops() - 50.0).abs() < 1e-9);
+        assert!(cal.source.ends_with("square-512"));
+        assert!(calibration_from_bench("/nonexistent/BENCH.json")
+            .unwrap()
+            .is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

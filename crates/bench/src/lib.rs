@@ -15,7 +15,24 @@ pub use std::hint::black_box;
 ///
 /// Deliberately tiny: no statistics beyond min/median/mean, no outlier
 /// rejection — enough to eyeball the ablation deltas the paper discusses.
-pub fn bench_fn<T>(group: &str, label: &str, samples: usize, mut f: impl FnMut() -> T) -> f64 {
+pub fn bench_fn<T>(group: &str, label: &str, samples: usize, f: impl FnMut() -> T) -> f64 {
+    bench_times(group, label, samples, f).1
+}
+
+/// Like [`bench_fn`] but returns the **minimum** seconds — the
+/// noise-robust statistic to use when comparing two timings on a loaded
+/// machine (the min converges on the true cost; the median wanders with
+/// scheduler interference).
+pub fn bench_fn_min<T>(group: &str, label: &str, samples: usize, f: impl FnMut() -> T) -> f64 {
+    bench_times(group, label, samples, f).0
+}
+
+fn bench_times<T>(
+    group: &str,
+    label: &str,
+    samples: usize,
+    mut f: impl FnMut() -> T,
+) -> (f64, f64) {
     let samples = samples.max(1);
     for _ in 0..2.min(samples) {
         black_box(f());
@@ -37,7 +54,7 @@ pub fn bench_fn<T>(group: &str, label: &str, samples: usize, mut f: impl FnMut()
         std::time::Duration::from_secs_f64(median),
         std::time::Duration::from_secs_f64(mean),
     );
-    median
+    (min, median)
 }
 
 /// Renders an aligned text table.

@@ -240,12 +240,10 @@ impl MegatronModel {
     /// Plain SGD over all local parameters.
     pub fn apply_sgd(&mut self, grads: &Model1dGrads, lr: f32) {
         fn upd_t(p: &mut Tensor, g: &Tensor, lr: f32) {
-            p.axpy(-lr, g);
+            tensor::optim::sgd_update(p.as_mut_slice(), g.as_slice(), lr);
         }
         fn upd_v(p: &mut [f32], g: &[f32], lr: f32) {
-            for (pv, gv) in p.iter_mut().zip(g) {
-                *pv -= lr * gv;
-            }
+            tensor::optim::sgd_update(p, g, lr);
         }
         upd_t(&mut self.table, &grads.table, lr);
         upd_v(&mut self.final_ln_g, &grads.final_ln_g, lr);

@@ -116,6 +116,10 @@ impl Mesh {
             for ctx in ctxs.drain(..) {
                 let tx = tx.clone();
                 scope.spawn(move || {
+                    // Mark this thread as a simulated device so heavy tensor
+                    // kernels acquire a hardware-core permit from the shared
+                    // compute pool instead of oversubscribing the host.
+                    let _device = tensor::pool::enter_device();
                     let out = f(&ctx);
                     let rank = ctx.rank();
                     let log = ctx.take_log();

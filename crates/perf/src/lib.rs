@@ -24,6 +24,7 @@
 //! * [`tracecheck`] — cross-checks of recorded [`trace`] timelines against
 //!   the cost model (and, via the integration tests, Table 1).
 
+pub mod calibration;
 pub mod cost;
 pub mod isoeff;
 pub mod memory;
@@ -34,5 +35,6 @@ pub mod scaling;
 pub mod table1;
 pub mod tracecheck;
 
+pub use calibration::Calibration;
 pub use cost::CostModel;
 pub use profile::HardwareProfile;

@@ -160,12 +160,10 @@ impl SerialModel {
     /// Plain SGD over every parameter.
     pub fn apply_sgd(&mut self, grads: &ModelGrads, lr: f32) {
         fn upd_t(p: &mut Tensor, g: &Tensor, lr: f32) {
-            p.axpy(-lr, g);
+            tensor::optim::sgd_update(p.as_mut_slice(), g.as_slice(), lr);
         }
         fn upd_v(p: &mut [f32], g: &[f32], lr: f32) {
-            for (pv, gv) in p.iter_mut().zip(g) {
-                *pv -= lr * gv;
-            }
+            tensor::optim::sgd_update(p, g, lr);
         }
         upd_t(&mut self.params.embedding, &grads.embedding, lr);
         upd_v(&mut self.params.final_ln_g, &grads.final_ln_g, lr);

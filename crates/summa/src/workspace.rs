@@ -10,7 +10,7 @@
 //! ablation benchmark (and a regression test) can prove steady-state reuse.
 
 use mesh::{Communicator, Grid2d};
-use tensor::matmul::{matmul_nn_acc, matmul_nt_acc, matmul_tn_acc};
+use tensor::gemm::{gemm_acc, Form};
 use tensor::Tensor;
 
 /// Reusable buffers for SUMMA panel traffic and partial products.
@@ -50,7 +50,8 @@ impl Workspace {
 }
 
 /// Receives a broadcast panel into `buf` (reusing its allocation) and
-/// returns the panel as a borrowed matrix view.
+/// returns the panel as a borrowed slice — the kernels consume workspace
+/// memory directly, with no per-iteration tensor materialisation.
 fn bcast_into<'w, C: Communicator>(
     grid: &Grid2d<C>,
     group: &mesh::Group,
@@ -59,7 +60,7 @@ fn bcast_into<'w, C: Communicator>(
     dims: [usize; 2],
     buf: &'w mut Vec<f32>,
     fresh: &mut usize,
-) -> PanelView<'w> {
+) -> &'w [f32] {
     let n = dims[0] * dims[1];
     Workspace::ensure(buf, n, fresh);
     let my_idx = group
@@ -78,22 +79,7 @@ fn bcast_into<'w, C: Communicator>(
         grid.ctx().broadcast(group, root, &mut payload);
         buf[..n].copy_from_slice(&payload);
     }
-    PanelView {
-        data: &buf[..n],
-        dims,
-    }
-}
-
-/// A borrowed panel: workspace memory viewed as a matrix.
-struct PanelView<'a> {
-    data: &'a [f32],
-    dims: [usize; 2],
-}
-
-impl PanelView<'_> {
-    fn to_tensor(&self) -> Tensor {
-        Tensor::from_vec(&[self.dims[0], self.dims[1]], self.data.to_vec())
-    }
+    &buf[..n]
 }
 
 /// `C += A B` into a caller-owned output block, with panels staged through
@@ -121,8 +107,7 @@ pub fn summa_nn_into<C: Communicator>(
             [mb, kb],
             &mut ws.panel_a,
             &mut fresh,
-        )
-        .to_tensor();
+        );
         let b_panel = bcast_into(
             grid,
             grid.col_group(),
@@ -131,10 +116,9 @@ pub fn summa_nn_into<C: Communicator>(
             [kb, nb],
             &mut ws.panel_b,
             &mut fresh,
-        )
-        .to_tensor();
+        );
         ws.fresh_allocs += fresh;
-        matmul_nn_acc(c, &a_panel, &b_panel);
+        gemm_acc(Form::NN, c.as_mut_slice(), mb, nb, a_panel, b_panel, kb);
     }
 }
 
@@ -161,17 +145,15 @@ pub fn summa_nt_into<C: Communicator>(
             [nb, kb],
             &mut ws.panel_b,
             &mut fresh,
-        )
-        .to_tensor();
+        );
         Workspace::ensure(&mut ws.partial, mb * nb, &mut fresh);
         ws.fresh_allocs += fresh;
-        ws.partial[..mb * nb].fill(0.0);
-        let mut c_temp = Tensor::from_vec(&[mb, nb], ws.partial[..mb * nb].to_vec());
-        matmul_nt_acc(&mut c_temp, a, &b_panel);
-        grid.ctx()
-            .reduce(grid.row_group(), l, c_temp.as_mut_slice());
+        let partial = &mut ws.partial[..mb * nb];
+        partial.fill(0.0);
+        gemm_acc(Form::NT, partial, mb, nb, a.as_slice(), b_panel, kb);
+        grid.ctx().reduce(grid.row_group(), l, partial);
         if grid.col() == l {
-            *c = c_temp;
+            c.as_mut_slice().copy_from_slice(partial);
         }
     }
 }
@@ -199,17 +181,15 @@ pub fn summa_tn_into<C: Communicator>(
             [kb, mb],
             &mut ws.panel_a,
             &mut fresh,
-        )
-        .to_tensor();
+        );
         Workspace::ensure(&mut ws.partial, mb * nb, &mut fresh);
         ws.fresh_allocs += fresh;
-        ws.partial[..mb * nb].fill(0.0);
-        let mut c_temp = Tensor::from_vec(&[mb, nb], ws.partial[..mb * nb].to_vec());
-        matmul_tn_acc(&mut c_temp, &a_panel, b);
-        grid.ctx()
-            .reduce(grid.col_group(), l, c_temp.as_mut_slice());
+        let partial = &mut ws.partial[..mb * nb];
+        partial.fill(0.0);
+        gemm_acc(Form::TN, partial, mb, nb, a_panel, b.as_slice(), kb);
+        grid.ctx().reduce(grid.col_group(), l, partial);
         if grid.row() == l {
-            *c = c_temp;
+            c.as_mut_slice().copy_from_slice(partial);
         }
     }
 }

@@ -6,8 +6,9 @@
 //! single-device numeric substrate they run on:
 //!
 //! * [`Tensor`] — a dense, row-major `f32` tensor with shape metadata.
-//! * Blocked, cache-aware matrix-multiplication kernels in [`matmul`]
-//!   (`C = AB`, `C = ABᵀ`, `C = AᵀB`), optionally parallelised with Rayon.
+//! * Cache-blocked, packed matrix-multiplication kernels in [`matmul`] /
+//!   [`gemm`] (`C = AB`, `C = ABᵀ`, `C = AᵀB`), parallelised over the
+//!   persistent in-tree compute pool in [`pool`].
 //! * Neural-network primitives with **manual backward passes**: bias add,
 //!   GELU, row softmax, layer normalisation (saving `x̂` and `1/σ` exactly as
 //!   the paper's Section 3.2.2 prescribes), and cross-entropy from logits.
@@ -21,6 +22,7 @@
 //! be compared against the serial reference with tight tolerances.
 
 pub mod amp;
+pub mod gemm;
 pub mod gradcheck;
 pub mod init;
 pub mod layernorm;
@@ -28,6 +30,7 @@ pub mod loss;
 pub mod matmul;
 pub mod ops;
 pub mod optim;
+pub mod pool;
 pub mod rng;
 pub mod schedule;
 pub mod softmax;

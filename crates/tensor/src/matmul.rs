@@ -1,4 +1,4 @@
-//! Matrix-multiplication kernels.
+//! Matrix-multiplication entry points.
 //!
 //! The paper relies on three product forms that are closed under
 //! differentiation (Section 2.4, Eqs. 1–3):
@@ -9,74 +9,19 @@
 //!
 //! Each kernel also has an accumulating variant (`C += …`) because SUMMA
 //! accumulates one outer-product panel per iteration into the local output
-//! block. Kernels use an `i-k-j` loop order so the innermost loop streams
-//! both `B` and `C` rows contiguously (auto-vectorisable), and parallelise
-//! over output rows with scoped std threads once the work crosses a
-//! threshold — the "data parallelism over rows" idiom, with no external
-//! runtime.
+//! block. All three forms dispatch into the cache-blocked packed engine in
+//! [`crate::gemm`], which packs panels so one register microkernel serves
+//! every layout, and splits large products over the persistent compute pool
+//! in [`crate::pool`] (no per-call thread spawning). The historical seed
+//! kernels are preserved under [`mod@reference`] for benchmarking and as test
+//! oracles.
 
+use crate::gemm::{self, Form};
 use crate::tensor::Tensor;
-
-/// Work threshold (in multiply-adds) below which kernels stay serial.
-/// Splitting tiny blocks across threads costs more than it saves, and the
-/// mesh simulator already runs one thread per device.
-const PAR_THRESHOLD: usize = 64 * 64 * 64;
-
-/// Hardware threads to fan output-row stripes across.
-fn num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Splits `cs` into `chunk_len`-sized row stripes and runs `f(stripe_index,
-/// stripe)` on each, one scoped thread per stripe (the stripe count is
-/// already capped at the hardware thread count by the callers' `rows_per`).
-fn par_row_stripes<F>(cs: &mut [f32], chunk_len: usize, f: F)
-where
-    F: Fn(usize, &mut [f32]) + Sync,
-{
-    std::thread::scope(|scope| {
-        let f = &f;
-        for (i, chunk) in cs.chunks_mut(chunk_len).enumerate() {
-            scope.spawn(move || f(i, chunk));
-        }
-    });
-}
 
 /// Number of floating point multiply-add operations for an `m×k×n` product.
 pub fn gemm_flops(m: usize, k: usize, n: usize) -> usize {
     m * k * n
-}
-
-fn gemm_nn_serial(c: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
-    // c: [rows_of_this_chunk, n], a: same rows [.., k], b: [k, n]
-    let rows = c.len() / n;
-    for i in 0..rows {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (l, &a_il) in a_row.iter().enumerate() {
-            let b_row = &b[l * n..(l + 1) * n];
-            for (c_ij, &b_lj) in c_row.iter_mut().zip(b_row.iter()) {
-                *c_ij += a_il * b_lj;
-            }
-        }
-    }
-}
-
-fn gemm_nt_serial(c: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
-    // c: [rows, n], a: [rows, k], b: [n, k] (transposed access)
-    let rows = c.len() / n;
-    for i in 0..rows {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (j, c_ij) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
-            }
-            *c_ij += acc;
-        }
-    }
 }
 
 /// `C += A B` where `A: [m, k]`, `B: [k, n]`, `C: [m, n]`.
@@ -85,18 +30,15 @@ pub fn matmul_nn_acc(c: &mut Tensor, a: &Tensor, b: &Tensor) {
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "inner dims: A is [{m},{k}], B is [{k2},{n}]");
     assert_eq!((c.rows(), c.cols()), (m, n), "output shape");
-    let (a, b) = (a.as_slice(), b.as_slice());
-    let cs = c.as_mut_slice();
-    if gemm_flops(m, k, n) < PAR_THRESHOLD || m < 2 {
-        gemm_nn_serial(cs, a, b, k, n);
-    } else {
-        let rows_per = m.div_ceil(num_threads()).max(8);
-        par_row_stripes(cs, rows_per * n, |i, c_chunk| {
-            let rows = c_chunk.len() / n;
-            let a_chunk = &a[i * rows_per * k..i * rows_per * k + rows * k];
-            gemm_nn_serial(c_chunk, a_chunk, b, k, n);
-        });
-    }
+    gemm::gemm_acc(
+        Form::NN,
+        c.as_mut_slice(),
+        m,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        k,
+    );
 }
 
 /// `C = A B`.
@@ -112,18 +54,15 @@ pub fn matmul_nt_acc(c: &mut Tensor, a: &Tensor, b: &Tensor) {
     let (n, k2) = (b.rows(), b.cols());
     assert_eq!(k, k2, "inner dims: A is [{m},{k}], B is [{n},{k2}]");
     assert_eq!((c.rows(), c.cols()), (m, n), "output shape");
-    let (a, b) = (a.as_slice(), b.as_slice());
-    let cs = c.as_mut_slice();
-    if gemm_flops(m, k, n) < PAR_THRESHOLD || m < 2 {
-        gemm_nt_serial(cs, a, b, k, n);
-    } else {
-        let rows_per = m.div_ceil(num_threads()).max(8);
-        par_row_stripes(cs, rows_per * n, |i, c_chunk| {
-            let rows = c_chunk.len() / n;
-            let a_chunk = &a[i * rows_per * k..i * rows_per * k + rows * k];
-            gemm_nt_serial(c_chunk, a_chunk, b, k, n);
-        });
-    }
+    gemm::gemm_acc(
+        Form::NT,
+        c.as_mut_slice(),
+        m,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        k,
+    );
 }
 
 /// `C = A Bᵀ`.
@@ -135,51 +74,23 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// `C += Aᵀ B` where `A: [k, m]`, `B: [k, n]`, `C: [m, n]`.
 ///
-/// Parallelises over the *k* rows of `A`/`B` with per-thread partial outputs
-/// would cost memory; instead we parallelise over column-stripes of `C`,
-/// which needs no reduction.
+/// Dense data takes the packed path unconditionally: the seed kernel's
+/// per-element `if a_il == 0.0` skip is gone (it mispredicted on dense
+/// activations and silently diverged from [`gemm_flops`] accounting).
 pub fn matmul_tn_acc(c: &mut Tensor, a: &Tensor, b: &Tensor) {
     let (k, m) = (a.rows(), a.cols());
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "inner dims: A is [{k},{m}], B is [{k2},{n}]");
     assert_eq!((c.rows(), c.cols()), (m, n), "output shape");
-    let (a_s, b_s) = (a.as_slice(), b.as_slice());
-    let cs = c.as_mut_slice();
-    if gemm_flops(m, k, n) < PAR_THRESHOLD || m < 2 {
-        // C[l, j] += sum_i A[i, l] * B[i, j]; stream rows of B.
-        for i in 0..k {
-            let b_row = &b_s[i * n..(i + 1) * n];
-            for l in 0..m {
-                let a_il = a_s[i * m + l];
-                if a_il == 0.0 {
-                    continue;
-                }
-                let c_row = &mut cs[l * n..(l + 1) * n];
-                for (c_lj, &b_ij) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c_lj += a_il * b_ij;
-                }
-            }
-        }
-    } else {
-        let rows_per = m.div_ceil(num_threads()).max(8);
-        par_row_stripes(cs, rows_per * n, |chunk_idx, c_chunk| {
-            let l0 = chunk_idx * rows_per;
-            let rows = c_chunk.len() / n;
-            for i in 0..k {
-                let b_row = &b_s[i * n..(i + 1) * n];
-                for dl in 0..rows {
-                    let a_il = a_s[i * m + l0 + dl];
-                    if a_il == 0.0 {
-                        continue;
-                    }
-                    let c_row = &mut c_chunk[dl * n..(dl + 1) * n];
-                    for (c_lj, &b_ij) in c_row.iter_mut().zip(b_row.iter()) {
-                        *c_lj += a_il * b_ij;
-                    }
-                }
-            }
-        });
-    }
+    gemm::gemm_acc(
+        Form::TN,
+        c.as_mut_slice(),
+        m,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        k,
+    );
 }
 
 /// `C = Aᵀ B`.
@@ -187,6 +98,90 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let mut c = Tensor::zeros(&[a.cols(), b.cols()]);
     matmul_tn_acc(&mut c, a, b);
     c
+}
+
+/// The seed kernels and an `f64` oracle, kept verbatim for `gemm-bench`
+/// baselines and as independent references in tests. Not used by any
+/// production path.
+pub mod reference {
+    use super::Form;
+
+    /// `C += A B` with the seed's unblocked `i-k-j` loops
+    /// (`c: [m, n]`, `a: [m, k]`, `b: [k, n]`).
+    pub fn seed_nn(c: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+        let rows = c.len() / n;
+        for i in 0..rows {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (l, &a_il) in a_row.iter().enumerate() {
+                let b_row = &b[l * n..(l + 1) * n];
+                for (c_ij, &b_lj) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c_ij += a_il * b_lj;
+                }
+            }
+        }
+    }
+
+    /// `C += A Bᵀ` with the seed's dot-product inner loop
+    /// (`c: [m, n]`, `a: [m, k]`, `b: [n, k]`).
+    pub fn seed_nt(c: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+        let rows = c.len() / n;
+        for i in 0..rows {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (j, c_ij) in c_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row.iter()) {
+                    acc += x * y;
+                }
+                *c_ij += acc;
+            }
+        }
+    }
+
+    /// `C += Aᵀ B` with the seed's loops, including its `a_il == 0.0` skip
+    /// (`c: [m, n]`, `a: [k, m]`, `b: [k, n]`).
+    pub fn seed_tn(c: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+        let m = c.len() / n;
+        for i in 0..k {
+            let b_row = &b[i * n..(i + 1) * n];
+            for l in 0..m {
+                let a_il = a[i * m + l];
+                if a_il == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c[l * n..(l + 1) * n];
+                for (c_lj, &b_ij) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c_lj += a_il * b_ij;
+                }
+            }
+        }
+    }
+
+    /// `op(A) op(B)` accumulated in `f64` and rounded once at the end — the
+    /// numeric oracle for every kernel test.
+    pub fn naive_f64(form: Form, m: usize, n: usize, a: &[f32], b: &[f32], k: usize) -> Vec<f32> {
+        let at = |i: usize, l: usize| match form {
+            Form::NN | Form::NT => a[i * k + l] as f64,
+            Form::TN => a[l * m + i] as f64,
+        };
+        let bt = |l: usize, j: usize| match form {
+            Form::NN | Form::TN => b[l * n + j] as f64,
+            Form::NT => b[j * k + l] as f64,
+        };
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for l in 0..k {
+                    acc += at(i, l) * bt(l, j);
+                }
+                c[i * n + j] = acc as f32;
+            }
+        }
+        c
+    }
 }
 
 #[cfg(test)]
@@ -197,17 +192,8 @@ mod tests {
 
     fn naive_nn(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
-        let mut c = Tensor::zeros(&[m, n]);
-        for i in 0..m {
-            for j in 0..n {
-                let mut acc = 0.0f64;
-                for l in 0..k {
-                    acc += a.at(i, l) as f64 * b.at(l, j) as f64;
-                }
-                *c.at_mut(i, j) = acc as f32;
-            }
-        }
-        c
+        let data = reference::naive_f64(gemm::Form::NN, m, n, a.as_slice(), b.as_slice(), k);
+        Tensor::from_vec(&[m, n], data)
     }
 
     #[test]
@@ -250,6 +236,18 @@ mod tests {
     }
 
     #[test]
+    fn tn_dense_matches_f64_reference() {
+        // Regression for the seed's `a_il == 0.0` skip: dense random data
+        // through the packed TN path must track the f64 oracle.
+        let mut rng = Rng::new(20);
+        let a = Tensor::randn(&[96, 72], 1.0, &mut rng);
+        let b = Tensor::randn(&[96, 80], 1.0, &mut rng);
+        let got = matmul_tn(&a, &b);
+        let expect = reference::naive_f64(gemm::Form::TN, 72, 80, a.as_slice(), b.as_slice(), 96);
+        assert_close(got.as_slice(), &expect, 1e-3, 1e-3);
+    }
+
+    #[test]
     fn acc_variants_accumulate() {
         let mut rng = Rng::new(3);
         let a = Tensor::randn(&[3, 3], 1.0, &mut rng);
@@ -274,7 +272,7 @@ mod tests {
     }
 
     #[test]
-    fn large_parallel_path_matches_naive() {
+    fn large_blocked_path_matches_naive() {
         let mut rng = Rng::new(5);
         let a = Tensor::randn(&[130, 64], 0.5, &mut rng);
         let b = Tensor::randn(&[64, 70], 0.5, &mut rng);
@@ -287,7 +285,7 @@ mod tests {
     }
 
     #[test]
-    fn large_parallel_nt_tn_match() {
+    fn large_blocked_nt_tn_match() {
         let mut rng = Rng::new(6);
         let a = Tensor::randn(&[100, 80], 0.5, &mut rng);
         let b = Tensor::randn(&[90, 80], 0.5, &mut rng);
@@ -305,6 +303,16 @@ mod tests {
             1e-3,
             1e-3,
         );
+    }
+
+    #[test]
+    fn seed_kernels_match_engine() {
+        let mut rng = Rng::new(7);
+        let a = Tensor::randn(&[40, 30], 0.7, &mut rng);
+        let b = Tensor::randn(&[30, 20], 0.7, &mut rng);
+        let mut c = vec![0.0f32; 40 * 20];
+        reference::seed_nn(&mut c, a.as_slice(), b.as_slice(), 30, 20);
+        assert_close(matmul_nn(&a, &b).as_slice(), &c, 1e-4, 1e-4);
     }
 
     #[test]

@@ -1,6 +1,15 @@
 //! Element-wise and broadcasting operations with manual gradients.
+//!
+//! The transcendental-heavy GELU passes split into element blocks on the
+//! shared compute pool ([`crate::pool`]); each element is written by exactly
+//! one task, so results are bitwise independent of the thread count.
 
+use crate::pool::{self, SendPtr};
 use crate::tensor::Tensor;
+
+/// Elements per pool task for the GELU loops (tanh-bound, so tasks can be
+/// smaller than for pure arithmetic; tiny tensors inline).
+const GELU_CHUNK: usize = 4096;
 
 /// Adds `bias` (length = cols) to every row of `x`, in place.
 ///
@@ -58,9 +67,11 @@ pub fn gelu_grad(x: f32) -> f32 {
 /// Applies GELU element-wise, returning a new tensor.
 pub fn gelu_forward(x: &Tensor) -> Tensor {
     let mut out = x.clone();
-    for v in out.as_mut_slice() {
-        *v = gelu(*v);
-    }
+    pool::parallel_chunks_mut(out.as_mut_slice(), GELU_CHUNK, |_, chunk| {
+        for v in chunk {
+            *v = gelu(*v);
+        }
+    });
     out
 }
 
@@ -69,9 +80,16 @@ pub fn gelu_forward(x: &Tensor) -> Tensor {
 pub fn gelu_backward(dy: &Tensor, x: &Tensor) -> Tensor {
     assert_eq!(dy.dims(), x.dims());
     let mut dx = dy.clone();
-    for (g, &xi) in dx.as_mut_slice().iter_mut().zip(x.as_slice()) {
-        *g *= gelu_grad(xi);
-    }
+    let n = dx.as_mut_slice().len();
+    let xs = x.as_slice();
+    let base = SendPtr::new(dx.as_mut_slice().as_mut_ptr());
+    pool::parallel_row_blocks(n, GELU_CHUNK, |i0, i1| {
+        // SAFETY: element ranges are disjoint per task.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(i0), i1 - i0) };
+        for (g, &xi) in chunk.iter_mut().zip(&xs[i0..i1]) {
+            *g *= gelu_grad(xi);
+        }
+    });
     dx
 }
 

@@ -1,0 +1,611 @@
+//! Persistent work-stealing compute pool shared by every simulated device.
+//!
+//! # Why a shared pool
+//!
+//! The mesh runtime runs one OS thread per simulated device, and the seed
+//! kernels additionally spawned `available_parallelism()` scoped threads on
+//! *every* matmul call. An 8×8 live mesh therefore put `64 × HW` runnable
+//! threads on `HW` hardware threads — the OS time-slices them, caches thrash,
+//! and the measured "compute rate" the `perf` calibration feeds Eq. 4–5 is an
+//! artifact of scheduler noise rather than of the kernels.
+//!
+//! This module replaces per-call spawning with **one** lazily-initialized,
+//! process-wide pool ([`pool`]) plus a *core-permit* scheme:
+//!
+//! * The pool owns `HW − 1` persistent worker threads (zero on a single-core
+//!   host). Work is published as `Job`s on a shared injector; idle workers
+//!   steal task indices from any live job via an atomic cursor, so load
+//!   balances dynamically without per-task allocation.
+//! * A counting semaphore holds `HW` **core permits**. Simulated device
+//!   threads (marked by [`enter_device`], which `mesh` installs on every
+//!   device thread) must hold a permit while running a heavy kernel; permits
+//!   are never held across communication waits, so devices cooperatively
+//!   time-share the physical cores instead of oversubscribing them, and the
+//!   permit wait shows up in traces as a `pool.acquire` span (device is
+//!   CPU-starved, not communicating).
+//! * [`parallel_for`] lets the *caller* participate: it claims task indices
+//!   from its own job alongside any workers it managed to reserve, and only
+//!   returns once every task has finished — which is what makes lending
+//!   borrowed slices to worker threads sound (see Safety below).
+//!
+//! # Determinism
+//!
+//! Callers split work so that each output element is written by exactly one
+//! task, and every task computes its elements in the same order regardless of
+//! which thread runs it. Pooled results are therefore **bitwise identical**
+//! to the serial path; the regression tests in `tests/kernel_shapes.rs`
+//! assert exactly that.
+//!
+//! # Safety
+//!
+//! [`ComputePool::run`] erases the lifetime of the task closure to hand it to
+//! detached worker threads. This is sound because the call blocks until
+//! `completed == tasks` (panics included — workers catch unwinds and still
+//! count the task as completed), so no worker can observe the closure or its
+//! borrows after `run` returns.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Work (in claimed-task units) below which [`parallel_for`] stays inline.
+const MIN_TASKS_TO_SHARE: usize = 2;
+
+/// A lifetime-erased `Fn(usize)` pointer. Only dereferenced while the owning
+/// [`ComputePool::run`] call is still blocked (see module-level Safety).
+struct RawTask(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` and outlives every dereference (the
+// submitting call joins all tasks before returning).
+unsafe impl Send for RawTask {}
+unsafe impl Sync for RawTask {}
+
+struct JobState {
+    completed: usize,
+    panicked: bool,
+}
+
+/// One `parallel_for` invocation: a task cursor that caller and reserved
+/// workers race on, plus a completion latch the caller waits on.
+struct Job {
+    task: RawTask,
+    tasks: usize,
+    /// Next unclaimed task index; claiming is a `fetch_add`, which is the
+    /// work-stealing step — whoever gets there first owns the task.
+    next: AtomicUsize,
+    /// Worker slots still claimable on this job (the helper budget the
+    /// caller reserved from the core-permit semaphore).
+    slots: AtomicUsize,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+impl Job {
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.tasks
+    }
+
+    /// Claims one worker slot; `false` once the helper budget is spent.
+    fn try_claim_slot(&self) -> bool {
+        let mut cur = self.slots.load(Ordering::Relaxed);
+        while cur > 0 {
+            match self.slots.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+        false
+    }
+
+    /// Claims and runs task indices until the cursor is exhausted. Panics in
+    /// the task body are caught so the completion latch always fires; the
+    /// caller re-raises them after joining.
+    fn run_tasks(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.tasks {
+                return;
+            }
+            // SAFETY: see module-level Safety — the submitter is still
+            // blocked in `run`, so the closure borrow is live.
+            let f = unsafe { &*self.task.0 };
+            let ok = catch_unwind(AssertUnwindSafe(|| f(i))).is_ok();
+            let mut st = self.state.lock().unwrap();
+            st.completed += 1;
+            if !ok {
+                st.panicked = true;
+            }
+            if st.completed == self.tasks {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every task has completed; returns whether any panicked.
+    fn join(&self) -> bool {
+        let mut st = self.state.lock().unwrap();
+        while st.completed < self.tasks {
+            st = self.done.wait(st).unwrap();
+        }
+        st.panicked
+    }
+}
+
+/// Counting semaphore of hardware-core permits.
+struct Permits {
+    avail: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Permits {
+    fn new(n: usize) -> Self {
+        Permits {
+            avail: Mutex::new(n),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Takes up to `want` permits without blocking; returns how many it got.
+    fn try_acquire(&self, want: usize) -> usize {
+        let mut a = self.avail.lock().unwrap();
+        let got = want.min(*a);
+        *a -= got;
+        got
+    }
+
+    /// Blocks until one permit is available and takes it.
+    fn acquire_one(&self) {
+        let mut a = self.avail.lock().unwrap();
+        while *a == 0 {
+            a = self.freed.wait(a).unwrap();
+        }
+        *a -= 1;
+    }
+
+    fn release(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        *self.avail.lock().unwrap() += n;
+        self.freed.notify_all();
+    }
+}
+
+struct Shared {
+    injector: Mutex<VecDeque<Arc<Job>>>,
+    work: Condvar,
+    permits: Permits,
+    hw_threads: usize,
+    workers: usize,
+    threads_spawned: AtomicUsize,
+    jobs_shared: AtomicUsize,
+    jobs_inline: AtomicUsize,
+}
+
+/// The persistent compute pool. One instance lives for the whole process
+/// (see [`pool`]); tests may build private instances with
+/// [`ComputePool::with_workers`] to exercise the worker paths regardless of
+/// the host's core count.
+pub struct ComputePool {
+    shared: Arc<Shared>,
+}
+
+impl ComputePool {
+    /// A pool with exactly `workers` worker threads and `workers + 1` core
+    /// permits (the `+ 1` being the caller's own core).
+    pub fn with_workers(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            permits: Permits::new(workers + 1),
+            hw_threads: workers + 1,
+            workers,
+            threads_spawned: AtomicUsize::new(0),
+            jobs_shared: AtomicUsize::new(0),
+            jobs_inline: AtomicUsize::new(0),
+        });
+        for w in 0..workers {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("compute-pool-{w}"))
+                .spawn(move || worker_loop(sh))
+                .expect("spawn pool worker");
+            shared.threads_spawned.fetch_add(1, Ordering::Relaxed);
+        }
+        ComputePool { shared }
+    }
+
+    fn new_global() -> Self {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_workers(hw - 1)
+    }
+
+    /// Hardware threads this pool was sized for (`workers + 1`).
+    pub fn hw_threads(&self) -> usize {
+        self.shared.hw_threads
+    }
+
+    /// Number of persistent worker threads (0 on a single-core host).
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Total worker threads ever spawned by this pool. Constant after
+    /// construction — the regression test for the seed's per-call spawning.
+    pub fn threads_spawned(&self) -> usize {
+        self.shared.threads_spawned.load(Ordering::Relaxed)
+    }
+
+    /// `(jobs run with workers, jobs run inline)` counters.
+    pub fn job_counts(&self) -> (usize, usize) {
+        (
+            self.shared.jobs_shared.load(Ordering::Relaxed),
+            self.shared.jobs_inline.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Runs `f(0..tasks)` with the caller participating, fanning out to at
+    /// most `max_helpers` reserved workers. Falls back to an inline serial
+    /// loop when the pool has no spare cores — so it is always safe to call,
+    /// including from inside another pool task (nested calls simply inline).
+    pub fn run(&self, tasks: usize, max_helpers: usize, f: &(dyn Fn(usize) + Sync)) {
+        let sh = &self.shared;
+        let want = max_helpers.min(sh.workers).min(tasks.saturating_sub(1));
+        if tasks < MIN_TASKS_TO_SHARE || want == 0 {
+            sh.jobs_inline.fetch_add(1, Ordering::Relaxed);
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        let helpers = sh.permits.try_acquire(want);
+        if helpers == 0 {
+            sh.jobs_inline.fetch_add(1, Ordering::Relaxed);
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        sh.jobs_shared.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: lifetime erasure; `run` joins the job before returning.
+        let raw = RawTask(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+                as *const _
+        });
+        let job = Arc::new(Job {
+            task: raw,
+            tasks,
+            next: AtomicUsize::new(0),
+            slots: AtomicUsize::new(helpers),
+            state: Mutex::new(JobState {
+                completed: 0,
+                panicked: false,
+            }),
+            done: Condvar::new(),
+        });
+        {
+            let mut q = sh.injector.lock().unwrap();
+            q.push_back(Arc::clone(&job));
+        }
+        if helpers == 1 {
+            sh.work.notify_one();
+        } else {
+            sh.work.notify_all();
+        }
+        job.run_tasks();
+        let panicked = job.join();
+        // Remove the (exhausted) job if no worker got to it first.
+        sh.injector
+            .lock()
+            .unwrap()
+            .retain(|j| !Arc::ptr_eq(j, &job));
+        sh.permits.release(helpers);
+        if panicked {
+            panic!("compute pool task panicked");
+        }
+    }
+
+    /// Blocks until a core permit is free and returns a guard holding it.
+    pub fn acquire_core(&self) -> CorePermit<'_> {
+        self.shared.permits.acquire_one();
+        CorePermit { pool: self }
+    }
+}
+
+/// A held hardware-core permit; released on drop.
+pub struct CorePermit<'a> {
+    pool: &'a ComputePool,
+}
+
+impl Drop for CorePermit<'_> {
+    fn drop(&mut self) {
+        self.pool.shared.permits.release(1);
+    }
+}
+
+fn worker_loop(sh: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = sh.injector.lock().unwrap();
+            loop {
+                q.retain(|j| !j.exhausted());
+                let picked = q.iter().find(|j| j.try_claim_slot()).cloned();
+                match picked {
+                    Some(j) => break j,
+                    None => q = sh.work.wait(q).unwrap(),
+                }
+            }
+        };
+        job.run_tasks();
+    }
+}
+
+static POOL: OnceLock<ComputePool> = OnceLock::new();
+
+/// The process-wide pool, created on first use.
+pub fn pool() -> &'static ComputePool {
+    POOL.get_or_init(ComputePool::new_global)
+}
+
+thread_local! {
+    /// Whether this thread simulates a mesh device (set by [`enter_device`]).
+    static IS_DEVICE: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread cap on total threads per kernel (0 = no cap). Benchmarks
+    /// use this to sweep thread counts on one process.
+    static THREAD_CAP: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Marks the current thread as a simulated device thread until the returned
+/// guard drops. Device threads must hold a core permit while running heavy
+/// kernels ([`device_core_permit`]); `mesh` installs this on every device
+/// thread it spawns.
+pub fn enter_device() -> DeviceGuard {
+    let prev = IS_DEVICE.with(|d| d.replace(true));
+    DeviceGuard { prev }
+}
+
+/// Restores the previous device-thread flag on drop.
+pub struct DeviceGuard {
+    prev: bool,
+}
+
+impl Drop for DeviceGuard {
+    fn drop(&mut self) {
+        IS_DEVICE.with(|d| d.set(self.prev));
+    }
+}
+
+/// Whether the current thread is a simulated device thread.
+pub fn is_device_thread() -> bool {
+    IS_DEVICE.with(|d| d.get())
+}
+
+/// On a device thread: blocks until a hardware core is free and returns the
+/// permit (the wait is visible in traces as a `pool.acquire` span). On any
+/// other thread: returns `None` immediately — a plain caller already owns
+/// the core it runs on.
+pub fn device_core_permit() -> Option<CorePermit<'static>> {
+    if !is_device_thread() {
+        return None;
+    }
+    Some(trace::span("pool.acquire", || pool().acquire_core()))
+}
+
+/// Caps the total threads any kernel on this thread may use (own thread +
+/// helpers) while `f` runs. Used by `gemm-bench` to sweep thread counts.
+pub fn with_thread_cap<T>(cap: usize, f: impl FnOnce() -> T) -> T {
+    let prev = THREAD_CAP.with(|c| c.replace(cap));
+    let out = f();
+    THREAD_CAP.with(|c| c.set(prev));
+    out
+}
+
+fn helper_budget() -> usize {
+    let cap = THREAD_CAP.with(|c| c.get());
+    if cap == 0 {
+        usize::MAX
+    } else {
+        cap.saturating_sub(1)
+    }
+}
+
+/// Runs `f(0..tasks)` on the global pool with the caller participating.
+/// Respects [`with_thread_cap`]. Inlines when the pool has no spare cores.
+pub fn parallel_for(tasks: usize, f: impl Fn(usize) + Sync) {
+    pool().run(tasks, helper_budget(), &f);
+}
+
+/// Splits `data` into `chunk_len`-sized chunks and runs `f(chunk_index,
+/// chunk)` over them on the pool. Chunks are disjoint, so tasks may mutate
+/// them concurrently; each chunk is processed by exactly one task.
+pub fn parallel_chunks_mut<T: Send + Sync>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let total = data.len();
+    if total == 0 {
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    let chunks = total.div_ceil(chunk_len);
+    let base = SendPtr(data.as_mut_ptr());
+    parallel_for(chunks, |i| {
+        let start = i * chunk_len;
+        let len = chunk_len.min(total - start);
+        // SAFETY: chunk ranges are disjoint per task index and in-bounds.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), len) };
+        f(i, chunk);
+    });
+}
+
+/// Runs `f(r0, r1)` over disjoint `[r0, r1)` blocks of at most `rows_per`
+/// rows on the pool. The common shape for row-parallel elementwise ops:
+/// each block is processed by exactly one task, so results are bitwise
+/// independent of the thread count.
+pub fn parallel_row_blocks(rows: usize, rows_per: usize, f: impl Fn(usize, usize) + Sync) {
+    let rows_per = rows_per.max(1);
+    parallel_for(rows.div_ceil(rows_per), |t| {
+        let r0 = t * rows_per;
+        f(r0, rows.min(r0 + rows_per));
+    });
+}
+
+/// A raw pointer that may cross thread boundaries. Used by pool callers to
+/// hand each task a *disjoint* region of a buffer; the caller is responsible
+/// for disjointness.
+pub struct SendPtr<T>(*mut T);
+// SAFETY: the caller guarantees disjoint access per task (see docs).
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Wraps a mutable base pointer.
+    pub fn new(p: *mut T) -> Self {
+        SendPtr(p)
+    }
+
+    /// The raw pointer back.
+    pub fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn inline_when_no_workers() {
+        let p = ComputePool::with_workers(0);
+        let hits = AtomicUsize::new(0);
+        p.run(10, usize::MAX, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+        assert_eq!(p.threads_spawned(), 0);
+        assert_eq!(p.job_counts(), (0, 1));
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once_with_workers() {
+        let p = ComputePool::with_workers(3);
+        let mut out = vec![0u8; 1000];
+        let base = SendPtr::new(out.as_mut_ptr());
+        p.run(1000, usize::MAX, &|i| {
+            // SAFETY: each index is claimed by exactly one task.
+            unsafe { *base.get().add(i) += 1 };
+        });
+        assert!(out.iter().all(|&v| v == 1));
+        assert_eq!(p.threads_spawned(), 3);
+    }
+
+    #[test]
+    fn thread_count_is_constant_across_many_jobs() {
+        let p = ComputePool::with_workers(2);
+        for round in 0..100 {
+            let acc = AtomicUsize::new(0);
+            p.run(8, usize::MAX, &|i| {
+                acc.fetch_add(i + round, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(p.threads_spawned(), 2);
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_all_tasks_finish() {
+        let p = ComputePool::with_workers(2);
+        let completed = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&completed);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            p.run(16, usize::MAX, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                c2.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(completed.load(Ordering::Relaxed), 15);
+        // The pool stays usable after a panicked job.
+        let ok = AtomicUsize::new(0);
+        p.run(4, usize::MAX, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn permits_cap_concurrent_helpers() {
+        let p = ComputePool::with_workers(2);
+        // Holding both worker permits forces inline execution.
+        let g1 = p.acquire_core();
+        let g2 = p.acquire_core();
+        let g3 = p.acquire_core(); // the caller-core permit
+        let hits = AtomicUsize::new(0);
+        p.run(8, usize::MAX, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+        let (_, inline) = p.job_counts();
+        assert_eq!(inline, 1, "all permits held -> inline path");
+        drop((g1, g2, g3));
+        p.run(8, usize::MAX, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn device_flag_nests_and_restores() {
+        assert!(!is_device_thread());
+        {
+            let _g = enter_device();
+            assert!(is_device_thread());
+            {
+                let _g2 = enter_device();
+                assert!(is_device_thread());
+            }
+            assert!(is_device_thread());
+        }
+        assert!(!is_device_thread());
+    }
+
+    #[test]
+    fn device_core_permit_only_on_device_threads() {
+        assert!(device_core_permit().is_none());
+        let _g = enter_device();
+        let permit = device_core_permit();
+        assert!(permit.is_some());
+    }
+
+    #[test]
+    fn parallel_chunks_mut_covers_all_elements() {
+        let mut data = vec![1.0f32; 1037];
+        parallel_chunks_mut(&mut data, 64, |_, chunk| {
+            for v in chunk {
+                *v += 1.0;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn thread_cap_forces_inline() {
+        let p = ComputePool::with_workers(1);
+        // cap of 1 thread -> 0 helpers -> inline.
+        let hits = AtomicUsize::new(0);
+        p.run(4, 0, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(p.job_counts().1, 1);
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,14 +1,34 @@
 //! Numerically stable row softmax with manual backward.
+//!
+//! Rows are independent, so the forward and backward passes split into
+//! row blocks on the shared compute pool ([`crate::pool`]); each row is
+//! processed by exactly one task, keeping results bitwise independent of
+//! the thread count.
 
+use crate::pool::{self, SendPtr};
 use crate::tensor::Tensor;
+
+/// Elements per pool task for row-parallel ops (a few rows of work each —
+/// small products simply inline).
+const PAR_ROW_ELEMS: usize = 8192;
+
+fn rows_per_task(cols: usize) -> usize {
+    (PAR_ROW_ELEMS / cols.max(1)).max(1)
+}
 
 /// Row-wise softmax: each row of `x` becomes a probability distribution.
 pub fn softmax_rows(x: &Tensor) -> Tensor {
     let cols = x.cols();
     let mut out = x.clone();
-    for row in out.as_mut_slice().chunks_mut(cols) {
-        softmax_row_in_place(row);
-    }
+    pool::parallel_chunks_mut(
+        out.as_mut_slice(),
+        rows_per_task(cols) * cols,
+        |_, chunk| {
+            for row in chunk.chunks_mut(cols) {
+                softmax_row_in_place(row);
+            }
+        },
+    );
     out
 }
 
@@ -32,16 +52,23 @@ pub fn softmax_backward(dy: &Tensor, y: &Tensor) -> Tensor {
     assert_eq!(dy.dims(), y.dims());
     let cols = y.cols();
     let mut dx = dy.clone();
-    for (dx_row, y_row) in dx
-        .as_mut_slice()
-        .chunks_mut(cols)
-        .zip(y.as_slice().chunks(cols))
-    {
-        let dot: f32 = dx_row.iter().zip(y_row.iter()).map(|(d, y)| d * y).sum();
-        for (d, &yv) in dx_row.iter_mut().zip(y_row.iter()) {
-            *d = yv * (*d - dot);
+    let rows = dx.as_mut_slice().len() / cols.max(1);
+    let ys = y.as_slice();
+    let base = SendPtr::new(dx.as_mut_slice().as_mut_ptr());
+    pool::parallel_row_blocks(rows, rows_per_task(cols), |r0, r1| {
+        // SAFETY: row ranges are disjoint per task.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(base.get().add(r0 * cols), (r1 - r0) * cols) };
+        for (dx_row, y_row) in chunk
+            .chunks_mut(cols)
+            .zip(ys[r0 * cols..r1 * cols].chunks(cols))
+        {
+            let dot: f32 = dx_row.iter().zip(y_row.iter()).map(|(d, y)| d * y).sum();
+            for (d, &yv) in dx_row.iter_mut().zip(y_row.iter()) {
+                *d = yv * (*d - dot);
+            }
         }
-    }
+    });
     dx
 }
 
