@@ -8,6 +8,7 @@
 //! optimus-cli generate --load model.json --len 24
 //! optimus-cli --dry-run [--q 8 --hidden 64 ...] [--trace out.json]
 //! optimus-cli train --scheme optimus --trace out.json
+//! optimus-cli train --scheme optimus --no-overlap   # serial SUMMA schedule
 //! optimus-cli calibrate [--bench BENCH_gemm.json]
 //! optimus-cli info
 //! ```
@@ -63,6 +64,8 @@ struct Args {
     seed: u64,
     len: usize,
     dry_run: bool,
+    /// SUMMA panel prefetch (comm/compute overlap); `--no-overlap` clears it.
+    overlap: bool,
     profile: ProfileChoice,
 }
 
@@ -99,6 +102,7 @@ impl Default for Args {
             seed: 7,
             len: 16,
             dry_run: false,
+            overlap: true,
             profile: ProfileChoice::Auto,
         }
     }
@@ -120,7 +124,8 @@ impl Args {
 }
 
 /// Parses `--key value` pairs (order-free). Returns the remaining error on
-/// unknown keys so typos fail loudly. `--dry-run` is valueless.
+/// unknown keys so typos fail loudly. `--dry-run` and `--no-overlap` are
+/// valueless.
 fn parse_flags(argv: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut it = argv.iter().peekable();
@@ -128,7 +133,8 @@ fn parse_flags(argv: &[String]) -> Result<HashMap<String, String>, String> {
         let key = k
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{k}'"))?;
-        if key == "dry-run" && it.peek().is_none_or(|n| n.starts_with("--")) {
+        if matches!(key, "dry-run" | "no-overlap") && it.peek().is_none_or(|n| n.starts_with("--"))
+        {
             out.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -163,6 +169,10 @@ fn apply_flags(mut args: Args, flags: &HashMap<String, String>) -> Result<Args, 
             "seed" => args.seed = v.parse().map_err(|e| format!("--seed: {e}"))?,
             "lr" => args.lr = v.parse().map_err(|e| format!("--lr: {e}"))?,
             "dry-run" => args.dry_run = v.parse().map_err(|e| format!("--dry-run: {e}"))?,
+            "no-overlap" => {
+                let off: bool = v.parse().map_err(|e| format!("--no-overlap: {e}"))?;
+                args.overlap = !off;
+            }
             "profile" => {
                 args.profile = match v.as_str() {
                     "auto" => ProfileChoice::Auto,
@@ -246,12 +256,13 @@ fn train(a: &Args) -> (Vec<f32>, ModelParams) {
                 fused_attention: false,
             };
             let mut out = Mesh2d::run(a.q, |g| {
-                let mut m = OptimusModel::new(&ocfg, a.seed, g);
+                let g = g.with_overlap(a.overlap);
+                let mut m = OptimusModel::new(&ocfg, a.seed, &g);
                 let losses: Vec<f32> = batches
                     .iter()
-                    .map(|(t, l)| m.train_step(g, t, l, a.lr))
+                    .map(|(t, l)| m.train_step(&g, t, l, a.lr))
                     .collect();
-                (losses, m.gather_params(g))
+                (losses, m.gather_params(&g))
             });
             let (losses, params) = out.remove(0);
             (losses, params.expect("mesh (0,0) gathers"))
@@ -506,8 +517,9 @@ fn dry_run_projection(a: &Args, trace_path: Option<&str>) {
     // The loss values are garbage (trace-backend payloads are zeros); only
     // the communication logs and the timeline matter here.
     let step = |g: &mesh::Grid2d<mesh::DryRunComm>| {
-        let mut m = OptimusModel::new(&ocfg, a.seed, g);
-        m.train_step(g, &tokens, &labels, a.lr)
+        let g = g.with_overlap(a.overlap);
+        let mut m = OptimusModel::new(&ocfg, a.seed, &g);
+        m.train_step(&g, &tokens, &labels, a.lr)
     };
     let (logs, traces) = if trace_path.is_some() {
         let (_, logs, traces) = Mesh2d::dry_run_traced(a.q, cost.ns_pricer(), step);
@@ -572,8 +584,9 @@ fn live_trace_step(a: &Args, path: &str) {
                 fused_attention: false,
             };
             Mesh2d::run_traced(a.q, |g| {
-                let mut m = OptimusModel::new(&ocfg, a.seed, g);
-                m.train_step(g, &tokens, &labels, a.lr)
+                let g = g.with_overlap(a.overlap);
+                let mut m = OptimusModel::new(&ocfg, a.seed, &g);
+                m.train_step(&g, &tokens, &labels, a.lr)
             })
             .2
         }
@@ -706,6 +719,19 @@ mod tests {
         assert_eq!(a.steps, 5);
         assert_eq!(a.lr, 0.1);
         assert_eq!(a.scheme, Scheme::Serial);
+    }
+
+    #[test]
+    fn no_overlap_is_valueless_and_clears_the_default() {
+        let argv: Vec<String> = ["--no-overlap", "--steps", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&argv).unwrap();
+        let a = apply_flags(Args::default(), &f).unwrap();
+        assert!(!a.overlap);
+        assert_eq!(a.steps, 2);
+        assert!(Args::default().overlap, "overlap is the default schedule");
     }
 
     #[test]

@@ -25,6 +25,56 @@ pub(crate) fn chunk_start(n: usize, g: usize, i: usize) -> usize {
     (n * i) / g
 }
 
+/// The binomial broadcast tree in root-relative coordinates: who member
+/// `rel` of a `g`-member group receives from (`None` for the root) and who
+/// it forwards to, in send order. This is the *same* mask walk the blocking
+/// [`DeviceCtx::broadcast`] performs inline; the non-blocking path and both
+/// backends' post-time logging share it so every op/link stream matches.
+pub(crate) fn bcast_tree(g: usize, rel: usize) -> (Option<usize>, Vec<usize>) {
+    let mut parent = None;
+    let mut mask = 1usize;
+    while mask < g {
+        if rel & mask != 0 {
+            parent = Some(rel - mask);
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    let mut children = Vec::new();
+    while mask > 0 {
+        if rel + mask < g {
+            children.push(rel + mask);
+        }
+        mask >>= 1;
+    }
+    (parent, children)
+}
+
+/// The reverse binomial (reduce) tree in root-relative coordinates: the
+/// members `rel` accumulates from, in receive order, and the member it then
+/// sends its partial sum to (`None` for the root). Mirrors the blocking
+/// [`DeviceCtx::reduce`] walk; accumulation order is part of the contract —
+/// the non-blocking path adds incoming buffers in exactly this order so
+/// overlapped results stay bitwise identical to the serial reference.
+pub(crate) fn reduce_tree(g: usize, rel: usize) -> (Vec<usize>, Option<usize>) {
+    let mut sources = Vec::new();
+    let mut target = None;
+    let mut mask = 1usize;
+    while mask < g {
+        if rel & mask == 0 {
+            if rel + mask < g {
+                sources.push(rel + mask);
+            }
+            mask <<= 1;
+        } else {
+            target = Some(rel - mask);
+            break;
+        }
+    }
+    (sources, target)
+}
+
 impl DeviceCtx {
     fn my_index(&self, group: &Group) -> usize {
         group
@@ -46,28 +96,20 @@ impl DeviceCtx {
         let rel = (me + g - root) % g;
         let abs = |r: usize| group.rank_of((r + root) % g);
 
-        let mut mask = 1usize;
-        while mask < g {
-            if rel & mask != 0 {
-                let incoming = self.recv(abs(rel - mask));
-                if data.len() == incoming.len() {
-                    // Caller pre-sized the buffer: copy in place and keep
-                    // both allocations alive (theirs and the pool's).
-                    data.copy_from_slice(&incoming);
-                    self.recycle(incoming);
-                } else {
-                    self.recycle(std::mem::replace(data, incoming));
-                }
-                break;
+        let (parent, children) = bcast_tree(g, rel);
+        if let Some(parent) = parent {
+            let incoming = self.recv(abs(parent));
+            if data.len() == incoming.len() {
+                // Caller pre-sized the buffer: copy in place and keep
+                // both allocations alive (theirs and the pool's).
+                data.copy_from_slice(&incoming);
+                self.recycle(incoming);
+            } else {
+                self.recycle(std::mem::replace(data, incoming));
             }
-            mask <<= 1;
         }
-        mask >>= 1;
-        while mask > 0 {
-            if rel + mask < g {
-                self.send_copy(abs(rel + mask), data);
-            }
-            mask >>= 1;
+        for &child in &children {
+            self.send_copy(abs(child), data);
         }
         // Record after the transfer so non-roots log the real payload size.
         self.record_op(CommOp::Broadcast, group, data.len());
@@ -88,22 +130,17 @@ impl DeviceCtx {
         let rel = (me + g - root) % g;
         let abs = |r: usize| group.rank_of((r + root) % g);
 
-        let mut mask = 1usize;
-        while mask < g {
-            if rel & mask == 0 {
-                if rel + mask < g {
-                    let incoming = self.recv(abs(rel + mask));
-                    assert_eq!(incoming.len(), data.len(), "reduce size mismatch");
-                    for (d, v) in data.iter_mut().zip(&incoming) {
-                        *d += v;
-                    }
-                    self.recycle(incoming);
-                }
-                mask <<= 1;
-            } else {
-                self.send_copy(abs(rel - mask), data);
-                break;
+        let (sources, target) = reduce_tree(g, rel);
+        for &source in &sources {
+            let incoming = self.recv(abs(source));
+            assert_eq!(incoming.len(), data.len(), "reduce size mismatch");
+            for (d, v) in data.iter_mut().zip(&incoming) {
+                *d += v;
             }
+            self.recycle(incoming);
+        }
+        if let Some(target) = target {
+            self.send_copy(abs(target), data);
         }
     }
 

@@ -52,6 +52,7 @@
 //! ```
 
 use crate::group::Group;
+use crate::nonblocking::PendingColl;
 use crate::stats::{group_shape, CommLog, CommOp};
 
 /// A device's handle to the communication fabric: identity, point-to-point
@@ -77,6 +78,27 @@ pub trait Communicator {
     /// Sum-reduce to group index `root` (reverse binomial tree). Non-root
     /// buffers hold partial sums afterwards and must be treated as scratch.
     fn reduce(&self, group: &Group, root: usize, data: &mut [f32]);
+
+    /// Non-blocking broadcast: posts the transfer and returns a
+    /// [`PendingColl`] immediately; `wait()` yields the buffer. Non-root
+    /// buffers must be pre-sized to the root's payload length on **both**
+    /// backends (the logical size is recorded at post). Between post and
+    /// wait, callers must not issue collectives sharing a (src, dst) pair
+    /// with the in-flight tree. The default implementation completes
+    /// synchronously; the live backend overrides it with a genuinely
+    /// asynchronous transfer on the device's progress thread.
+    fn ibroadcast(&self, group: &Group, root: usize, mut buf: Vec<f32>) -> PendingColl {
+        self.broadcast(group, root, &mut buf);
+        PendingColl::ready(buf, None)
+    }
+
+    /// Non-blocking sum-reduce; see [`Communicator::ibroadcast`] for the
+    /// pending-collective contract. Only the root's waited buffer holds the
+    /// full sum.
+    fn ireduce(&self, group: &Group, root: usize, mut buf: Vec<f32>) -> PendingColl {
+        self.reduce(group, root, &mut buf);
+        PendingColl::ready(buf, None)
+    }
 
     /// Ring all-reduce (sum).
     fn all_reduce(&self, group: &Group, data: &mut [f32]);
@@ -180,6 +202,12 @@ impl Communicator for crate::DeviceCtx {
                 ((), data.len())
             },
         )
+    }
+    fn ibroadcast(&self, group: &Group, root: usize, buf: Vec<f32>) -> PendingColl {
+        crate::DeviceCtx::ibroadcast(self, group, root, buf)
+    }
+    fn ireduce(&self, group: &Group, root: usize, buf: Vec<f32>) -> PendingColl {
+        crate::DeviceCtx::ireduce(self, group, root, buf)
     }
     fn all_reduce(&self, group: &Group, data: &mut [f32]) {
         traced_op(

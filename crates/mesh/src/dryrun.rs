@@ -30,9 +30,10 @@
 //!   i.e. the sender's rank was replayed earlier. Forward pipelines satisfy
 //!   this; cyclic p2p patterns (Cannon shifts) need the live backend.
 
-use crate::collectives::chunk_start;
+use crate::collectives::{bcast_tree, chunk_start, reduce_tree};
 use crate::comm::{traced_op, Communicator};
 use crate::group::Group;
+use crate::nonblocking::{post_records, PendingColl};
 use crate::stats::{record_group_op, CommLog, CommOp};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -122,19 +123,9 @@ impl DryRunComm {
             let abs = |r: usize| group.rank_of((r + root) % g);
             // Same binomial-tree walk as the live backend; the receive is
             // silent (links are recorded by senders), sends are recorded.
-            let mut mask = 1usize;
-            while mask < g {
-                if rel & mask != 0 {
-                    break;
-                }
-                mask <<= 1;
-            }
-            mask >>= 1;
-            while mask > 0 {
-                if rel + mask < g {
-                    self.record_send(abs(rel + mask), data.len());
-                }
-                mask >>= 1;
+            let (_, children) = bcast_tree(g, rel);
+            for &child in &children {
+                self.record_send(abs(child), data.len());
             }
         }
         self.record_op(CommOp::Broadcast, group, data.len());
@@ -150,15 +141,65 @@ impl DryRunComm {
         }
         let rel = (me + g - root) % g;
         let abs = |r: usize| group.rank_of((r + root) % g);
-        let mut mask = 1usize;
-        while mask < g {
-            if rel & mask == 0 {
-                mask <<= 1;
-            } else {
-                self.record_send(abs(rel - mask), data.len());
-                break;
-            }
+        let (_, target) = reduce_tree(g, rel);
+        if let Some(target) = target {
+            self.record_send(abs(target), data.len());
         }
+    }
+
+    /// Trace-only `ibroadcast`: records the identical post-time op/link
+    /// stream as the live backend and returns an already-completed handle —
+    /// there is no wire for the transfer to overlap with. Under a traced
+    /// dry run the op event is still emitted at `wait`, spanning
+    /// `[post, post + priced duration]` on the virtual clock, which is how
+    /// a dry run prices comm/compute overlap.
+    pub fn ibroadcast(&self, group: &Group, root: usize, buf: Vec<f32>) -> PendingColl {
+        let g = group.len();
+        assert!(root < g, "root index {root} out of range for group of {g}");
+        let me = self.my_index(group);
+        let traced = post_records(
+            || self.wire_total(),
+            CommOp::Broadcast,
+            group,
+            buf.len(),
+            || {
+                if g > 1 {
+                    let rel = (me + g - root) % g;
+                    let abs = |r: usize| group.rank_of((r + root) % g);
+                    let (_, children) = bcast_tree(g, rel);
+                    for &child in &children {
+                        self.record_send(abs(child), buf.len());
+                    }
+                }
+                self.record_op(CommOp::Broadcast, group, buf.len());
+            },
+        );
+        PendingColl::ready(buf, traced)
+    }
+
+    /// Trace-only `ireduce`; see [`DryRunComm::ibroadcast`].
+    pub fn ireduce(&self, group: &Group, root: usize, buf: Vec<f32>) -> PendingColl {
+        let g = group.len();
+        assert!(root < g, "root index {root} out of range for group of {g}");
+        let me = self.my_index(group);
+        let traced = post_records(
+            || self.wire_total(),
+            CommOp::Reduce,
+            group,
+            buf.len(),
+            || {
+                self.record_op(CommOp::Reduce, group, buf.len());
+                if g > 1 {
+                    let rel = (me + g - root) % g;
+                    let abs = |r: usize| group.rank_of((r + root) % g);
+                    let (_, target) = reduce_tree(g, rel);
+                    if let Some(target) = target {
+                        self.record_send(abs(target), buf.len());
+                    }
+                }
+            },
+        );
+        PendingColl::ready(buf, traced)
     }
 
     fn all_reduce(&self, group: &Group, data: &mut [f32]) {
@@ -287,6 +328,14 @@ impl Communicator for DryRunComm {
                 ((), data.len())
             },
         )
+    }
+
+    fn ibroadcast(&self, group: &Group, root: usize, buf: Vec<f32>) -> PendingColl {
+        DryRunComm::ibroadcast(self, group, root, buf)
+    }
+
+    fn ireduce(&self, group: &Group, root: usize, buf: Vec<f32>) -> PendingColl {
+        DryRunComm::ireduce(self, group, root, buf)
     }
 
     fn all_reduce(&self, group: &Group, data: &mut [f32]) {

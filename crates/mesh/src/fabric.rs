@@ -1,56 +1,139 @@
-//! The channel fabric connecting simulated devices, and the per-device
+//! The mailbox fabric connecting simulated devices, and the per-device
 //! context handle.
+//!
+//! Each device owns one [`Mailbox`]: a mutex-protected set of per-source
+//! FIFO queues plus a condvar. A send locks the *destination's* mailbox,
+//! pushes, and notifies; a receive blocks on the owner's mailbox until the
+//! queue for the requested source is non-empty. Unlike the per-pair mpsc
+//! channels this fabric started with, a mailbox supports **multiple
+//! concurrent consumers** on different sources — which is what lets each
+//! device run a background progress thread for non-blocking collectives
+//! (see `nonblocking.rs`) while its main thread computes.
+//!
+//! Disconnect semantics match the old channel fabric: when a device's
+//! context drops (normally or during a panic), it marks itself closed in
+//! every peer's mailbox and retires its own, so peers blocked on it panic
+//! with a "disconnected" error instead of hanging.
 
 use crate::pool::BufferPool;
 use crate::stats::{CommLog, CommOp};
 use std::cell::RefCell;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-/// Per-device handle: identity plus point-to-point channels to every peer.
+struct MailboxInner {
+    /// `queues[src]` — payloads from `src`, FIFO per (src, this device).
+    queues: Vec<VecDeque<Vec<f32>>>,
+    /// `closed[src]` — `src`'s context dropped; it will never send again.
+    closed: Vec<bool>,
+    /// The owning device's context dropped: sends to it and further
+    /// receives on it must fail instead of queueing/blocking forever.
+    retired: bool,
+}
+
+/// One device's inbox. Shared (`Arc`) with every peer and with the device's
+/// own progress thread.
+pub(crate) struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    fn new(p: usize) -> Self {
+        Mailbox {
+            inner: Mutex::new(MailboxInner {
+                queues: (0..p).map(|_| VecDeque::new()).collect(),
+                closed: vec![false; p],
+                retired: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Locks the inner state, ignoring poison: the state is consistent at
+    /// every panic site, and teardown must proceed while peers unwind.
+    fn lock(&self) -> MutexGuard<'_, MailboxInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Delivers a payload from `src` to this mailbox (never blocks).
+    pub(crate) fn push(&self, src: usize, dst: usize, data: Vec<f32>) {
+        let mut inner = self.lock();
+        if inner.retired {
+            drop(inner);
+            panic!("device {dst} disconnected (send from {src})");
+        }
+        inner.queues[src].push_back(data);
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until a payload from `src` is available and returns it.
+    /// Panics if `src` disconnects first, or if this mailbox is retired
+    /// (its owner is unwinding) while waiting.
+    pub(crate) fn pop(&self, src: usize, dst: usize) -> Vec<f32> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(data) = inner.queues[src].pop_front() {
+                return data;
+            }
+            if inner.retired {
+                drop(inner);
+                panic!("device {dst} is shutting down (recv from {src})");
+            }
+            if inner.closed[src] {
+                drop(inner);
+                panic!("device {src} disconnected (recv at {dst})");
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks `src` as never sending again and wakes all waiters.
+    fn close_src(&self, src: usize) {
+        self.lock().closed[src] = true;
+        self.cv.notify_all();
+    }
+
+    /// Marks the owner as gone and wakes all waiters.
+    fn retire(&self) {
+        self.lock().retired = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Per-device handle: identity plus the mailbox fabric to every peer.
 ///
 /// All collectives ([`DeviceCtx::broadcast`], [`DeviceCtx::reduce`],
 /// [`DeviceCtx::all_reduce`], …) are built on [`DeviceCtx::send`] /
-/// [`DeviceCtx::recv`] and are defined in `collectives.rs`. Per-hop scratch
-/// buffers come from a per-device [`BufferPool`]; consumed receive buffers
-/// are recycled back into it, so steady-state collective traffic allocates
-/// nothing.
+/// [`DeviceCtx::recv`] and are defined in `collectives.rs`; the
+/// non-blocking `ibroadcast`/`ireduce` live in `nonblocking.rs`. Per-hop
+/// scratch buffers come from a per-device [`BufferPool`]; consumed receive
+/// buffers are recycled back into it, so steady-state collective traffic
+/// allocates nothing.
 pub struct DeviceCtx {
     rank: usize,
     p: usize,
-    /// `senders[dst]` — channel from this device to `dst`.
-    senders: Vec<Sender<Vec<f32>>>,
-    /// `receivers[src]` — channel from `src` to this device.
-    receivers: Vec<Receiver<Vec<f32>>>,
+    /// `boxes[d]` — device `d`'s mailbox; `boxes[rank]` is our own.
+    boxes: Vec<Arc<Mailbox>>,
     log: RefCell<CommLog>,
     pool: RefCell<BufferPool>,
+    /// Lazily spawned background progress thread for non-blocking
+    /// collectives (`nonblocking.rs`); joined on drop.
+    pub(crate) progress: RefCell<Option<crate::nonblocking::Progress>>,
 }
 
 /// Builds a fully connected fabric of `p` devices.
 pub(crate) fn build_fabric(p: usize) -> Vec<DeviceCtx> {
-    // channels[src][dst]
-    let mut senders: Vec<Vec<Sender<Vec<f32>>>> = vec![Vec::with_capacity(p); p];
-    let mut receivers: Vec<Vec<Receiver<Vec<f32>>>> = (0..p).map(|_| Vec::new()).collect();
-    for sender_row in senders.iter_mut() {
-        for receiver_row in receivers.iter_mut() {
-            let (tx, rx) = channel();
-            sender_row.push(tx);
-            receiver_row.push(rx);
-        }
-    }
-    // receivers[dst] currently appends in src-major order for a fixed dst?
-    // No: the loop above pushes (src, dst) pairs dst-major per src, so
-    // receivers[dst] receives its channels in src order 0..p — correct.
-    senders
-        .into_iter()
-        .zip(receivers)
-        .enumerate()
-        .map(|(rank, (s, r))| DeviceCtx {
+    let boxes: Vec<Arc<Mailbox>> = (0..p).map(|_| Arc::new(Mailbox::new(p))).collect();
+    (0..p)
+        .map(|rank| DeviceCtx {
             rank,
             p,
-            senders: s,
-            receivers: r,
+            boxes: boxes.clone(),
             log: RefCell::new(CommLog::new(rank)),
             pool: RefCell::new(BufferPool::new()),
+            progress: RefCell::new(None),
         })
         .collect()
 }
@@ -66,21 +149,22 @@ impl DeviceCtx {
         self.p
     }
 
+    /// A clone of the mailbox handles, for the progress thread.
+    pub(crate) fn boxes(&self) -> Vec<Arc<Mailbox>> {
+        self.boxes.clone()
+    }
+
     /// Point-to-point send. Counted in the [`CommLog`].
     pub fn send(&self, to: usize, data: Vec<f32>) {
         assert!(to < self.p, "send to rank {to} out of range (p={})", self.p);
         self.log.borrow_mut().record_link(self.rank, to, data.len());
-        self.senders[to]
-            .send(data)
-            .unwrap_or_else(|_| panic!("device {to} disconnected (send from {})", self.rank));
+        self.boxes[to].push(self.rank, to, data);
     }
 
     /// Point-to-point receive (blocking).
     pub fn recv(&self, from: usize) -> Vec<f32> {
         assert!(from < self.p, "recv from rank {from} out of range");
-        self.receivers[from]
-            .recv()
-            .unwrap_or_else(|_| panic!("device {from} disconnected (recv at {})", self.rank))
+        self.boxes[self.rank].pop(from, self.rank)
     }
 
     /// Sends a copy of `data`, drawing the owned buffer from the scratch
@@ -114,6 +198,14 @@ impl DeviceCtx {
         crate::stats::record_group_op(&mut self.log.borrow_mut(), op, group, elems);
     }
 
+    /// Records the link a point-to-point send *will* perform. Non-blocking
+    /// collectives log their whole send schedule at post time on the device
+    /// thread (the log is not thread-safe and the op/link stream must match
+    /// the dry-run backend's), while the progress thread moves the bytes.
+    pub(crate) fn record_planned_send(&self, to: usize, elems: usize) {
+        self.log.borrow_mut().record_link(self.rank, to, elems);
+    }
+
     /// O(1) total of elements this device has sent so far; the tracer
     /// samples it before/after a collective to attribute wire traffic.
     pub(crate) fn wire_total(&self) -> usize {
@@ -128,6 +220,35 @@ impl DeviceCtx {
     /// Read-only snapshot of the current log.
     pub fn log_snapshot(&self) -> CommLog {
         self.log.borrow().clone()
+    }
+}
+
+impl Drop for DeviceCtx {
+    fn drop(&mut self) {
+        let panicking = std::thread::panicking();
+        if let Some(progress) = self.progress.borrow_mut().take() {
+            if panicking {
+                // Abandon in-flight work: wake the worker out of any
+                // blocked receive so it exits instead of deadlocking the
+                // unwind. Peers it would have fed see "disconnected" below.
+                self.boxes[self.rank].retire();
+            }
+            let worker = progress.shutdown();
+            if let Err(payload) = worker.join() {
+                // The worker hit a disconnect (or a bug). Surface it unless
+                // we are already unwinding for another reason.
+                if !panicking {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        // Sends to us now fail, and peers blocked waiting on us wake up.
+        self.boxes[self.rank].retire();
+        for (dst, mailbox) in self.boxes.iter().enumerate() {
+            if dst != self.rank {
+                mailbox.close_src(self.rank);
+            }
+        }
     }
 }
 
@@ -170,6 +291,28 @@ mod tests {
             ctx.recv(0)
         });
         assert_eq!(out[0], vec![7.0]);
+    }
+
+    #[test]
+    fn interleaved_sources_match_by_origin() {
+        // Rank 2 receives from 0 and 1 in the *opposite* order of arrival;
+        // the mailbox must match by source, not arrival order.
+        let out = Mesh::run(3, |ctx| match ctx.rank() {
+            0 => {
+                ctx.send(2, vec![10.0]);
+                vec![]
+            }
+            1 => {
+                ctx.send(2, vec![20.0]);
+                vec![]
+            }
+            _ => {
+                let b = ctx.recv(1);
+                let a = ctx.recv(0);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(out[2], vec![10.0, 20.0]);
     }
 
     #[test]

@@ -69,6 +69,7 @@ mod dryrun;
 mod fabric;
 mod group;
 mod mesh2d;
+mod nonblocking;
 mod pool;
 mod stats;
 mod topology;
@@ -78,6 +79,7 @@ pub use dryrun::DryRunComm;
 pub use fabric::DeviceCtx;
 pub use group::Group;
 pub use mesh2d::{Grid2d, Mesh2d};
+pub use nonblocking::PendingColl;
 pub use pool::BufferPool;
 pub use stats::{CommLog, CommOp, LinkRecord, OpRecord};
 pub use topology::{Arrangement, Topology};

@@ -66,6 +66,9 @@ pub struct Grid2d<'a, C: Communicator = DeviceCtx> {
     col: usize,
     row_group: Group,
     col_group: Group,
+    /// When set (the default), SUMMA products prefetch the next iteration's
+    /// panels through non-blocking collectives. See [`Grid2d::with_overlap`].
+    overlap: bool,
 }
 
 impl<'a, C: Communicator> Grid2d<'a, C> {
@@ -102,6 +105,28 @@ impl<'a, C: Communicator> Grid2d<'a, C> {
             col,
             row_group,
             col_group,
+            overlap: true,
+        }
+    }
+
+    /// Whether comm/compute overlap (panel prefetch) is enabled.
+    pub fn overlap(&self) -> bool {
+        self.overlap
+    }
+
+    /// A copy of this view with overlap switched `on`/off — the
+    /// `--no-overlap` escape hatch. Both settings produce bitwise-identical
+    /// results and move identical per-link byte totals; only scheduling
+    /// (and hence record order in the communication log) differs.
+    pub fn with_overlap(&self, on: bool) -> Grid2d<'a, C> {
+        Grid2d {
+            ctx: self.ctx,
+            q: self.q,
+            row: self.row,
+            col: self.col,
+            row_group: self.row_group.clone(),
+            col_group: self.col_group.clone(),
+            overlap: on,
         }
     }
 

@@ -12,7 +12,9 @@
 
 use crate::cost::CostModel;
 use crate::profile::HardwareProfile;
-use crate::scaling::{megatron_stem_times, optimus_stem_times, LAYERS, SEQ};
+use crate::scaling::{
+    megatron_stem_times, optimus_stem_times, optimus_stem_times_overlapped, LAYERS, SEQ,
+};
 use mesh::{Arrangement, Topology};
 
 /// One projected operating point.
@@ -24,8 +26,11 @@ pub struct ProjectionPoint {
     pub batch_optimus: usize,
     /// Training throughput, sequences/s.
     pub megatron_throughput: f64,
+    /// Optimus with the serial (no-overlap) SUMMA schedule.
     pub optimus_throughput: f64,
-    /// Optimus / Megatron.
+    /// Optimus with double-buffered panel prefetch (the default schedule).
+    pub optimus_throughput_overlapped: f64,
+    /// Optimus (serial) / Megatron.
     pub advantage: f64,
 }
 
@@ -48,6 +53,7 @@ pub fn weak_scaling_projection(profile: &HardwareProfile) -> Vec<ProjectionPoint
         let cm_opt = CostModel::new(profile.clone(), Topology::new(q, gpn, Arrangement::Bunched));
         let (mf, mb) = megatron_stem_times(&cm_meg, b_meg, SEQ, h, LAYERS, gpus);
         let (of, ob) = optimus_stem_times(&cm_opt, b_opt, SEQ, h, LAYERS, q);
+        let (ovf, ovb) = optimus_stem_times_overlapped(&cm_opt, b_opt, SEQ, h, LAYERS, q);
         let m_thr = b_meg as f64 / (mf + mb);
         let o_thr = b_opt as f64 / (of + ob);
         out.push(ProjectionPoint {
@@ -57,6 +63,7 @@ pub fn weak_scaling_projection(profile: &HardwareProfile) -> Vec<ProjectionPoint
             batch_optimus: b_opt,
             megatron_throughput: m_thr,
             optimus_throughput: o_thr,
+            optimus_throughput_overlapped: b_opt as f64 / (ovf + ovb),
             advantage: o_thr / m_thr,
         });
     }
@@ -119,6 +126,22 @@ mod tests {
         }
         // Advantage persists on the torus too at the largest scale.
         assert!(torus[4].advantage > 1.5, "{}", torus[4].advantage);
+    }
+
+    #[test]
+    fn overlap_only_improves_the_projection() {
+        let pts = weak_scaling_projection(&HardwareProfile::frontera_rtx5000());
+        for p in &pts {
+            assert!(
+                p.optimus_throughput_overlapped >= p.optimus_throughput,
+                "overlap slowed {} GPUs: {} vs {}",
+                p.gpus,
+                p.optimus_throughput_overlapped,
+                p.optimus_throughput
+            );
+        }
+        // At scale the comm share is large enough for a real gain.
+        assert!(pts[4].optimus_throughput_overlapped > pts[4].optimus_throughput * 1.02);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! [`CostModel`], so node placement (Fig. 8) and NIC contention are in the
 //! numbers.
 
-use crate::cost::CostModel;
+use crate::cost::{pipelined_loop_time, CostModel};
 use crate::profile::HardwareProfile;
 use crate::table1::layer_macs;
 use mesh::{Arrangement, Topology};
@@ -120,6 +120,61 @@ pub fn optimus_stem_times(
     let comm_fwd = layers as f64 * comm_fwd;
     let comm_bwd = layers as f64 * comm_bwd_grads + comm_fwd; // + recompute
     (comp_fwd + comm_fwd, 3.0 * comp_fwd + comm_bwd)
+}
+
+/// Like [`optimus_stem_times`] but pricing every SUMMA product's `q`-round
+/// panel loop with the double-buffered prefetch schedule
+/// ([`pipelined_loop_time`]) instead of the serial sum — the schedule the
+/// live mesh runs by default. Communication volumes are identical; only the
+/// exposure differs: per product, one panel transfer and one GEMM round stay
+/// on the critical path while the interior rounds cost
+/// `max(T_comm, T_comp)` each.
+pub fn optimus_stem_times_overlapped(
+    cm: &CostModel,
+    b: usize,
+    s: usize,
+    h: usize,
+    layers: usize,
+    q: usize,
+) -> (f64, f64) {
+    let p = q * q;
+    let row: Vec<usize> = (0..q).collect();
+    let col: Vec<usize> = (0..q).map(|i| i * q).collect();
+    let (bs, hf) = ((b * s) as f64, h as f64);
+
+    // The four products of `layer_products`, paired with their MAC counts
+    // (together exactly the 12·bsh² term of `layer_macs`).
+    let prods = layer_products(b, s, h, q);
+    let macs = [
+        bs * hf * 3.0 * hf,
+        bs * hf * hf,
+        bs * hf * 4.0 * hf,
+        4.0 * bs * hf * hf,
+    ];
+    // The attention-score/context matmuls (the 2·bs²h term) are not SUMMA
+    // panel loops and stay serial.
+    let comp_other = cm.compute_time((layer_macs(b, s, h) - macs.iter().sum::<f64>()) / p as f64);
+
+    let mut fwd = 0.0;
+    let mut bwd_grads = 0.0;
+    for ((act, w), m) in prods.iter().zip(macs) {
+        let t_comp = cm.compute_time(m / (p * q) as f64);
+        let t_fwd = cm.broadcast_time(&row, *act) + cm.broadcast_time(&col, *w);
+        fwd += pipelined_loop_time(q, t_fwd, t_comp);
+        // dX: weight broadcasts down columns + partial-activation reduces
+        // along rows; dW: activation broadcasts + partial-weight reduces.
+        let t_dx = cm.broadcast_time(&col, *w) + cm.reduce_time(&row, *act);
+        let t_dw = cm.broadcast_time(&row, *act) + cm.reduce_time(&col, *w);
+        bwd_grads += pipelined_loop_time(q, t_dx, t_comp) + pipelined_loop_time(q, t_dw, t_comp);
+    }
+    let ln_rows = b * s / q;
+    let ln = 2.0 * (2.0 * cm.all_reduce_time(&row, ln_rows) + 2.0 * cm.broadcast_time(&col, h / q));
+
+    let fwd_layer = fwd + comp_other + ln;
+    // Backward = dX + dW loops (compute included), the attention backward,
+    // layer-norm traffic, and the checkpoint recompute of the forward.
+    let bwd_layer = bwd_grads + 2.0 * comp_other + ln + fwd_layer;
+    (layers as f64 * fwd_layer, layers as f64 * bwd_layer)
 }
 
 /// Theoretical serial time for the same stem (the paper's baseline for
@@ -342,6 +397,39 @@ mod tests {
             let iter_time = r.fwd_per_seq * r.batch as f64;
             assert!((r.inference - r.batch as f64 / iter_time).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn overlap_never_slows_a_stem_and_hides_at_most_half() {
+        let prof = profile();
+        for &(_, gpus, q, h, _, _, b_opt) in &WEAK_CONFIGS {
+            let cm = CostModel::new(
+                prof.clone(),
+                Topology::new(q, prof.gpus_per_node.min(gpus), Arrangement::Bunched),
+            );
+            let (sf, sb) = optimus_stem_times(&cm, b_opt, SEQ, h, LAYERS, q);
+            let (of, ob) = optimus_stem_times_overlapped(&cm, b_opt, SEQ, h, LAYERS, q);
+            assert!(of <= sf * (1.0 + 1e-12), "fwd {of} > serial {sf} at q={q}");
+            assert!(ob <= sb * (1.0 + 1e-12), "bwd {ob} > serial {sb} at q={q}");
+            // Prefetch hides the smaller of the two streams, never more.
+            assert!(of >= sf / 2.0, "fwd {of} < half of serial {sf}");
+            assert!(ob >= sb / 2.0, "bwd {ob} < half of serial {sb}");
+        }
+    }
+
+    #[test]
+    fn overlap_helps_where_comm_and_comp_are_comparable() {
+        // At the paper's 64-GPU point communication is a substantial share,
+        // so the prefetch schedule must buy a visible improvement.
+        let prof = profile();
+        let cm = CostModel::new(prof.clone(), Topology::new(8, 4, Arrangement::Bunched));
+        let (sf, sb) = optimus_stem_times(&cm, 384, SEQ, 8192, LAYERS, 8);
+        let (of, ob) = optimus_stem_times_overlapped(&cm, 384, SEQ, 8192, LAYERS, 8);
+        let gain = (sf + sb) / (of + ob);
+        assert!(
+            gain > 1.05,
+            "overlap gain at 64 GPUs should exceed 5%: {gain}"
+        );
     }
 
     #[test]

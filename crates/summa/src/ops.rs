@@ -1,50 +1,28 @@
 //! The three SUMMA product forms and their gradients.
+//!
+//! These are thin allocating wrappers over the double-buffered cores in
+//! `workspace.rs`: each call stages panels through a throwaway
+//! [`Workspace`] (two buffer pairs instead of `2q` fresh tensors) and runs
+//! the overlapped prefetch schedule whenever the grid enables it.
 
+use crate::workspace::{summa_nn_into, summa_nt_into, summa_tn_into, Workspace};
 use mesh::{Communicator, Grid2d};
-use tensor::matmul::{matmul_nn_acc, matmul_nt_acc, matmul_tn_acc};
 use tensor::ops::bias_add;
 use tensor::Tensor;
-
-/// Broadcasts the root's local block within `group` and returns it as a
-/// tensor of shape `dims` on every member. `root` is a group index.
-fn bcast_block<C: Communicator>(
-    grid: &Grid2d<C>,
-    group: &mesh::Group,
-    root: usize,
-    local: &Tensor,
-    dims: [usize; 2],
-) -> Tensor {
-    let my_idx = group
-        .index_of(grid.ctx().rank())
-        .expect("device not in group");
-    let mut buf = if my_idx == root {
-        assert_eq!(local.dims(), &dims, "root block has unexpected shape");
-        local.as_slice().to_vec()
-    } else {
-        // Pre-sized so the trace backend knows the payload length.
-        vec![0.0; dims[0] * dims[1]]
-    };
-    grid.ctx().broadcast(group, root, &mut buf);
-    Tensor::from_vec(&dims, buf)
-}
 
 /// `C = A B` (Algorithm 1). `a: [M/q, K/q]`, `b: [K/q, N/q]` local blocks;
 /// returns the local `[M/q, N/q]` block of `C`.
 ///
 /// Iteration `l` broadcasts `A`'s column-`l` panel along mesh rows and `B`'s
 /// row-`l` panel along mesh columns, then accumulates the outer product
-/// locally (Fig. 3).
+/// locally (Fig. 3). With overlap enabled (the grid default), iteration
+/// `l+1`'s broadcasts are posted before iteration `l`'s GEMM runs.
 pub fn summa_nn<C: Communicator>(grid: &Grid2d<C>, a: &Tensor, b: &Tensor) -> Tensor {
-    let _span = trace::span_guard("summa.nn");
     let (mb, kb) = (a.rows(), a.cols());
     let (kb2, nb) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");
     let mut c = Tensor::zeros(&[mb, nb]);
-    for l in 0..grid.q() {
-        let a_panel = bcast_block(grid, grid.row_group(), l, a, [mb, kb]);
-        let b_panel = bcast_block(grid, grid.col_group(), l, b, [kb, nb]);
-        matmul_nn_acc(&mut c, &a_panel, &b_panel);
-    }
+    summa_nn_into(grid, a, b, &mut c, &mut Workspace::new());
     c
 }
 
@@ -78,23 +56,15 @@ pub fn summa_nn_bias<C: Communicator>(
 /// `b: [N/q, K/q]` blocks of `B: [N, K]`; returns `[M/q, N/q]` blocks of `C`.
 ///
 /// Iteration `l` broadcasts `B`'s row-`l` panel along columns, forms the
-/// partial product locally, and reduces it along rows to column `l`.
+/// partial product locally, and reduces it along rows to column `l`. With
+/// overlap enabled, the reduce rides the fabric during the next iteration's
+/// GEMM.
 pub fn summa_nt<C: Communicator>(grid: &Grid2d<C>, a: &Tensor, b: &Tensor) -> Tensor {
-    let _span = trace::span_guard("summa.nt");
     let (mb, kb) = (a.rows(), a.cols());
     let (nb, kb2) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");
     let mut c = Tensor::zeros(&[mb, nb]);
-    for l in 0..grid.q() {
-        let b_panel = bcast_block(grid, grid.col_group(), l, b, [nb, kb]);
-        let mut c_temp = Tensor::zeros(&[mb, nb]);
-        matmul_nt_acc(&mut c_temp, a, &b_panel);
-        grid.ctx()
-            .reduce(grid.row_group(), l, c_temp.as_mut_slice());
-        if grid.col() == l {
-            c = c_temp;
-        }
-    }
+    summa_nt_into(grid, a, b, &mut c, &mut Workspace::new());
     c
 }
 
@@ -102,23 +72,15 @@ pub fn summa_nt<C: Communicator>(grid: &Grid2d<C>, a: &Tensor, b: &Tensor) -> Te
 /// `b: [K/q, N/q]` blocks of `B: [K, N]`; returns `[M/q, N/q]` blocks of `C`.
 ///
 /// Iteration `l` broadcasts `A`'s column-`l` panel along rows, forms the
-/// partial product locally, and reduces it along columns to row `l`.
+/// partial product locally, and reduces it along columns to row `l`. With
+/// overlap enabled, the reduce rides the fabric during the next iteration's
+/// GEMM.
 pub fn summa_tn<C: Communicator>(grid: &Grid2d<C>, a: &Tensor, b: &Tensor) -> Tensor {
-    let _span = trace::span_guard("summa.tn");
     let (kb, mb) = (a.rows(), a.cols());
     let (kb2, nb) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree: {kb} vs {kb2}");
     let mut c = Tensor::zeros(&[mb, nb]);
-    for l in 0..grid.q() {
-        let a_panel = bcast_block(grid, grid.row_group(), l, a, [kb, mb]);
-        let mut c_temp = Tensor::zeros(&[mb, nb]);
-        matmul_tn_acc(&mut c_temp, &a_panel, b);
-        grid.ctx()
-            .reduce(grid.col_group(), l, c_temp.as_mut_slice());
-        if grid.row() == l {
-            c = c_temp;
-        }
-    }
+    summa_tn_into(grid, a, b, &mut c, &mut Workspace::new());
     c
 }
 

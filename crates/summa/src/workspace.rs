@@ -1,24 +1,48 @@
-//! Pre-allocated communication workspace (paper Section 3.2.3).
+//! Pre-allocated communication workspace (paper Section 3.2.3) and the
+//! double-buffered SUMMA cores.
 //!
 //! The naive SUMMA loop allocates two fresh panel tensors per iteration
 //! (`2q` allocations per product) plus a partial-product buffer for the
 //! reduce forms. "Inspired by activation checkpointing, we pre-allocate a
 //! piece of memory as a workspace … it suffices to allocate the largest
 //! volume of memory among those required" — [`Workspace`] implements exactly
-//! that: buffers grow to a high-water mark during warm-up and are reused
-//! afterwards. [`Workspace::fresh_allocs`] exposes the growth count so the
-//! ablation benchmark (and a regression test) can prove steady-state reuse.
+//! that, with one twist: each logical buffer is a **pair**, because the
+//! overlapped schedule keeps iteration `l+1`'s panel in flight while
+//! iteration `l`'s is being consumed. Buffers grow to a high-water mark
+//! during warm-up and are reused afterwards; [`Workspace::fresh_allocs`]
+//! exposes the growth count so the ablation benchmark (and a regression
+//! test) can prove steady-state reuse.
+//!
+//! # Comm/compute overlap
+//!
+//! When the grid has overlap enabled (the default, see
+//! [`Grid2d::with_overlap`]) and `q > 1`, the cores here run the prefetch
+//! schedule: iteration `l+1`'s panel broadcasts are **posted** (non-blocking
+//! `ibroadcast`) before iteration `l`'s GEMM runs, so the transfer proceeds
+//! on the fabric's progress threads while this device computes; the reduce
+//! forms likewise post iteration `l`'s `ireduce` and only wait for it during
+//! iteration `l+1`'s GEMM window. Per-iteration cost drops from
+//! `T_comm + T_comp` toward `max(T_comm, T_comp)` (see `perf::cost`).
+//!
+//! The overlapped schedule is **bitwise identical** to the serial one: the
+//! same tree walks move the same payloads, and reduces accumulate in the
+//! same order (guaranteed by `mesh`'s shared tree schedules). Per-device
+//! op/link byte totals are unchanged; only the interleaving of record order
+//! differs (a reduce may be recorded before the next broadcast rather than
+//! after).
 
-use mesh::{Communicator, Grid2d};
+use mesh::{Communicator, Grid2d, PendingColl};
 use tensor::gemm::{gemm_acc, Form};
 use tensor::Tensor;
 
-/// Reusable buffers for SUMMA panel traffic and partial products.
+/// Reusable buffers for SUMMA panel traffic and partial products. Each
+/// logical buffer is doubled so the overlapped schedule can keep one panel
+/// in flight while the other is consumed.
 #[derive(Debug, Default)]
 pub struct Workspace {
-    panel_a: Vec<f32>,
-    panel_b: Vec<f32>,
-    partial: Vec<f32>,
+    panel_a: [Vec<f32>; 2],
+    panel_b: [Vec<f32>; 2],
+    partial: [Vec<f32>; 2],
     /// Number of times any buffer had to grow (0 in steady state).
     pub fresh_allocs: usize,
 }
@@ -34,52 +58,288 @@ impl Workspace {
     /// `max_partial` elements.
     pub fn with_capacity(max_panel: usize, max_partial: usize) -> Self {
         Workspace {
-            panel_a: vec![0.0; max_panel],
-            panel_b: vec![0.0; max_panel],
-            partial: vec![0.0; max_partial],
+            panel_a: [vec![0.0; max_panel], vec![0.0; max_panel]],
+            panel_b: [vec![0.0; max_panel], vec![0.0; max_panel]],
+            partial: [vec![0.0; max_partial], vec![0.0; max_partial]],
             fresh_allocs: 0,
-        }
-    }
-
-    fn ensure(buf: &mut Vec<f32>, len: usize, fresh: &mut usize) {
-        if buf.len() < len {
-            *fresh += 1;
-            buf.resize(len, 0.0);
         }
     }
 }
 
-/// Receives a broadcast panel into `buf` (reusing its allocation) and
-/// returns the panel as a borrowed slice — the kernels consume workspace
-/// memory directly, with no per-iteration tensor materialisation.
-fn bcast_into<'w, C: Communicator>(
+/// Stages a panel into `buf`: the root copies its local block in (reusing
+/// the buffer's capacity — no per-iteration `to_vec`), non-roots pre-size
+/// to the payload length for the receive. Counts a fresh allocation only
+/// when the buffer's capacity must actually grow.
+fn stage_panel(
+    my_idx: usize,
+    root: usize,
+    local: &Tensor,
+    n: usize,
+    buf: &mut Vec<f32>,
+    fresh: &mut usize,
+) {
+    if buf.capacity() < n {
+        *fresh += 1;
+    }
+    buf.clear();
+    if my_idx == root {
+        assert_eq!(local.len(), n, "root block has unexpected shape");
+        buf.extend_from_slice(local.as_slice());
+    } else {
+        buf.resize(n, 0.0);
+    }
+}
+
+/// Blocking panel broadcast into a reused buffer (the serial schedule).
+fn bcast_panel<C: Communicator>(
     grid: &Grid2d<C>,
     group: &mesh::Group,
     root: usize,
     local: &Tensor,
-    dims: [usize; 2],
-    buf: &'w mut Vec<f32>,
+    n: usize,
+    buf: &mut Vec<f32>,
     fresh: &mut usize,
-) -> &'w [f32] {
-    let n = dims[0] * dims[1];
-    Workspace::ensure(buf, n, fresh);
+) {
     let my_idx = group
         .index_of(grid.ctx().rank())
         .expect("device not in group");
-    if my_idx == root {
-        assert_eq!(local.len(), n, "root block has unexpected shape");
-        buf[..n].copy_from_slice(local.as_slice());
-        // Transport copy: the channel takes ownership of a Vec; peers'
-        // buffers are the reusable memory being modelled.
-        let mut payload = buf[..n].to_vec();
-        grid.ctx().broadcast(group, root, &mut payload);
-    } else {
-        // Pre-sized so the trace backend knows the payload length.
-        let mut payload = vec![0.0; n];
-        grid.ctx().broadcast(group, root, &mut payload);
-        buf[..n].copy_from_slice(&payload);
+    stage_panel(my_idx, root, local, n, buf, fresh);
+    grid.ctx().broadcast(group, root, buf);
+}
+
+/// Posts a non-blocking panel broadcast from a reused buffer (the
+/// overlapped schedule); the buffer rides inside the returned handle.
+fn post_panel<C: Communicator>(
+    grid: &Grid2d<C>,
+    group: &mesh::Group,
+    root: usize,
+    local: &Tensor,
+    n: usize,
+    mut buf: Vec<f32>,
+    fresh: &mut usize,
+) -> PendingColl {
+    let my_idx = group
+        .index_of(grid.ctx().rank())
+        .expect("device not in group");
+    stage_panel(my_idx, root, local, n, &mut buf, fresh);
+    grid.ctx().ibroadcast(group, root, buf)
+}
+
+/// Resizes a partial-product buffer to `len` zeros, counting capacity growth.
+fn zeroed(buf: &mut Vec<f32>, len: usize, fresh: &mut usize) {
+    if buf.capacity() < len {
+        *fresh += 1;
     }
-    &buf[..n]
+    buf.clear();
+    buf.resize(len, 0.0);
+}
+
+/// The `C += A B` core: broadcast panels of both operands, accumulate the
+/// outer product locally. Double-buffers both panels when overlap is on.
+fn nn_core<C: Communicator>(
+    grid: &Grid2d<C>,
+    a: &Tensor,
+    b: &Tensor,
+    c: &mut [f32],
+    ws: &mut Workspace,
+) {
+    let (mb, kb) = (a.rows(), a.cols());
+    let nb = b.cols();
+    let q = grid.q();
+    let (an, bn) = (mb * kb, kb * nb);
+    let mut fresh = 0;
+    if grid.overlap() && q > 1 {
+        let mut pending = Some((
+            post_panel(
+                grid,
+                grid.row_group(),
+                0,
+                a,
+                an,
+                std::mem::take(&mut ws.panel_a[0]),
+                &mut fresh,
+            ),
+            post_panel(
+                grid,
+                grid.col_group(),
+                0,
+                b,
+                bn,
+                std::mem::take(&mut ws.panel_b[0]),
+                &mut fresh,
+            ),
+        ));
+        for l in 0..q {
+            // Prefetch: iteration l+1's panels enter the fabric before
+            // iteration l's GEMM starts, from the other buffer of each pair.
+            let next = (l + 1 < q).then(|| {
+                (
+                    post_panel(
+                        grid,
+                        grid.row_group(),
+                        l + 1,
+                        a,
+                        an,
+                        std::mem::take(&mut ws.panel_a[(l + 1) % 2]),
+                        &mut fresh,
+                    ),
+                    post_panel(
+                        grid,
+                        grid.col_group(),
+                        l + 1,
+                        b,
+                        bn,
+                        std::mem::take(&mut ws.panel_b[(l + 1) % 2]),
+                        &mut fresh,
+                    ),
+                )
+            });
+            let (pa, pb) = pending.take().expect("panel broadcasts in flight");
+            let a_panel = pa.wait();
+            let b_panel = pb.wait();
+            gemm_acc(Form::NN, c, mb, nb, &a_panel, &b_panel, kb);
+            ws.panel_a[l % 2] = a_panel;
+            ws.panel_b[l % 2] = b_panel;
+            pending = next;
+        }
+    } else {
+        for l in 0..q {
+            bcast_panel(
+                grid,
+                grid.row_group(),
+                l,
+                a,
+                an,
+                &mut ws.panel_a[0],
+                &mut fresh,
+            );
+            bcast_panel(
+                grid,
+                grid.col_group(),
+                l,
+                b,
+                bn,
+                &mut ws.panel_b[0],
+                &mut fresh,
+            );
+            gemm_acc(Form::NN, c, mb, nb, &ws.panel_a[0], &ws.panel_b[0], kb);
+        }
+    }
+    ws.fresh_allocs += fresh;
+}
+
+/// The reduce-form core shared by `C = A Bᵀ` (panels of `B` along columns,
+/// reduce along rows) and `C = Aᵀ B` (panels of `A` along rows, reduce
+/// along columns). `form` picks the GEMM; `stationary` is the operand that
+/// stays local. When overlap is on, iteration `l`'s `ireduce` is posted
+/// immediately after its GEMM and only waited one iteration later, so the
+/// reduce tree overlaps the next panel's GEMM (and that panel's broadcast
+/// overlapped this GEMM).
+#[allow(clippy::too_many_arguments)]
+fn reduce_form_core<C: Communicator>(
+    grid: &Grid2d<C>,
+    form: Form,
+    stationary: &Tensor,
+    panel_src: &Tensor,
+    panel_elems: usize,
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    c: &mut [f32],
+    ws: &mut Workspace,
+) {
+    let q = grid.q();
+    // NT: panels move along columns, partials reduce along rows (owner is
+    // the column matching l). TN: the transpose of that.
+    let (bcast_group, reduce_group, my_reduce_idx) = match form {
+        Form::NT => (grid.col_group(), grid.row_group(), grid.col()),
+        Form::TN => (grid.row_group(), grid.col_group(), grid.row()),
+        Form::NN => unreachable!("NN has no reduce form"),
+    };
+    let gemm = |part: &mut [f32], panel: &[f32]| match form {
+        Form::NT => gemm_acc(Form::NT, part, mb, nb, stationary.as_slice(), panel, kb),
+        Form::TN => gemm_acc(Form::TN, part, mb, nb, panel, stationary.as_slice(), kb),
+        Form::NN => unreachable!(),
+    };
+    let cn = mb * nb;
+    let mut fresh = 0;
+    if grid.overlap() && q > 1 {
+        let mut pending_panel = Some(post_panel(
+            grid,
+            bcast_group,
+            0,
+            panel_src,
+            panel_elems,
+            std::mem::take(&mut ws.panel_b[0]),
+            &mut fresh,
+        ));
+        // Two partial buffers rotate through the in-flight reduce: one is
+        // riding the fabric while the other is being filled by the GEMM.
+        let mut free = vec![
+            std::mem::take(&mut ws.partial[0]),
+            std::mem::take(&mut ws.partial[1]),
+        ];
+        let mut pending_red: Option<(usize, PendingColl)> = None;
+        for l in 0..q {
+            let next = (l + 1 < q).then(|| {
+                post_panel(
+                    grid,
+                    bcast_group,
+                    l + 1,
+                    panel_src,
+                    panel_elems,
+                    std::mem::take(&mut ws.panel_b[(l + 1) % 2]),
+                    &mut fresh,
+                )
+            });
+            let panel = pending_panel
+                .take()
+                .expect("panel broadcast in flight")
+                .wait();
+            pending_panel = next;
+            let mut part = free.pop().expect("a partial buffer is always free");
+            zeroed(&mut part, cn, &mut fresh);
+            gemm(&mut part, &panel);
+            ws.panel_b[l % 2] = panel;
+            let red = grid.ctx().ireduce(reduce_group, l, part);
+            if let Some((owner, prev)) = pending_red.take() {
+                let done = prev.wait();
+                if my_reduce_idx == owner {
+                    c.copy_from_slice(&done);
+                }
+                free.push(done);
+            }
+            pending_red = Some((l, red));
+        }
+        let (owner, last) = pending_red.expect("q >= 1");
+        let done = last.wait();
+        if my_reduce_idx == owner {
+            c.copy_from_slice(&done);
+        }
+        free.push(done);
+        ws.partial[1] = free.pop().expect("both partials return");
+        ws.partial[0] = free.pop().expect("both partials return");
+    } else {
+        for l in 0..q {
+            bcast_panel(
+                grid,
+                bcast_group,
+                l,
+                panel_src,
+                panel_elems,
+                &mut ws.panel_b[0],
+                &mut fresh,
+            );
+            let part = &mut ws.partial[0];
+            zeroed(part, cn, &mut fresh);
+            gemm(part, &ws.panel_b[0]);
+            grid.ctx().reduce(reduce_group, l, part);
+            if my_reduce_idx == l {
+                c.copy_from_slice(part);
+            }
+        }
+    }
+    ws.fresh_allocs += fresh;
 }
 
 /// `C += A B` into a caller-owned output block, with panels staged through
@@ -97,29 +357,7 @@ pub fn summa_nn_into<C: Communicator>(
     let (kb2, nb) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree");
     assert_eq!((c.rows(), c.cols()), (mb, nb), "output block shape");
-    for l in 0..grid.q() {
-        let mut fresh = 0;
-        let a_panel = bcast_into(
-            grid,
-            grid.row_group(),
-            l,
-            a,
-            [mb, kb],
-            &mut ws.panel_a,
-            &mut fresh,
-        );
-        let b_panel = bcast_into(
-            grid,
-            grid.col_group(),
-            l,
-            b,
-            [kb, nb],
-            &mut ws.panel_b,
-            &mut fresh,
-        );
-        ws.fresh_allocs += fresh;
-        gemm_acc(Form::NN, c.as_mut_slice(), mb, nb, a_panel, b_panel, kb);
-    }
+    nn_core(grid, a, b, c.as_mut_slice(), ws);
 }
 
 /// `C = A Bᵀ` into a caller-owned output block (overwrites `c`).
@@ -135,27 +373,18 @@ pub fn summa_nt_into<C: Communicator>(
     let (nb, kb2) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree");
     assert_eq!((c.rows(), c.cols()), (mb, nb), "output block shape");
-    for l in 0..grid.q() {
-        let mut fresh = 0;
-        let b_panel = bcast_into(
-            grid,
-            grid.col_group(),
-            l,
-            b,
-            [nb, kb],
-            &mut ws.panel_b,
-            &mut fresh,
-        );
-        Workspace::ensure(&mut ws.partial, mb * nb, &mut fresh);
-        ws.fresh_allocs += fresh;
-        let partial = &mut ws.partial[..mb * nb];
-        partial.fill(0.0);
-        gemm_acc(Form::NT, partial, mb, nb, a.as_slice(), b_panel, kb);
-        grid.ctx().reduce(grid.row_group(), l, partial);
-        if grid.col() == l {
-            c.as_mut_slice().copy_from_slice(partial);
-        }
-    }
+    reduce_form_core(
+        grid,
+        Form::NT,
+        a,
+        b,
+        nb * kb,
+        mb,
+        nb,
+        kb,
+        c.as_mut_slice(),
+        ws,
+    );
 }
 
 /// `C = Aᵀ B` into a caller-owned output block (overwrites `c`).
@@ -171,27 +400,18 @@ pub fn summa_tn_into<C: Communicator>(
     let (kb2, nb) = (b.rows(), b.cols());
     assert_eq!(kb, kb2, "contraction blocks disagree");
     assert_eq!((c.rows(), c.cols()), (mb, nb), "output block shape");
-    for l in 0..grid.q() {
-        let mut fresh = 0;
-        let a_panel = bcast_into(
-            grid,
-            grid.row_group(),
-            l,
-            a,
-            [kb, mb],
-            &mut ws.panel_a,
-            &mut fresh,
-        );
-        Workspace::ensure(&mut ws.partial, mb * nb, &mut fresh);
-        ws.fresh_allocs += fresh;
-        let partial = &mut ws.partial[..mb * nb];
-        partial.fill(0.0);
-        gemm_acc(Form::TN, partial, mb, nb, a_panel, b.as_slice(), kb);
-        grid.ctx().reduce(grid.col_group(), l, partial);
-        if grid.row() == l {
-            c.as_mut_slice().copy_from_slice(partial);
-        }
-    }
+    reduce_form_core(
+        grid,
+        Form::TN,
+        b,
+        a,
+        kb * mb,
+        mb,
+        nb,
+        kb,
+        c.as_mut_slice(),
+        ws,
+    );
 }
 
 #[cfg(test)]
@@ -278,6 +498,27 @@ mod tests {
             for _ in 0..5 {
                 c.zero_();
                 summa_nn_into(g, &al, &bl, &mut c, &mut ws);
+            }
+            ws.fresh_allocs - after_warmup
+        });
+        assert!(growths.iter().all(|&g| g == 0), "growths={growths:?}");
+    }
+
+    #[test]
+    fn reduce_forms_reach_steady_state_too() {
+        let q = 2;
+        let a = rand(&[8, 8], 10);
+        let b = rand(&[8, 8], 11);
+        let growths = Mesh2d::run(q, |g| {
+            let mut ws = Workspace::new();
+            let (al, bl) = (distribute(g, &a), distribute(g, &b));
+            let mut c = Tensor::zeros(&[4, 4]);
+            summa_nt_into(g, &al, &bl, &mut c, &mut ws);
+            summa_tn_into(g, &al, &bl, &mut c, &mut ws);
+            let after_warmup = ws.fresh_allocs;
+            for _ in 0..5 {
+                summa_nt_into(g, &al, &bl, &mut c, &mut ws);
+                summa_tn_into(g, &al, &bl, &mut c, &mut ws);
             }
             ws.fresh_allocs - after_warmup
         });
