@@ -9,9 +9,20 @@
 //! optimus-cli --dry-run [--q 8 --hidden 64 ...] [--trace out.json]
 //! optimus-cli train --scheme optimus --trace out.json
 //! optimus-cli train --scheme optimus --no-overlap   # serial SUMMA schedule
+//! optimus-cli train --grid 2,2,2                    # Tesseract 2.5D mesh
+//! optimus-cli --dry-run --grid 8,8,2 --devices 128
+//! optimus-cli crossover                             # 1D vs 2D vs 2.5D table
 //! optimus-cli calibrate [--bench BENCH_gemm.json]
 //! optimus-cli info
 //! ```
+//!
+//! `--grid p,q,d` (or `--depth d` next to `--q`) selects a `[q, q, d]`
+//! Tesseract mesh: each of the `d` depth slices runs `q/d` of the SUMMA
+//! panel rounds and the partial products meet in a depth-subgroup epilogue.
+//! `--devices N` cross-checks the grid against an intended device count and
+//! fails with a readable message instead of a mid-run panic when
+//! `p·q·d ≠ N`. `crossover` prints the projected 512–4096-device table
+//! where 2.5D overtakes both 1D Megatron and 2D Optimus.
 //!
 //! `--dry-run` (usable bare or with `train`) replays one Optimus training
 //! step per rank through the trace-only [`mesh::DryRunComm`] backend — no
@@ -53,6 +64,10 @@ const PATTERN_PERIOD: usize = 5;
 struct Args {
     scheme: Scheme,
     q: usize,
+    /// Depth of the Tesseract mesh: `[q, q, depth]` devices, `depth | q`.
+    depth: usize,
+    /// Intended total device count (`--devices`), checked against the grid.
+    devices: Option<usize>,
     batch: usize,
     seq: usize,
     hidden: usize,
@@ -91,6 +106,8 @@ impl Default for Args {
         Args {
             scheme: Scheme::Optimus,
             q: 2,
+            depth: 1,
+            devices: None,
             batch: 8,
             seq: 16,
             hidden: 32,
@@ -158,6 +175,8 @@ fn apply_flags(mut args: Args, flags: &HashMap<String, String>) -> Result<Args, 
                 }
             }
             "q" => args.q = us(v)?,
+            "depth" => args.depth = us(v)?,
+            "devices" => args.devices = Some(us(v)?),
             "batch" => args.batch = us(v)?,
             "seq" => args.seq = us(v)?,
             "hidden" => args.hidden = us(v)?,
@@ -181,8 +200,70 @@ fn apply_flags(mut args: Args, flags: &HashMap<String, String>) -> Result<Args, 
                 }
             }
             "save" | "load" | "trace" | "bench" => {} // handled by the caller
+            "grid" => {} // handled by finalize_mesh (order-independent)
             other => return Err(format!("unknown flag --{other}")),
         }
+    }
+    Ok(args)
+}
+
+/// Applies `--grid p,q,d` and validates the mesh geometry after every flag
+/// has landed (flag order must not matter). All failure modes here are user
+/// input, so they come back as readable errors, not panics.
+fn finalize_mesh(mut args: Args, flags: &HashMap<String, String>) -> Result<Args, String> {
+    if let Some(spec) = flags.get("grid") {
+        if flags.contains_key("q") || flags.contains_key("depth") {
+            return Err("--grid p,q,d already fixes the mesh; drop --q/--depth".to_string());
+        }
+        let dims: Vec<usize> = spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("--grid: '{s}' is not a device count (want p,q or p,q,d)"))
+            })
+            .collect::<Result<_, _>>()?;
+        let (p, q, d) = match dims[..] {
+            [p, q] => (p, q, 1),
+            [p, q, d] => (p, q, d),
+            _ => return Err(format!("--grid wants 2 or 3 axes (p,q or p,q,d), got '{spec}'")),
+        };
+        if p != q {
+            return Err(format!(
+                "--grid {spec}: SUMMA slices must be square (p = q); got {p}x{q}"
+            ));
+        }
+        args.q = q;
+        args.depth = d;
+    }
+    if args.q == 0 || args.depth == 0 {
+        return Err("mesh axes must be at least 1".to_string());
+    }
+    if args.q % args.depth != 0 {
+        return Err(format!(
+            "2.5D SUMMA needs the depth to divide the mesh side: --grid {q},{q},{d} \
+             (try d in {{1, {hint}}})",
+            q = args.q,
+            d = args.depth,
+            hint = args.q
+        ));
+    }
+    if let Some(n) = args.devices {
+        let need = args.q * args.q * args.depth;
+        if need != n {
+            return Err(format!(
+                "a {q}x{q}x{d} grid uses {need} devices, but --devices says {n}; \
+                 pick a grid with p*q*d = {n}",
+                q = args.q,
+                d = args.depth,
+            ));
+        }
+    }
+    if args.depth > 1 && args.scheme != Scheme::Optimus {
+        return Err(format!(
+            "--depth {} only applies to --scheme optimus (the {:?} scheme has no depth axis)",
+            args.depth, args.scheme
+        ));
     }
     Ok(args)
 }
@@ -255,7 +336,10 @@ fn train(a: &Args) -> (Vec<f32>, ModelParams) {
                 checkpoint: true,
                 fused_attention: false,
             };
-            let mut out = Mesh2d::run(a.q, |g| {
+            // [q, q, 1] is byte-identical to the plain 2D mesh, so one code
+            // path serves both; with d > 1 each depth slice runs q/d of the
+            // SUMMA rounds and the replicas agree bitwise.
+            let mut out = mesh::MeshNd::run(&[a.q, a.q, a.depth], |g| {
                 let g = g.with_overlap(a.overlap);
                 let mut m = OptimusModel::new(&ocfg, a.seed, &g);
                 let losses: Vec<f32> = batches
@@ -364,11 +448,16 @@ fn projection_cost(a: &Args) -> (HardwareProfile, usize, CostModel) {
             Err(e) => eprintln!("warning: ignoring calibration: {e}"),
         }
     }
-    let gpn = profile.gpus_per_node.min(a.q * a.q);
-    let cost = CostModel::new(
-        profile.clone(),
-        Topology::new(a.q, gpn, Arrangement::Bunched),
-    );
+    let p = a.q * a.q * a.depth;
+    let gpn = profile.gpus_per_node.min(p);
+    // Bunched tiling is defined on a square mesh; a deep grid falls back to
+    // rank-major placement, which keeps each depth subgroup node-local.
+    let topology = if a.depth > 1 {
+        Topology::flat(p, gpn)
+    } else {
+        Topology::new(a.q, gpn, Arrangement::Bunched)
+    };
+    let cost = CostModel::new(profile.clone(), topology);
     (profile, gpn, cost)
 }
 
@@ -521,32 +610,41 @@ fn dry_run_projection(a: &Args, trace_path: Option<&str>) {
         let mut m = OptimusModel::new(&ocfg, a.seed, &g);
         m.train_step(&g, &tokens, &labels, a.lr)
     };
+    let shape = [a.q, a.q, a.depth];
     let (logs, traces) = if trace_path.is_some() {
-        let (_, logs, traces) = Mesh2d::dry_run_traced(a.q, cost.ns_pricer(), step);
+        let (_, logs, traces) = mesh::MeshNd::dry_run_traced(&shape, cost.ns_pricer(), step);
         (logs, Some(traces))
     } else {
-        (Mesh2d::dry_run_with_logs(a.q, step).1, None)
+        (mesh::MeshNd::dry_run_with_logs(&shape, step).1, None)
     };
 
     println!(
-        "dry-run projection: {q}x{q} mesh ({p} devices), one Optimus train step",
+        "dry-run projection: {q}x{q}x{d} mesh ({p} devices), one Optimus train step",
         q = a.q,
-        p = a.q * a.q
+        d = a.depth,
+        p = a.q * a.q * a.depth
     );
     println!(
         "model: batch={} seq={} hidden={} heads={} vocab={} layers={}",
         cfg.batch, cfg.seq, cfg.hidden, cfg.heads, cfg.vocab, cfg.layers
     );
     println!(
-        "cost model: profile={}, bunched placement, {gpn} devices/node",
-        profile.name
+        "cost model: profile={}, {placement} placement, {gpn} devices/node",
+        profile.name,
+        placement = if a.depth > 1 { "rank-major" } else { "bunched" },
     );
-    println!("per-device comm time (ms), device (i, j) at row i, column j:");
-    for i in 0..a.q {
-        let row: Vec<String> = (0..a.q)
-            .map(|j| format!("{:8.3}", cost.replay(&logs[i * a.q + j]) * 1e3))
-            .collect();
-        println!("  {}", row.join(" "));
+    for k in 0..a.depth {
+        if a.depth > 1 {
+            println!("depth slice {k} — per-device comm time (ms), device (i, j):");
+        } else {
+            println!("per-device comm time (ms), device (i, j) at row i, column j:");
+        }
+        for i in 0..a.q {
+            let row: Vec<String> = (0..a.q)
+                .map(|j| format!("{:8.3}", cost.replay(&logs[(i * a.q + j) * a.depth + k]) * 1e3))
+                .collect();
+            println!("  {}", row.join(" "));
+        }
     }
     let ops: usize = logs.iter().map(|l| l.ops.len()).sum();
     let elems: usize = logs.iter().map(|l| l.total_link_elems()).sum();
@@ -557,6 +655,51 @@ fn dry_run_projection(a: &Args, trace_path: Option<&str>) {
     );
     if let (Some(path), Some(traces)) = (trace_path, traces) {
         emit_trace(path, &traces, &cost);
+    }
+}
+
+/// The `crossover` command: prints the projected 1D-vs-2D-vs-2.5D table on
+/// 512–4096 devices (the Tesseract claim), plus the full d-sweep behind
+/// each winning grid.
+fn crossover(a: &Args) {
+    let mut profile = HardwareProfile::frontera_rtx5000();
+    if a.profile == ProfileChoice::Auto {
+        if let Ok(Some(cal)) = Calibration::load(CALIBRATION_PATH) {
+            profile = cal.apply(profile);
+        }
+    }
+    let pts = perf::projection::crossover_projection(&profile);
+    println!(
+        "projected training throughput (seq/s), profile={}, weak-scaling sizes:",
+        profile.name
+    );
+    println!(
+        "{:>8} {:>8} {:>7} {:>12} {:>14} {:>16} {:>9}",
+        "devices", "hidden", "batch", "1D megatron", "2D optimus", "2.5D tesseract", "2.5D/2D"
+    );
+    for p in &pts {
+        println!(
+            "{:>8} {:>8} {:>7} {:>12.3} {:>10.3} {q2}x{q2} {:>10.3} {q}x{q}x{d} {:>9.2}",
+            p.devices,
+            p.hidden,
+            p.batch,
+            p.megatron_throughput,
+            p.optimus2d_throughput,
+            p.optimus25d_throughput,
+            p.optimus25d_throughput / p.optimus2d_throughput,
+            q2 = p.optimus2d_q,
+            q = p.best_q,
+            d = p.best_d,
+        );
+    }
+    println!("d-sweep (every admissible [q, q, d] grid):");
+    for p in &pts {
+        let entries: Vec<String> = p
+            .depth_sweep
+            .iter()
+            .map(|e| format!("{}x{}x{} -> {:.3}", e.q, e.q, e.d, e.throughput))
+            .collect();
+        println!("  {:>5} devices: {}", p.devices, entries.join(", "));
     }
 }
 
@@ -583,7 +726,7 @@ fn live_trace_step(a: &Args, path: &str) {
                 checkpoint: true,
                 fused_attention: false,
             };
-            Mesh2d::run_traced(a.q, |g| {
+            mesh::MeshNd::run_traced(&[a.q, a.q, a.depth], |g| {
                 let g = g.with_overlap(a.overlap);
                 let mut m = OptimusModel::new(&ocfg, a.seed, &g);
                 m.train_step(&g, &tokens, &labels, a.lr)
@@ -624,7 +767,9 @@ fn main() {
         Some((c, _)) if c.starts_with("--") => ("train".to_string(), argv.clone()),
         Some((c, r)) => (c.clone(), r.to_vec()),
         None => {
-            eprintln!("usage: optimus-cli [train|eval|generate|calibrate|info] --flag value ...");
+            eprintln!(
+                "usage: optimus-cli [train|eval|generate|calibrate|crossover|info] --flag value ..."
+            );
             std::process::exit(2);
         }
     };
@@ -640,7 +785,7 @@ fn main() {
     } else {
         Args::default()
     };
-    let args = match apply_flags(base, &flags) {
+    let args = match apply_flags(base, &flags).and_then(|a| finalize_mesh(a, &flags)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -656,7 +801,7 @@ fn main() {
             println!(
                 "training ({:?}, {} devices) {} steps on the pattern corpus…",
                 args.scheme,
-                args.q * args.q,
+                args.q * args.q * args.depth,
                 args.steps
             );
             let (losses, params) = train(&args);
@@ -686,8 +831,10 @@ fn main() {
             println!("greedy continuation (token ids): {tokens:?}");
         }
         "calibrate" => calibrate(&flags),
+        "crossover" => crossover(&args),
         "info" => {
             println!("optimus-rs CLI — schemes: serial | megatron | optimus | pipeline");
+            println!("2.5D meshes: --grid p,q,d (or --q Q --depth D), cross-checked by --devices");
             println!("defaults: {:?}", Args::default());
         }
         other => {
@@ -732,6 +879,78 @@ mod tests {
         assert!(!a.overlap);
         assert_eq!(a.steps, 2);
         assert!(Args::default().overlap, "overlap is the default schedule");
+    }
+
+    #[test]
+    fn grid_flag_sets_the_mesh_and_checks_devices() {
+        let f = flags(&[("grid", "4,4,2"), ("devices", "32")]);
+        let a = apply_flags(Args::default(), &f).unwrap();
+        let a = finalize_mesh(a, &f).unwrap();
+        assert_eq!((a.q, a.depth), (4, 2));
+
+        // Two-axis form means a plain 2D mesh.
+        let f = flags(&[("grid", "3,3")]);
+        let a = finalize_mesh(apply_flags(Args::default(), &f).unwrap(), &f).unwrap();
+        assert_eq!((a.q, a.depth), (3, 1));
+
+        // --depth alongside --q works without --grid.
+        let f = flags(&[("q", "4"), ("depth", "4"), ("devices", "64")]);
+        let a = finalize_mesh(apply_flags(Args::default(), &f).unwrap(), &f).unwrap();
+        assert_eq!((a.q, a.depth), (4, 4));
+    }
+
+    #[test]
+    fn bad_grids_fail_with_readable_errors_not_panics() {
+        let run = |pairs: &[(&str, &str)]| {
+            let f = flags(pairs);
+            apply_flags(Args::default(), &f).and_then(|a| finalize_mesh(a, &f))
+        };
+        // Device-count mismatch names both numbers.
+        let e = run(&[("grid", "4,4,2"), ("devices", "33")]).unwrap_err();
+        assert!(e.contains("32") && e.contains("33"), "{e}");
+        // Non-square slice.
+        assert!(run(&[("grid", "4,2,2")]).unwrap_err().contains("square"));
+        // Depth must divide the side.
+        let e = run(&[("grid", "4,4,3")]).unwrap_err();
+        assert!(e.contains("divide"), "{e}");
+        // Malformed axis lists.
+        assert!(run(&[("grid", "4")]).is_err());
+        assert!(run(&[("grid", "4,4,2,2")]).is_err());
+        assert!(run(&[("grid", "4,x,2")]).is_err());
+        assert!(run(&[("grid", "4,4,0")]).is_err());
+        // --grid and --q together is ambiguous.
+        assert!(run(&[("grid", "4,4,2"), ("q", "2")]).is_err());
+        // Depth needs the Optimus scheme.
+        let e = run(&[("scheme", "megatron"), ("q", "4"), ("depth", "2")]).unwrap_err();
+        assert!(e.contains("optimus"), "{e}");
+    }
+
+    #[test]
+    fn deep_grid_trains_bitwise_like_the_flat_one() {
+        // The CLI-level version of the 2.5D acceptance property: a 2x2x2
+        // run produces byte-identical losses and parameters to 2x2.
+        let base = Args {
+            steps: 2,
+            batch: 4,
+            seq: 8,
+            hidden: 16,
+            heads: 4,
+            vocab: 16,
+            layers: 1,
+            q: 2,
+            ..Args::default()
+        };
+        let (flat_losses, flat_params) = train(&base);
+        let (deep_losses, deep_params) = train(&Args { depth: 2, ..base });
+        assert_eq!(flat_losses, deep_losses);
+        assert_eq!(
+            flat_params.embedding.as_slice(),
+            deep_params.embedding.as_slice()
+        );
+        assert_eq!(
+            flat_params.layers[0].w_qkv.as_slice(),
+            deep_params.layers[0].w_qkv.as_slice()
+        );
     }
 
     #[test]

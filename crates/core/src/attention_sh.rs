@@ -92,7 +92,7 @@ pub fn attention_sh_forward<C: Communicator>(
             // Reassemble for the caller (test harness convenience).
             let blocks = grid
                 .ctx()
-                .all_gather(&grid.mesh_group(), out_block.as_slice());
+                .all_gather(&grid.slice_group(), out_block.as_slice());
             let tensors: Vec<Tensor> = blocks
                 .chunks(out_block.len())
                 .map(|c| Tensor::from_vec(&[s / q, d / q], c.to_vec()))

@@ -23,7 +23,10 @@ fn gather_matrix<C: Communicator>(
     full_rows: usize,
     full_cols: usize,
 ) -> Option<Tensor> {
-    let mesh = grid.mesh_group();
+    // Gather within this device's 2D slice: on a [q, q, d] mesh every depth
+    // slice holds a full parameter replica, so slice 0's (0,0) device is the
+    // canonical root and deeper slices gather redundant (identical) copies.
+    let mesh = grid.slice_group();
     let root_rank = mesh.rank_of(0);
     let flat = grid.ctx().gather(&mesh, 0, local.as_slice());
     if grid.ctx().rank() != root_rank {

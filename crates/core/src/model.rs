@@ -505,7 +505,7 @@ impl OptimusModel {
         let mut sq = 0.0f64;
         self.visit_params_grads(&grads, &mut |_, g| sq += tensor::schedule::sq_norm(g));
         let mut total = vec![sq as f32];
-        grid.ctx().all_reduce(&grid.mesh_group(), &mut total);
+        grid.ctx().all_reduce(&grid.slice_group(), &mut total);
         let scale = tensor::schedule::clip_scale(total[0] as f64, max_norm);
         self.apply_sgd(&grads, lr * scale);
         (loss, scale)

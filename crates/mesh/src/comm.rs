@@ -163,6 +163,7 @@ pub(crate) fn traced_op<T>(
             group_stride,
             elems,
             wire_elems,
+            axis: group.label(),
         },
     );
     out

@@ -517,10 +517,7 @@ impl crate::Mesh2d {
         F: Fn(&crate::Grid2d<DryRunComm>) -> T,
     {
         assert!(q > 0, "mesh side must be positive");
-        crate::Mesh::dry_run_with_logs(q * q, |comm| {
-            let grid = crate::Grid2d::new(comm, q);
-            f(&grid)
-        })
+        crate::MeshNd::dry_run_with_logs(&[q, q], f)
     }
 
     /// Trace-only analogue of [`crate::Mesh2d::run_traced`]; see
@@ -534,8 +531,37 @@ impl crate::Mesh2d {
         F: Fn(&crate::Grid2d<DryRunComm>) -> T,
     {
         assert!(q > 0, "mesh side must be positive");
-        crate::Mesh::dry_run_traced(q * q, pricer, |comm| {
-            let grid = crate::Grid2d::new(comm, q);
+        crate::MeshNd::dry_run_traced(&[q, q], pricer, f)
+    }
+}
+
+impl crate::MeshNd {
+    /// Trace-only analogue of [`crate::MeshNd::run_with_logs`]: replays `f`
+    /// per rank of a `dims` mesh through [`DryRunComm`].
+    pub fn dry_run_with_logs<T, F>(dims: &[usize], f: F) -> (Vec<T>, Vec<CommLog>)
+    where
+        F: Fn(&crate::GridNd<DryRunComm>) -> T,
+    {
+        let shape = crate::MeshShape::new(dims);
+        crate::Mesh::dry_run_with_logs(shape.len(), |comm| {
+            let grid = crate::GridNd::with_shape(comm, shape.dims());
+            f(&grid)
+        })
+    }
+
+    /// Trace-only analogue of [`crate::MeshNd::run_traced`]; see
+    /// [`crate::Mesh::dry_run_traced`] for the pricer contract.
+    pub fn dry_run_traced<T, F>(
+        dims: &[usize],
+        pricer: impl Fn(&trace::OpMeta) -> u64 + 'static,
+        f: F,
+    ) -> (Vec<T>, Vec<CommLog>, Vec<trace::DeviceTrace>)
+    where
+        F: Fn(&crate::GridNd<DryRunComm>) -> T,
+    {
+        let shape = crate::MeshShape::new(dims);
+        crate::Mesh::dry_run_traced(shape.len(), pricer, |comm| {
+            let grid = crate::GridNd::with_shape(comm, shape.dims());
             f(&grid)
         })
     }

@@ -5,25 +5,52 @@
 /// SUMMA only ever communicates within a mesh row or a mesh column
 /// (Section 2.4); Megatron communicates across the whole world. The order of
 /// `ranks` defines group indices: `ranks[0]` is group index 0, etc.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// A group carries an **axis label** — `"row"`, `"col"`, `"depth"`, … for
+/// mesh axis subgroups, `"world"`, `"mesh"`, `"slice"` for the aggregate
+/// groups — which the tracer copies onto every op event so trace tracks can
+/// be filtered by mesh axis. The label is pure metadata: it takes no part in
+/// equality of the rank set's semantics and never reaches the `CommLog`.
+#[derive(Clone, Debug)]
 pub struct Group {
     ranks: Vec<usize>,
+    label: &'static str,
 }
+
+// Labels are display metadata; two groups with the same ordered member set
+// are the same group.
+impl PartialEq for Group {
+    fn eq(&self, other: &Self) -> bool {
+        self.ranks == other.ranks
+    }
+}
+
+impl Eq for Group {}
 
 impl Group {
     /// Group over explicit ranks. Must be non-empty and duplicate-free.
     pub fn new(ranks: Vec<usize>) -> Self {
+        Group::labeled(ranks, "")
+    }
+
+    /// [`Group::new`] with an axis label for the tracer.
+    pub fn labeled(ranks: Vec<usize>, label: &'static str) -> Self {
         assert!(!ranks.is_empty(), "empty group");
         let mut seen = ranks.clone();
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len(), ranks.len(), "duplicate ranks in group");
-        Group { ranks }
+        Group { ranks, label }
     }
 
     /// The world group `{0, …, p−1}`.
     pub fn world(p: usize) -> Self {
-        Group::new((0..p).collect())
+        Group::labeled((0..p).collect(), "world")
+    }
+
+    /// The axis label (`""` when the group was built without one).
+    pub fn label(&self) -> &'static str {
+        self.label
     }
 
     /// Number of members.
@@ -78,6 +105,16 @@ mod tests {
         assert_eq!(g.rank_of(2), 9);
         assert!(g.contains(5));
         assert!(!g.contains(3));
+    }
+
+    #[test]
+    fn labels_are_metadata_not_identity() {
+        let a = Group::labeled(vec![0, 2, 4], "row");
+        let b = Group::new(vec![0, 2, 4]);
+        assert_eq!(a.label(), "row");
+        assert_eq!(b.label(), "");
+        assert_eq!(a, b, "label must not affect group identity");
+        assert_eq!(Group::world(3).label(), "world");
     }
 
     #[test]

@@ -71,6 +71,7 @@ mod group;
 mod mesh2d;
 mod nonblocking;
 mod pool;
+mod shape;
 mod stats;
 mod topology;
 
@@ -78,9 +79,10 @@ pub use comm::Communicator;
 pub use dryrun::DryRunComm;
 pub use fabric::DeviceCtx;
 pub use group::Group;
-pub use mesh2d::{Grid2d, Mesh2d};
+pub use mesh2d::{Grid2d, GridNd, Mesh2d, MeshNd};
 pub use nonblocking::PendingColl;
 pub use pool::BufferPool;
+pub use shape::MeshShape;
 pub use stats::{CommLog, CommOp, LinkRecord, OpRecord};
 pub use topology::{Arrangement, Topology};
 

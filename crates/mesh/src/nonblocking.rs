@@ -373,6 +373,7 @@ pub(crate) fn post_records(
             group_stride,
             elems,
             wire_elems,
+            axis: group.label(),
         },
     ))
 }

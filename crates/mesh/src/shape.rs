@@ -1,0 +1,174 @@
+//! Rank ↔ coordinate arithmetic for N-dimensional device meshes.
+//!
+//! One row-major layout rule shared by every consumer — [`crate::GridNd`]'s
+//! axis subgroups, [`crate::Topology`]'s node placement, and `perf`'s
+//! projected group geometry — so the mapping can never drift between them.
+//! Ranks are row-major over the dims: the **last** axis is contiguous,
+//! axis `i` has stride `dims[i+1] · dims[i+2] · …`. A `[q, q]` mesh
+//! therefore keeps the classic `rank = row · q + col` layout, and a
+//! `[p, q, d]` Tesseract mesh reduces to it exactly when `d = 1`.
+
+/// The shape of an N-dimensional device mesh: `[d0, d1, ..., dk]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeshShape {
+    dims: Vec<usize>,
+}
+
+impl MeshShape {
+    /// A mesh of the given per-axis extents. Every extent must be ≥ 1.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "mesh needs at least one axis");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "mesh axes must be non-empty: {dims:?}"
+        );
+        MeshShape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extent of one axis.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// All extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of devices (product of the extents).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Never true — every axis has extent ≥ 1.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Rank distance between consecutive coordinates of `axis`
+    /// (`dims[axis+1] · … · dims[k]`; the last axis has stride 1).
+    pub fn stride(&self, axis: usize) -> usize {
+        self.dims[axis + 1..].iter().product()
+    }
+
+    /// Row-major rank of a coordinate tuple.
+    pub fn rank_of(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.ndim(), "coordinate arity mismatch");
+        coords
+            .iter()
+            .zip(&self.dims)
+            .fold(0, |acc, (&c, &d)| {
+                assert!(c < d, "coordinate {c} out of range for axis of {d}");
+                acc * d + c
+            })
+    }
+
+    /// Coordinate tuple of a rank (inverse of [`MeshShape::rank_of`]).
+    pub fn coords_of(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.len(), "rank {rank} outside mesh of {}", self.len());
+        let mut rest = rank;
+        let mut coords = vec![0; self.ndim()];
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            coords[i] = rest % d;
+            rest /= d;
+        }
+        coords
+    }
+
+    /// The ranks obtained by sweeping `axis` through its extent while every
+    /// other coordinate stays at `coords` — the membership of `coords`'s
+    /// axis subgroup, ordered by the `axis` coordinate.
+    pub fn axis_ranks(&self, coords: &[usize], axis: usize) -> Vec<usize> {
+        assert!(axis < self.ndim(), "axis {axis} out of range");
+        let mut c = coords.to_vec();
+        (0..self.dims[axis])
+            .map(|v| {
+                c[axis] = v;
+                self.rank_of(&c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_d_layout_is_row_major() {
+        let s = MeshShape::new(&[3, 3]);
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.rank_of(&[1, 2]), 5);
+        assert_eq!(s.coords_of(5), vec![1, 2]);
+        assert_eq!(s.stride(0), 3);
+        assert_eq!(s.stride(1), 1);
+    }
+
+    #[test]
+    fn depth_one_reduces_to_the_2d_layout() {
+        // The bitwise-compatibility cornerstone: [q, q, 1] ranks equal
+        // [q, q] ranks for every (row, col).
+        let flat = MeshShape::new(&[4, 4]);
+        let deep = MeshShape::new(&[4, 4, 1]);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(flat.rank_of(&[r, c]), deep.rank_of(&[r, c, 0]));
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_every_rank() {
+        for dims in [vec![2, 3], vec![2, 2, 2], vec![1, 4, 2], vec![5]] {
+            let s = MeshShape::new(&dims);
+            for rank in 0..s.len() {
+                assert_eq!(s.rank_of(&s.coords_of(rank)), rank, "dims={dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn axis_ranks_sweep_one_axis() {
+        let s = MeshShape::new(&[2, 2, 2]);
+        // Device (1, 0, 1) = rank 5.
+        assert_eq!(s.rank_of(&[1, 0, 1]), 5);
+        assert_eq!(s.axis_ranks(&[1, 0, 1], 0), vec![1, 5]); // vary row
+        assert_eq!(s.axis_ranks(&[1, 0, 1], 1), vec![5, 7]); // vary col
+        assert_eq!(s.axis_ranks(&[1, 0, 1], 2), vec![4, 5]); // vary depth
+    }
+
+    #[test]
+    fn axis_ranks_are_arithmetic_with_the_axis_stride() {
+        let s = MeshShape::new(&[2, 3, 4]);
+        for rank in 0..s.len() {
+            let coords = s.coords_of(rank);
+            for axis in 0..s.ndim() {
+                let ranks = s.axis_ranks(&coords, axis);
+                let stride = s.stride(axis);
+                for w in ranks.windows(2) {
+                    assert_eq!(w[1] - w[0], stride);
+                }
+                assert!(ranks.contains(&rank));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_of_rejects_out_of_range_coords() {
+        MeshShape::new(&[2, 2]).rank_of(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_zero_extent() {
+        MeshShape::new(&[2, 0]);
+    }
+}

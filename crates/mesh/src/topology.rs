@@ -70,9 +70,11 @@ impl Topology {
                     return Topology::new(q, gpus_per_node, Arrangement::Naive);
                 }
                 let tiles_per_row = q / b;
+                let shape = crate::MeshShape::new(&[q, q]);
                 (0..p)
                     .map(|r| {
-                        let (row, col) = (r / q, r % q);
+                        let rc = shape.coords_of(r);
+                        let (row, col) = (rc[0], rc[1]);
                         (row / a) * tiles_per_row + col / b
                     })
                     .collect()

@@ -122,6 +122,86 @@ pub fn optimus_stem_times(
     (comp_fwd + comm_fwd, 3.0 * comp_fwd + comm_bwd)
 }
 
+/// Per-product output-block element counts on a `q × q` slice — the C
+/// blocks the 2.5D depth epilogues move — in [`layer_products`] order.
+fn layer_product_outputs(b: usize, s: usize, h: usize, q: usize) -> [usize; 4] {
+    let p = q * q;
+    let bsh = b * s * h;
+    [3 * bsh / p, bsh / p, 4 * bsh / p, bsh / p]
+}
+
+/// Tesseract 2.5D stem times on a `[q, q, d]` mesh (`q²·d` devices,
+/// `d | q`).
+///
+/// Each depth slice runs `q/d` of the `q` SUMMA panel rounds, so panel
+/// traffic *and* GEMM work shrink by `d`; the price is a per-product depth
+/// epilogue: Algorithm 1 reduces the partial C over the `d`-deep subgroup
+/// and broadcasts the total back (every replica keeps a full copy), while
+/// the reduce-form Algorithms 2–3 complete each output block inside one
+/// slice and broadcast it from its owner. The attention-score/context
+/// matmuls are local under the adopted `(b, h)` partition and are
+/// replicated across depth, so their compute does **not** divide by `d`.
+/// With `d = 1` every epilogue vanishes and the times equal
+/// [`optimus_stem_times`] (up to float associativity in the compute term).
+///
+/// Group geometry comes from [`mesh::MeshShape`] on `[q, q, d]`, so the
+/// priced rank lists are exactly the live mesh's axis subgroups: depth
+/// groups are contiguous (replicas pack onto the same node first), rows
+/// stride by `d`, columns by `q·d`.
+pub fn optimus25d_stem_times(
+    cm: &CostModel,
+    b: usize,
+    s: usize,
+    h: usize,
+    layers: usize,
+    q: usize,
+    d: usize,
+) -> (f64, f64) {
+    assert!(d >= 1 && q % d == 0, "2.5D needs d | q (q={q}, d={d})");
+    let shape = mesh::MeshShape::new(&[q, q, d]);
+    let origin = [0usize, 0, 0];
+    let row = shape.axis_ranks(&origin, 1);
+    let col = shape.axis_ranks(&origin, 0);
+    let depth = shape.axis_ranks(&origin, 2);
+    let p2 = q * q;
+    let rounds = (q / d) as f64;
+
+    let (bs, hf) = ((b * s) as f64, h as f64);
+    let summa_macs = bs * hf * 3.0 * hf + bs * hf * hf + bs * hf * 4.0 * hf + 4.0 * bs * hf * hf;
+    let other_macs = layer_macs(b, s, h) - summa_macs;
+    let comp_fwd = layers as f64
+        * (cm.compute_time(summa_macs / (p2 * d) as f64) + cm.compute_time(other_macs / p2 as f64));
+
+    let mut comm_fwd = 0.0;
+    let mut comm_bwd_grads = 0.0;
+    let outs = layer_product_outputs(b, s, h, q);
+    for ((act, w), out) in layer_products(b, s, h, q).into_iter().zip(outs) {
+        comm_fwd += rounds * (cm.broadcast_time(&row, act) + cm.broadcast_time(&col, w));
+        comm_bwd_grads += rounds
+            * (cm.broadcast_time(&col, w)
+                + cm.reduce_time(&row, act)
+                + cm.broadcast_time(&row, act)
+                + cm.reduce_time(&col, w));
+        if d > 1 {
+            // Algorithm 1 epilogue: partial-C reduce to depth 0, replica
+            // broadcast back out.
+            comm_fwd += cm.reduce_time(&depth, out) + cm.broadcast_time(&depth, out);
+            // Algorithms 2/3 epilogue: dX (activation-shaped) and dW
+            // (weight-shaped) blocks broadcast from their owning slice.
+            comm_bwd_grads += cm.broadcast_time(&depth, act) + cm.broadcast_time(&depth, w);
+        }
+    }
+    // Layer norms run within each 2D slice exactly as on a plain mesh.
+    let ln_rows = b * s / q;
+    let ln = 2.0 * (2.0 * cm.all_reduce_time(&row, ln_rows) + 2.0 * cm.broadcast_time(&col, h / q));
+    comm_fwd += ln;
+    comm_bwd_grads += ln;
+
+    let comm_fwd = layers as f64 * comm_fwd;
+    let comm_bwd = layers as f64 * comm_bwd_grads + comm_fwd; // + recompute
+    (comp_fwd + comm_fwd, 3.0 * comp_fwd + comm_bwd)
+}
+
 /// Like [`optimus_stem_times`] but pricing every SUMMA product's `q`-round
 /// panel loop with the double-buffered prefetch schedule
 /// ([`pipelined_loop_time`]) instead of the serial sum — the schedule the
@@ -430,6 +510,48 @@ mod tests {
             gain > 1.05,
             "overlap gain at 64 GPUs should exceed 5%: {gain}"
         );
+    }
+
+    #[test]
+    fn depth_one_25d_stem_equals_the_2d_stem() {
+        // The cost-model analogue of the live kernel's d=1 contract: with no
+        // depth, the 2.5D formula collapses to the 2D one (compute differs
+        // only by float associativity).
+        let prof = profile();
+        for &(_, gpus, q, h, _, _, b_opt) in &WEAK_CONFIGS {
+            let cm = CostModel::new(
+                prof.clone(),
+                Topology::new(q, prof.gpus_per_node.min(gpus), Arrangement::Bunched),
+            );
+            let (sf, sb) = optimus_stem_times(&cm, b_opt, SEQ, h, LAYERS, q);
+            let (f, bw) = optimus25d_stem_times(&cm, b_opt, SEQ, h, LAYERS, q, 1);
+            assert!(((f - sf) / sf).abs() < 1e-12, "fwd {f} vs {sf} at q={q}");
+            assert!(((bw - sb) / sb).abs() < 1e-12, "bwd {bw} vs {sb} at q={q}");
+        }
+    }
+
+    #[test]
+    fn deeper_meshes_shorten_the_stem_at_fixed_q() {
+        // Growing d at fixed q adds devices and splits the panel loop: the
+        // epilogue cost must never eat the round savings.
+        let prof = profile();
+        let (q, h, b) = (16usize, 8192usize, 384usize);
+        let time_at = |d: usize| {
+            let cm = CostModel::new(prof.clone(), Topology::flat(q * q * d, prof.gpus_per_node));
+            let (f, bw) = optimus25d_stem_times(&cm, b, SEQ, h, LAYERS, q, d);
+            f + bw
+        };
+        let (t1, t2, t4) = (time_at(1), time_at(2), time_at(4));
+        assert!(t2 < t1, "d=2 must beat d=1: {t2} vs {t1}");
+        assert!(t4 < t2, "d=4 must beat d=2: {t4} vs {t2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs d | q")]
+    fn depth_must_divide_the_side_in_the_model_too() {
+        let prof = profile();
+        let cm = CostModel::new(prof.clone(), Topology::flat(6 * 6 * 4, 4));
+        optimus25d_stem_times(&cm, 8, SEQ, 1024, LAYERS, 6, 4);
     }
 
     #[test]

@@ -30,6 +30,20 @@
 //! op/link byte totals are unchanged; only the interleaving of record order
 //! differs (a reduce may be recorded before the next broadcast rather than
 //! after).
+//!
+//! # Tesseract 2.5D
+//!
+//! On a `[q, q, d]` mesh (see `mesh::GridNd`) the cores run Tesseract-style
+//! 2.5D SUMMA: the `q` panel iterations are split evenly across the `d`
+//! depth slices (slice `k` runs `l ∈ [q·k/d, q·(k+1)/d)`, requiring
+//! `d | q`), each slice broadcasts panels within its own rows/columns, and
+//! a depth epilogue stitches the slices back together — the NN form
+//! reduces partial C sums onto depth 0 and re-broadcasts the total; the
+//! reduce forms broadcast each finished C block from the slice that ran its
+//! owning iteration. Per-device panel traffic drops by `d` at the price of
+//! replicated operands and one C-sized depth collective per product. On a
+//! `d = 1` mesh every depth collective is skipped, so the 2D op/link
+//! streams are byte-identical to the pre-2.5D code.
 
 use mesh::{Communicator, Grid2d, PendingColl};
 use tensor::gemm::{gemm_acc, Form};
@@ -134,8 +148,65 @@ fn zeroed(buf: &mut Vec<f32>, len: usize, fresh: &mut usize) {
     buf.resize(len, 0.0);
 }
 
+/// This device's span of the `q` SUMMA iterations: slice `depth` runs
+/// `[q·depth/d, q·(depth+1)/d)`. Depth must divide the mesh side so every
+/// slice gets the same number of panel rounds.
+fn depth_span<C: Communicator>(grid: &Grid2d<C>) -> (usize, usize) {
+    let (q, d) = (grid.q(), grid.depth_dim());
+    assert!(
+        q % d == 0,
+        "2.5D SUMMA needs the depth to divide the mesh side (q={q}, d={d})"
+    );
+    let k = grid.depth();
+    (q * k / d, q * (k + 1) / d)
+}
+
+/// One NN iteration's consume step: GEMM into the zeroed `part`, then a
+/// single elementwise add onto the slice accumulator — `c` on depth 0 (so
+/// the depth reduce extends C's running sum), `scratch` on deeper slices
+/// (copy-first, so the slice's contribution arrives at the reduce root as
+/// bitwise `Σ P_l`; a zero-init add could flip `-0.0` signs). Keeping the
+/// add outside the kernel fixes the summation order regardless of how
+/// `gemm_acc` associates its k loop, which is what lets a `[q, q, q]` run
+/// reproduce the `d = 1` result bitwise.
+#[allow(clippy::too_many_arguments)]
+fn nn_consume(
+    part: &mut Vec<f32>,
+    scratch: &mut Vec<f32>,
+    c: &mut [f32],
+    use_scratch: bool,
+    started: &mut bool,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    fresh: &mut usize,
+) {
+    zeroed(part, mb * nb, fresh);
+    gemm_acc(Form::NN, part, mb, nb, a_panel, b_panel, kb);
+    if !use_scratch {
+        for (ci, p) in c.iter_mut().zip(part.iter()) {
+            *ci += *p;
+        }
+    } else if *started {
+        for (s, p) in scratch.iter_mut().zip(part.iter()) {
+            *s += *p;
+        }
+    } else {
+        if scratch.capacity() < part.len() {
+            *fresh += 1;
+        }
+        scratch.clear();
+        scratch.extend_from_slice(part);
+        *started = true;
+    }
+}
+
 /// The `C += A B` core: broadcast panels of both operands, accumulate the
 /// outer product locally. Double-buffers both panels when overlap is on.
+/// On a `[q, q, d]` mesh each depth slice runs its share of the iterations
+/// and the partial C sums are reduced onto depth 0 then re-broadcast.
 fn nn_core<C: Communicator>(
     grid: &Grid2d<C>,
     a: &Tensor,
@@ -146,14 +217,21 @@ fn nn_core<C: Communicator>(
     let (mb, kb) = (a.rows(), a.cols());
     let nb = b.cols();
     let q = grid.q();
+    let d = grid.depth_dim();
+    let (lo, hi) = depth_span(grid);
     let (an, bn) = (mb * kb, kb * nb);
+    let cn = mb * nb;
     let mut fresh = 0;
+    let mut part = std::mem::take(&mut ws.partial[0]);
+    let mut scratch = std::mem::take(&mut ws.partial[1]);
+    let use_scratch = grid.depth() > 0;
+    let mut started = false;
     if grid.overlap() && q > 1 {
         let mut pending = Some((
             post_panel(
                 grid,
                 grid.row_group(),
-                0,
+                lo,
                 a,
                 an,
                 std::mem::take(&mut ws.panel_a[0]),
@@ -162,17 +240,17 @@ fn nn_core<C: Communicator>(
             post_panel(
                 grid,
                 grid.col_group(),
-                0,
+                lo,
                 b,
                 bn,
                 std::mem::take(&mut ws.panel_b[0]),
                 &mut fresh,
             ),
         ));
-        for l in 0..q {
+        for l in lo..hi {
             // Prefetch: iteration l+1's panels enter the fabric before
             // iteration l's GEMM starts, from the other buffer of each pair.
-            let next = (l + 1 < q).then(|| {
+            let next = (l + 1 < hi).then(|| {
                 (
                     post_panel(
                         grid,
@@ -197,13 +275,25 @@ fn nn_core<C: Communicator>(
             let (pa, pb) = pending.take().expect("panel broadcasts in flight");
             let a_panel = pa.wait();
             let b_panel = pb.wait();
-            gemm_acc(Form::NN, c, mb, nb, &a_panel, &b_panel, kb);
+            nn_consume(
+                &mut part,
+                &mut scratch,
+                c,
+                use_scratch,
+                &mut started,
+                &a_panel,
+                &b_panel,
+                mb,
+                nb,
+                kb,
+                &mut fresh,
+            );
             ws.panel_a[l % 2] = a_panel;
             ws.panel_b[l % 2] = b_panel;
             pending = next;
         }
     } else {
-        for l in 0..q {
+        for l in lo..hi {
             bcast_panel(
                 grid,
                 grid.row_group(),
@@ -222,9 +312,46 @@ fn nn_core<C: Communicator>(
                 &mut ws.panel_b[0],
                 &mut fresh,
             );
-            gemm_acc(Form::NN, c, mb, nb, &ws.panel_a[0], &ws.panel_b[0], kb);
+            nn_consume(
+                &mut part,
+                &mut scratch,
+                c,
+                use_scratch,
+                &mut started,
+                &ws.panel_a[0],
+                &ws.panel_b[0],
+                mb,
+                nb,
+                kb,
+                &mut fresh,
+            );
         }
     }
+    if d > 1 {
+        // Tesseract epilogue: sum the slice partials onto depth 0's C —
+        // the reduce tree adds deeper slices onto C's running sum in the
+        // same order the d = 1 schedule would have — then replicate the
+        // total back so every slice leaves with the full block.
+        {
+            let out: &mut [f32] = if use_scratch { &mut scratch } else { &mut *c };
+            grid.ctx().reduce(grid.depth_group(), 0, out);
+        }
+        if part.capacity() < cn {
+            fresh += 1;
+        }
+        part.clear();
+        if grid.depth() == 0 {
+            part.extend_from_slice(c);
+        } else {
+            part.resize(cn, 0.0);
+        }
+        grid.ctx().broadcast(grid.depth_group(), 0, &mut part);
+        if grid.depth() > 0 {
+            c.copy_from_slice(&part);
+        }
+    }
+    ws.partial[0] = part;
+    ws.partial[1] = scratch;
     ws.fresh_allocs += fresh;
 }
 
@@ -249,6 +376,8 @@ fn reduce_form_core<C: Communicator>(
     ws: &mut Workspace,
 ) {
     let q = grid.q();
+    let d = grid.depth_dim();
+    let (lo, hi) = depth_span(grid);
     // NT: panels move along columns, partials reduce along rows (owner is
     // the column matching l). TN: the transpose of that.
     let (bcast_group, reduce_group, my_reduce_idx) = match form {
@@ -267,7 +396,7 @@ fn reduce_form_core<C: Communicator>(
         let mut pending_panel = Some(post_panel(
             grid,
             bcast_group,
-            0,
+            lo,
             panel_src,
             panel_elems,
             std::mem::take(&mut ws.panel_b[0]),
@@ -280,8 +409,8 @@ fn reduce_form_core<C: Communicator>(
             std::mem::take(&mut ws.partial[1]),
         ];
         let mut pending_red: Option<(usize, PendingColl)> = None;
-        for l in 0..q {
-            let next = (l + 1 < q).then(|| {
+        for l in lo..hi {
+            let next = (l + 1 < hi).then(|| {
                 post_panel(
                     grid,
                     bcast_group,
@@ -311,7 +440,7 @@ fn reduce_form_core<C: Communicator>(
             }
             pending_red = Some((l, red));
         }
-        let (owner, last) = pending_red.expect("q >= 1");
+        let (owner, last) = pending_red.expect("every slice runs >= 1 round");
         let done = last.wait();
         if my_reduce_idx == owner {
             c.copy_from_slice(&done);
@@ -320,7 +449,7 @@ fn reduce_form_core<C: Communicator>(
         ws.partial[1] = free.pop().expect("both partials return");
         ws.partial[0] = free.pop().expect("both partials return");
     } else {
-        for l in 0..q {
+        for l in lo..hi {
             bcast_panel(
                 grid,
                 bcast_group,
@@ -337,6 +466,28 @@ fn reduce_form_core<C: Communicator>(
             if my_reduce_idx == l {
                 c.copy_from_slice(part);
             }
+        }
+    }
+    if d > 1 {
+        // Depth epilogue: my C block was finished (reduced within the
+        // slice) by whichever slice ran iteration `my_reduce_idx`; that
+        // slice broadcasts the bytes down the depth fiber, so every slice
+        // leaves with the identical block — bitwise, since a broadcast
+        // moves exact payloads.
+        let owner = my_reduce_idx * d / q;
+        let stage = &mut ws.partial[0];
+        if stage.capacity() < cn {
+            fresh += 1;
+        }
+        stage.clear();
+        if grid.depth() == owner {
+            stage.extend_from_slice(c);
+        } else {
+            stage.resize(cn, 0.0);
+        }
+        grid.ctx().broadcast(grid.depth_group(), owner, stage);
+        if grid.depth() != owner {
+            c.copy_from_slice(stage);
         }
     }
     ws.fresh_allocs += fresh;
@@ -523,6 +674,89 @@ mod tests {
             ws.fresh_allocs - after_warmup
         });
         assert!(growths.iter().all(|&g| g == 0), "growths={growths:?}");
+    }
+
+    /// Runs all three product forms on one grid and returns the bit
+    /// patterns of the outputs keyed by (row, col).
+    fn all_forms_bits<C: Communicator>(g: &Grid2d<C>, a: &Tensor, b: &Tensor) -> Vec<u32> {
+        let mut ws = Workspace::new();
+        let (al, bl) = (distribute(g, a), distribute(g, b));
+        let side = a.rows() / g.q();
+        let mut bits = Vec::new();
+        let mut c = Tensor::zeros(&[side, side]);
+        summa_nn_into(g, &al, &bl, &mut c, &mut ws);
+        bits.extend(c.as_slice().iter().map(|v| v.to_bits()));
+        let mut c = Tensor::zeros(&[side, side]);
+        summa_nt_into(g, &al, &bl, &mut c, &mut ws);
+        bits.extend(c.as_slice().iter().map(|v| v.to_bits()));
+        let mut c = Tensor::zeros(&[side, side]);
+        summa_tn_into(g, &al, &bl, &mut c, &mut ws);
+        bits.extend(c.as_slice().iter().map(|v| v.to_bits()));
+        bits
+    }
+
+    #[test]
+    fn depth_sliced_products_match_d1_bitwise() {
+        // The Tesseract acceptance case: every product form on a live
+        // 2×2×2 mesh must reproduce the plain 2×2 (d = 1) blocks bit for
+        // bit, on both the serial and the overlapped schedule.
+        let q = 2;
+        let a = rand(&[8, 8], 20);
+        let b = rand(&[8, 8], 21);
+        for overlap in [true, false] {
+            let flat = Mesh2d::run(q, |g| {
+                let g = g.with_overlap(overlap);
+                ((g.row(), g.col()), all_forms_bits(&g, &a, &b))
+            });
+            let deep = mesh::MeshNd::run(&[2, 2, 2], |g| {
+                let g = g.with_overlap(overlap);
+                ((g.row(), g.col()), all_forms_bits(&g, &a, &b))
+            });
+            for (coords, bits) in &deep {
+                let reference = flat
+                    .iter()
+                    .find(|(fc, _)| fc == coords)
+                    .map(|(_, fb)| fb)
+                    .unwrap();
+                assert_eq!(
+                    bits, reference,
+                    "2.5D blocks at {coords:?} diverge from d=1 (overlap={overlap})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_one_mesh_logs_are_byte_identical_to_2d() {
+        // A [q, q, 1] mesh must emit exactly the op/link stream of the
+        // plain [q, q] mesh — the depth epilogues are fully gated.
+        let q = 2;
+        let a = rand(&[8, 8], 22);
+        let b = rand(&[8, 8], 23);
+        let run = |logs: Vec<mesh::CommLog>| logs;
+        let (_, flat) = Mesh2d::run_with_logs(q, |g| {
+            let _ = all_forms_bits(g, &a, &b);
+        });
+        let (_, deep) = mesh::MeshNd::run_with_logs(&[q, q, 1], |g| {
+            let _ = all_forms_bits(g, &a, &b);
+        });
+        for (l, d) in run(flat).iter().zip(&run(deep)) {
+            assert_eq!(l.ops, d.ops, "op stream mismatch at rank {}", l.rank);
+            assert_eq!(l.links, d.links, "link stream mismatch at rank {}", l.rank);
+        }
+    }
+
+    #[test]
+    #[should_panic] // device threads die with "… divide the mesh side …"
+    fn depth_must_divide_the_mesh_side() {
+        let a = rand(&[9, 9], 24);
+        let b = rand(&[9, 9], 25);
+        mesh::MeshNd::run(&[3, 3, 2], |g| {
+            let mut ws = Workspace::new();
+            let (al, bl) = (distribute(g, &a), distribute(g, &b));
+            let mut c = Tensor::zeros(&[3, 3]);
+            summa_nn_into(g, &al, &bl, &mut c, &mut ws);
+        });
     }
 
     #[test]

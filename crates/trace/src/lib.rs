@@ -82,6 +82,10 @@ pub struct OpMeta {
     /// Elements this device actually put on the wire (sent), including
     /// algorithmic overhead such as tree fan-out retransmissions.
     pub wire_elems: usize,
+    /// Mesh-axis label of the group the op ran on (`"row"`, `"col"`,
+    /// `"depth"`, `"world"`, …; `""` when the group carried none). Pure
+    /// metadata for trace filtering — never part of cost-model pricing.
+    pub axis: &'static str,
 }
 
 impl OpMeta {
@@ -101,7 +105,14 @@ impl OpMeta {
             group_stride,
             elems,
             wire_elems,
+            axis: "",
         }
+    }
+
+    /// This meta with its mesh-axis label set (builder style).
+    pub fn with_axis(mut self, axis: &'static str) -> Self {
+        self.axis = axis;
+        self
     }
 
     /// The ranks of the group when it is arithmetic (`stride > 0`).
