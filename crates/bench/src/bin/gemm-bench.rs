@@ -16,6 +16,12 @@
 //!   spans to the given path.
 //! * `--threads` — comma-separated thread counts to sweep (default `1` and
 //!   the host's hardware threads, deduplicated).
+//!
+//! The JSON carries a `host` stamp (thread count, AVX2, git rev) so the
+//! regression gate can flag cross-machine comparisons, and a
+//! `metrics_overhead` ratio — metrics-on vs metrics-off time at the largest
+//! square shape — which the gate treats as lower-is-better (the telemetry
+//! layer's "stay under 2%" budget).
 
 use bench::{bench_fn, render_table};
 use minjson::Json;
@@ -117,6 +123,40 @@ fn time_serial_vs_pooled(shape: &Shape, samples: usize) -> (f64, f64) {
         }
     }
     (mins[0], mins[1])
+}
+
+/// Min-of-samples ratio of the engine with metrics collection **on**
+/// (registry enabled, device installed — the state a live `--metrics` run
+/// puts every device thread in) vs fully **off**, samples interleaved like
+/// [`time_serial_vs_pooled`]. The acceptance bar for the telemetry layer is
+/// that this ratio stays under 1.02 at 512³: the hot GEMM loop must not pay
+/// for observability it isn't using. Emitted as `metrics_overhead` in the
+/// JSON, where the regression gate treats it as lower-is-better.
+fn time_metrics_overhead(shape: &Shape, samples: usize) -> f64 {
+    let (m, k, n) = (shape.m, shape.k, shape.n);
+    let a = rand(&[m, k], 1).into_vec();
+    let b = rand(&[k, n], 2).into_vec();
+    let mut c = vec![0.0f32; m * n];
+    let mut mins = [f64::INFINITY; 2];
+    pool::with_thread_cap(0, || gemm_acc(Form::NN, &mut c, m, n, &a, &b, k));
+    for _ in 0..samples {
+        for (slot, on) in [(0usize, false), (1, true)] {
+            if on {
+                metrics::enable();
+                metrics::device_install();
+            }
+            let t0 = std::time::Instant::now();
+            pool::with_thread_cap(0, || gemm_acc(Form::NN, &mut c, m, n, &a, &b, k));
+            mins[slot] = mins[slot].min(t0.elapsed().as_secs_f64());
+            if on {
+                metrics::device_finish(0);
+                metrics::disable();
+                let _ = metrics::drain();
+            }
+            bench::black_box(c[0]);
+        }
+    }
+    mins[1] / mins[0]
 }
 
 /// Min-of-samples for the single-threaded engine vs the seed `i-k-j` NN
@@ -276,6 +316,14 @@ fn main() {
         pooled_g / serial_g,
     );
 
+    // Telemetry overhead at the largest square shape (512³ full, 256³
+    // smoke): metrics-on vs metrics-off time ratio, acceptance bar < 2%.
+    let overhead = time_metrics_overhead(baseline_shape, samples.max(5));
+    println!(
+        "metrics overhead at {}: {:.4}x (enabled/disabled, min-of-samples)",
+        baseline_shape.name, overhead,
+    );
+
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -296,7 +344,9 @@ fn main() {
     let doc = Json::obj(vec![
         ("kernel", Json::Str(kernel_name().to_string())),
         ("hw_threads", Json::Num(hw as f64)),
+        ("host", bench::host_stamp()),
         ("smoke", Json::Bool(smoke)),
+        ("metrics_overhead", Json::Num(overhead)),
         ("results", Json::Arr(rows.iter().map(Row::json).collect())),
         (
             "seed_baseline",

@@ -8,6 +8,7 @@
 //! optimus-cli generate --load model.json --len 24
 //! optimus-cli --dry-run [--q 8 --hidden 64 ...] [--trace out.json]
 //! optimus-cli train --scheme optimus --trace out.json
+//! optimus-cli train --scheme optimus --metrics m.json
 //! optimus-cli train --scheme optimus --no-overlap   # serial SUMMA schedule
 //! optimus-cli train --grid 2,2,2                    # Tesseract 2.5D mesh
 //! optimus-cli --dry-run --grid 8,8,2 --devices 128
@@ -36,6 +37,14 @@
 //! wall-clock, traced over one extra training step after training ends.
 //! Either way a per-phase summary table (measured vs modeled time per
 //! collective kind) is printed.
+//!
+//! `--metrics out.json` writes a runtime metrics report (see
+//! OBSERVABILITY.md, "Metrics"): under a live `train`, per-rank **measured**
+//! peak memory per phase, pool utilization counters, and per-collective
+//! wait histograms harvested from the metered training run; under
+//! `--dry-run` the memory numbers come from the `perf::memory` analytical
+//! model instead — the report's `source` fields label which is which.
+//! Unwritable `--trace`/`--metrics` paths are rejected before the run.
 //!
 //! `calibrate` measures (or reads from a `gemm-bench` artifact) the GFLOP/s
 //! the in-tree GEMM engine actually achieves on this host and stores it at
@@ -199,7 +208,7 @@ fn apply_flags(mut args: Args, flags: &HashMap<String, String>) -> Result<Args, 
                     other => return Err(format!("unknown profile '{other}' (auto|frontera)")),
                 }
             }
-            "save" | "load" | "trace" | "bench" => {} // handled by the caller
+            "save" | "load" | "trace" | "bench" | "metrics" => {} // handled by the caller
             "grid" => {} // handled by finalize_mesh (order-independent)
             other => return Err(format!("unknown flag --{other}")),
         }
@@ -226,7 +235,11 @@ fn finalize_mesh(mut args: Args, flags: &HashMap<String, String>) -> Result<Args
         let (p, q, d) = match dims[..] {
             [p, q] => (p, q, 1),
             [p, q, d] => (p, q, d),
-            _ => return Err(format!("--grid wants 2 or 3 axes (p,q or p,q,d), got '{spec}'")),
+            _ => {
+                return Err(format!(
+                    "--grid wants 2 or 3 axes (p,q or p,q,d), got '{spec}'"
+                ))
+            }
         };
         if p != q {
             return Err(format!(
@@ -239,7 +252,7 @@ fn finalize_mesh(mut args: Args, flags: &HashMap<String, String>) -> Result<Args
     if args.q == 0 || args.depth == 0 {
         return Err("mesh axes must be at least 1".to_string());
     }
-    if args.q % args.depth != 0 {
+    if !args.q.is_multiple_of(args.depth) {
         return Err(format!(
             "2.5D SUMMA needs the depth to divide the mesh side: --grid {q},{q},{d} \
              (try d in {{1, {hint}}})",
@@ -585,7 +598,7 @@ fn emit_trace(path: &str, traces: &[trace::DeviceTrace], cost: &CostModel) {
 /// (no device threads, no data movement) and prices the recorded schedule
 /// with the α-β cost model on the projected `q × q` mesh. With `trace_path`,
 /// also records the model-time timeline and exports it as Chrome JSON.
-fn dry_run_projection(a: &Args, trace_path: Option<&str>) {
+fn dry_run_projection(a: &Args, trace_path: Option<&str>, metrics_path: Option<&str>) {
     let cfg = model_cfg(a);
     let ocfg = OptimusConfig {
         q: a.q,
@@ -641,7 +654,12 @@ fn dry_run_projection(a: &Args, trace_path: Option<&str>) {
         }
         for i in 0..a.q {
             let row: Vec<String> = (0..a.q)
-                .map(|j| format!("{:8.3}", cost.replay(&logs[(i * a.q + j) * a.depth + k]) * 1e3))
+                .map(|j| {
+                    format!(
+                        "{:8.3}",
+                        cost.replay(&logs[(i * a.q + j) * a.depth + k]) * 1e3
+                    )
+                })
                 .collect();
             println!("  {}", row.join(" "));
         }
@@ -655,6 +673,30 @@ fn dry_run_projection(a: &Args, trace_path: Option<&str>) {
     );
     if let (Some(path), Some(traces)) = (trace_path, traces) {
         emit_trace(path, &traces, &cost);
+    }
+    if let Some(path) = metrics_path {
+        // No live devices ran, so there is nothing measured to report; the
+        // memory numbers come from the analytical model and the report's
+        // `source` field says so.
+        let report =
+            metrics::report_json("dry-run", &[], vec![("memory_model", memory_model_json(a))]);
+        std::fs::write(path, report.to_string()).expect("write metrics file");
+        let est = perf::memory::optimus_bytes(
+            &perf::memory::MemoryConfig {
+                seq: a.seq,
+                hidden: a.hidden,
+                heads: a.heads,
+                vocab: a.vocab,
+                layers: a.layers,
+                p: a.q * a.q,
+            },
+            a.batch,
+        );
+        println!(
+            "wrote metrics report (analytical memory model, no live devices) to {path}; \
+             modeled per-device total {:.2} MiB",
+            est.total / (1u64 << 20) as f64
+        );
     }
 }
 
@@ -751,6 +793,69 @@ fn live_trace_step(a: &Args, path: &str) {
     emit_trace(path, &traces, &cost);
 }
 
+/// Verifies an output path is writable *before* the run starts, so a typo'd
+/// directory fails in milliseconds with a readable error instead of
+/// panicking after minutes of training. When the file does not already
+/// exist, the probe is removed again.
+fn check_writable(flag: &str, path: &str) -> Result<(), String> {
+    let existed = Path::new(path).exists();
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(_) => {
+            if !existed {
+                let _ = std::fs::remove_file(path);
+            }
+            Ok(())
+        }
+        Err(e) => Err(format!("--{flag} {path} is not writable: {e}")),
+    }
+}
+
+/// The analytical per-device memory estimate for the current model — the
+/// "model" half of the dual memory discipline: dry-run reports carry only
+/// this, live reports carry it next to the measured tracker numbers, and
+/// the `source` field inside says which is which.
+fn memory_model_json(a: &Args) -> Json {
+    let mc = perf::memory::MemoryConfig {
+        seq: a.seq,
+        hidden: a.hidden,
+        heads: a.heads,
+        vocab: a.vocab,
+        layers: a.layers,
+        // The Fig. 9 model covers the square mesh; depth replicas hold the
+        // same blocks, so per-device memory is unchanged by d.
+        p: a.q * a.q,
+    };
+    let est = perf::memory::optimus_bytes(&mc, a.batch);
+    Json::obj(vec![
+        ("source", Json::Str("analytical (perf::memory)".into())),
+        ("params_bytes", Json::Num(est.params)),
+        ("grads_bytes", Json::Num(est.grads)),
+        ("checkpoints_bytes", Json::Num(est.checkpoints)),
+        ("working_set_bytes", Json::Num(est.working_set)),
+        ("total_bytes", Json::Num(est.total)),
+    ])
+}
+
+/// Writes the metrics report harvested from a live run and prints the human
+/// summary table. `devices` must already be drained from the registry.
+fn emit_metrics_live(a: &Args, path: &str, devices: &[metrics::DeviceSnapshot]) {
+    let report = metrics::report_json(
+        "live",
+        devices,
+        vec![("memory_model", memory_model_json(a))],
+    );
+    std::fs::write(path, report.to_string()).expect("write metrics file");
+    println!(
+        "wrote metrics report ({} ranks, measured memory) to {path}",
+        devices.len()
+    );
+    print!("{}", metrics::render_summary(devices));
+}
+
 fn infer_dims(a: &Args, params: &ModelParams) -> Args {
     Args {
         vocab: params.embedding.rows(),
@@ -792,11 +897,23 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Reject unwritable output paths before any work happens: a run that
+    // trains for minutes and then dies writing its report helps nobody.
+    for flag in ["trace", "metrics"] {
+        if let Some(path) = flags.get(flag) {
+            if let Err(e) = check_writable(flag, path) {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     match cmd.as_str() {
-        "train" if args.dry_run => {
-            dry_run_projection(&args, flags.get("trace").map(|s| s.as_str()))
-        }
+        "train" if args.dry_run => dry_run_projection(
+            &args,
+            flags.get("trace").map(|s| s.as_str()),
+            flags.get("metrics").map(|s| s.as_str()),
+        ),
         "train" => {
             println!(
                 "training ({:?}, {} devices) {} steps on the pattern corpus…",
@@ -804,10 +921,25 @@ fn main() {
                 args.q * args.q * args.depth,
                 args.steps
             );
+            let metrics_path = flags.get("metrics").filter(|_| {
+                if args.scheme == Scheme::Serial {
+                    eprintln!("--metrics needs a mesh scheme (serial runs no devices); skipping");
+                    return false;
+                }
+                true
+            });
+            if metrics_path.is_some() {
+                metrics::enable();
+            }
             let (losses, params) = train(&args);
             let first = losses.first().copied().unwrap_or(0.0);
             let last = losses.last().copied().unwrap_or(0.0);
             println!("loss {first:.4} -> {last:.4} over {} steps", losses.len());
+            if let Some(path) = metrics_path {
+                metrics::disable();
+                let devices = metrics::drain();
+                emit_metrics_live(&args, path, &devices);
+            }
             if let Some(path) = flags.get("save") {
                 params.save_json(Path::new(path)).expect("write checkpoint");
                 println!("saved canonical checkpoint to {path}");

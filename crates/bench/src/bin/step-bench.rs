@@ -189,6 +189,7 @@ fn main() {
             "model",
             Json::Str("optimus train step, batch=4 seq=16 hidden=32 layers=2".to_string()),
         ),
+        ("host", bench::host_stamp()),
         ("smoke", Json::Bool(smoke)),
         ("results", Json::Arr(rows.iter().map(Row::json).collect())),
         (

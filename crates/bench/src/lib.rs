@@ -109,6 +109,35 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io:
     Ok(path.display().to_string())
 }
 
+/// Host metadata stamp embedded in every `BENCH_*.json` so the regression
+/// gate ([`metrics::regress`]) can tell whether a baseline and a fresh run
+/// came from comparable machines. Keys `threads` and `avx2` are the ones
+/// `regress::compare` warns on when they differ; `git_rev` records which
+/// commit produced the numbers (best-effort — `"unknown"` outside a git
+/// checkout).
+pub fn host_stamp() -> minjson::Json {
+    use minjson::Json;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    #[cfg(target_arch = "x86_64")]
+    let avx2 = std::arch::is_x86_feature_detected!("avx2");
+    #[cfg(not(target_arch = "x86_64"))]
+    let avx2 = false;
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    Json::obj(vec![
+        ("threads", Json::Num(threads as f64)),
+        ("avx2", Json::Bool(avx2)),
+        ("git_rev", Json::Str(git_rev)),
+    ])
+}
+
 /// Formats a float with 4 decimal places.
 pub fn f4(x: f64) -> String {
     format!("{x:.4}")
@@ -138,5 +167,18 @@ mod tests {
     fn f4_and_f3_format() {
         assert_eq!(f4(1.23456), "1.2346");
         assert_eq!(f3(1.23456), "1.235");
+    }
+
+    #[test]
+    fn host_stamp_has_gate_keys() {
+        let stamp = host_stamp();
+        // `threads` and `avx2` are the keys regress::compare warns on; both
+        // must be present and well-typed on every platform.
+        assert!(stamp.get("threads").unwrap().as_usize().unwrap() >= 1);
+        assert!(matches!(stamp.get("avx2").unwrap(), minjson::Json::Bool(_)));
+        assert!(matches!(
+            stamp.get("git_rev").unwrap(),
+            minjson::Json::Str(s) if !s.is_empty()
+        ));
     }
 }

@@ -89,7 +89,7 @@ pub trait Communicator {
     /// asynchronous transfer on the device's progress thread.
     fn ibroadcast(&self, group: &Group, root: usize, mut buf: Vec<f32>) -> PendingColl {
         self.broadcast(group, root, &mut buf);
-        PendingColl::ready(buf, None)
+        PendingColl::ready(CommOp::Broadcast, buf, None)
     }
 
     /// Non-blocking sum-reduce; see [`Communicator::ibroadcast`] for the
@@ -97,7 +97,7 @@ pub trait Communicator {
     /// full sum.
     fn ireduce(&self, group: &Group, root: usize, mut buf: Vec<f32>) -> PendingColl {
         self.reduce(group, root, &mut buf);
-        PendingColl::ready(buf, None)
+        PendingColl::ready(CommOp::Reduce, buf, None)
     }
 
     /// Ring all-reduce (sum).

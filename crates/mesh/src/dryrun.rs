@@ -174,7 +174,7 @@ impl DryRunComm {
                 self.record_op(CommOp::Broadcast, group, buf.len());
             },
         );
-        PendingColl::ready(buf, traced)
+        PendingColl::ready(CommOp::Broadcast, buf, traced)
     }
 
     /// Trace-only `ireduce`; see [`DryRunComm::ibroadcast`].
@@ -199,7 +199,7 @@ impl DryRunComm {
                 }
             },
         );
-        PendingColl::ready(buf, traced)
+        PendingColl::ready(CommOp::Reduce, buf, traced)
     }
 
     fn all_reduce(&self, group: &Group, data: &mut [f32]) {

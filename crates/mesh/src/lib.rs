@@ -124,8 +124,15 @@ impl Mesh {
                     // kernels acquire a hardware-core permit from the shared
                     // compute pool instead of oversubscribing the host.
                     let _device = tensor::pool::enter_device();
+                    // When metrics collection is enabled, give this device
+                    // thread its own registry (allocation tracker, wait
+                    // histograms); harvested per rank after `f` returns.
+                    let installed = metrics::device_install();
                     let out = f(&ctx);
                     let rank = ctx.rank();
+                    if installed {
+                        metrics::device_finish(rank);
+                    }
                     let log = ctx.take_log();
                     // Send failure is only possible if the main thread
                     // already panicked; nothing useful to do then.

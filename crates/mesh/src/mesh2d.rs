@@ -25,7 +25,7 @@ fn axis_label(ndim: usize, axis: usize) -> &'static str {
     if ndim == 1 {
         return "world";
     }
-    const NAMES: [&'static str; 8] = [
+    const NAMES: [&str; 8] = [
         "col", "row", "depth", "axis3", "axis4", "axis5", "axis6", "axis7",
     ];
     NAMES[axis]

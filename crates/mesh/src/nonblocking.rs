@@ -268,19 +268,27 @@ enum PendingInner {
 /// `ibroadcast`, the (partial or full) sum for `ireduce`.
 pub struct PendingColl {
     inner: PendingInner,
+    /// Collective kind, labeling the metrics wait histograms.
+    op: CommOp,
     /// Trace bookkeeping captured at post: (post timestamp, op metadata).
     traced: Option<(u64, trace::OpMeta)>,
 }
 
 impl PendingColl {
-    pub(crate) fn ready(buf: Vec<f32>, traced: Option<(u64, trace::OpMeta)>) -> Self {
+    pub(crate) fn ready(op: CommOp, buf: Vec<f32>, traced: Option<(u64, trace::OpMeta)>) -> Self {
         PendingColl {
             inner: PendingInner::Ready(buf),
+            op,
             traced,
         }
     }
 
     /// Completes the collective and returns its buffer.
+    ///
+    /// When a metrics registry is active on this thread, two histograms are
+    /// fed per completed live collective: `wait_ns` (how long this call
+    /// blocked — overlap losses) and `inflight_ns` (post→completion — what
+    /// the fabric actually took), both labeled by the collective kind.
     pub fn wait(self) -> Vec<f32> {
         let _guard = trace::span_guard("comm.wait");
         match self.inner {
@@ -291,7 +299,20 @@ impl PendingColl {
                 buf
             }
             PendingInner::Live { id, posted, shared } => {
+                let wait_from = if metrics::device_active() {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
                 let (buf, done_at) = complete(&shared, id);
+                if let Some(w0) = wait_from {
+                    let kind = self.op.name();
+                    metrics::comm_wait_ns(kind, w0.elapsed().as_nanos() as u64);
+                    metrics::comm_inflight_ns(
+                        kind,
+                        done_at.saturating_duration_since(posted).as_nanos() as u64,
+                    );
+                }
                 if let Some((t0, meta)) = self.traced {
                     let t1 = t0 + done_at.duration_since(posted).as_nanos() as u64;
                     trace::op_async_end(t0, Some(t1), meta);
@@ -385,8 +406,10 @@ impl DeviceCtx {
             .shared()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn post(
         &self,
+        op: CommOp,
         accumulate: bool,
         recv_from: Vec<usize>,
         send_to: Vec<usize>,
@@ -415,6 +438,7 @@ impl DeviceCtx {
         }
         PendingColl {
             inner: PendingInner::Live { id, posted, shared },
+            op,
             traced,
         }
     }
@@ -448,14 +472,14 @@ impl DeviceCtx {
             },
         );
         if g == 1 {
-            return PendingColl::ready(buf, traced);
+            return PendingColl::ready(CommOp::Broadcast, buf, traced);
         }
         let recv_from: Vec<usize> = parent.map(abs).into_iter().collect();
         let mut send_to = children;
         for c in &mut send_to {
             *c = abs(*c);
         }
-        self.post(false, recv_from, send_to, buf, traced)
+        self.post(CommOp::Broadcast, false, recv_from, send_to, buf, traced)
     }
 
     /// Non-blocking sum-reduce to group index `root`. Only the root's waited
@@ -484,14 +508,14 @@ impl DeviceCtx {
             },
         );
         if g == 1 {
-            return PendingColl::ready(buf, traced);
+            return PendingColl::ready(CommOp::Reduce, buf, traced);
         }
         let mut recv_from = sources;
         for s in &mut recv_from {
             *s = abs(*s);
         }
         let send_to: Vec<usize> = target.map(abs).into_iter().collect();
-        self.post(true, recv_from, send_to, buf, traced)
+        self.post(CommOp::Reduce, true, recv_from, send_to, buf, traced)
     }
 }
 

@@ -61,18 +61,19 @@ impl MeshShape {
     /// Row-major rank of a coordinate tuple.
     pub fn rank_of(&self, coords: &[usize]) -> usize {
         assert_eq!(coords.len(), self.ndim(), "coordinate arity mismatch");
-        coords
-            .iter()
-            .zip(&self.dims)
-            .fold(0, |acc, (&c, &d)| {
-                assert!(c < d, "coordinate {c} out of range for axis of {d}");
-                acc * d + c
-            })
+        coords.iter().zip(&self.dims).fold(0, |acc, (&c, &d)| {
+            assert!(c < d, "coordinate {c} out of range for axis of {d}");
+            acc * d + c
+        })
     }
 
     /// Coordinate tuple of a rank (inverse of [`MeshShape::rank_of`]).
     pub fn coords_of(&self, rank: usize) -> Vec<usize> {
-        assert!(rank < self.len(), "rank {rank} outside mesh of {}", self.len());
+        assert!(
+            rank < self.len(),
+            "rank {rank} outside mesh of {}",
+            self.len()
+        );
         let mut rest = rank;
         let mut coords = vec![0; self.ndim()];
         for (i, &d) in self.dims.iter().enumerate().rev() {

@@ -23,30 +23,32 @@ pub enum CommOp {
 }
 
 impl CommOp {
-    /// Stable display name, also used as the trace event kind.
+    /// Every collective kind paired with its stable display name, in
+    /// declaration order. The **single source of truth** for these strings:
+    /// stats display, the trace event kind (`OpMeta.kind`), and the metrics
+    /// wait-histogram labels all go through [`CommOp::name`], which reads
+    /// this table.
+    pub const KINDS: [(CommOp, &'static str); 6] = [
+        (CommOp::Broadcast, "Broadcast"),
+        (CommOp::Reduce, "Reduce"),
+        (CommOp::AllReduce, "AllReduce"),
+        (CommOp::AllGather, "AllGather"),
+        (CommOp::ReduceScatter, "ReduceScatter"),
+        (CommOp::Barrier, "Barrier"),
+    ];
+
+    /// Stable display name, also used as the trace event kind and the
+    /// metrics histogram label.
     pub fn name(self) -> &'static str {
-        match self {
-            CommOp::Broadcast => "Broadcast",
-            CommOp::Reduce => "Reduce",
-            CommOp::AllReduce => "AllReduce",
-            CommOp::AllGather => "AllGather",
-            CommOp::ReduceScatter => "ReduceScatter",
-            CommOp::Barrier => "Barrier",
-        }
+        Self::KINDS[self as usize].1
     }
 
     /// Inverse of [`CommOp::name`].
     pub fn from_name(name: &str) -> Option<CommOp> {
-        [
-            CommOp::Broadcast,
-            CommOp::Reduce,
-            CommOp::AllReduce,
-            CommOp::AllGather,
-            CommOp::ReduceScatter,
-            CommOp::Barrier,
-        ]
-        .into_iter()
-        .find(|op| op.name() == name)
+        Self::KINDS
+            .into_iter()
+            .find(|(_, n)| *n == name)
+            .map(|(op, _)| op)
     }
 }
 
@@ -295,16 +297,18 @@ mod tests {
 
     #[test]
     fn name_round_trips() {
-        for op in [
-            CommOp::Broadcast,
-            CommOp::Reduce,
-            CommOp::AllReduce,
-            CommOp::AllGather,
-            CommOp::ReduceScatter,
-            CommOp::Barrier,
-        ] {
+        for (op, _) in CommOp::KINDS {
             assert_eq!(CommOp::from_name(op.name()), Some(op));
         }
         assert_eq!(CommOp::from_name("Gossip"), None);
+    }
+
+    #[test]
+    fn kinds_table_matches_discriminants() {
+        // `name()` indexes KINDS by discriminant; the table must stay in
+        // declaration order.
+        for (i, (op, _)) in CommOp::KINDS.iter().enumerate() {
+            assert_eq!(*op as usize, i, "KINDS out of declaration order");
+        }
     }
 }

@@ -1,0 +1,314 @@
+//! Perf-regression gate: compare a fresh `BENCH_gemm.json` /
+//! `BENCH_step.json` run against the committed baseline.
+//!
+//! The bench binaries have always recorded their numbers; nothing *gated*
+//! on them, so a kernel regression only surfaced when someone eyeballed the
+//! JSON. This module extracts the comparable scalar metrics from both bench
+//! schemas, pairs them by stable keys (shape name + thread count for GEMM
+//! rows; mesh size + schedule for step rows), and checks each fresh value
+//! against the baseline within a relative tolerance band:
+//!
+//! * higher-is-better metrics (GFLOP/s, speedups): `fresh ≥ base·(1 − tol)`
+//! * lower-is-better metrics (secs/step): `fresh ≤ base·(1 + tol)`
+//!
+//! Improvements never fail. Metrics present on only one side are skipped
+//! (a smoke run covers a subset of the full shape sweep), so the same gate
+//! works for CI smoke runs against the committed full baselines. Host
+//! metadata (`host.threads`, `host.avx2`) is *compared but never gated* —
+//! a mismatch is reported as a warning because absolute numbers from a
+//! different machine are only loosely comparable; pick the tolerance
+//! accordingly.
+
+use minjson::Json;
+
+/// One paired metric and its verdict.
+#[derive(Clone, Debug)]
+pub struct Check {
+    /// Stable metric key, e.g. `"gemm.square-512.t1.gflops"`.
+    pub key: String,
+    pub baseline: f64,
+    pub fresh: f64,
+    pub higher_is_better: bool,
+    pub ok: bool,
+}
+
+impl Check {
+    /// `fresh / baseline`, the number humans scan for.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline == 0.0 {
+            f64::NAN
+        } else {
+            self.fresh / self.baseline
+        }
+    }
+}
+
+/// Result of one baseline-vs-fresh comparison.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    pub checks: Vec<Check>,
+    /// Non-gating observations (host mismatch, skipped keys).
+    pub warnings: Vec<String>,
+}
+
+impl Comparison {
+    pub fn violations(&self) -> Vec<&Check> {
+        self.checks.iter().filter(|c| !c.ok).collect()
+    }
+
+    pub fn passed(&self) -> bool {
+        !self.checks.is_empty() && self.violations().is_empty()
+    }
+
+    /// One line per check, violations marked, warnings appended.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            let dir = if c.higher_is_better { "↑" } else { "↓" };
+            let verdict = if c.ok { "ok  " } else { "FAIL" };
+            out.push_str(&format!(
+                "{verdict} {dir} {:<36} base {:>12.6}  fresh {:>12.6}  ratio {:.3}\n",
+                c.key,
+                c.baseline,
+                c.fresh,
+                c.ratio()
+            ));
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("warn: {w}\n"));
+        }
+        out
+    }
+}
+
+fn num(j: &Json, key: &str) -> Option<f64> {
+    j.get(key).ok().and_then(|v| v.as_f64().ok())
+}
+
+/// `(key, value, higher_is_better)` triples extracted from one bench file.
+fn extract(j: &Json) -> Result<Vec<(String, f64, bool)>, String> {
+    let mut out = Vec::new();
+    if j.get("overlap_speedup").is_ok() {
+        // BENCH_step.json
+        for (axis, spd) in [("2x2", true), ("4x4", true)] {
+            if let Some(v) = num(j.get("overlap_speedup")?, axis) {
+                out.push((format!("step.overlap_speedup.{axis}"), v, spd));
+            }
+        }
+        for row in j.get("results")?.as_arr()? {
+            let q = row.get("q")?.as_usize()?;
+            let sched = match row.get("schedule")? {
+                Json::Str(s) => s.clone(),
+                other => {
+                    return Err(format!(
+                        "schedule must be a string, got {}",
+                        other.to_string()
+                    ))
+                }
+            };
+            let secs = row.get("secs_per_step")?.as_f64()?;
+            out.push((format!("step.q{q}.{sched}.secs_per_step"), secs, false));
+        }
+    } else if j.get("speedup_vs_seed").is_ok() {
+        // BENCH_gemm.json
+        out.push((
+            "gemm.speedup_vs_seed".into(),
+            j.get("speedup_vs_seed")?.as_f64()?,
+            true,
+        ));
+        if let Some(r) = num(j, "pooled_vs_serial_256") {
+            out.push(("gemm.pooled_vs_serial_256".into(), r, true));
+        } else if let Ok(p) = j.get("pooled_vs_serial_256") {
+            if let Some(r) = num(p, "ratio") {
+                out.push(("gemm.pooled_vs_serial_256".into(), r, true));
+            }
+        }
+        for row in j.get("results")?.as_arr()? {
+            let name = match row.get("name")? {
+                Json::Str(s) => s.clone(),
+                other => {
+                    return Err(format!(
+                        "shape name must be a string, got {}",
+                        other.to_string()
+                    ))
+                }
+            };
+            let threads = row.get("threads")?.as_usize()?;
+            let gflops = row.get("gflops")?.as_f64()?;
+            out.push((format!("gemm.{name}.t{threads}.gflops"), gflops, true));
+        }
+        if let Some(ovh) = num(j, "metrics_overhead") {
+            // Overhead ratio: lower is better, and it must stay near 1.
+            out.push(("gemm.metrics_overhead".into(), ovh, false));
+        }
+    } else {
+        return Err(
+            "unrecognized bench file: expected BENCH_gemm.json or BENCH_step.json shape"
+                .to_string(),
+        );
+    }
+    Ok(out)
+}
+
+fn host_warnings(baseline: &Json, fresh: &Json) -> Vec<String> {
+    let mut warnings = Vec::new();
+    let base_host = baseline.get("host").ok();
+    let fresh_host = fresh.get("host").ok();
+    match (base_host, fresh_host) {
+        (Some(b), Some(f)) => {
+            for key in ["threads", "avx2"] {
+                let (bv, fv) = (b.get(key).ok(), f.get(key).ok());
+                if bv != fv {
+                    warnings.push(format!(
+                        "host.{key} differs: baseline {} vs fresh {} — absolute numbers are only loosely comparable",
+                        bv.map_or("absent".into(), |v| v.to_string()),
+                        fv.map_or("absent".into(), |v| v.to_string()),
+                    ));
+                }
+            }
+        }
+        (None, _) => warnings.push("baseline has no host stamp (pre-stamp file)".into()),
+        (_, None) => warnings.push("fresh run has no host stamp".into()),
+    }
+    warnings
+}
+
+/// Compares a fresh bench file against its committed baseline. `rel_tol`
+/// is the allowed relative slack (e.g. `0.5` = fresh may be up to 50%
+/// worse). Errors only on structural problems — a mismatched file kind or
+/// zero pairable metrics; slow numbers are reported as failed [`Check`]s.
+pub fn compare(baseline: &Json, fresh: &Json, rel_tol: f64) -> Result<Comparison, String> {
+    assert!(rel_tol >= 0.0, "tolerance must be non-negative");
+    let base = extract(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let new = extract(fresh).map_err(|e| format!("fresh: {e}"))?;
+    let mut warnings = host_warnings(baseline, fresh);
+
+    let mut checks = Vec::new();
+    for (key, fresh_v, higher) in &new {
+        let Some((_, base_v, _)) = base.iter().find(|(k, _, _)| k == key) else {
+            warnings.push(format!("{key}: not in baseline, skipped"));
+            continue;
+        };
+        let ok = if *higher {
+            *fresh_v >= base_v * (1.0 - rel_tol)
+        } else {
+            *fresh_v <= base_v * (1.0 + rel_tol)
+        };
+        checks.push(Check {
+            key: key.clone(),
+            baseline: *base_v,
+            fresh: *fresh_v,
+            higher_is_better: *higher,
+            ok,
+        });
+    }
+    if checks.is_empty() {
+        return Err("no comparable metrics between baseline and fresh run".into());
+    }
+    // Honesty flag: never silently compare a smoke run as if it were full.
+    let smoke = |j: &Json| matches!(j.get("smoke"), Ok(Json::Bool(true)));
+    if smoke(fresh) && !smoke(baseline) {
+        warnings.push("fresh run is a smoke run compared against a full baseline".into());
+    }
+    Ok(Comparison { checks, warnings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm(gflops_512: f64, speedup: f64, smoke: bool) -> Json {
+        minjson::parse(&format!(
+            r#"{{"smoke":{smoke},"speedup_vs_seed":{speedup},
+                "pooled_vs_serial_256":{{"ratio":1.05}},
+                "host":{{"threads":1,"avx2":true}},
+                "results":[
+                  {{"name":"square-512","threads":1,"gflops":{gflops_512},"m":512,"n":512,"k":512,"secs":0.004}},
+                  {{"name":"square-64","threads":1,"gflops":30.0,"m":64,"n":64,"k":64,"secs":0.0001}}
+                ]}}"#
+        ))
+        .unwrap()
+    }
+
+    fn step(secs_2x2: f64, speedup: f64) -> Json {
+        minjson::parse(&format!(
+            r#"{{"smoke":false,"overlap_speedup":{{"2x2":{speedup},"4x4":0.95}},
+                "results":[
+                  {{"q":2,"schedule":"sync","secs_per_step":{secs_2x2},"devices":4,"steps":4,"samples":5}},
+                  {{"q":2,"schedule":"overlap","secs_per_step":0.004,"devices":4,"steps":4,"samples":5}}
+                ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_gemm_runs_pass() {
+        let cmp = compare(&gemm(57.0, 3.2, false), &gemm(57.0, 3.2, false), 0.1).unwrap();
+        assert!(cmp.passed(), "{}", cmp.render());
+        assert!(cmp.checks.len() >= 4);
+    }
+
+    #[test]
+    fn gemm_regression_fails_and_improvement_passes() {
+        // 40% slower at 512 with a 10% band: must fail.
+        let cmp = compare(&gemm(57.0, 3.2, false), &gemm(34.0, 3.2, false), 0.1).unwrap();
+        assert!(!cmp.passed());
+        let bad = cmp.violations();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].key, "gemm.square-512.t1.gflops");
+        // 40% faster: improvements never fail.
+        let cmp = compare(&gemm(57.0, 3.2, false), &gemm(80.0, 4.5, false), 0.1).unwrap();
+        assert!(cmp.passed());
+    }
+
+    #[test]
+    fn step_secs_are_lower_is_better() {
+        let cmp = compare(&step(0.004, 0.88), &step(0.0041, 0.88), 0.25).unwrap();
+        assert!(cmp.passed(), "{}", cmp.render());
+        let cmp = compare(&step(0.004, 0.88), &step(0.008, 0.88), 0.25).unwrap();
+        assert!(!cmp.passed());
+        assert!(cmp
+            .violations()
+            .iter()
+            .any(|c| c.key == "step.q2.sync.secs_per_step"));
+    }
+
+    #[test]
+    fn missing_shapes_are_skipped_with_warning() {
+        // Fresh smoke run covers only square-64; square-512 must be skipped,
+        // and the smoke-vs-full mismatch noted.
+        let fresh = minjson::parse(
+            r#"{"smoke":true,"speedup_vs_seed":3.1,
+                "host":{"threads":1,"avx2":true},
+                "results":[{"name":"square-64","threads":1,"gflops":29.0,"m":64,"n":64,"k":64,"secs":0.0001}]}"#,
+        )
+        .unwrap();
+        let cmp = compare(&gemm(57.0, 3.2, false), &fresh, 0.5).unwrap();
+        assert!(cmp.passed(), "{}", cmp.render());
+        assert!(cmp.warnings.iter().any(|w| w.contains("smoke run")));
+        assert!(!cmp.checks.iter().any(|c| c.key.contains("square-512")));
+    }
+
+    #[test]
+    fn host_mismatch_warns_but_does_not_gate() {
+        let mut fresh = gemm(57.0, 3.2, false);
+        if let Json::Obj(map) = &mut fresh {
+            map.insert(
+                "host".into(),
+                Json::obj(vec![
+                    ("threads", Json::Num(8.0)),
+                    ("avx2", Json::Bool(true)),
+                ]),
+            );
+        }
+        let cmp = compare(&gemm(57.0, 3.2, false), &fresh, 0.1).unwrap();
+        assert!(cmp.passed());
+        assert!(cmp.warnings.iter().any(|w| w.contains("host.threads")));
+    }
+
+    #[test]
+    fn mismatched_file_kinds_error() {
+        assert!(compare(&gemm(57.0, 3.2, false), &step(0.004, 0.88), 0.1).is_err());
+        assert!(compare(&Json::obj(vec![]), &gemm(57.0, 3.2, false), 0.1).is_err());
+    }
+}

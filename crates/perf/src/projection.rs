@@ -13,8 +13,8 @@
 use crate::cost::CostModel;
 use crate::profile::HardwareProfile;
 use crate::scaling::{
-    megatron_stem_times, optimus25d_stem_times, optimus_stem_times,
-    optimus_stem_times_overlapped, LAYERS, SEQ,
+    megatron_stem_times, optimus25d_stem_times, optimus_stem_times, optimus_stem_times_overlapped,
+    LAYERS, SEQ,
 };
 use mesh::{Arrangement, Topology};
 
@@ -120,12 +120,12 @@ pub fn tesseract_grids(devices: usize) -> Vec<(usize, usize)> {
         if d * d * d > devices {
             break; // d | q forces d³ ≤ q²·d = devices
         }
-        if devices % d != 0 {
+        if !devices.is_multiple_of(d) {
             continue;
         }
         let sq = devices / d;
         let q = isqrt(sq);
-        if q * q == sq && q % d == 0 {
+        if q * q == sq && q.is_multiple_of(d) {
             out.push((q, d));
         }
     }
@@ -148,7 +148,7 @@ pub fn crossover_projection(profile: &HardwareProfile) -> Vec<CrossoverPoint> {
         // Largest square mesh whose nodes come out fully populated (45² on
         // 4-GPU nodes leaves a ragged node; a real deployment drops to 44²).
         let mut q2 = isqrt(devices);
-        while q2 > 1 && (q2 * q2) % gpn != 0 {
+        while q2 > 1 && !(q2 * q2).is_multiple_of(gpn) {
             q2 -= 1;
         }
         let h = 1024 * (q2 / 8).max(1); // weak-scaling recipe h ∝ mesh side
@@ -158,7 +158,10 @@ pub fn crossover_projection(profile: &HardwareProfile) -> Vec<CrossoverPoint> {
         let (mf, mb) = megatron_stem_times(&cm_meg, b, SEQ, h, LAYERS, devices);
         let m_thr = b as f64 / (mf + mb);
 
-        let cm_2d = CostModel::new(profile.clone(), Topology::new(q2, gpn, Arrangement::Bunched));
+        let cm_2d = CostModel::new(
+            profile.clone(),
+            Topology::new(q2, gpn, Arrangement::Bunched),
+        );
         let (of, ob) = optimus_stem_times(&cm_2d, b, SEQ, h, LAYERS, q2);
         let thr_2d = b as f64 / (of + ob);
 

@@ -157,7 +157,10 @@ pub fn optimus25d_stem_times(
     q: usize,
     d: usize,
 ) -> (f64, f64) {
-    assert!(d >= 1 && q % d == 0, "2.5D needs d | q (q={q}, d={d})");
+    assert!(
+        d >= 1 && q.is_multiple_of(d),
+        "2.5D needs d | q (q={q}, d={d})"
+    );
     let shape = mesh::MeshShape::new(&[q, q, d]);
     let origin = [0usize, 0, 0];
     let row = shape.axis_ranks(&origin, 1);

@@ -103,15 +103,18 @@ impl Job {
         false
     }
 
-    /// Claims and runs task indices until the cursor is exhausted. Panics in
-    /// the task body are caught so the completion latch always fires; the
-    /// caller re-raises them after joining.
-    fn run_tasks(&self) {
+    /// Claims and runs task indices until the cursor is exhausted, returning
+    /// how many tasks this thread ran. Panics in the task body are caught so
+    /// the completion latch always fires; the caller re-raises them after
+    /// joining.
+    fn run_tasks(&self) -> usize {
+        let mut ran = 0;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.tasks {
-                return;
+                return ran;
             }
+            ran += 1;
             // SAFETY: see module-level Safety — the submitter is still
             // blocked in `run`, so the closure borrow is live.
             let f = unsafe { &*self.task.0 };
@@ -188,6 +191,31 @@ struct Shared {
     jobs_inline: AtomicUsize,
 }
 
+/// Interned handles into the process-wide metrics registry. Resolved once
+/// (the registry lookup takes a lock) and then each update is a single
+/// relaxed atomic op — cheap enough for the job paths, which run per
+/// `parallel_for` call or per claimed task, not per element.
+struct PoolMetrics {
+    tasks_executed: &'static metrics::Counter,
+    tasks_stolen: &'static metrics::Counter,
+    idle_ns: &'static metrics::Counter,
+    jobs_shared: &'static metrics::Counter,
+    jobs_inline: &'static metrics::Counter,
+    queue_depth: &'static metrics::Gauge,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static M: OnceLock<PoolMetrics> = OnceLock::new();
+    M.get_or_init(|| PoolMetrics {
+        tasks_executed: metrics::global_counter("pool.tasks_executed"),
+        tasks_stolen: metrics::global_counter("pool.tasks_stolen"),
+        idle_ns: metrics::global_counter("pool.idle_ns"),
+        jobs_shared: metrics::global_counter("pool.jobs_shared"),
+        jobs_inline: metrics::global_counter("pool.jobs_inline"),
+        queue_depth: metrics::global_gauge("pool.queue_depth"),
+    })
+}
+
 /// The persistent compute pool. One instance lives for the whole process
 /// (see [`pool`]); tests may build private instances with
 /// [`ComputePool::with_workers`] to exercise the worker paths regardless of
@@ -259,6 +287,8 @@ impl ComputePool {
         let want = max_helpers.min(sh.workers).min(tasks.saturating_sub(1));
         if tasks < MIN_TASKS_TO_SHARE || want == 0 {
             sh.jobs_inline.fetch_add(1, Ordering::Relaxed);
+            pool_metrics().jobs_inline.inc();
+            pool_metrics().tasks_executed.add(tasks as u64);
             for i in 0..tasks {
                 f(i);
             }
@@ -267,12 +297,15 @@ impl ComputePool {
         let helpers = sh.permits.try_acquire(want);
         if helpers == 0 {
             sh.jobs_inline.fetch_add(1, Ordering::Relaxed);
+            pool_metrics().jobs_inline.inc();
+            pool_metrics().tasks_executed.add(tasks as u64);
             for i in 0..tasks {
                 f(i);
             }
             return;
         }
         sh.jobs_shared.fetch_add(1, Ordering::Relaxed);
+        pool_metrics().jobs_shared.inc();
         // SAFETY: lifetime erasure; `run` joins the job before returning.
         let raw = RawTask(unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
@@ -292,13 +325,15 @@ impl ComputePool {
         {
             let mut q = sh.injector.lock().unwrap();
             q.push_back(Arc::clone(&job));
+            pool_metrics().queue_depth.set(q.len() as u64);
         }
         if helpers == 1 {
             sh.work.notify_one();
         } else {
             sh.work.notify_all();
         }
-        job.run_tasks();
+        let ran = job.run_tasks();
+        pool_metrics().tasks_executed.add(ran as u64);
         let panicked = job.join();
         // Remove the (exhausted) job if no worker got to it first.
         sh.injector
@@ -330,19 +365,27 @@ impl Drop for CorePermit<'_> {
 }
 
 fn worker_loop(sh: Arc<Shared>) {
+    let m = pool_metrics();
     loop {
         let job = {
             let mut q = sh.injector.lock().unwrap();
             loop {
                 q.retain(|j| !j.exhausted());
+                m.queue_depth.set(q.len() as u64);
                 let picked = q.iter().find(|j| j.try_claim_slot()).cloned();
                 match picked {
                     Some(j) => break j,
-                    None => q = sh.work.wait(q).unwrap(),
+                    None => {
+                        let idle_from = std::time::Instant::now();
+                        q = sh.work.wait(q).unwrap();
+                        m.idle_ns.add(idle_from.elapsed().as_nanos() as u64);
+                    }
                 }
             }
         };
-        job.run_tasks();
+        let ran = job.run_tasks();
+        m.tasks_executed.add(ran as u64);
+        m.tasks_stolen.add(ran as u64);
     }
 }
 

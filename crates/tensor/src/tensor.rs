@@ -9,29 +9,49 @@ use std::fmt;
 /// on 2-D views (`[rows, cols]`), flattening leading batch/sequence
 /// dimensions the way the paper does when it treats activations of shape
 /// `[b, s, h]` as a `[bs, h]` matrix.
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Tensor {
     dims: Vec<usize>,
     data: Vec<f32>,
 }
 
+/// Every `Tensor` buffer is reported to the per-device allocation tracker
+/// (`metrics`): construction goes through the private `new_tracked`, `Clone`
+/// records the copy, and `Drop` / [`Tensor::into_vec`] record the release.
+/// When no metrics registry is active on the thread these are single
+/// thread-local reads.
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor::new_tracked(self.dims.clone(), self.data.clone())
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        metrics::free_bytes(std::mem::size_of_val(&self.data[..]));
+    }
+}
+
 impl Tensor {
+    /// The single construction funnel: wraps the buffer and reports its
+    /// footprint to the allocation tracker. All public constructors (and
+    /// `Clone`) come through here — the fields are module-private, so no
+    /// tensor exists that the tracker has not seen.
+    fn new_tracked(dims: Vec<usize>, data: Vec<f32>) -> Self {
+        metrics::alloc_bytes(std::mem::size_of_val(&data[..]));
+        Tensor { dims, data }
+    }
+
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(dims: &[usize]) -> Self {
         let n = dims.iter().product();
-        Tensor {
-            dims: dims.to_vec(),
-            data: vec![0.0; n],
-        }
+        Tensor::new_tracked(dims.to_vec(), vec![0.0; n])
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let n = dims.iter().product();
-        Tensor {
-            dims: dims.to_vec(),
-            data: vec![value; n],
-        }
+        Tensor::new_tracked(dims.to_vec(), vec![value; n])
     }
 
     /// Wraps an owned buffer with the given shape.
@@ -47,10 +67,7 @@ impl Tensor {
             data.len(),
             dims
         );
-        Tensor {
-            dims: dims.to_vec(),
-            data,
-        }
+        Tensor::new_tracked(dims.to_vec(), data)
     }
 
     /// Tensor with i.i.d. normal entries of the given standard deviation.
@@ -103,19 +120,20 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning its buffer. The bytes leave the
+    /// allocation tracker's books here: callers that re-wrap the buffer
+    /// (`from_vec` after a collective) re-register it on arrival.
+    pub fn into_vec(mut self) -> Vec<f32> {
+        let data = std::mem::take(&mut self.data);
+        metrics::free_bytes(std::mem::size_of_val(&data[..]));
+        data
     }
 
     /// Returns a copy with a new shape (same number of elements).
     pub fn reshape(&self, dims: &[usize]) -> Tensor {
         let n: usize = dims.iter().product();
         assert_eq!(n, self.data.len(), "reshape {:?} -> {:?}", self.dims, dims);
-        Tensor {
-            dims: dims.to_vec(),
-            data: self.data.clone(),
-        }
+        Tensor::new_tracked(dims.to_vec(), self.data.clone())
     }
 
     /// Reshapes in place without copying the buffer.
@@ -282,7 +300,7 @@ impl Tensor {
                 data.len()
             ));
         }
-        Ok(Tensor { dims, data })
+        Ok(Tensor::new_tracked(dims, data))
     }
 }
 

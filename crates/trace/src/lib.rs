@@ -321,6 +321,7 @@ pub fn current_span() -> SpanId {
 /// Closes its span on drop, so spans unwind correctly on panic.
 pub struct SpanGuard {
     span: Option<SpanId>,
+    name: &'static str,
 }
 
 impl Drop for SpanGuard {
@@ -332,15 +333,22 @@ impl Drop for SpanGuard {
                 }
             });
         }
+        metrics::phase_exit(self.name);
     }
 }
 
 /// Opens a span that stays open until the returned guard drops. Prefer
 /// [`span`] unless the phase does not fit a closure.
+///
+/// Spans double as **metrics phase boundaries**: when a `metrics` device
+/// registry is active on this thread, entering and leaving a span snapshots
+/// the allocation tracker so peak memory is attributed per phase — even
+/// when no trace collector is installed.
 #[must_use = "the span closes when this guard drops"]
 pub fn span_guard(name: &'static str) -> SpanGuard {
     let span = COLLECTOR.with(|c| c.borrow_mut().as_mut().map(|col| col.enter(name)));
-    SpanGuard { span }
+    metrics::phase_enter(name);
+    SpanGuard { span, name }
 }
 
 /// Runs `f` inside a named span. A no-op (beyond one thread-local read)

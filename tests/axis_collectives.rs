@@ -99,8 +99,8 @@ fn axis_collectives_produce_group_correct_values_on_odd_shapes() {
 #[test]
 fn nonblocking_axis_collectives_match_the_blocking_results() {
     for dims in SHAPES {
-        let blocking = MeshNd::run(dims, |g| exercise_blocking(g));
-        let nonblocking = MeshNd::run(dims, |g| exercise_nonblocking(g));
+        let blocking = MeshNd::run(dims, exercise_blocking);
+        let nonblocking = MeshNd::run(dims, exercise_nonblocking);
         for (rank, (b, nb)) in blocking.iter().zip(&nonblocking).enumerate() {
             assert_eq!(b, nb, "rank {rank} of {dims:?}");
         }
@@ -110,8 +110,8 @@ fn nonblocking_axis_collectives_match_the_blocking_results() {
 #[test]
 fn dry_run_logs_are_byte_identical_to_live_for_axis_collectives() {
     for dims in SHAPES {
-        let (_, live) = MeshNd::run_with_logs(dims, |g| exercise_blocking(g));
-        let (_, dry) = MeshNd::dry_run_with_logs(dims, |g| exercise_blocking(g));
+        let (_, live) = MeshNd::run_with_logs(dims, exercise_blocking);
+        let (_, dry) = MeshNd::dry_run_with_logs(dims, exercise_blocking);
         assert_eq!(live.len(), dry.len());
         for (rank, (l, d)) in live.iter().zip(&dry).enumerate() {
             assert_eq!(l.ops, d.ops, "op log, rank {rank} of {dims:?}");
@@ -123,8 +123,8 @@ fn dry_run_logs_are_byte_identical_to_live_for_axis_collectives() {
 #[test]
 fn dry_run_logs_are_byte_identical_to_live_for_nonblocking_path() {
     for dims in SHAPES {
-        let (_, live) = MeshNd::run_with_logs(dims, |g| exercise_nonblocking(g));
-        let (_, dry) = MeshNd::dry_run_with_logs(dims, |g| exercise_nonblocking(g));
+        let (_, live) = MeshNd::run_with_logs(dims, exercise_nonblocking);
+        let (_, dry) = MeshNd::dry_run_with_logs(dims, exercise_nonblocking);
         for (rank, (l, d)) in live.iter().zip(&dry).enumerate() {
             assert_eq!(l.ops, d.ops, "op log, rank {rank} of {dims:?}");
             assert_eq!(l.links, d.links, "link log, rank {rank} of {dims:?}");

@@ -31,7 +31,13 @@ fn train_bits(cfg: &OptimusConfig, d: usize) -> Vec<(Vec<u32>, Vec<u32>)> {
         let losses: Vec<u32> = (0..2)
             .map(|_| m.train_step(g, &tokens, &labels, 0.1).to_bits())
             .collect();
-        let shard: Vec<u32> = m.layers[0].qkv.w.as_slice().iter().map(|v| v.to_bits()).collect();
+        let shard: Vec<u32> = m.layers[0]
+            .qkv
+            .w
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
         (losses, shard)
     })
 }
