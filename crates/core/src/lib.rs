@@ -48,5 +48,5 @@ pub use dp::{hybrid_layout, hybrid_train_step, hybrid_train_step_zero1};
 pub use layer2d::{layer2d_backward, layer2d_forward, Layer2dCache, Layer2dGrads};
 pub use layernorm2d::{LayerNorm2d, Ln2dCache};
 pub use linear2d::Linear2d;
-pub use model::{OptimusModel, TrainOutput};
+pub use model::{Model2dGrads, OptimusModel, TrainOutput};
 pub use params2d::Layer2dParams;

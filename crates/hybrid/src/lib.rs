@@ -1,0 +1,908 @@
+//! Hybrid 3D/4D parallel training: **pipeline stages × data-parallel
+//! replicas × 2D/2.5D tensor meshes**, run as one schedule.
+//!
+//! The workspace has all three parallel dimensions as separately proven
+//! pieces — `MeshNd` 2D/2.5D tensor parallelism (`optimus-core` + `summa`),
+//! GPipe/1F1B pipeline parallelism (`pipeline`), and data parallelism
+//! (`optimus_core::dp`). This crate composes them, AxoNN-style: an
+//! N-device world is partitioned by a [`HybridSpec`] into `pp` pipeline
+//! stages × `dp` data-parallel replicas × a `[p, q, d]` tensor mesh per
+//! stage-replica, with the invariant **`pp · dp · p · q · d = N`**.
+//!
+//! # Device partitioning
+//!
+//! World ranks are laid out stage-major, replica-next, mesh-rank-fastest:
+//!
+//! ```text
+//! rank = (stage · dp + replica) · (p·q·d) + mesh_rank
+//! ```
+//!
+//! so each stage-replica owns a *contiguous* rank range and its `[p, q, d]`
+//! sub-mesh is built with `GridNd::sub_mesh_nd`. Three cross-mesh axis
+//! groups tie the composition together:
+//!
+//! * **`"dp"`** — devices with equal `(stage, mesh_rank)` across replicas:
+//!   gradients are all-reduced here after the local backward.
+//! * **`"tie"`** — the first- and last-stage devices with equal
+//!   `(replica, mesh_rank)`: the tied embedding-table gradient is
+//!   all-reduced between exactly these two (the Megatron-LM trick).
+//! * **`"pipe"`** — devices with equal `(replica, mesh_rank)` across all
+//!   stages: the step loss is broadcast from the last stage.
+//!
+//! # Numerics: sums, not averages
+//!
+//! Every microbatch on every replica computes its cross-entropy with
+//! `total_rows` equal to the **global** `batch · seq`, so per-microbatch
+//! gradients and losses are already `1/N`-scaled partial sums. Combining
+//! them is then plain addition — accumulate over microbatches, all-reduce
+//! (sum) over the `dp` axis — with no `1/m` or `1/dp` rescaling anywhere.
+//! Consequences, asserted by the workspace tests:
+//!
+//! * a `pp=1, dp=1, microbatches=1` hybrid step is **bitwise identical** to
+//!   [`optimus_core::OptimusModel::train_step`] on the same mesh;
+//! * a `dp=2` step matches serial gradient averaging to better than 1e-12.
+//!
+//! # 1F1B over SUMMA
+//!
+//! Stages run the PipeDream-flush (1F1B) schedule: `pp − 1 − stage` warm-up
+//! forwards, then one-forward-one-backward, then cooldown — bounding live
+//! microbatch caches at `pp − stage` (tracked in
+//! [`HybridStage::peak_live_microbatches`]). Inside a stage, every layer is
+//! the usual SUMMA/2D machinery on the stage's own sub-mesh; between
+//! stages, each device exchanges only its *local* `[bm·s/q, h/q]` activation
+//! block with the same `(replica, mesh_rank)` device of the adjacent stage.
+//! Backward-edge receives use [`mesh::Communicator::recv_expect`] with the
+//! declared block length, which is what lets the sequential dry-run backend
+//! replay the schedule and emit CommLog streams **byte-identical** to a
+//! live run.
+//!
+//! # Example: the degenerate 1×1×\[2,2\] spec
+//!
+//! With one stage, one replica and one microbatch, the hybrid step *is* the
+//! plain 2D Optimus step:
+//!
+//! ```
+//! use hybrid::HybridSpec;
+//! use optimus_core::OptimusConfig;
+//!
+//! let cfg = OptimusConfig::tiny(2);
+//! let spec = HybridSpec { pp: 1, dp: 1, grid: [2, 2, 1], microbatches: 1 };
+//! spec.validate(&cfg).unwrap();
+//! assert_eq!(spec.devices(), 4);
+//!
+//! let tokens: Vec<usize> = (0..cfg.batch * cfg.seq).map(|i| i % cfg.vocab).collect();
+//! let labels: Vec<usize> = (0..cfg.batch * cfg.seq).map(|i| (i + 1) % cfg.vocab).collect();
+//! let losses = mesh::Mesh::run(spec.devices(), |ctx| {
+//!     let (mut stage, grid) = hybrid::build(ctx, &spec, &cfg, 7);
+//!     stage.train_step(&grid, &tokens, &labels, 0.1)
+//! });
+//! // Every device reports the same global mean loss.
+//! for l in &losses {
+//!     assert_eq!(*l, losses[0]);
+//! }
+//! ```
+
+use std::collections::VecDeque;
+
+use mesh::{Communicator, GridNd, Group};
+use optimus_core::embedding2d::{
+    ce2d, embed2d_backward, embed2d_forward, lm_head2d_backward, lm_head2d_forward,
+};
+use optimus_core::{
+    layer2d_backward, layer2d_forward, Layer2dCache, Layer2dGrads, Ln2dCache, Model2dGrads,
+    OptimusConfig, OptimusModel,
+};
+use tensor::Tensor;
+
+/// A hybrid parallel configuration: how an `N`-device world is partitioned
+/// into pipeline stages × data-parallel replicas × tensor meshes.
+///
+/// # Validation rules ([`HybridSpec::validate`])
+///
+/// * `pp`, `dp`, `microbatches` and every grid extent are ≥ 1;
+/// * the tensor grid is square-fronted (`grid[0] == grid[1] = q`) and the
+///   2.5D depth divides the side (`d | q`);
+/// * `pp | layers` (contiguous equal stages), `dp | batch` (equal replica
+///   shards), `microbatches | batch/dp` (equal microbatches), and
+///   `q | batch/(dp·microbatches)` (each microbatch splits across mesh
+///   rows);
+/// * `q` divides `hidden`, `heads` and `vocab` (the 2D blocking rules).
+///
+/// [`HybridSpec::validate_for_world`] additionally pins the invariant
+/// `pp · dp · p · q · d = N`:
+///
+/// ```
+/// use hybrid::HybridSpec;
+/// use optimus_core::OptimusConfig;
+///
+/// let spec = HybridSpec { pp: 2, dp: 2, grid: [2, 2, 1], microbatches: 2 };
+/// let cfg = OptimusConfig { batch: 8, ..OptimusConfig::tiny(2) };
+/// assert_eq!(spec.devices(), 16);
+/// assert!(spec.validate_for_world(&cfg, 16).is_ok());
+/// assert!(spec.validate_for_world(&cfg, 17).is_err());
+/// // 3 stages cannot split tiny(2)'s 2 layers:
+/// let bad = HybridSpec { pp: 3, ..spec };
+/// assert!(bad.validate(&cfg).is_err());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HybridSpec {
+    /// Pipeline stages.
+    pub pp: usize,
+    /// Data-parallel replicas per stage.
+    pub dp: usize,
+    /// Tensor mesh per stage-replica: `[p, q, d]` with `p = q` (square
+    /// SUMMA front) and `d | q` (Tesseract 2.5D depth; `d = 1` is plain 2D).
+    pub grid: [usize; 3],
+    /// Microbatches per replica per step (GPipe's `m`).
+    pub microbatches: usize,
+}
+
+impl HybridSpec {
+    /// Mesh side `q`.
+    pub fn q(&self) -> usize {
+        self.grid[0]
+    }
+
+    /// 2.5D depth `d` (1 = plain 2D).
+    pub fn depth(&self) -> usize {
+        self.grid[2]
+    }
+
+    /// Devices per stage-replica tensor mesh (`p·q·d`).
+    pub fn mesh_devices(&self) -> usize {
+        self.grid[0] * self.grid[1] * self.grid[2]
+    }
+
+    /// Total devices: `pp · dp · p · q · d`.
+    pub fn devices(&self) -> usize {
+        self.pp * self.dp * self.mesh_devices()
+    }
+
+    /// Sequences per microbatch per replica: `batch / (dp · microbatches)`.
+    pub fn micro_batch(&self, cfg: &OptimusConfig) -> usize {
+        cfg.batch / (self.dp * self.microbatches)
+    }
+
+    /// Layers per pipeline stage.
+    pub fn layers_per_stage(&self, cfg: &OptimusConfig) -> usize {
+        cfg.layers / self.pp
+    }
+
+    /// The per-microbatch stage-local model config: same model dims, batch
+    /// shrunk to one microbatch, layers shrunk to one stage.
+    pub fn micro_cfg(&self, cfg: &OptimusConfig) -> OptimusConfig {
+        OptimusConfig {
+            q: self.q(),
+            batch: self.micro_batch(cfg),
+            layers: self.layers_per_stage(cfg),
+            ..*cfg
+        }
+    }
+
+    /// Checks every divisibility rule; `Err` carries a human-readable
+    /// message (the CLI prints it verbatim).
+    pub fn validate(&self, cfg: &OptimusConfig) -> Result<(), String> {
+        let [p, q, d] = self.grid;
+        if self.pp == 0 || self.dp == 0 || self.microbatches == 0 {
+            return Err("pp, dp and microbatches must all be at least 1".into());
+        }
+        if p == 0 || q == 0 || d == 0 {
+            return Err(format!(
+                "grid extents must be at least 1, got {:?}",
+                self.grid
+            ));
+        }
+        if p != q {
+            return Err(format!(
+                "tensor grid must be square-fronted ([q, q, d]): got [{p}, {q}, {d}]"
+            ));
+        }
+        if !q.is_multiple_of(d) {
+            return Err(format!("2.5D needs d | q: got q={q}, d={d}"));
+        }
+        if !cfg.layers.is_multiple_of(self.pp) {
+            return Err(format!(
+                "layers {} must divide into {} pipeline stages",
+                cfg.layers, self.pp
+            ));
+        }
+        if !cfg.batch.is_multiple_of(self.dp) {
+            return Err(format!(
+                "batch {} must divide into {} data-parallel replicas",
+                cfg.batch, self.dp
+            ));
+        }
+        let rb = cfg.batch / self.dp;
+        if !rb.is_multiple_of(self.microbatches) {
+            return Err(format!(
+                "replica batch {rb} must divide into {} microbatches",
+                self.microbatches
+            ));
+        }
+        let bm = rb / self.microbatches;
+        if !bm.is_multiple_of(q) {
+            return Err(format!(
+                "microbatch of {bm} sequences must divide across {q} mesh rows"
+            ));
+        }
+        for (name, v) in [
+            ("hidden", cfg.hidden),
+            ("heads", cfg.heads),
+            ("vocab", cfg.vocab),
+        ] {
+            if !v.is_multiple_of(q) {
+                return Err(format!("{name} {v} must be divisible by mesh side q={q}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`HybridSpec::validate`] plus the world-partition invariant
+    /// `pp · dp · p · q · d = n`.
+    pub fn validate_for_world(&self, cfg: &OptimusConfig, n: usize) -> Result<(), String> {
+        self.validate(cfg)?;
+        if self.devices() != n {
+            return Err(format!(
+                "a {}x{}x[{},{},{}] hybrid uses {} devices, but the world has {n}",
+                self.pp,
+                self.dp,
+                self.grid[0],
+                self.grid[1],
+                self.grid[2],
+                self.devices()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Decomposes a world rank into `(stage, replica, mesh_rank)`.
+    pub fn position(&self, rank: usize) -> (usize, usize, usize) {
+        let msz = self.mesh_devices();
+        let block = rank / msz;
+        (block / self.dp, block % self.dp, rank % msz)
+    }
+
+    /// World rank of mesh coordinate `[0, 0, 0]` of one stage-replica.
+    pub fn first_rank(&self, stage: usize, replica: usize) -> usize {
+        (stage * self.dp + replica) * self.mesh_devices()
+    }
+
+    /// The data-parallel group: devices with equal `(stage, mesh_rank)`
+    /// across all replicas, ordered by replica.
+    pub fn dp_group(&self, stage: usize, mesh_rank: usize) -> Group {
+        Group::labeled(
+            (0..self.dp)
+                .map(|r| self.first_rank(stage, r) + mesh_rank)
+                .collect(),
+            "dp",
+        )
+    }
+
+    /// The tied-embedding group: the first- and last-stage devices with
+    /// equal `(replica, mesh_rank)`. Requires `pp > 1` (with one stage the
+    /// two ends coincide and no sync is needed).
+    pub fn tie_group(&self, replica: usize, mesh_rank: usize) -> Group {
+        assert!(self.pp > 1, "tie_group needs at least two stages");
+        Group::labeled(
+            vec![
+                self.first_rank(0, replica) + mesh_rank,
+                self.first_rank(self.pp - 1, replica) + mesh_rank,
+            ],
+            "tie",
+        )
+    }
+
+    /// The pipeline group: devices with equal `(replica, mesh_rank)` across
+    /// all stages, ordered by stage.
+    pub fn pipe_group(&self, replica: usize, mesh_rank: usize) -> Group {
+        Group::labeled(
+            (0..self.pp)
+                .map(|s| self.first_rank(s, replica) + mesh_rank)
+                .collect(),
+            "pipe",
+        )
+    }
+}
+
+/// Builds this device's [`HybridStage`] and its stage-replica sub-mesh from
+/// its world rank. Panics (with the validation message) on an invalid spec
+/// or a world-size mismatch — CLI callers validate first for a clean error.
+pub fn build<'a, C: Communicator>(
+    ctx: &'a C,
+    spec: &HybridSpec,
+    cfg: &OptimusConfig,
+    seed: u64,
+) -> (HybridStage, GridNd<'a, C>) {
+    spec.validate_for_world(cfg, ctx.world_size())
+        .unwrap_or_else(|e| panic!("invalid hybrid spec: {e}"));
+    let (stage, replica, _) = spec.position(ctx.rank());
+    let grid = GridNd::sub_mesh_nd(ctx, &spec.grid, spec.first_rank(stage, replica));
+    let st = HybridStage::new(spec, cfg, seed, stage, replica, &grid);
+    (st, grid)
+}
+
+/// One stage's in-flight state for one microbatch.
+struct MicroState {
+    /// Layer inputs (the checkpoints) — kept either way, like
+    /// `OptimusModel::lm_grads`.
+    inputs: Vec<Tensor>,
+    /// Full layer caches, only when checkpointing is off.
+    caches: Vec<Layer2dCache>,
+    /// Last stage only: final layer-norm cache, normalized hidden state and
+    /// the loss-scaled logits gradient.
+    final_ln: Option<Ln2dCache>,
+    hidden: Option<Tensor>,
+    dlogits: Option<Tensor>,
+}
+
+/// One device's stage-replica shard of the hybrid schedule: a stage-sliced
+/// 2D Optimus model plus its position in the `(stage, replica, mesh)`
+/// decomposition.
+pub struct HybridStage {
+    pub spec: HybridSpec,
+    /// The *global* training config (`batch` = global batch).
+    pub cfg: OptimusConfig,
+    pub stage: usize,
+    pub replica: usize,
+    /// This device's rank within its stage-replica mesh.
+    pub mesh_rank: usize,
+    /// The stage-local model over [`HybridSpec::micro_cfg`]: this stage's
+    /// layer range, plus a tied embedding-table block and the final
+    /// layer-norm slice (used on the first/last stage only; middle stages
+    /// carry them with permanently zero gradients so the parameter layout
+    /// is uniform).
+    pub model: OptimusModel,
+    /// High-water mark of simultaneously live microbatch caches during the
+    /// most recent step — the quantity 1F1B bounds at `pp − stage`.
+    pub peak_live_microbatches: usize,
+}
+
+impl HybridStage {
+    /// Builds the stage for an explicit `(stage, replica)` position by
+    /// slicing the canonical full parameters generated from `seed` — every
+    /// stage's parameters are bitwise those of the corresponding layers of
+    /// the unpartitioned model.
+    pub fn new<C: Communicator>(
+        spec: &HybridSpec,
+        cfg: &OptimusConfig,
+        seed: u64,
+        stage: usize,
+        replica: usize,
+        grid: &GridNd<C>,
+    ) -> Self {
+        assert!(stage < spec.pp && replica < spec.dp);
+        let full = serial::ModelParams::init(seed, &cfg.model());
+        let lps = spec.layers_per_stage(cfg);
+        let stage_params = serial::ModelParams {
+            embedding: full.embedding.clone(),
+            layers: full.layers[stage * lps..(stage + 1) * lps].to_vec(),
+            final_ln_g: full.final_ln_g.clone(),
+            final_ln_b: full.final_ln_b.clone(),
+        };
+        let micro = spec.micro_cfg(cfg);
+        let model = OptimusModel::from_params(&micro, &stage_params, grid);
+        HybridStage {
+            spec: *spec,
+            cfg: *cfg,
+            stage,
+            replica,
+            mesh_rank: spec.position(grid.ctx().rank()).2,
+            model,
+            peak_live_microbatches: 0,
+        }
+    }
+
+    fn is_first(&self) -> bool {
+        self.stage == 0
+    }
+
+    fn is_last(&self) -> bool {
+        self.stage + 1 == self.spec.pp
+    }
+
+    /// Elements of one device's stage-boundary activation block:
+    /// `(bm/q)·s · h/q`.
+    fn boundary_elems(&self) -> usize {
+        self.model.cfg.local_rows() * self.model.cfg.local_cols()
+    }
+
+    /// This replica's slice of the global token/label stream for microbatch
+    /// `i`: `bm · s` contiguous tokens.
+    fn micro_slice<'t>(&self, tokens: &'t [usize], i: usize) -> &'t [usize] {
+        let s = self.cfg.seq;
+        let rb = self.cfg.batch / self.spec.dp;
+        let bm = self.spec.micro_batch(&self.cfg);
+        let start = (self.replica * rb + i * bm) * s;
+        &tokens[start..start + bm * s]
+    }
+
+    /// Forward of microbatch `i`: receive (or embed), run this stage's
+    /// layers, send on (or run the loss head). Adds the microbatch's
+    /// `1/total_rows`-scaled loss contribution to `losses`.
+    fn forward_micro<C: Communicator>(
+        &self,
+        grid: &GridNd<C>,
+        tokens: &[usize],
+        labels: &[usize],
+        i: usize,
+        losses: &mut f64,
+    ) -> MicroState {
+        let micro = self.model.cfg;
+        let total_rows = self.cfg.batch * self.cfg.seq;
+        let mb_tokens = micro.local_tokens(self.micro_slice(tokens, i), grid.row());
+
+        let fwd_span = trace::span_guard("fwd");
+        let mut x = if self.is_first() {
+            embed2d_forward(grid, &self.model.table, mb_tokens, micro.vocab)
+        } else {
+            let from = self.spec.first_rank(self.stage - 1, self.replica) + self.mesh_rank;
+            Tensor::from_vec(
+                &[micro.local_rows(), micro.local_cols()],
+                grid.ctx().recv_expect(from, self.boundary_elems()),
+            )
+        };
+
+        let mut state = MicroState {
+            inputs: Vec::with_capacity(self.model.layers.len()),
+            caches: Vec::new(),
+            final_ln: None,
+            hidden: None,
+            dlogits: None,
+        };
+        for lp in &self.model.layers {
+            state.inputs.push(x.clone());
+            let (y, cache) = layer2d_forward(grid, &micro, lp, &x);
+            if !micro.checkpoint {
+                state.caches.push(cache);
+            }
+            x = y;
+        }
+
+        if self.is_last() {
+            let (hidden, ln_cache) = self.model.final_ln.forward(grid, &x, micro.hidden);
+            drop(fwd_span);
+            let loss_span = trace::span_guard("loss_head");
+            let logits = lm_head2d_forward(grid, &hidden, &self.model.table);
+            let mb_labels = micro.local_tokens(self.micro_slice(labels, i), grid.row());
+            let (loss, dlogits) = ce2d(grid, &logits, mb_labels, micro.vocab, total_rows);
+            drop(loss_span);
+            // ce2d already scaled by 1/total_rows: losses and gradients
+            // combine across microbatches and replicas by plain summation.
+            *losses += loss as f64;
+            state.final_ln = Some(ln_cache);
+            state.hidden = Some(hidden);
+            state.dlogits = Some(dlogits);
+        } else {
+            drop(fwd_span);
+            let to = self.spec.first_rank(self.stage + 1, self.replica) + self.mesh_rank;
+            grid.ctx().send(to, x.into_vec());
+        }
+        state
+    }
+
+    /// Backward of microbatch `i` given its forward state: head backward on
+    /// the last stage (or receive the boundary gradient), layers in reverse
+    /// (recomputing from checkpoints when `cfg.checkpoint`), then the
+    /// embedding backward on the first stage (or send the gradient on).
+    /// Returns this microbatch's parameter gradients.
+    fn backward_micro<C: Communicator>(
+        &self,
+        grid: &GridNd<C>,
+        mut state: MicroState,
+        i: usize,
+        tokens: &[usize],
+    ) -> Model2dGrads {
+        let micro = self.model.cfg;
+        let mut d_table = Tensor::zeros(&[self.model.table.rows(), self.model.table.cols()]);
+
+        let (mut dx, final_ln_g, final_ln_b) = if self.is_last() {
+            let loss_span = trace::span_guard("loss_head");
+            let dlogits = state.dlogits.take().expect("last stage ran the head");
+            let hidden = state.hidden.take().expect("last stage kept the hidden");
+            let dhidden =
+                lm_head2d_backward(grid, &dlogits, &hidden, &self.model.table, &mut d_table);
+            drop(loss_span);
+            let bwd_span = trace::span_guard("bwd");
+            let out = self.model.final_ln.backward(
+                grid,
+                &dhidden,
+                state.final_ln.as_ref().expect("last stage kept the cache"),
+                micro.hidden,
+            );
+            drop(bwd_span);
+            out
+        } else {
+            let from = self.spec.first_rank(self.stage + 1, self.replica) + self.mesh_rank;
+            let dx = Tensor::from_vec(
+                &[micro.local_rows(), micro.local_cols()],
+                grid.ctx().recv_expect(from, self.boundary_elems()),
+            );
+            // Middle/first stages host zero final-LN gradients on mesh row 0
+            // so the accumulator/update layout is uniform across stages.
+            let zeros = self
+                .model
+                .final_ln
+                .gamma
+                .as_ref()
+                .map(|g| vec![0.0f32; g.len()]);
+            (dx, zeros.clone(), zeros)
+        };
+
+        let bwd_span = trace::span_guard("bwd");
+        let mut layer_grads: Vec<Layer2dGrads> = Vec::with_capacity(self.model.layers.len());
+        for l in (0..self.model.layers.len()).rev() {
+            let cache = if micro.checkpoint {
+                let (_, cache) =
+                    layer2d_forward(grid, &micro, &self.model.layers[l], &state.inputs[l]);
+                cache
+            } else {
+                state.caches.pop().expect("one cache per layer")
+            };
+            let (dprev, g) = layer2d_backward(grid, &micro, &self.model.layers[l], &cache, &dx);
+            layer_grads.push(g);
+            dx = dprev;
+        }
+        layer_grads.reverse();
+
+        if self.is_first() {
+            let mb_tokens = micro.local_tokens(self.micro_slice(tokens, i), grid.row());
+            embed2d_backward(grid, &dx, mb_tokens, micro.vocab, &mut d_table);
+        } else {
+            let to = self.spec.first_rank(self.stage - 1, self.replica) + self.mesh_rank;
+            grid.ctx().send(to, dx.into_vec());
+        }
+        drop(bwd_span);
+
+        Model2dGrads {
+            table: d_table,
+            layers: layer_grads,
+            final_ln_g,
+            final_ln_b,
+        }
+    }
+
+    /// The accumulation phase of one step: runs this replica's microbatches
+    /// through the 1F1B schedule and returns `(Σ scaled losses, Σ scaled
+    /// gradients)` — *sums*, not averages (see the crate docs), ready for a
+    /// plain all-reduce over the `dp` axis. Public so tests (and ZeRO-style
+    /// extensions) can observe pre-synchronization gradients.
+    pub fn replica_grads<C: Communicator>(
+        &mut self,
+        grid: &GridNd<C>,
+        tokens: &[usize],
+        labels: &[usize],
+    ) -> (f64, Model2dGrads) {
+        let m = self.spec.microbatches;
+        assert_eq!(
+            tokens.len(),
+            self.cfg.batch * self.cfg.seq,
+            "global token stream"
+        );
+        assert_eq!(
+            labels.len(),
+            self.cfg.batch * self.cfg.seq,
+            "global label stream"
+        );
+
+        let warmup = (self.spec.pp - 1 - self.stage).min(m);
+        let mut losses = 0.0f64;
+        let mut acc: Option<Model2dGrads> = None;
+        let mut live: VecDeque<(usize, MicroState)> = VecDeque::new();
+        self.peak_live_microbatches = 0;
+        let (mut next_fwd, mut next_bwd) = (0usize, 0usize);
+
+        let accumulate = |acc: &mut Option<Model2dGrads>, g: Model2dGrads| match acc {
+            None => *acc = Some(g),
+            Some(a) => a.accumulate(&g),
+        };
+
+        // Warm-up forwards.
+        for _ in 0..warmup {
+            let st = self.forward_micro(grid, tokens, labels, next_fwd, &mut losses);
+            live.push_back((next_fwd, st));
+            next_fwd += 1;
+            self.peak_live_microbatches = self.peak_live_microbatches.max(live.len());
+        }
+        // Steady one-forward-one-backward.
+        while next_fwd < m {
+            let st = self.forward_micro(grid, tokens, labels, next_fwd, &mut losses);
+            live.push_back((next_fwd, st));
+            next_fwd += 1;
+            self.peak_live_microbatches = self.peak_live_microbatches.max(live.len());
+            let (i, st) = live.pop_front().expect("a forward is outstanding");
+            debug_assert_eq!(i, next_bwd);
+            accumulate(&mut acc, self.backward_micro(grid, st, i, tokens));
+            next_bwd += 1;
+        }
+        // Cooldown backwards.
+        while let Some((i, st)) = live.pop_front() {
+            debug_assert_eq!(i, next_bwd);
+            accumulate(&mut acc, self.backward_micro(grid, st, i, tokens));
+            next_bwd += 1;
+        }
+        (losses, acc.expect("at least one microbatch"))
+    }
+
+    /// Gradient synchronization, parameter update and loss exchange: the dp
+    /// all-reduce (sum) per axis subgroup, the first↔last tied-table
+    /// all-reduce, SGD, then the global mean loss (dp-summed, broadcast
+    /// down the pipeline) — identical on every device.
+    fn finish_step<C: Communicator>(
+        &mut self,
+        grid: &GridNd<C>,
+        mut grads: Model2dGrads,
+        losses: f64,
+        lr: f32,
+    ) -> f32 {
+        let ctx = grid.ctx();
+        let spec = self.spec;
+        let has_table = self.is_first() || self.is_last();
+
+        if spec.dp > 1 {
+            let dp = spec.dp_group(self.stage, self.mesh_rank);
+            let sync = |v: &mut Option<Vec<f32>>| {
+                if let Some(v) = v.as_mut() {
+                    ctx.all_reduce(&dp, v);
+                }
+            };
+            if has_table {
+                ctx.all_reduce(&dp, grads.table.as_mut_slice());
+            }
+            if self.is_last() {
+                sync(&mut grads.final_ln_g);
+                sync(&mut grads.final_ln_b);
+            }
+            for g in &mut grads.layers {
+                ctx.all_reduce(&dp, g.w_qkv.as_mut_slice());
+                sync(&mut g.b_qkv);
+                ctx.all_reduce(&dp, g.w_out.as_mut_slice());
+                sync(&mut g.b_out);
+                ctx.all_reduce(&dp, g.w_fc1.as_mut_slice());
+                sync(&mut g.b_fc1);
+                ctx.all_reduce(&dp, g.w_fc2.as_mut_slice());
+                sync(&mut g.b_fc2);
+                sync(&mut g.ln1_g);
+                sync(&mut g.ln1_b);
+                sync(&mut g.ln2_g);
+                sync(&mut g.ln2_b);
+            }
+        }
+        if spec.pp > 1 && has_table {
+            let tie = spec.tie_group(self.replica, self.mesh_rank);
+            ctx.all_reduce(&tie, grads.table.as_mut_slice());
+        }
+        self.model.apply_sgd(&grads, lr);
+
+        let mut loss = vec![if self.is_last() { losses as f32 } else { 0.0 }];
+        if self.is_last() && spec.dp > 1 {
+            ctx.all_reduce(&spec.dp_group(self.stage, self.mesh_rank), &mut loss);
+        }
+        if spec.pp > 1 {
+            let pipe = spec.pipe_group(self.replica, self.mesh_rank);
+            ctx.broadcast(&pipe, spec.pp - 1, &mut loss);
+        }
+        loss[0]
+    }
+
+    /// One full hybrid training step (1F1B schedule, dp gradient sync, tied
+    /// embedding sync, SGD). Returns the global mean loss — identical on
+    /// every device of the world.
+    pub fn train_step<C: Communicator>(
+        &mut self,
+        grid: &GridNd<C>,
+        tokens: &[usize],
+        labels: &[usize],
+        lr: f32,
+    ) -> f32 {
+        let (losses, grads) = self.replica_grads(grid, tokens, labels);
+        self.finish_step(grid, grads, losses, lr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::Mesh;
+    use serial::SerialModel;
+    use tensor::Rng;
+
+    fn data(cfg: &OptimusConfig, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        let mut rng = Rng::new(seed);
+        let n = cfg.batch * cfg.seq;
+        (
+            (0..n).map(|_| rng.below(cfg.vocab)).collect(),
+            (0..n).map(|_| rng.below(cfg.vocab)).collect(),
+        )
+    }
+
+    #[test]
+    fn validation_messages_are_readable() {
+        let cfg = OptimusConfig::tiny(2);
+        let base = HybridSpec {
+            pp: 1,
+            dp: 1,
+            grid: [2, 2, 1],
+            microbatches: 1,
+        };
+        assert!(base.validate(&cfg).is_ok());
+
+        let cases: Vec<(HybridSpec, &str)> = vec![
+            (
+                HybridSpec {
+                    grid: [2, 3, 1],
+                    ..base
+                },
+                "square",
+            ),
+            (
+                HybridSpec {
+                    grid: [4, 4, 3],
+                    ..base
+                },
+                "d | q",
+            ),
+            (HybridSpec { pp: 3, ..base }, "pipeline stages"),
+            (HybridSpec { dp: 3, ..base }, "data-parallel replicas"),
+            (
+                HybridSpec {
+                    microbatches: 3,
+                    ..base
+                },
+                "microbatches",
+            ),
+            (
+                HybridSpec {
+                    dp: 2,
+                    microbatches: 2,
+                    ..base
+                },
+                "mesh rows",
+            ),
+            (
+                HybridSpec {
+                    microbatches: 0,
+                    ..base
+                },
+                "at least 1",
+            ),
+        ];
+        for (spec, needle) in cases {
+            let err = spec.validate(&cfg).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "{spec:?}: {err:?} should mention {needle:?}"
+            );
+        }
+        let err = base.validate_for_world(&cfg, 5).unwrap_err();
+        assert!(err.contains("uses 4 devices"), "{err}");
+    }
+
+    #[test]
+    fn rank_layout_roundtrips() {
+        let spec = HybridSpec {
+            pp: 2,
+            dp: 2,
+            grid: [2, 2, 1],
+            microbatches: 2,
+        };
+        for rank in 0..spec.devices() {
+            let (s, r, m) = spec.position(rank);
+            assert_eq!(spec.first_rank(s, r) + m, rank);
+        }
+        assert_eq!(spec.dp_group(1, 3).ranks(), &[11, 15]);
+        assert_eq!(spec.tie_group(1, 0).ranks(), &[4, 12]);
+        assert_eq!(spec.pipe_group(0, 2).ranks(), &[2, 10]);
+    }
+
+    #[test]
+    fn pipeline_stages_follow_the_serial_trajectory() {
+        // pp=2 over a [1,1,1] mesh is a plain 2-stage pipeline; the loss
+        // trajectory must track the serial model (f32 reduction-order slack).
+        let cfg = OptimusConfig {
+            q: 1,
+            batch: 4,
+            ..OptimusConfig::tiny(1)
+        };
+        let (tokens, labels) = data(&cfg, 11);
+        let mut reference = SerialModel::new(cfg.model(), 7);
+        let ref_losses: Vec<f32> = (0..4)
+            .map(|_| reference.train_step(&tokens, &labels, 0.2))
+            .collect();
+
+        for (pp, m) in [(2usize, 2usize), (2, 1), (2, 4)] {
+            let spec = HybridSpec {
+                pp,
+                dp: 1,
+                grid: [1, 1, 1],
+                microbatches: m,
+            };
+            spec.validate(&cfg).unwrap();
+            let losses = Mesh::run(spec.devices(), |ctx| {
+                let (mut st, grid) = build(ctx, &spec, &cfg, 7);
+                (0..4)
+                    .map(|_| st.train_step(&grid, &tokens, &labels, 0.2))
+                    .collect::<Vec<f32>>()
+            });
+            for dev in &losses {
+                for (a, b) in dev.iter().zip(&ref_losses) {
+                    assert!((a - b).abs() < 2e-3, "pp={pp} m={m}: hybrid={a} serial={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_bounds_live_microbatches() {
+        let cfg = OptimusConfig {
+            batch: 8,
+            ..OptimusConfig::tiny(1)
+        };
+        let (tokens, labels) = data(&cfg, 3);
+        let spec = HybridSpec {
+            pp: 2,
+            dp: 1,
+            grid: [1, 1, 1],
+            microbatches: 4,
+        };
+        let peaks = Mesh::run(spec.devices(), |ctx| {
+            let (mut st, grid) = build(ctx, &spec, &cfg, 5);
+            st.train_step(&grid, &tokens, &labels, 0.1);
+            st.peak_live_microbatches
+        });
+        assert_eq!(peaks, vec![2, 1], "1F1B bound is pp - stage");
+    }
+
+    #[test]
+    fn dry_run_logs_match_live_for_a_full_hybrid_step() {
+        // The tentpole claim: a 2-stage × 2-replica hybrid step emits
+        // byte-identical CommLog streams on both backends — including the
+        // backward p2p hops that recv_expect makes replayable.
+        let cfg = OptimusConfig {
+            batch: 8,
+            ..OptimusConfig::tiny(1)
+        };
+        let (tokens, labels) = data(&cfg, 9);
+        let spec = HybridSpec {
+            pp: 2,
+            dp: 2,
+            grid: [1, 1, 1],
+            microbatches: 2,
+        };
+        spec.validate(&cfg).unwrap();
+        let (_, live_logs) = Mesh::run_with_logs(spec.devices(), |ctx| {
+            let (mut st, grid) = build(ctx, &spec, &cfg, 7);
+            st.train_step(&grid, &tokens, &labels, 0.1)
+        });
+        let (_, dry_logs) = Mesh::dry_run_with_logs(spec.devices(), |c| {
+            let (mut st, grid) = build(c, &spec, &cfg, 7);
+            st.train_step(&grid, &tokens, &labels, 0.1)
+        });
+        assert_eq!(live_logs.len(), dry_logs.len());
+        for (l, d) in live_logs.iter().zip(&dry_logs) {
+            assert_eq!(l.ops, d.ops, "op stream mismatch at rank {}", l.rank);
+            assert_eq!(l.links, d.links, "link stream mismatch at rank {}", l.rank);
+        }
+    }
+
+    #[test]
+    fn losses_agree_across_every_device_of_a_3d_spec() {
+        let cfg = OptimusConfig {
+            batch: 8,
+            ..OptimusConfig::tiny(1)
+        };
+        let (tokens, labels) = data(&cfg, 13);
+        let spec = HybridSpec {
+            pp: 2,
+            dp: 2,
+            grid: [1, 1, 1],
+            microbatches: 2,
+        };
+        let losses = Mesh::run(spec.devices(), |ctx| {
+            let (mut st, grid) = build(ctx, &spec, &cfg, 4);
+            st.train_step(&grid, &tokens, &labels, 0.15)
+        });
+        for l in &losses {
+            assert_eq!(*l, losses[0], "loss must be identical everywhere");
+        }
+    }
+}

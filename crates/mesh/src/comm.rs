@@ -70,6 +70,28 @@ pub trait Communicator {
     /// Point-to-point receive (blocking on the live backend).
     fn recv(&self, from: usize) -> Vec<f32>;
 
+    /// Point-to-point receive with a declared payload length.
+    ///
+    /// Semantically identical to [`Communicator::recv`] on the live backend
+    /// (the declared `len` is checked against the wire payload). The trace
+    /// backend replays ranks sequentially and therefore cannot satisfy a
+    /// `recv` whose matching send happens on a *higher* rank (e.g. the
+    /// backward hops of a 1F1B pipeline schedule); `recv_expect` lets it
+    /// synthesize a zero payload of the declared length instead of
+    /// panicking. Receives record nothing in the [`CommLog`] (only senders
+    /// record link records), so logs stay byte-identical across backends —
+    /// this is the p2p analogue of pre-sizing non-root broadcast buffers.
+    fn recv_expect(&self, from: usize, len: usize) -> Vec<f32> {
+        let data = self.recv(from);
+        debug_assert_eq!(
+            data.len(),
+            len,
+            "recv_expect from {from}: declared {len} elems, wire carried {}",
+            data.len()
+        );
+        data
+    }
+
     /// Broadcast from group index `root` (binomial tree). Non-root buffers
     /// should be pre-sized to the root's payload length; the live backend
     /// tolerates unsized buffers, the trace backend requires pre-sizing.

@@ -306,6 +306,29 @@ impl Communicator for DryRunComm {
         DryRunComm::recv(self, from)
     }
 
+    fn recv_expect(&self, from: usize, len: usize) -> Vec<f32> {
+        // Sequential replay means a send from a higher rank has not happened
+        // yet when a lower rank's recv replays (the backward hops of a 1F1B
+        // pipeline). The caller declared the payload length, and receives
+        // record nothing in the log, so synthesizing zeros keeps the op/link
+        // streams byte-identical to a live run. When the matching send *did*
+        // already replay, consume it so the queue stays balanced.
+        let queued = self
+            .wire
+            .borrow_mut()
+            .queued
+            .get_mut(&(from, self.rank))
+            .and_then(|q| q.pop_front());
+        if let Some(sent) = queued {
+            assert_eq!(
+                sent, len,
+                "dry-run recv_expect at {} from {from}: declared {len} elems, send queued {sent}",
+                self.rank
+            );
+        }
+        vec![0.0; len]
+    }
+
     fn broadcast(&self, group: &Group, root: usize, data: &mut Vec<f32>) {
         traced_op(
             CommOp::Broadcast,
@@ -705,6 +728,48 @@ mod tests {
         Mesh::dry_run_with_logs(2, |c| {
             if Communicator::rank(c) == 0 {
                 DryRunComm::recv(c, 1); // rank 1 has not replayed yet
+            }
+        });
+    }
+
+    #[test]
+    fn recv_expect_replays_backward_dependencies() {
+        // The same cyclic pattern that panics with a plain recv: rank 0
+        // receives from rank 1 before rank 1 has replayed. recv_expect
+        // synthesizes the declared length, and because receives record
+        // nothing, the logs match a live run of the identical program.
+        let (_, live_logs) = Mesh::run_with_logs(2, |ctx| {
+            if Communicator::rank(ctx) == 0 {
+                let got = ctx.recv_expect(1, 6);
+                assert_eq!(got.len(), 6);
+            } else {
+                Communicator::send(ctx, 0, vec![2.0; 6]);
+            }
+        });
+        let (_, dry_logs) = Mesh::dry_run_with_logs(2, |c| {
+            if Communicator::rank(c) == 0 {
+                let got = c.recv_expect(1, 6);
+                assert_eq!(got.len(), 6);
+            } else {
+                Communicator::send(c, 0, vec![0.0; 6]);
+            }
+        });
+        for (l, d) in live_logs.iter().zip(&dry_logs) {
+            assert_eq!(l.ops, d.ops);
+            assert_eq!(l.links, d.links);
+        }
+    }
+
+    #[test]
+    fn recv_expect_consumes_already_replayed_sends() {
+        // Forward direction: the matching send replays first, so recv_expect
+        // must consume it (keeping the queue balanced) and check the length.
+        Mesh::dry_run_with_logs(2, |c| {
+            if Communicator::rank(c) == 0 {
+                Communicator::send(c, 1, vec![0.0; 3]);
+            } else {
+                let got = c.recv_expect(0, 3);
+                assert_eq!(got.len(), 3);
             }
         });
     }

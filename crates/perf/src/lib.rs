@@ -23,7 +23,11 @@
 //!   `W ~ (√p·log p)³` (Optimus).
 //! * [`tracecheck`] — cross-checks of recorded [`trace`] timelines against
 //!   the cost model (and, via the integration tests, Table 1).
+//! * [`autotune`] — the hybrid 3D/4D configuration-space search behind
+//!   `optimus-cli autotune`: every valid `pp × dp × [q, q, d] × m`
+//!   partition priced by the same models, reduced to a Pareto frontier.
 
+pub mod autotune;
 pub mod calibration;
 pub mod cost;
 pub mod isoeff;

@@ -26,6 +26,9 @@
 //! * [`pipeline`] — GPipe-style pipeline parallelism (the related-work
 //!   paradigm): stage-split stem with both the flush and the memory-bounded
 //!   1F1B schedules.
+//! * [`hybrid`] — the 3D/4D composition: pipeline stages × data-parallel
+//!   replicas × 2D/2.5D tensor meshes running one 1F1B-over-SUMMA schedule,
+//!   live or dry-run, searched by `perf::autotune`.
 //! * [`trace`] — structured tracing: phase-scoped spans, per-device
 //!   timelines from both `Communicator` backends, Chrome `trace_event`
 //!   export (Perfetto-loadable) and per-phase summaries (see
@@ -70,6 +73,7 @@
 //! }
 //! ```
 
+pub use hybrid;
 pub use megatron;
 pub use mesh;
 pub use minjson;
