@@ -15,6 +15,7 @@
 //! optimus-cli crossover                             # 1D vs 2D vs 2.5D table
 //! optimus-cli autotune --devices 512 --mem-budget 16 [--report R.json] [--check]
 //! optimus-cli calibrate [--bench BENCH_gemm.json]
+//! optimus-cli tune-coll [--devices 8] [--reps 24] [--save results/coll_tune.json]
 //! optimus-cli info
 //! ```
 //!
@@ -64,15 +65,26 @@
 //! up automatically, so Eq. 4–5 track the measured kernels instead of the
 //! paper's GPU profile; `--profile frontera` forces the paper profile back.
 //!
+//! `tune-coll` does the same for the **collective algorithm registry**: it
+//! times every algorithm on each collective's menu across message sizes on
+//! the live thread mesh (`--devices`, default 8), keeps a byte-range rule
+//! for every cell where a non-default algorithm measures fastest, prints
+//! the measured-vs-α-β-modeled winner per cell, gates the table with a
+//! tracecheck-reconciled (< 1e-5) 8 × 8 dry-run, and persists it to
+//! `results/coll_tune.json` — which every other command auto-loads and
+//! installs via `mesh::install_algo_table` at startup. Delete the file to
+//! return to the built-in defaults.
+//!
 //! The training corpus is the built-in cyclic-pattern language (the same one
 //! the tests and examples use), so runs are self-contained and deterministic.
 
 use megatron::{MegatronConfig, MegatronModel};
-use mesh::{Arrangement, Mesh, Mesh2d, Topology};
+use mesh::{AlgoRule, AlgoTable, Arrangement, CollAlgo, CommOp, Mesh, Mesh2d, Topology};
 use minjson::Json;
 use optimus_core::{OptimusConfig, OptimusModel};
 use perf::calibration::CALIBRATION_PATH;
-use perf::{Calibration, CostModel, HardwareProfile};
+use perf::colltune::COLL_TUNE_PATH;
+use perf::{Calibration, CollTune, CostModel, HardwareProfile};
 use serial::{ModelConfig, ModelParams, SerialModel};
 use std::collections::HashMap;
 use std::path::Path;
@@ -223,6 +235,7 @@ fn apply_flags(mut args: Args, flags: &HashMap<String, String>) -> Result<Args, 
             }
             "save" | "load" | "trace" | "bench" | "metrics" => {} // handled by the caller
             "mem-budget" | "report" | "check" => {}               // autotune flags, handled there
+            "reps" => {}                                          // tune-coll flag, handled there
             "grid" => {} // handled by finalize_mesh (order-independent)
             other => return Err(format!("unknown flag --{other}")),
         }
@@ -974,6 +987,216 @@ fn spec_label(s: &hybrid::HybridSpec) -> String {
     )
 }
 
+/// Byte-range boundaries for the tuned rules: cell `i` of the sweep grid
+/// owns `[lo, hi]` bytes where the split between adjacent measured sizes is
+/// their geometric midpoint (sizes are log-spaced, so the midpoint in log
+/// space is the natural crossover estimate), the first cell reaches down to
+/// zero and the last up to `usize::MAX`.
+fn cell_bounds(sizes: &[usize], i: usize) -> (usize, usize) {
+    let mid = |a: usize, b: usize| (((a * 4) as f64 * (b * 4) as f64).sqrt()) as usize;
+    let lo = if i == 0 {
+        0
+    } else {
+        mid(sizes[i - 1], sizes[i]) + 1
+    };
+    let hi = if i + 1 == sizes.len() {
+        usize::MAX
+    } else {
+        mid(sizes[i], sizes[i + 1])
+    };
+    (lo, hi)
+}
+
+/// The end-to-end gate behind `tune-coll`: with the tuned table installed
+/// process-globally, one Optimus training step dry-runs on the paper-scale
+/// 8 × 8 mesh and the priced timeline must reconcile with the cost model
+/// through `perf::tracecheck` to better than 1e-5 — proof that the dry-run
+/// prices exactly the algorithm the selection layer picks, rule by rule.
+fn tune_coll_check(profile: &HardwareProfile) -> Result<(), String> {
+    const Q: usize = 8;
+    let ocfg = OptimusConfig {
+        q: Q,
+        batch: 8,
+        seq: 16,
+        hidden: 64,
+        heads: 8,
+        vocab: 16,
+        layers: 2,
+        causal: true,
+        checkpoint: true,
+        fused_attention: false,
+    };
+    let mut rng = Rng::new(0xC011);
+    let n = ocfg.batch * ocfg.seq;
+    let tokens: Vec<usize> = (0..n).map(|_| rng.below(ocfg.vocab)).collect();
+    let labels: Vec<usize> = (0..n).map(|_| rng.below(ocfg.vocab)).collect();
+    // Same fine-clock trick as `autotune --check`: the α-β model is linear,
+    // so scaling every rate term together shrinks the clock-rounding floor
+    // three orders of magnitude below the 1e-5 bar without moving any
+    // relative gap.
+    const CLOCK_SCALE: f64 = 1024.0;
+    let fine = HardwareProfile {
+        mac_rate: profile.mac_rate / CLOCK_SCALE,
+        alpha: profile.alpha * CLOCK_SCALE,
+        beta_intra: profile.beta_intra * CLOCK_SCALE,
+        beta_inter: profile.beta_inter * CLOCK_SCALE,
+        ..profile.clone()
+    };
+    let p = Q * Q;
+    let cost = CostModel::new(fine, Topology::flat(p, profile.gpus_per_node.min(p)));
+    let (_, _, traces) = mesh::MeshNd::dry_run_traced(&[Q, Q, 1], cost.ns_pricer(), |g| {
+        let mut m = OptimusModel::new(&ocfg, 7, g);
+        m.train_step(g, &tokens, &labels, 0.1)
+    });
+    let totals = perf::tracecheck::op_totals(&cost, &traces);
+    let gap = perf::tracecheck::max_rel_gap(&totals);
+    if gap.is_nan() || gap >= 1e-5 {
+        return Err(format!(
+            "tracecheck reconciliation gap {gap:.3e} exceeds 1e-5 on the tuned 8x8 dry-run"
+        ));
+    }
+    println!(
+        "tuned-table cross-check (8x8 dry-run, one Optimus train step): \
+         tracecheck max relative gap {gap:.2e} < 1e-5"
+    );
+    Ok(())
+}
+
+/// The `tune-coll` command: measures every registered collective algorithm
+/// on the live thread mesh across message sizes, derives the selection
+/// table of measured winners (one byte-range rule per cell where the winner
+/// differs from the built-in default), cross-checks the modeled winner
+/// against the measured one per cell, gates the table with a tracecheck'd
+/// 8 × 8 dry-run, and persists it where every entry point auto-loads it.
+fn tune_coll_cmd(a: &Args, flags: &HashMap<String, String>) -> Result<(), String> {
+    let p = a.devices.unwrap_or(8);
+    if p < 2 {
+        return Err("--devices must be at least 2 to measure collectives".to_string());
+    }
+    let base_reps: usize = match flags.get("reps") {
+        Some(v) => v.parse().map_err(|e| format!("--reps: {e}"))?,
+        None => 24,
+    };
+    let trials = 3;
+    let sizes: Vec<usize> = bench::coll::TUNE_ELEMS.to_vec();
+    let profile = autotune_profile(a);
+    let cost = CostModel::new(
+        profile.clone(),
+        Topology::flat(p, profile.gpus_per_node.min(p)),
+    );
+    let ranks: Vec<usize> = (0..p).collect();
+
+    println!(
+        "tune-coll: {p}-device live mesh, sizes {:?} f32 elems, reps<= {base_reps}, min of {trials} trials",
+        sizes
+    );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut rules: Vec<AlgoRule> = Vec::new();
+    let (mut cells, mut agree) = (0usize, 0usize);
+    for op in bench::coll::TUNE_OPS {
+        for (i, &elems) in sizes.iter().enumerate() {
+            if op == CommOp::ReduceScatter && elems % p != 0 {
+                continue; // reduce-scatter needs p | payload
+            }
+            let samples: Vec<bench::coll::CollSample> = CollAlgo::menu(op)
+                .iter()
+                .map(|&algo| {
+                    bench::coll::measure_coll(
+                        op,
+                        algo,
+                        p,
+                        elems,
+                        bench::coll::reps_for(base_reps, elems),
+                        trials,
+                    )
+                })
+                .collect();
+            let winner = samples
+                .iter()
+                .min_by(|x, y| x.secs.total_cmp(&y.secs))
+                .expect("non-empty menu");
+            let modeled = *CollAlgo::menu(op)
+                .iter()
+                .min_by(|&&x, &&y| {
+                    cost.coll_time(op, x, &ranks, elems)
+                        .total_cmp(&cost.coll_time(op, y, &ranks, elems))
+                })
+                .expect("non-empty menu");
+            cells += 1;
+            if winner.algo == modeled {
+                agree += 1;
+            }
+            rows.push(vec![
+                op.name().to_string(),
+                elems.to_string(),
+                samples
+                    .iter()
+                    .map(|s| format!("{} {:.1}us", s.algo.name(), s.secs * 1e6))
+                    .collect::<Vec<_>>()
+                    .join("  "),
+                winner.algo.name().to_string(),
+                modeled.name().to_string(),
+            ]);
+            if winner.algo != CollAlgo::default_for(op) {
+                let (min_bytes, max_bytes) = cell_bounds(&sizes, i);
+                rules.push(AlgoRule {
+                    op,
+                    min_group: 2,
+                    max_group: usize::MAX,
+                    min_bytes,
+                    max_bytes,
+                    algo: winner.algo,
+                });
+            }
+        }
+    }
+    println!(
+        "{}",
+        bench::render_table(
+            &["op", "elems", "measured per algorithm", "winner", "modeled"],
+            &rows
+        )
+    );
+    println!("α-β model picks the measured winner in {agree}/{cells} cells");
+    if rules.is_empty() {
+        println!("every measured winner matches the built-in default; writing an empty table");
+    } else {
+        println!(
+            "{} cell(s) beat the default — rules: {}",
+            rules.len(),
+            rules
+                .iter()
+                .map(|r| format!(
+                    "{} [{}..{}B] -> {}",
+                    r.op.name(),
+                    r.min_bytes,
+                    if r.max_bytes == usize::MAX {
+                        "inf".to_string()
+                    } else {
+                        r.max_bytes.to_string()
+                    },
+                    r.algo.name()
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    let tune = CollTune {
+        source: format!("tune-coll p={p} ({cells} cells)"),
+        table: AlgoTable { rules },
+    };
+    mesh::install_algo_table(tune.table.clone());
+    tune_coll_check(&profile)?;
+    let out = flags
+        .get("save")
+        .map(String::as_str)
+        .unwrap_or(COLL_TUNE_PATH);
+    tune.save(out).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote tuned table to {out} — every CLI entry point now auto-loads it");
+    Ok(())
+}
+
 /// The `autotune` command: sweep, table, optional report and live check.
 fn autotune_cmd(a: &Args, flags: &HashMap<String, String>) -> Result<(), String> {
     let devices = a
@@ -1179,7 +1402,7 @@ fn main() {
         Some((c, r)) => (c.clone(), r.to_vec()),
         None => {
             eprintln!(
-                "usage: optimus-cli [train|eval|generate|calibrate|crossover|autotune|info] --flag value ..."
+                "usage: optimus-cli [train|eval|generate|calibrate|tune-coll|crossover|autotune|info] --flag value ..."
             );
             std::process::exit(2);
         }
@@ -1197,9 +1420,9 @@ fn main() {
         Args::default()
     };
     let args = match apply_flags(base, &flags).and_then(|a| {
-        if cmd == "autotune" {
-            // autotune enumerates meshes itself: --devices is the world to
-            // partition, not a q²·d cross-check.
+        if cmd == "autotune" || cmd == "tune-coll" {
+            // autotune and tune-coll size their own worlds: --devices is the
+            // world to partition/measure, not a q²·d cross-check.
             Ok(a)
         } else {
             finalize_mesh(a, &flags)
@@ -1211,6 +1434,24 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // A tuned collective-algorithm table persisted by `tune-coll` applies
+    // to every entry point, exactly like the calibrated compute rate —
+    // except to `tune-coll` itself, which must measure from the baseline.
+    if cmd != "tune-coll" {
+        match CollTune::load(COLL_TUNE_PATH) {
+            Ok(Some(tune)) => {
+                println!(
+                    "collective algorithms: {} tuned rule(s) from {COLL_TUNE_PATH} (source: {})",
+                    tune.table.rules.len(),
+                    tune.source
+                );
+                mesh::install_algo_table(tune.table);
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: ignoring collective tune: {e}"),
+        }
+    }
+
     // Reject unwritable output paths before any work happens: a run that
     // trains for minutes and then dies writing its report helps nobody.
     for flag in ["trace", "metrics", "report"] {
@@ -1277,6 +1518,12 @@ fn main() {
             println!("greedy continuation (token ids): {tokens:?}");
         }
         "calibrate" => calibrate(&flags),
+        "tune-coll" => {
+            if let Err(e) = tune_coll_cmd(&args, &flags) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
         "crossover" => crossover(&args),
         "autotune" => {
             if let Err(e) = autotune_cmd(&args, &flags) {

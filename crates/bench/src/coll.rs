@@ -1,0 +1,152 @@
+//! Live measurement harness for collective algorithms, shared by
+//! `optimus-cli tune-coll` and the `coll-bench` binary.
+//!
+//! Each cell of the sweep runs one `(op, algorithm, payload size)`
+//! combination on a fresh thread mesh: every rank loops the collective
+//! `reps` times between barriers and times its own loop, the cell takes the
+//! **max over ranks** (a collective is only done when its slowest member
+//! is) and the **min over trials** (the noise-robust statistic on a loaded
+//! host), divided down to seconds per call.
+//!
+//! `elems` always means what the selection layer ([`mesh::AlgoTable`])
+//! sees at the call site:
+//! the full payload for broadcast/reduce/all-reduce/reduce-scatter, the
+//! per-rank block for all-gather. Reduce-scatter payloads must divide by
+//! the group size, so sweep sizes should be multiples of the world size.
+
+use mesh::{CollAlgo, CommOp, Communicator, Group, Mesh};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The collectives a tuning sweep covers (everything with a selectable
+/// algorithm menu; `Barrier` has a single implementation).
+pub const TUNE_OPS: [CommOp; 5] = [
+    CommOp::Broadcast,
+    CommOp::Reduce,
+    CommOp::AllReduce,
+    CommOp::AllGather,
+    CommOp::ReduceScatter,
+];
+
+/// Default payload sizes (f32 elements): 256 B, 4 KiB, 64 KiB, 1 MiB.
+pub const TUNE_ELEMS: [usize; 4] = [64, 1024, 16384, 262144];
+
+/// One measured `(op, algorithm, size)` cell.
+#[derive(Clone, Copy, Debug)]
+pub struct CollSample {
+    pub op: CommOp,
+    pub algo: CollAlgo,
+    /// Payload f32 elements as the selection layer keys them.
+    pub elems: usize,
+    /// Seconds per collective call.
+    pub secs: f64,
+}
+
+impl CollSample {
+    /// Payload bandwidth in GB/s: logical payload bytes over call time.
+    /// Algorithm-agnostic by design — wire traffic differs per algorithm,
+    /// the payload a caller hands over does not — so cells in one
+    /// `(op, size)` row compare directly.
+    pub fn gbps(&self) -> f64 {
+        (self.elems * 4) as f64 / self.secs / 1e9
+    }
+}
+
+fn run_once(ctx: &impl Communicator, g: &Group, op: CommOp, algo: CollAlgo, data: &mut [f32]) {
+    match op {
+        CommOp::Broadcast => ctx.broadcast_algo(g, 0, data, algo),
+        CommOp::Reduce => ctx.reduce_algo(g, 0, data, algo),
+        CommOp::AllReduce => ctx.all_reduce_algo(g, data, algo),
+        CommOp::AllGather => {
+            black_box(ctx.all_gather_algo(g, data, algo));
+        }
+        CommOp::ReduceScatter => {
+            black_box(ctx.reduce_scatter_algo(g, data, algo));
+        }
+        _ => ctx.barrier(g),
+    }
+}
+
+/// Measures one cell on a live `p`-device thread mesh. Panics if `algo` is
+/// not on `op`'s menu (the sweep should never ask for an invalid pairing).
+pub fn measure_coll(
+    op: CommOp,
+    algo: CollAlgo,
+    p: usize,
+    elems: usize,
+    reps: usize,
+    trials: usize,
+) -> CollSample {
+    assert!(
+        algo.valid_for(op),
+        "{} has no {:?} algorithm",
+        op.name(),
+        algo
+    );
+    assert!(
+        op != CommOp::ReduceScatter || elems.is_multiple_of(p),
+        "reduce-scatter payload {elems} must divide by the group size {p}"
+    );
+    let reps = reps.max(1);
+    let trials = trials.max(1);
+    let per_rank: Vec<Vec<f64>> = Mesh::run(p, move |ctx| {
+        let g = Group::world(p);
+        let mut data = vec![1.0f32; elems];
+        run_once(ctx, &g, op, algo, &mut data); // warm the queues
+        let mut times = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            ctx.barrier(&g);
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                run_once(ctx, &g, op, algo, &mut data);
+            }
+            ctx.barrier(&g);
+            times.push(t0.elapsed().as_secs_f64());
+        }
+        times
+    });
+    let secs = (0..trials)
+        .map(|t| per_rank.iter().map(|r| r[t]).fold(0.0, f64::max))
+        .fold(f64::INFINITY, f64::min)
+        / reps as f64;
+    CollSample {
+        op,
+        algo,
+        elems,
+        secs,
+    }
+}
+
+/// Repetition count for a cell: scaled down for big payloads so the sweep
+/// stays quick, never below 4 so the min-of-trials has something to pick
+/// from.
+pub fn reps_for(base: usize, elems: usize) -> usize {
+    (base * 16384 / elems.max(1)).clamp(4, base.max(4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_menu_cell_measures_positive_time() {
+        for op in TUNE_OPS {
+            for &(algo, _) in CollAlgo::ALL.iter() {
+                if !algo.valid_for(op) {
+                    continue;
+                }
+                let s = measure_coll(op, algo, 4, 64, 2, 1);
+                assert!(s.secs > 0.0, "{} / {:?}", op.name(), algo);
+                assert!(s.gbps() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn reps_scale_down_with_payload() {
+        assert_eq!(reps_for(24, 64), 24);
+        assert_eq!(reps_for(24, 16384), 24);
+        assert_eq!(reps_for(24, 262144), 4);
+        assert_eq!(reps_for(0, 1), 4);
+    }
+}

@@ -3,6 +3,8 @@
 //! runner used by every target under `benches/` (all of which are plain
 //! `harness = false` binaries).
 
+pub mod coll;
+
 use std::fs;
 use std::path::Path;
 use std::time::Instant;

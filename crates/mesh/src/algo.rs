@@ -1,0 +1,317 @@
+//! Collective-algorithm registry: which schedule a collective runs.
+//!
+//! The paper's Eq. 4–5 assume one broadcast algorithm (binomial tree) and
+//! one all-reduce algorithm (ring) at every message size, but the α-β
+//! trade-off flips with message size and group shape: small messages want
+//! few rounds (α-bound), large messages want minimal bytes-per-link and
+//! pipelining (β-bound). This module names the implemented algorithms
+//! ([`CollAlgo`]), the menu each collective can choose from
+//! ([`CollAlgo::menu`]), and a rule table ([`AlgoTable`]) keyed by
+//! `(op, group_size, bytes)` that picks one per call.
+//!
+//! Selection is process-global: [`install`] swaps the active table (done
+//! once before device threads spawn, e.g. after loading
+//! `results/coll_tune.json`), and both [`crate::Communicator`] backends
+//! consult [`select`] on every collective call, so the live mesh and the
+//! dry-run replay always agree on the schedule — the precondition for
+//! byte-identical log streams and faithful per-algorithm pricing in
+//! `perf::cost`.
+//!
+//! The default table is [`AlgoTable::baseline`]: the pre-registry
+//! hardwired choices (tree broadcast/reduce, ring everything else), so
+//! bitwise-identity tests and golden traces are unchanged until a table is
+//! explicitly installed.
+
+use crate::stats::CommOp;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A concrete collective schedule. Not every algorithm applies to every
+/// collective — see [`CollAlgo::menu`] for the valid choices per op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollAlgo {
+    /// Binomial tree (broadcast/reduce); for all-reduce, a reduce to group
+    /// index 0 followed by a broadcast. `⌈log₂ g⌉` rounds of the full
+    /// payload — the α winner for tiny messages.
+    Tree,
+    /// Segmented pipelined chain: the payload streams down the member
+    /// chain in `S` segments (see [`chain_segments`]), overlapping hops —
+    /// the β winner for large broadcasts on long chains.
+    Chain,
+    /// Ring reduce-scatter + all-gather (the paper's Eq. 5): minimal
+    /// bytes-per-link, `g−1` rounds per phase — the β winner.
+    Ring,
+    /// Recursive halving/doubling (Rabenseifner): `⌈log₂ g⌉` rounds per
+    /// phase at ring-equivalent wire volume — the α winner for small
+    /// all-reduce / reduce-scatter payloads. Non-power-of-two groups use
+    /// an uneven binary split (documented in DESIGN.md §10).
+    Halving,
+    /// Bruck all-gather: `⌈log₂ g⌉` rounds of doubling block counts —
+    /// ring wire volume at tree latency.
+    Bruck,
+}
+
+impl CollAlgo {
+    /// Every algorithm paired with its stable display name, in declaration
+    /// order. Single source of truth for the strings stamped into trace
+    /// events (`args.algo`) and the tuning-file format.
+    pub const ALL: [(CollAlgo, &'static str); 5] = [
+        (CollAlgo::Tree, "tree"),
+        (CollAlgo::Chain, "chain"),
+        (CollAlgo::Ring, "ring"),
+        (CollAlgo::Halving, "halving"),
+        (CollAlgo::Bruck, "bruck"),
+    ];
+
+    /// Stable display name (also the trace label and tuning-file token).
+    pub fn name(self) -> &'static str {
+        Self::ALL[self as usize].1
+    }
+
+    /// Inverse of [`CollAlgo::name`].
+    pub fn from_name(name: &str) -> Option<CollAlgo> {
+        Self::ALL
+            .into_iter()
+            .find(|(_, n)| *n == name)
+            .map(|(a, _)| a)
+    }
+
+    /// The algorithms implemented for a collective, default first. The
+    /// default is the pre-registry hardwired schedule, so an empty table
+    /// reproduces historical behaviour bit for bit.
+    pub fn menu(op: CommOp) -> &'static [CollAlgo] {
+        match op {
+            CommOp::Broadcast | CommOp::Reduce => &[CollAlgo::Tree, CollAlgo::Chain],
+            CommOp::AllReduce => &[CollAlgo::Ring, CollAlgo::Halving, CollAlgo::Tree],
+            CommOp::AllGather => &[CollAlgo::Ring, CollAlgo::Bruck],
+            CommOp::ReduceScatter => &[CollAlgo::Ring, CollAlgo::Halving],
+            CommOp::Barrier => &[CollAlgo::Tree],
+        }
+    }
+
+    /// The hardwired pre-registry choice for a collective.
+    pub fn default_for(op: CommOp) -> CollAlgo {
+        Self::menu(op)[0]
+    }
+
+    /// Whether this algorithm is implemented for the given collective.
+    pub fn valid_for(self, op: CommOp) -> bool {
+        Self::menu(op).contains(&self)
+    }
+}
+
+/// Number of pipeline segments the chain algorithms split a payload into.
+///
+/// Pure function of `(elems, group_size)` shared by the live schedule, the
+/// dry-run mirror, and `perf::cost` pricing, so all three agree on wire
+/// sizes and round counts. Segments are ~2048 `f32` (8 KiB), capped at 32;
+/// payloads below one segment stream as a single hop.
+pub fn chain_segments(elems: usize, group_size: usize) -> usize {
+    let _ = group_size; // reserved: a future rule may cap S by chain length
+    elems.div_ceil(2048).clamp(1, 32)
+}
+
+/// One selection rule: `algo` applies when the op matches and both the
+/// group size and payload byte count fall inside the (inclusive) ranges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AlgoRule {
+    pub op: CommOp,
+    pub min_group: usize,
+    pub max_group: usize,
+    pub min_bytes: usize,
+    pub max_bytes: usize,
+    pub algo: CollAlgo,
+}
+
+impl AlgoRule {
+    fn matches(&self, op: CommOp, group_size: usize, bytes: usize) -> bool {
+        self.op == op
+            && (self.min_group..=self.max_group).contains(&group_size)
+            && (self.min_bytes..=self.max_bytes).contains(&bytes)
+    }
+}
+
+/// Algorithm selection table: an ordered rule list (first match wins) with
+/// the hardwired defaults as fallback.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AlgoTable {
+    pub rules: Vec<AlgoRule>,
+}
+
+impl AlgoTable {
+    /// The empty table: every collective runs its pre-registry default
+    /// (tree broadcast/reduce, ring all-reduce/all-gather/reduce-scatter).
+    pub fn baseline() -> AlgoTable {
+        AlgoTable { rules: Vec::new() }
+    }
+
+    /// The a-priori crossover heuristic, derived from the α-β formulas in
+    /// DESIGN.md §10 (no measurement required):
+    ///
+    /// * small payloads (≤ 4 KiB) on groups ≥ 4 are latency-bound →
+    ///   halving/doubling all-reduce & reduce-scatter, Bruck all-gather,
+    ///   and tree all-reduce for the tiniest (≤ 256 B) payloads;
+    /// * large broadcasts/reduces (≥ 256 KiB) on chains of ≥ 4 members are
+    ///   bandwidth-bound → segmented pipelined chain.
+    pub fn heuristic() -> AlgoTable {
+        const MAX: usize = usize::MAX;
+        let rule = |op, min_group, min_bytes, max_bytes, algo| AlgoRule {
+            op,
+            min_group,
+            max_group: MAX,
+            min_bytes,
+            max_bytes,
+            algo,
+        };
+        AlgoTable {
+            rules: vec![
+                rule(CommOp::AllReduce, 4, 0, 256, CollAlgo::Tree),
+                rule(CommOp::AllReduce, 4, 257, 4096, CollAlgo::Halving),
+                rule(CommOp::ReduceScatter, 4, 0, 4096, CollAlgo::Halving),
+                rule(CommOp::AllGather, 4, 0, 4096, CollAlgo::Bruck),
+                rule(CommOp::Broadcast, 4, 256 * 1024, MAX, CollAlgo::Chain),
+                rule(CommOp::Reduce, 4, 256 * 1024, MAX, CollAlgo::Chain),
+            ],
+        }
+    }
+
+    /// Picks the algorithm for one collective call. First matching rule
+    /// wins; rules naming an algorithm the op does not implement are
+    /// skipped; no match falls back to the hardwired default.
+    pub fn select(&self, op: CommOp, group_size: usize, bytes: usize) -> CollAlgo {
+        self.rules
+            .iter()
+            .find(|r| r.matches(op, group_size, bytes) && r.algo.valid_for(op))
+            .map(|r| r.algo)
+            .unwrap_or_else(|| CollAlgo::default_for(op))
+    }
+}
+
+fn global() -> &'static RwLock<Arc<AlgoTable>> {
+    static TABLE: OnceLock<RwLock<Arc<AlgoTable>>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(Arc::new(AlgoTable::baseline())))
+}
+
+/// Installs a table as the process-global selection policy. Call before
+/// device threads spawn (e.g. from CLI startup after loading
+/// `results/coll_tune.json`); collectives already in flight keep the table
+/// they started with.
+pub fn install(table: AlgoTable) {
+    *global().write().unwrap() = Arc::new(table);
+}
+
+/// The currently installed table.
+pub fn installed() -> Arc<AlgoTable> {
+    global().read().unwrap().clone()
+}
+
+/// Selects the algorithm for one collective call under the installed
+/// table. Payload size is given in `f32` elements (×4 = bytes, the unit
+/// the table is keyed by).
+pub fn select(op: CommOp, group_size: usize, elems: usize) -> CollAlgo {
+    installed().select(op, group_size, elems * 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_match_discriminants() {
+        for (i, (algo, _)) in CollAlgo::ALL.iter().enumerate() {
+            assert_eq!(*algo as usize, i, "ALL out of declaration order");
+            assert_eq!(CollAlgo::from_name(algo.name()), Some(*algo));
+        }
+        assert_eq!(CollAlgo::from_name("gossip"), None);
+    }
+
+    #[test]
+    fn menus_lead_with_the_legacy_default() {
+        assert_eq!(CollAlgo::default_for(CommOp::Broadcast), CollAlgo::Tree);
+        assert_eq!(CollAlgo::default_for(CommOp::Reduce), CollAlgo::Tree);
+        assert_eq!(CollAlgo::default_for(CommOp::AllReduce), CollAlgo::Ring);
+        assert_eq!(CollAlgo::default_for(CommOp::AllGather), CollAlgo::Ring);
+        assert_eq!(CollAlgo::default_for(CommOp::ReduceScatter), CollAlgo::Ring);
+        for (op, _) in CommOp::KINDS {
+            for algo in CollAlgo::menu(op) {
+                assert!(algo.valid_for(op));
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_table_always_picks_defaults() {
+        let t = AlgoTable::baseline();
+        for (op, _) in CommOp::KINDS {
+            for g in [1, 2, 5, 64] {
+                for b in [0, 17, 1 << 20] {
+                    assert_eq!(t.select(op, g, b), CollAlgo::default_for(op));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_matching_rule_wins_and_invalid_rules_are_skipped() {
+        let t = AlgoTable {
+            rules: vec![
+                // Invalid: Bruck is not an all-reduce algorithm → skipped.
+                AlgoRule {
+                    op: CommOp::AllReduce,
+                    min_group: 1,
+                    max_group: usize::MAX,
+                    min_bytes: 0,
+                    max_bytes: usize::MAX,
+                    algo: CollAlgo::Bruck,
+                },
+                AlgoRule {
+                    op: CommOp::AllReduce,
+                    min_group: 4,
+                    max_group: 8,
+                    min_bytes: 0,
+                    max_bytes: 1024,
+                    algo: CollAlgo::Halving,
+                },
+                AlgoRule {
+                    op: CommOp::AllReduce,
+                    min_group: 4,
+                    max_group: 8,
+                    min_bytes: 0,
+                    max_bytes: 4096,
+                    algo: CollAlgo::Tree,
+                },
+            ],
+        };
+        assert_eq!(t.select(CommOp::AllReduce, 4, 512), CollAlgo::Halving);
+        assert_eq!(t.select(CommOp::AllReduce, 4, 2048), CollAlgo::Tree);
+        assert_eq!(t.select(CommOp::AllReduce, 4, 1 << 20), CollAlgo::Ring);
+        assert_eq!(t.select(CommOp::AllReduce, 2, 512), CollAlgo::Ring);
+        assert_eq!(t.select(CommOp::Broadcast, 4, 512), CollAlgo::Tree);
+    }
+
+    #[test]
+    fn heuristic_flips_at_least_one_regime_per_collective_family() {
+        let t = AlgoTable::heuristic();
+        assert_eq!(t.select(CommOp::AllReduce, 8, 64), CollAlgo::Tree);
+        assert_eq!(t.select(CommOp::AllReduce, 8, 2048), CollAlgo::Halving);
+        assert_eq!(t.select(CommOp::AllReduce, 8, 1 << 22), CollAlgo::Ring);
+        assert_eq!(t.select(CommOp::AllGather, 8, 1024), CollAlgo::Bruck);
+        assert_eq!(t.select(CommOp::Broadcast, 8, 1 << 20), CollAlgo::Chain);
+        // Small groups stay on the defaults: the crossover needs depth.
+        assert_eq!(t.select(CommOp::AllReduce, 2, 64), CollAlgo::Ring);
+    }
+
+    #[test]
+    fn chain_segments_is_clamped_and_monotone() {
+        assert_eq!(chain_segments(0, 4), 1);
+        assert_eq!(chain_segments(1, 4), 1);
+        assert_eq!(chain_segments(2048, 4), 1);
+        assert_eq!(chain_segments(2049, 4), 2);
+        assert_eq!(chain_segments(1 << 20, 4), 32);
+        let mut last = 0;
+        for n in [0usize, 1, 7, 1023, 65536, 1 << 20] {
+            let s = chain_segments(n, 8);
+            assert!(s >= last.min(32));
+            last = s;
+        }
+    }
+}

@@ -1,19 +1,30 @@
 //! Collective communication, implemented from scratch.
 //!
-//! * [`DeviceCtx::broadcast`] / [`DeviceCtx::reduce`] — binomial tree within
-//!   a group, `⌈log₂ g⌉` rounds: the algorithm behind the paper's Eq. 4 cost
-//!   `T = log(q)·β·B`. SUMMA uses these within mesh rows and columns.
-//! * [`DeviceCtx::all_reduce`] — ring reduce-scatter + ring all-gather,
-//!   moving `2(g−1)/g · B` per device: the paper's Eq. 5 and the collective
-//!   Megatron's 1D scheme is built on.
-//! * [`DeviceCtx::all_gather`] / [`DeviceCtx::reduce_scatter`] — the two ring
-//!   halves, exposed for vocab-parallel embeddings and tests.
+//! Each collective has a *menu* of schedules with distinct α-β profiles
+//! (see [`crate::CollAlgo`]); the plain methods pick one per call through
+//! the installed [`crate::AlgoTable`], and the `*_algo` variants take the
+//! choice explicitly:
+//!
+//! * **Broadcast / Reduce** — binomial tree (`⌈log₂ g⌉` rounds of the full
+//!   payload, the paper's Eq. 4) or a segmented pipelined chain (`S`
+//!   segments stream down the member chain, overlapping hops).
+//! * **AllReduce** — ring reduce-scatter + all-gather (the paper's Eq. 5),
+//!   recursive halving/doubling (ring wire volume at `⌈log₂ g⌉` latency),
+//!   or tree reduce-to-0 + broadcast for tiny payloads.
+//! * **AllGather** — ring, or Bruck (`⌈log₂ g⌉` rounds of doubling block
+//!   counts).
+//! * **ReduceScatter** — ring, or recursive halving.
 //! * [`DeviceCtx::barrier`] — empty reduce + broadcast.
 //!
-//! All members of a group must call the same collective in the same order;
-//! ordering between distinct (sender, receiver) pairs is guaranteed by the
-//! per-pair FIFO channels.
+//! Every schedule is deterministic with a documented accumulation order
+//! (DESIGN.md §10), and the trace-only backend mirrors each one exactly,
+//! so live and dry-run op/link streams stay byte-identical per algorithm.
+//!
+//! All members of a group must call the same collective with the same
+//! algorithm in the same order; ordering between distinct (sender,
+//! receiver) pairs is guaranteed by the per-pair FIFO channels.
 
+use crate::algo::{self, chain_segments, CollAlgo};
 use crate::fabric::DeviceCtx;
 use crate::group::Group;
 use crate::stats::CommOp;
@@ -75,6 +86,86 @@ pub(crate) fn reduce_tree(g: usize, rel: usize) -> (Vec<usize>, Option<usize>) {
     (sources, target)
 }
 
+/// One round of the recursive-halving reduce-scatter schedule for a single
+/// member: who it sends which chunk range to, then who it receives (and
+/// accumulates) which range from, in order. Chunk indices are group
+/// indices (`chunk_start` boundaries over the group size). The doubling
+/// (all-gather) phase replays the rounds in reverse with sends and
+/// receives swapped — receives become sends of the now-complete range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct HalvingRound {
+    /// `(peer group index, chunk_lo, chunk_hi)` sends, in order.
+    pub sends: Vec<(usize, usize, usize)>,
+    /// `(peer group index, chunk_lo, chunk_hi)` receives, in order —
+    /// accumulation order is part of the contract (partner first, then the
+    /// unpaired member's contribution).
+    pub recvs: Vec<(usize, usize, usize)>,
+}
+
+/// The recursive-halving schedule for member `me` of a `g`-member group.
+///
+/// Classic Rabenseifner halving generalized to any `g`: the member range
+/// splits into a lower half of `⌈len/2⌉` and an upper half of `⌊len/2⌋`;
+/// upper member `u` pairs with lower member `u − ⌈len/2⌉` and the pair
+/// exchanges the halves they are *not* responsible for. When the halves
+/// are uneven, the one unpaired lower member donates its upper-range
+/// contribution to the last upper member (receiving nothing that round —
+/// other lower members carry the upper contributions it needs through
+/// later rounds). After all rounds member `i` owns exactly chunk `i`.
+/// Shared by the live and trace-only backends and both the all-reduce and
+/// reduce-scatter halving paths.
+pub(crate) fn halving_rounds(g: usize, me: usize) -> Vec<HalvingRound> {
+    let mut rounds = Vec::new();
+    let (mut lo, mut hi) = (0usize, g);
+    while hi - lo > 1 {
+        let low_size = (hi - lo).div_ceil(2);
+        let mid = lo + low_size;
+        let up_size = hi - mid;
+        let mut round = HalvingRound {
+            sends: Vec::new(),
+            recvs: Vec::new(),
+        };
+        if me < mid {
+            let l = me - lo;
+            if l < up_size {
+                let partner = mid + l;
+                round.sends.push((partner, mid, hi));
+                round.recvs.push((partner, lo, mid));
+            } else {
+                // Unpaired lower member: donate the upper-range partial to
+                // the last upper member; receive nothing this round.
+                round.sends.push((hi - 1, mid, hi));
+            }
+            hi = mid;
+        } else {
+            let partner = lo + (me - mid);
+            round.sends.push((partner, lo, mid));
+            round.recvs.push((partner, mid, hi));
+            if me == hi - 1 && low_size > up_size {
+                round.recvs.push((mid - 1, mid, hi));
+            }
+            lo = mid;
+        }
+        rounds.push(round);
+    }
+    rounds
+}
+
+/// The Bruck all-gather round schedule: `(have, cnt)` per round, where
+/// `have` blocks are held before the round and the first `cnt` blocks of
+/// the rotated buffer go to member `(me − have) mod g` while `cnt` blocks
+/// arrive from `(me + have) mod g`. Shared with the trace-only backend.
+pub(crate) fn bruck_rounds(g: usize) -> Vec<(usize, usize)> {
+    let mut rounds = Vec::new();
+    let mut have = 1usize;
+    while have < g {
+        let cnt = have.min(g - have);
+        rounds.push((have, cnt));
+        have += cnt;
+    }
+    rounds
+}
+
 impl DeviceCtx {
     fn my_index(&self, group: &Group) -> usize {
         group
@@ -82,79 +173,191 @@ impl DeviceCtx {
             .unwrap_or_else(|| panic!("device {} is not in group {:?}", self.rank(), group))
     }
 
-    /// Broadcast from group index `root` to all members (binomial tree).
+    /// Broadcast from group index `root` to all members, with the
+    /// algorithm picked by the installed [`crate::AlgoTable`].
     ///
-    /// On non-root members `data` is replaced by the received buffer.
-    pub fn broadcast(&self, group: &Group, root: usize, data: &mut Vec<f32>) {
+    /// Non-root buffers must be pre-sized to the payload length (the
+    /// trace-only backend cannot learn sizes from the wire).
+    pub fn broadcast(&self, group: &Group, root: usize, data: &mut [f32]) {
+        let a = algo::select(CommOp::Broadcast, group.len(), data.len());
+        self.broadcast_algo(group, root, data, a);
+    }
+
+    /// [`DeviceCtx::broadcast`] with an explicit algorithm
+    /// ([`CollAlgo::Tree`] or [`CollAlgo::Chain`]).
+    pub fn broadcast_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
         let g = group.len();
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
-        if g == 1 {
-            self.record_op(CommOp::Broadcast, group, data.len());
-            return;
-        }
-        let rel = (me + g - root) % g;
-        let abs = |r: usize| group.rank_of((r + root) % g);
-
-        let (parent, children) = bcast_tree(g, rel);
-        if let Some(parent) = parent {
-            let incoming = self.recv(abs(parent));
-            if data.len() == incoming.len() {
-                // Caller pre-sized the buffer: copy in place and keep
-                // both allocations alive (theirs and the pool's).
-                data.copy_from_slice(&incoming);
-                self.recycle(incoming);
-            } else {
-                self.recycle(std::mem::replace(data, incoming));
+        if g > 1 {
+            let rel = (me + g - root) % g;
+            let abs = |r: usize| group.rank_of((r + root) % g);
+            match algo {
+                CollAlgo::Tree => {
+                    let (parent, children) = bcast_tree(g, rel);
+                    if let Some(parent) = parent {
+                        let incoming = self.recv(abs(parent));
+                        assert_eq!(
+                            incoming.len(),
+                            data.len(),
+                            "broadcast buffer not pre-sized to the payload"
+                        );
+                        data.copy_from_slice(&incoming);
+                        self.recycle(incoming);
+                    }
+                    for &child in &children {
+                        self.send_copy(abs(child), data);
+                    }
+                }
+                CollAlgo::Chain => {
+                    // Segments stream down the member chain root → root+1 →
+                    // …; every hop forwards segment j as soon as it lands,
+                    // so hops overlap across segments.
+                    let n = data.len();
+                    let s = chain_segments(n, g);
+                    for j in 0..s {
+                        let (a, b) = (chunk_start(n, s, j), chunk_start(n, s, j + 1));
+                        if rel > 0 {
+                            let incoming = self.recv(abs(rel - 1));
+                            assert_eq!(incoming.len(), b - a, "chain segment size mismatch");
+                            data[a..b].copy_from_slice(&incoming);
+                            self.recycle(incoming);
+                        }
+                        if rel + 1 < g {
+                            self.send_copy(abs(rel + 1), &data[a..b]);
+                        }
+                    }
+                }
+                other => panic!("{:?} is not a broadcast algorithm", other),
             }
         }
-        for &child in &children {
-            self.send_copy(abs(child), data);
-        }
-        // Record after the transfer so non-roots log the real payload size.
-        self.record_op(CommOp::Broadcast, group, data.len());
+        // Record after the transfer, matching the historical stream order.
+        self.record_op(CommOp::Broadcast, algo, group, data.len());
     }
 
-    /// Sum-reduce to group index `root` (reverse binomial tree).
+    /// Sum-reduce to group index `root`, with the algorithm picked by the
+    /// installed [`crate::AlgoTable`].
     ///
     /// Only the root's `data` holds the full sum afterwards; other members'
     /// buffers contain partial sums and must be treated as scratch.
     pub fn reduce(&self, group: &Group, root: usize, data: &mut [f32]) {
+        let a = algo::select(CommOp::Reduce, group.len(), data.len());
+        self.reduce_algo(group, root, data, a);
+    }
+
+    /// [`DeviceCtx::reduce`] with an explicit algorithm
+    /// ([`CollAlgo::Tree`] or [`CollAlgo::Chain`]).
+    pub fn reduce_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
         let g = group.len();
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
-        self.record_op(CommOp::Reduce, group, data.len());
+        self.record_op(CommOp::Reduce, algo, group, data.len());
         if g == 1 {
             return;
         }
         let rel = (me + g - root) % g;
         let abs = |r: usize| group.rank_of((r + root) % g);
-
-        let (sources, target) = reduce_tree(g, rel);
-        for &source in &sources {
-            let incoming = self.recv(abs(source));
-            assert_eq!(incoming.len(), data.len(), "reduce size mismatch");
-            for (d, v) in data.iter_mut().zip(&incoming) {
-                *d += v;
+        match algo {
+            CollAlgo::Tree => {
+                let (sources, target) = reduce_tree(g, rel);
+                for &source in &sources {
+                    let incoming = self.recv(abs(source));
+                    assert_eq!(incoming.len(), data.len(), "reduce size mismatch");
+                    for (d, v) in data.iter_mut().zip(&incoming) {
+                        *d += v;
+                    }
+                    self.recycle(incoming);
+                }
+                if let Some(target) = target {
+                    self.send_copy(abs(target), data);
+                }
             }
-            self.recycle(incoming);
-        }
-        if let Some(target) = target {
-            self.send_copy(abs(target), data);
+            CollAlgo::Chain => {
+                // Reverse chain: partial sums flow root+g−1 → … → root.
+                // Accumulation order per element is x_rel + (x_{rel+1} + …),
+                // one nesting per hop.
+                let n = data.len();
+                let s = chain_segments(n, g);
+                for j in 0..s {
+                    let (a, b) = (chunk_start(n, s, j), chunk_start(n, s, j + 1));
+                    if rel + 1 < g {
+                        let incoming = self.recv(abs(rel + 1));
+                        assert_eq!(incoming.len(), b - a, "chain segment size mismatch");
+                        for (d, v) in data[a..b].iter_mut().zip(&incoming) {
+                            *d += v;
+                        }
+                        self.recycle(incoming);
+                    }
+                    if rel > 0 {
+                        self.send_copy(abs(rel - 1), &data[a..b]);
+                    }
+                }
+            }
+            other => panic!("{:?} is not a reduce algorithm", other),
         }
     }
 
-    /// Ring all-reduce with a custom element-wise combiner.
+    /// All-reduce with a custom element-wise combiner and the algorithm
+    /// picked by the installed [`crate::AlgoTable`].
     pub fn all_reduce_by<F>(&self, group: &Group, data: &mut [f32], combine: F)
+    where
+        F: Fn(f32, f32) -> f32,
+    {
+        let a = algo::select(CommOp::AllReduce, group.len(), data.len());
+        self.all_reduce_algo_by(group, data, a, combine);
+    }
+
+    /// All-reduce with an explicit algorithm ([`CollAlgo::Ring`],
+    /// [`CollAlgo::Halving`] or [`CollAlgo::Tree`]) and combiner.
+    pub fn all_reduce_algo_by<F>(&self, group: &Group, data: &mut [f32], algo: CollAlgo, combine: F)
     where
         F: Fn(f32, f32) -> f32,
     {
         let g = group.len();
         let me = self.my_index(group);
-        self.record_op(CommOp::AllReduce, group, data.len());
+        self.record_op(CommOp::AllReduce, algo, group, data.len());
         if g == 1 {
             return;
         }
+        match algo {
+            CollAlgo::Ring => self.ring_all_reduce_by(group, me, data, combine),
+            CollAlgo::Halving => self.halving_all_reduce_by(group, me, data, combine),
+            CollAlgo::Tree => {
+                // Inline tree reduce to group index 0 + tree broadcast,
+                // recorded as ONE AllReduce op.
+                let (sources, target) = reduce_tree(g, me);
+                for &source in &sources {
+                    let incoming = self.recv(group.rank_of(source));
+                    assert_eq!(incoming.len(), data.len(), "all-reduce size mismatch");
+                    for (d, v) in data.iter_mut().zip(&incoming) {
+                        *d = combine(*d, *v);
+                    }
+                    self.recycle(incoming);
+                }
+                if let Some(target) = target {
+                    self.send_copy(group.rank_of(target), data);
+                }
+                let (parent, children) = bcast_tree(g, me);
+                if let Some(parent) = parent {
+                    let incoming = self.recv(group.rank_of(parent));
+                    data.copy_from_slice(&incoming);
+                    self.recycle(incoming);
+                }
+                for &child in &children {
+                    self.send_copy(group.rank_of(child), data);
+                }
+            }
+            other => panic!("{:?} is not an all-reduce algorithm", other),
+        }
+    }
+
+    /// Ring all-reduce body (the paper's Eq. 5): reduce-scatter phase then
+    /// all-gather phase, each `g−1` steps around the ring.
+    fn ring_all_reduce_by<F>(&self, group: &Group, me: usize, data: &mut [f32], combine: F)
+    where
+        F: Fn(f32, f32) -> f32,
+    {
+        let g = group.len();
         let n = data.len();
         let right = group.rank_of((me + 1) % g);
         let left = group.rank_of((me + g - 1) % g);
@@ -185,69 +388,177 @@ impl DeviceCtx {
         }
     }
 
-    /// Ring all-reduce (sum): every member ends with the element-wise sum.
+    /// Recursive halving/doubling all-reduce body: the [`halving_rounds`]
+    /// reduce-scatter schedule forward, then the same rounds reversed as a
+    /// doubling all-gather.
+    fn halving_all_reduce_by<F>(&self, group: &Group, me: usize, data: &mut [f32], combine: F)
+    where
+        F: Fn(f32, f32) -> f32,
+    {
+        let g = group.len();
+        let n = data.len();
+        let eb = |clo: usize, chi: usize| (chunk_start(n, g, clo), chunk_start(n, g, chi));
+        let rounds = halving_rounds(g, me);
+        for round in &rounds {
+            for &(peer, clo, chi) in &round.sends {
+                let (a, b) = eb(clo, chi);
+                self.send_copy(group.rank_of(peer), &data[a..b]);
+            }
+            for &(peer, clo, chi) in &round.recvs {
+                let (a, b) = eb(clo, chi);
+                let incoming = self.recv(group.rank_of(peer));
+                assert_eq!(incoming.len(), b - a, "halving range size mismatch");
+                for (d, v) in data[a..b].iter_mut().zip(&incoming) {
+                    *d = combine(*d, *v);
+                }
+                self.recycle(incoming);
+            }
+        }
+        for round in rounds.iter().rev() {
+            for &(peer, clo, chi) in &round.recvs {
+                let (a, b) = eb(clo, chi);
+                self.send_copy(group.rank_of(peer), &data[a..b]);
+            }
+            for &(peer, clo, chi) in &round.sends {
+                let (a, b) = eb(clo, chi);
+                let incoming = self.recv(group.rank_of(peer));
+                assert_eq!(incoming.len(), b - a, "doubling range size mismatch");
+                data[a..b].copy_from_slice(&incoming);
+                self.recycle(incoming);
+            }
+        }
+    }
+
+    /// All-reduce (sum): every member ends with the element-wise sum.
     pub fn all_reduce(&self, group: &Group, data: &mut [f32]) {
         self.all_reduce_by(group, data, |a, b| a + b);
     }
 
-    /// Ring all-reduce (max): used for the stable log-sum-exp in the
+    /// All-reduce (sum) with an explicit algorithm.
+    pub fn all_reduce_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) {
+        self.all_reduce_algo_by(group, data, algo, |a, b| a + b);
+    }
+
+    /// All-reduce (max): used for the stable log-sum-exp in the
     /// distributed cross-entropy.
     pub fn all_reduce_max(&self, group: &Group, data: &mut [f32]) {
         self.all_reduce_by(group, data, f32::max);
     }
 
-    /// Ring all-gather: every member contributes `local` (all equal length)
-    /// and receives the concatenation in group order.
+    /// All-gather: every member contributes `local` (all equal length) and
+    /// receives the concatenation in group order; algorithm picked by the
+    /// installed [`crate::AlgoTable`].
     pub fn all_gather(&self, group: &Group, local: &[f32]) -> Vec<f32> {
+        let a = algo::select(CommOp::AllGather, group.len(), local.len());
+        self.all_gather_algo(group, local, a)
+    }
+
+    /// [`DeviceCtx::all_gather`] with an explicit algorithm
+    /// ([`CollAlgo::Ring`] or [`CollAlgo::Bruck`]).
+    pub fn all_gather_algo(&self, group: &Group, local: &[f32], algo: CollAlgo) -> Vec<f32> {
         let g = group.len();
         let me = self.my_index(group);
-        self.record_op(CommOp::AllGather, group, local.len());
+        self.record_op(CommOp::AllGather, algo, group, local.len());
         let n = local.len();
         let mut out = vec![0.0f32; n * g];
         out[me * n..(me + 1) * n].copy_from_slice(local);
         if g == 1 {
             return out;
         }
-        let right = group.rank_of((me + 1) % g);
-        let left = group.rank_of((me + g - 1) % g);
-        for step in 0..g - 1 {
-            let s = (me + g - step) % g;
-            let t = (me + 2 * g - step - 1) % g;
-            self.send_copy(right, &out[s * n..(s + 1) * n]);
-            let incoming = self.recv(left);
-            assert_eq!(incoming.len(), n, "all-gather size mismatch");
-            out[t * n..(t + 1) * n].copy_from_slice(&incoming);
-            self.recycle(incoming);
+        match algo {
+            CollAlgo::Ring => {
+                let right = group.rank_of((me + 1) % g);
+                let left = group.rank_of((me + g - 1) % g);
+                for step in 0..g - 1 {
+                    let s = (me + g - step) % g;
+                    let t = (me + 2 * g - step - 1) % g;
+                    self.send_copy(right, &out[s * n..(s + 1) * n]);
+                    let incoming = self.recv(left);
+                    assert_eq!(incoming.len(), n, "all-gather size mismatch");
+                    out[t * n..(t + 1) * n].copy_from_slice(&incoming);
+                    self.recycle(incoming);
+                }
+            }
+            CollAlgo::Bruck => {
+                // Rotated accumulation buffer: slot j holds the block of
+                // member (me + j) mod g. Block counts double each round.
+                let mut buf = vec![0.0f32; n * g];
+                buf[..n].copy_from_slice(local);
+                for (have, cnt) in bruck_rounds(g) {
+                    let dst = group.rank_of((me + g - have) % g);
+                    let src = group.rank_of((me + have) % g);
+                    self.send_copy(dst, &buf[..cnt * n]);
+                    let incoming = self.recv(src);
+                    assert_eq!(incoming.len(), cnt * n, "bruck block size mismatch");
+                    buf[have * n..(have + cnt) * n].copy_from_slice(&incoming);
+                    self.recycle(incoming);
+                }
+                for j in 0..g {
+                    let slot = (me + j) % g;
+                    out[slot * n..(slot + 1) * n].copy_from_slice(&buf[j * n..(j + 1) * n]);
+                }
+            }
+            other => panic!("{:?} is not an all-gather algorithm", other),
         }
         out
     }
 
-    /// Ring reduce-scatter (sum): returns this member's chunk of the summed
-    /// vector. Chunk boundaries are the ring chunks (`n·i/g`); member `i` receives
-    /// chunk `i`.
+    /// Reduce-scatter (sum): returns this member's chunk of the summed
+    /// vector (chunk boundaries `n·i/g`; member `i` receives chunk `i`);
+    /// algorithm picked by the installed [`crate::AlgoTable`].
     pub fn reduce_scatter(&self, group: &Group, data: &mut [f32]) -> Vec<f32> {
+        let a = algo::select(CommOp::ReduceScatter, group.len(), data.len());
+        self.reduce_scatter_algo(group, data, a)
+    }
+
+    /// [`DeviceCtx::reduce_scatter`] with an explicit algorithm
+    /// ([`CollAlgo::Ring`] or [`CollAlgo::Halving`]).
+    pub fn reduce_scatter_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) -> Vec<f32> {
         let g = group.len();
         let me = self.my_index(group);
-        self.record_op(CommOp::ReduceScatter, group, data.len());
+        self.record_op(CommOp::ReduceScatter, algo, group, data.len());
         let n = data.len();
         let bounds = |i: usize| (chunk_start(n, g, i % g), chunk_start(n, g, i % g + 1));
         if g == 1 {
             return data.to_vec();
         }
-        let right = group.rank_of((me + 1) % g);
-        let left = group.rank_of((me + g - 1) % g);
-        // Same ring as all_reduce phase 1, relabelled so that chunk `me`
-        // (rather than `me+1`) completes locally.
-        for step in 0..g - 1 {
-            let (s0, s1) = bounds((me + 2 * g - step - 1) % g);
-            let (t0, t1) = bounds((me + 2 * g - step - 2) % g);
-            self.send_copy(right, &data[s0..s1]);
-            let incoming = self.recv(left);
-            assert_eq!(incoming.len(), t1 - t0, "ring chunk size mismatch");
-            for (d, v) in data[t0..t1].iter_mut().zip(&incoming) {
-                *d += v;
+        match algo {
+            CollAlgo::Ring => {
+                let right = group.rank_of((me + 1) % g);
+                let left = group.rank_of((me + g - 1) % g);
+                // Same ring as all_reduce phase 1, relabelled so that chunk
+                // `me` (rather than `me+1`) completes locally.
+                for step in 0..g - 1 {
+                    let (s0, s1) = bounds((me + 2 * g - step - 1) % g);
+                    let (t0, t1) = bounds((me + 2 * g - step - 2) % g);
+                    self.send_copy(right, &data[s0..s1]);
+                    let incoming = self.recv(left);
+                    assert_eq!(incoming.len(), t1 - t0, "ring chunk size mismatch");
+                    for (d, v) in data[t0..t1].iter_mut().zip(&incoming) {
+                        *d += v;
+                    }
+                    self.recycle(incoming);
+                }
             }
-            self.recycle(incoming);
+            CollAlgo::Halving => {
+                let eb = |clo: usize, chi: usize| (chunk_start(n, g, clo), chunk_start(n, g, chi));
+                for round in &halving_rounds(g, me) {
+                    for &(peer, clo, chi) in &round.sends {
+                        let (a, b) = eb(clo, chi);
+                        self.send_copy(group.rank_of(peer), &data[a..b]);
+                    }
+                    for &(peer, clo, chi) in &round.recvs {
+                        let (a, b) = eb(clo, chi);
+                        let incoming = self.recv(group.rank_of(peer));
+                        assert_eq!(incoming.len(), b - a, "halving range size mismatch");
+                        for (d, v) in data[a..b].iter_mut().zip(&incoming) {
+                            *d += v;
+                        }
+                        self.recycle(incoming);
+                    }
+                }
+            }
+            other => panic!("{:?} is not a reduce-scatter algorithm", other),
         }
         let (m0, m1) = bounds(me);
         data[m0..m1].to_vec()
@@ -261,7 +572,7 @@ impl DeviceCtx {
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
         if me == root {
-            self.record_op(CommOp::ReduceScatter, group, data.len());
+            self.record_op(CommOp::ReduceScatter, CollAlgo::Ring, group, data.len());
             let n = data.len();
             for i in 0..g {
                 if i == root {
@@ -274,7 +585,7 @@ impl DeviceCtx {
             data[m0..m1].to_vec()
         } else {
             let out = self.recv(group.rank_of(root));
-            self.record_op(CommOp::ReduceScatter, group, out.len() * g);
+            self.record_op(CommOp::ReduceScatter, CollAlgo::Ring, group, out.len() * g);
             out
         }
     }
@@ -286,7 +597,7 @@ impl DeviceCtx {
         let g = group.len();
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
-        self.record_op(CommOp::AllGather, group, local.len());
+        self.record_op(CommOp::AllGather, CollAlgo::Ring, group, local.len());
         if me == root {
             let mut out: Vec<f32> = Vec::new();
             for i in 0..g {
@@ -307,17 +618,15 @@ impl DeviceCtx {
 
     /// Barrier over a group (empty reduce to index 0 + empty broadcast).
     pub fn barrier(&self, group: &Group) {
-        self.record_op(CommOp::Barrier, group, 0);
-        let mut token: Vec<f32> = Vec::new();
-        self.reduce(group, 0, &mut token);
-        let mut token: Vec<f32> = Vec::new();
-        self.broadcast(group, 0, &mut token);
+        self.record_op(CommOp::Barrier, CollAlgo::Tree, group, 0);
+        self.reduce(group, 0, &mut []);
+        self.broadcast(group, 0, &mut []);
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::chunk_start;
+    use super::{bruck_rounds, chunk_start, halving_rounds};
     use crate::{Group, Mesh};
 
     #[test]
@@ -329,7 +638,7 @@ mod tests {
                     let mut data = if ctx.rank() == root {
                         vec![1.0, 2.0, 3.0]
                     } else {
-                        vec![]
+                        vec![0.0; 3]
                     };
                     ctx.broadcast(&g, root, &mut data);
                     data
@@ -429,7 +738,7 @@ mod tests {
             let mut data = if ctx.rank() % 2 == 0 {
                 vec![ctx.rank() as f32]
             } else {
-                vec![]
+                vec![0.0]
             };
             ctx.broadcast(&row, 0, &mut data);
             data[0]
@@ -591,7 +900,7 @@ mod tests {
             let mut data = if ctx.rank() == 0 {
                 vec![2.5; 6]
             } else {
-                vec![]
+                vec![0.0; 6]
             };
             ctx.broadcast(&g, 0, &mut data);
             ctx.reduce(&g, 0, &mut data);
@@ -621,5 +930,67 @@ mod tests {
             .map(|l| l.elems)
             .sum();
         assert_eq!(ar_link_elems, 24);
+    }
+
+    /// Symbolic replay of the halving reduce-scatter schedule: after all
+    /// rounds, member `i`'s chunk `i` must hold exactly one contribution
+    /// from every member (no drops, no double-adds), for any group size.
+    #[test]
+    fn halving_rounds_deliver_every_contribution_exactly_once() {
+        for g in 1..=9usize {
+            // state[m][c][src] = how many times member m's copy of chunk c
+            // includes member src's contribution.
+            let mut state = vec![vec![vec![0u32; g]; g]; g];
+            for (m, row) in state.iter_mut().enumerate() {
+                for chunk in row.iter_mut() {
+                    chunk[m] = 1;
+                }
+            }
+            let rounds: Vec<_> = (0..g).map(|m| halving_rounds(g, m)).collect();
+            let depth = rounds.iter().map(|r| r.len()).max().unwrap_or(0);
+            for r in 0..depth {
+                // Snapshot sends at round start (each member sends before
+                // it receives), then apply the accumulations.
+                let mut inflight: Vec<(usize, usize, usize, Vec<Vec<u32>>)> = Vec::new();
+                for (m, rs) in rounds.iter().enumerate() {
+                    if let Some(round) = rs.get(r) {
+                        for &(peer, clo, chi) in &round.sends {
+                            inflight.push((m, peer, clo, state[m][clo..chi].to_vec()));
+                        }
+                    }
+                }
+                for (from, to, clo, payload) in inflight {
+                    for (off, contrib) in payload.iter().enumerate() {
+                        for (src, cnt) in contrib.iter().enumerate() {
+                            state[to][clo + off][src] += cnt;
+                        }
+                    }
+                    // The receiver must actually list this receive.
+                    let listed = rounds[to][r]
+                        .recvs
+                        .iter()
+                        .any(|&(p, lo, _)| p == from && lo == clo);
+                    assert!(listed, "g={g}: send {from}->{to} round {r} unmatched");
+                }
+            }
+            for (m, owned) in state.iter().enumerate() {
+                assert_eq!(
+                    owned[m],
+                    vec![1u32; g],
+                    "g={g} member {m}: chunk {m} must sum each contribution once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bruck_rounds_cover_the_group_in_log_rounds() {
+        for g in 1..=9usize {
+            let rounds = bruck_rounds(g);
+            let total: usize = 1 + rounds.iter().map(|&(_, cnt)| cnt).sum::<usize>();
+            assert_eq!(total, g, "g={g}: all blocks gathered");
+            let ceil_log2 = (usize::BITS - 1 - g.next_power_of_two().leading_zeros()) as usize;
+            assert!(rounds.len() <= ceil_log2.max(1), "g={g}: log rounds");
+        }
     }
 }

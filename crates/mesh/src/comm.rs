@@ -51,6 +51,7 @@
 //! assert_eq!(live, dry); // op streams are identical, rank by rank
 //! ```
 
+use crate::algo::{self, CollAlgo};
 use crate::group::Group;
 use crate::nonblocking::PendingColl;
 use crate::stats::{group_shape, CommLog, CommOp};
@@ -92,14 +93,30 @@ pub trait Communicator {
         data
     }
 
-    /// Broadcast from group index `root` (binomial tree). Non-root buffers
-    /// should be pre-sized to the root's payload length; the live backend
-    /// tolerates unsized buffers, the trace backend requires pre-sizing.
-    fn broadcast(&self, group: &Group, root: usize, data: &mut Vec<f32>);
+    /// Broadcast from group index `root`. Non-root buffers must be
+    /// pre-sized to the root's payload length on both backends (no
+    /// collective resizes the buffer). The algorithm is picked by the
+    /// installed [`crate::AlgoTable`].
+    fn broadcast(&self, group: &Group, root: usize, data: &mut [f32]) {
+        let a = algo::select(CommOp::Broadcast, group.len(), data.len());
+        self.broadcast_algo(group, root, data, a);
+    }
 
-    /// Sum-reduce to group index `root` (reverse binomial tree). Non-root
-    /// buffers hold partial sums afterwards and must be treated as scratch.
-    fn reduce(&self, group: &Group, root: usize, data: &mut [f32]);
+    /// [`Communicator::broadcast`] with an explicit algorithm
+    /// ([`CollAlgo::Tree`] or [`CollAlgo::Chain`]).
+    fn broadcast_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo);
+
+    /// Sum-reduce to group index `root`. Non-root buffers hold partial
+    /// sums afterwards and must be treated as scratch. The algorithm is
+    /// picked by the installed [`crate::AlgoTable`].
+    fn reduce(&self, group: &Group, root: usize, data: &mut [f32]) {
+        let a = algo::select(CommOp::Reduce, group.len(), data.len());
+        self.reduce_algo(group, root, data, a);
+    }
+
+    /// [`Communicator::reduce`] with an explicit algorithm
+    /// ([`CollAlgo::Tree`] or [`CollAlgo::Chain`]).
+    fn reduce_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo);
 
     /// Non-blocking broadcast: posts the transfer and returns a
     /// [`PendingColl`] immediately; `wait()` yields the buffer. Non-root
@@ -122,19 +139,41 @@ pub trait Communicator {
         PendingColl::ready(CommOp::Reduce, buf, None)
     }
 
-    /// Ring all-reduce (sum).
-    fn all_reduce(&self, group: &Group, data: &mut [f32]);
+    /// All-reduce (sum); algorithm picked by the installed
+    /// [`crate::AlgoTable`].
+    fn all_reduce(&self, group: &Group, data: &mut [f32]) {
+        let a = algo::select(CommOp::AllReduce, group.len(), data.len());
+        self.all_reduce_algo(group, data, a);
+    }
 
-    /// Ring all-reduce (max) — for the distributed log-sum-exp.
+    /// [`Communicator::all_reduce`] with an explicit algorithm
+    /// ([`CollAlgo::Ring`], [`CollAlgo::Halving`] or [`CollAlgo::Tree`]).
+    fn all_reduce_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo);
+
+    /// All-reduce (max) — for the distributed log-sum-exp.
     fn all_reduce_max(&self, group: &Group, data: &mut [f32]);
 
-    /// Ring all-gather: concatenation of every member's equal-length
-    /// `local` in group order.
-    fn all_gather(&self, group: &Group, local: &[f32]) -> Vec<f32>;
+    /// All-gather: concatenation of every member's equal-length `local` in
+    /// group order; algorithm picked by the installed [`crate::AlgoTable`].
+    fn all_gather(&self, group: &Group, local: &[f32]) -> Vec<f32> {
+        let a = algo::select(CommOp::AllGather, group.len(), local.len());
+        self.all_gather_algo(group, local, a)
+    }
 
-    /// Ring reduce-scatter (sum): returns this member's chunk (`n·i/g`
-    /// boundaries).
-    fn reduce_scatter(&self, group: &Group, data: &mut [f32]) -> Vec<f32>;
+    /// [`Communicator::all_gather`] with an explicit algorithm
+    /// ([`CollAlgo::Ring`] or [`CollAlgo::Bruck`]).
+    fn all_gather_algo(&self, group: &Group, local: &[f32], algo: CollAlgo) -> Vec<f32>;
+
+    /// Reduce-scatter (sum): returns this member's chunk (`n·i/g`
+    /// boundaries); algorithm picked by the installed [`crate::AlgoTable`].
+    fn reduce_scatter(&self, group: &Group, data: &mut [f32]) -> Vec<f32> {
+        let a = algo::select(CommOp::ReduceScatter, group.len(), data.len());
+        self.reduce_scatter_algo(group, data, a)
+    }
+
+    /// [`Communicator::reduce_scatter`] with an explicit algorithm
+    /// ([`CollAlgo::Ring`] or [`CollAlgo::Halving`]).
+    fn reduce_scatter_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) -> Vec<f32>;
 
     /// Scatter from group index `root` in ring-chunk boundaries.
     fn scatter(&self, group: &Group, root: usize, data: &[f32]) -> Vec<f32>;
@@ -164,6 +203,7 @@ pub trait Communicator {
 /// guard, so both backends emit exactly one event per logical collective.
 pub(crate) fn traced_op<T>(
     op: CommOp,
+    algo: CollAlgo,
     group: &Group,
     wire: impl Fn() -> usize,
     run: impl FnOnce() -> (T, usize),
@@ -186,6 +226,7 @@ pub(crate) fn traced_op<T>(
             elems,
             wire_elems,
             axis: group.label(),
+            algo: algo.name(),
         },
     );
     out
@@ -204,24 +245,26 @@ impl Communicator for crate::DeviceCtx {
     fn recv(&self, from: usize) -> Vec<f32> {
         crate::DeviceCtx::recv(self, from)
     }
-    fn broadcast(&self, group: &Group, root: usize, data: &mut Vec<f32>) {
+    fn broadcast_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
         traced_op(
             CommOp::Broadcast,
+            algo,
             group,
             || self.wire_total(),
             || {
-                crate::DeviceCtx::broadcast(self, group, root, data);
+                crate::DeviceCtx::broadcast_algo(self, group, root, data, algo);
                 ((), data.len())
             },
         )
     }
-    fn reduce(&self, group: &Group, root: usize, data: &mut [f32]) {
+    fn reduce_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
         traced_op(
             CommOp::Reduce,
+            algo,
             group,
             || self.wire_total(),
             || {
-                crate::DeviceCtx::reduce(self, group, root, data);
+                crate::DeviceCtx::reduce_algo(self, group, root, data, algo);
                 ((), data.len())
             },
         )
@@ -232,55 +275,64 @@ impl Communicator for crate::DeviceCtx {
     fn ireduce(&self, group: &Group, root: usize, buf: Vec<f32>) -> PendingColl {
         crate::DeviceCtx::ireduce(self, group, root, buf)
     }
-    fn all_reduce(&self, group: &Group, data: &mut [f32]) {
+    fn all_reduce_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) {
         traced_op(
             CommOp::AllReduce,
+            algo,
             group,
             || self.wire_total(),
             || {
-                crate::DeviceCtx::all_reduce(self, group, data);
+                crate::DeviceCtx::all_reduce_algo(self, group, data, algo);
                 ((), data.len())
             },
         )
     }
     fn all_reduce_max(&self, group: &Group, data: &mut [f32]) {
+        let algo = algo::select(CommOp::AllReduce, group.len(), data.len());
         traced_op(
             CommOp::AllReduce,
+            algo,
             group,
             || self.wire_total(),
             || {
-                crate::DeviceCtx::all_reduce_max(self, group, data);
+                crate::DeviceCtx::all_reduce_algo_by(self, group, data, algo, f32::max);
                 ((), data.len())
             },
         )
     }
-    fn all_gather(&self, group: &Group, local: &[f32]) -> Vec<f32> {
+    fn all_gather_algo(&self, group: &Group, local: &[f32], algo: CollAlgo) -> Vec<f32> {
         traced_op(
             CommOp::AllGather,
+            algo,
             group,
             || self.wire_total(),
             || {
                 (
-                    crate::DeviceCtx::all_gather(self, group, local),
+                    crate::DeviceCtx::all_gather_algo(self, group, local, algo),
                     local.len(),
                 )
             },
         )
     }
-    fn reduce_scatter(&self, group: &Group, data: &mut [f32]) -> Vec<f32> {
+    fn reduce_scatter_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) -> Vec<f32> {
         traced_op(
             CommOp::ReduceScatter,
+            algo,
             group,
             || self.wire_total(),
             || {
                 let n = data.len();
-                (crate::DeviceCtx::reduce_scatter(self, group, data), n)
+                (
+                    crate::DeviceCtx::reduce_scatter_algo(self, group, data, algo),
+                    n,
+                )
             },
         )
     }
     fn scatter(&self, group: &Group, root: usize, data: &[f32]) -> Vec<f32> {
         traced_op(
             CommOp::ReduceScatter,
+            CollAlgo::Ring,
             group,
             || self.wire_total(),
             || {
@@ -299,6 +351,7 @@ impl Communicator for crate::DeviceCtx {
     fn gather(&self, group: &Group, root: usize, local: &[f32]) -> Vec<f32> {
         traced_op(
             CommOp::AllGather,
+            CollAlgo::Ring,
             group,
             || self.wire_total(),
             || {
@@ -312,6 +365,7 @@ impl Communicator for crate::DeviceCtx {
     fn barrier(&self, group: &Group) {
         traced_op(
             CommOp::Barrier,
+            CollAlgo::Tree,
             group,
             || self.wire_total(),
             || {

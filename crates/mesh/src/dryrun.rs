@@ -30,7 +30,8 @@
 //!   i.e. the sender's rank was replayed earlier. Forward pipelines satisfy
 //!   this; cyclic p2p patterns (Cannon shifts) need the live backend.
 
-use crate::collectives::{bcast_tree, chunk_start, reduce_tree};
+use crate::algo::{self, chain_segments, CollAlgo};
+use crate::collectives::{bcast_tree, bruck_rounds, chunk_start, halving_rounds, reduce_tree};
 use crate::comm::{traced_op, Communicator};
 use crate::group::Group;
 use crate::nonblocking::{post_records, PendingColl};
@@ -73,8 +74,8 @@ impl DryRunComm {
             .unwrap_or_else(|| panic!("device {} is not in group {:?}", self.rank, group))
     }
 
-    fn record_op(&self, op: CommOp, group: &Group, elems: usize) {
-        record_group_op(&mut self.log.borrow_mut(), op, group, elems);
+    fn record_op(&self, op: CommOp, algo: CollAlgo, group: &Group, elems: usize) {
+        record_group_op(&mut self.log.borrow_mut(), op, algo, group, elems);
     }
 
     fn record_send(&self, to: usize, elems: usize) {
@@ -115,35 +116,75 @@ impl DryRunComm {
     }
 
     fn broadcast(&self, group: &Group, root: usize, data: &mut [f32]) {
+        let a = algo::select(CommOp::Broadcast, group.len(), data.len());
+        self.broadcast_algo(group, root, data, a);
+    }
+
+    fn broadcast_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
         let g = group.len();
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
         if g > 1 {
             let rel = (me + g - root) % g;
             let abs = |r: usize| group.rank_of((r + root) % g);
-            // Same binomial-tree walk as the live backend; the receive is
-            // silent (links are recorded by senders), sends are recorded.
-            let (_, children) = bcast_tree(g, rel);
-            for &child in &children {
-                self.record_send(abs(child), data.len());
+            // Receives are silent (links are recorded by senders); only the
+            // live schedule's sends are replayed, in the live order.
+            match algo {
+                CollAlgo::Tree => {
+                    let (_, children) = bcast_tree(g, rel);
+                    for &child in &children {
+                        self.record_send(abs(child), data.len());
+                    }
+                }
+                CollAlgo::Chain => {
+                    if rel + 1 < g {
+                        let n = data.len();
+                        let s = chain_segments(n, g);
+                        for j in 0..s {
+                            let elems = chunk_start(n, s, j + 1) - chunk_start(n, s, j);
+                            self.record_send(abs(rel + 1), elems);
+                        }
+                    }
+                }
+                other => panic!("{:?} is not a broadcast algorithm", other),
             }
         }
-        self.record_op(CommOp::Broadcast, group, data.len());
+        self.record_op(CommOp::Broadcast, algo, group, data.len());
     }
 
     fn reduce(&self, group: &Group, root: usize, data: &mut [f32]) {
+        let a = algo::select(CommOp::Reduce, group.len(), data.len());
+        self.reduce_algo(group, root, data, a);
+    }
+
+    fn reduce_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
         let g = group.len();
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
-        self.record_op(CommOp::Reduce, group, data.len());
+        self.record_op(CommOp::Reduce, algo, group, data.len());
         if g == 1 {
             return;
         }
         let rel = (me + g - root) % g;
         let abs = |r: usize| group.rank_of((r + root) % g);
-        let (_, target) = reduce_tree(g, rel);
-        if let Some(target) = target {
-            self.record_send(abs(target), data.len());
+        match algo {
+            CollAlgo::Tree => {
+                let (_, target) = reduce_tree(g, rel);
+                if let Some(target) = target {
+                    self.record_send(abs(target), data.len());
+                }
+            }
+            CollAlgo::Chain => {
+                if rel > 0 {
+                    let n = data.len();
+                    let s = chain_segments(n, g);
+                    for j in 0..s {
+                        let elems = chunk_start(n, s, j + 1) - chunk_start(n, s, j);
+                        self.record_send(abs(rel - 1), elems);
+                    }
+                }
+            }
+            other => panic!("{:?} is not a reduce algorithm", other),
         }
     }
 
@@ -171,7 +212,7 @@ impl DryRunComm {
                         self.record_send(abs(child), buf.len());
                     }
                 }
-                self.record_op(CommOp::Broadcast, group, buf.len());
+                self.record_op(CommOp::Broadcast, CollAlgo::Tree, group, buf.len());
             },
         );
         PendingColl::ready(CommOp::Broadcast, buf, traced)
@@ -188,7 +229,7 @@ impl DryRunComm {
             group,
             buf.len(),
             || {
-                self.record_op(CommOp::Reduce, group, buf.len());
+                self.record_op(CommOp::Reduce, CollAlgo::Tree, group, buf.len());
                 if g > 1 {
                     let rel = (me + g - root) % g;
                     let abs = |r: usize| group.rank_of((r + root) % g);
@@ -202,40 +243,109 @@ impl DryRunComm {
         PendingColl::ready(CommOp::Reduce, buf, traced)
     }
 
-    fn all_reduce(&self, group: &Group, data: &mut [f32]) {
-        ring_all_reduce_trace(self, group, data.len());
-    }
-
-    fn all_gather(&self, group: &Group, local: &[f32]) -> Vec<f32> {
+    fn all_reduce_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) {
         let g = group.len();
         let me = self.my_index(group);
-        self.record_op(CommOp::AllGather, group, local.len());
+        let n = data.len();
+        self.record_op(CommOp::AllReduce, algo, group, n);
+        if g == 1 {
+            return;
+        }
+        match algo {
+            CollAlgo::Ring => {
+                let right = group.rank_of((me + 1) % g);
+                let chunk = |i: usize| chunk_start(n, g, (i % g) + 1) - chunk_start(n, g, i % g);
+                for step in 0..g - 1 {
+                    self.record_send(right, chunk((me + g - step) % g));
+                }
+                for step in 0..g - 1 {
+                    self.record_send(right, chunk((me + 1 + g - step) % g));
+                }
+            }
+            CollAlgo::Halving => {
+                let rounds = halving_rounds(g, me);
+                let elems =
+                    |clo: usize, chi: usize| chunk_start(n, g, chi) - chunk_start(n, g, clo);
+                for round in &rounds {
+                    for &(peer, clo, chi) in &round.sends {
+                        self.record_send(group.rank_of(peer), elems(clo, chi));
+                    }
+                }
+                for round in rounds.iter().rev() {
+                    for &(peer, clo, chi) in &round.recvs {
+                        self.record_send(group.rank_of(peer), elems(clo, chi));
+                    }
+                }
+            }
+            CollAlgo::Tree => {
+                let (_, target) = reduce_tree(g, me);
+                if let Some(target) = target {
+                    self.record_send(group.rank_of(target), n);
+                }
+                let (_, children) = bcast_tree(g, me);
+                for &child in &children {
+                    self.record_send(group.rank_of(child), n);
+                }
+            }
+            other => panic!("{:?} is not an all-reduce algorithm", other),
+        }
+    }
+
+    fn all_gather_algo(&self, group: &Group, local: &[f32], algo: CollAlgo) -> Vec<f32> {
+        let g = group.len();
+        let me = self.my_index(group);
+        self.record_op(CommOp::AllGather, algo, group, local.len());
         let n = local.len();
         let mut out = vec![0.0f32; n * g];
         out[me * n..(me + 1) * n].copy_from_slice(local);
         if g == 1 {
             return out;
         }
-        let right = group.rank_of((me + 1) % g);
-        for _ in 0..g - 1 {
-            self.record_send(right, n);
+        match algo {
+            CollAlgo::Ring => {
+                let right = group.rank_of((me + 1) % g);
+                for _ in 0..g - 1 {
+                    self.record_send(right, n);
+                }
+            }
+            CollAlgo::Bruck => {
+                for (have, cnt) in bruck_rounds(g) {
+                    let dst = group.rank_of((me + g - have) % g);
+                    self.record_send(dst, cnt * n);
+                }
+            }
+            other => panic!("{:?} is not an all-gather algorithm", other),
         }
         out
     }
 
-    fn reduce_scatter(&self, group: &Group, data: &mut [f32]) -> Vec<f32> {
+    fn reduce_scatter_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) -> Vec<f32> {
         let g = group.len();
         let me = self.my_index(group);
-        self.record_op(CommOp::ReduceScatter, group, data.len());
+        self.record_op(CommOp::ReduceScatter, algo, group, data.len());
         let n = data.len();
         if g == 1 {
             return data.to_vec();
         }
-        let right = group.rank_of((me + 1) % g);
-        for step in 0..g - 1 {
-            let i = (me + 2 * g - step - 1) % g;
-            let elems = chunk_start(n, g, i + 1) - chunk_start(n, g, i);
-            self.record_send(right, elems);
+        match algo {
+            CollAlgo::Ring => {
+                let right = group.rank_of((me + 1) % g);
+                for step in 0..g - 1 {
+                    let i = (me + 2 * g - step - 1) % g;
+                    let elems = chunk_start(n, g, i + 1) - chunk_start(n, g, i);
+                    self.record_send(right, elems);
+                }
+            }
+            CollAlgo::Halving => {
+                let elems =
+                    |clo: usize, chi: usize| chunk_start(n, g, chi) - chunk_start(n, g, clo);
+                for round in &halving_rounds(g, me) {
+                    for &(peer, clo, chi) in &round.sends {
+                        self.record_send(group.rank_of(peer), elems(clo, chi));
+                    }
+                }
+            }
+            other => panic!("{:?} is not a reduce-scatter algorithm", other),
         }
         let (m0, m1) = (chunk_start(n, g, me), chunk_start(n, g, me + 1));
         data[m0..m1].to_vec()
@@ -251,7 +361,7 @@ impl DryRunComm {
                  size only exists on the wire"
             );
         }
-        self.record_op(CommOp::ReduceScatter, group, data.len());
+        self.record_op(CommOp::ReduceScatter, CollAlgo::Ring, group, data.len());
         let n = data.len();
         for i in 0..g {
             if i != root {
@@ -267,7 +377,7 @@ impl DryRunComm {
         let g = group.len();
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
-        self.record_op(CommOp::AllGather, group, local.len());
+        self.record_op(CommOp::AllGather, CollAlgo::Ring, group, local.len());
         if me == root {
             // Assume equal-length contributions (the pattern every library
             // call site uses); peers' payloads are zeros here.
@@ -282,10 +392,9 @@ impl DryRunComm {
     }
 
     fn barrier(&self, group: &Group) {
-        self.record_op(CommOp::Barrier, group, 0);
+        self.record_op(CommOp::Barrier, CollAlgo::Tree, group, 0);
         self.reduce(group, 0, &mut []);
-        let mut token: Vec<f32> = Vec::new();
-        self.broadcast(group, 0, &mut token);
+        self.broadcast(group, 0, &mut []);
     }
 }
 
@@ -329,25 +438,27 @@ impl Communicator for DryRunComm {
         vec![0.0; len]
     }
 
-    fn broadcast(&self, group: &Group, root: usize, data: &mut Vec<f32>) {
+    fn broadcast_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
         traced_op(
             CommOp::Broadcast,
+            algo,
             group,
             || self.wire_total(),
             || {
-                DryRunComm::broadcast(self, group, root, data);
+                DryRunComm::broadcast_algo(self, group, root, data, algo);
                 ((), data.len())
             },
         )
     }
 
-    fn reduce(&self, group: &Group, root: usize, data: &mut [f32]) {
+    fn reduce_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
         traced_op(
             CommOp::Reduce,
+            algo,
             group,
             || self.wire_total(),
             || {
-                DryRunComm::reduce(self, group, root, data);
+                DryRunComm::reduce_algo(self, group, root, data, algo);
                 ((), data.len())
             },
         )
@@ -361,47 +472,59 @@ impl Communicator for DryRunComm {
         DryRunComm::ireduce(self, group, root, buf)
     }
 
-    fn all_reduce(&self, group: &Group, data: &mut [f32]) {
+    fn all_reduce_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) {
         traced_op(
             CommOp::AllReduce,
+            algo,
             group,
             || self.wire_total(),
             || {
-                DryRunComm::all_reduce(self, group, data);
+                DryRunComm::all_reduce_algo(self, group, data, algo);
                 ((), data.len())
             },
         )
     }
 
     fn all_reduce_max(&self, group: &Group, data: &mut [f32]) {
+        // No data moves here, so max and sum share one schedule; select the
+        // same algorithm the live backend's max would.
+        let algo = algo::select(CommOp::AllReduce, group.len(), data.len());
         traced_op(
             CommOp::AllReduce,
+            algo,
             group,
             || self.wire_total(),
             || {
-                DryRunComm::all_reduce(self, group, data);
+                DryRunComm::all_reduce_algo(self, group, data, algo);
                 ((), data.len())
             },
         )
     }
 
-    fn all_gather(&self, group: &Group, local: &[f32]) -> Vec<f32> {
+    fn all_gather_algo(&self, group: &Group, local: &[f32], algo: CollAlgo) -> Vec<f32> {
         traced_op(
             CommOp::AllGather,
+            algo,
             group,
             || self.wire_total(),
-            || (DryRunComm::all_gather(self, group, local), local.len()),
+            || {
+                (
+                    DryRunComm::all_gather_algo(self, group, local, algo),
+                    local.len(),
+                )
+            },
         )
     }
 
-    fn reduce_scatter(&self, group: &Group, data: &mut [f32]) -> Vec<f32> {
+    fn reduce_scatter_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) -> Vec<f32> {
         traced_op(
             CommOp::ReduceScatter,
+            algo,
             group,
             || self.wire_total(),
             || {
                 let n = data.len();
-                (DryRunComm::reduce_scatter(self, group, data), n)
+                (DryRunComm::reduce_scatter_algo(self, group, data, algo), n)
             },
         )
     }
@@ -409,6 +532,7 @@ impl Communicator for DryRunComm {
     fn scatter(&self, group: &Group, root: usize, data: &[f32]) -> Vec<f32> {
         traced_op(
             CommOp::ReduceScatter,
+            CollAlgo::Ring,
             group,
             || self.wire_total(),
             || {
@@ -426,6 +550,7 @@ impl Communicator for DryRunComm {
     fn gather(&self, group: &Group, root: usize, local: &[f32]) -> Vec<f32> {
         traced_op(
             CommOp::AllGather,
+            CollAlgo::Ring,
             group,
             || self.wire_total(),
             || (DryRunComm::gather(self, group, root, local), local.len()),
@@ -435,6 +560,7 @@ impl Communicator for DryRunComm {
     fn barrier(&self, group: &Group) {
         traced_op(
             CommOp::Barrier,
+            CollAlgo::Tree,
             group,
             || self.wire_total(),
             || {
@@ -450,26 +576,6 @@ impl Communicator for DryRunComm {
 
     fn take_log(&self) -> CommLog {
         std::mem::replace(&mut self.log.borrow_mut(), CommLog::new(self.rank))
-    }
-}
-
-/// The send schedule of the live ring all-reduce: 2(g−1) chunk sends to the
-/// right neighbour (phase 1 then phase 2), sizes from the shared
-/// [`chunk_start`] boundaries.
-fn ring_all_reduce_trace(comm: &DryRunComm, group: &Group, n: usize) {
-    let g = group.len();
-    let me = comm.my_index(group);
-    comm.record_op(CommOp::AllReduce, group, n);
-    if g == 1 {
-        return;
-    }
-    let right = group.rank_of((me + 1) % g);
-    let chunk = |i: usize| chunk_start(n, g, (i % g) + 1) - chunk_start(n, g, i % g);
-    for step in 0..g - 1 {
-        comm.record_send(right, chunk((me + g - step) % g));
-    }
-    for step in 0..g - 1 {
-        comm.record_send(right, chunk((me + 1 + g - step) % g));
     }
 }
 
@@ -667,10 +773,10 @@ mod tests {
                 |c| {
                     let g = Group::world(p);
                     let mut data = vec![0.0f32; 13];
-                    DryRunComm::all_reduce(c, &g, &mut data);
+                    Communicator::all_reduce(c, &g, &mut data);
                     let mut data = vec![0.0f32; 13];
-                    let _ = DryRunComm::reduce_scatter(c, &g, &mut data);
-                    let _ = DryRunComm::all_gather(c, &g, &[0.0; 3]);
+                    let _ = Communicator::reduce_scatter(c, &g, &mut data);
+                    let _ = Communicator::all_gather(c, &g, &[0.0; 3]);
                 },
             );
         }
@@ -698,7 +804,7 @@ mod tests {
                 };
                 DryRunComm::barrier(c, &row);
                 let mut d = vec![0.0f32; 5];
-                DryRunComm::all_reduce(c, &row, &mut d);
+                Communicator::all_reduce(c, &row, &mut d);
             },
         );
     }

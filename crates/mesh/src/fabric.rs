@@ -194,8 +194,14 @@ impl DeviceCtx {
     }
 
     /// Records a collective operation in the log (used by `collectives.rs`).
-    pub(crate) fn record_op(&self, op: CommOp, group: &crate::Group, elems: usize) {
-        crate::stats::record_group_op(&mut self.log.borrow_mut(), op, group, elems);
+    pub(crate) fn record_op(
+        &self,
+        op: CommOp,
+        algo: crate::CollAlgo,
+        group: &crate::Group,
+        elems: usize,
+    ) {
+        crate::stats::record_group_op(&mut self.log.borrow_mut(), op, algo, group, elems);
     }
 
     /// Records the link a point-to-point send *will* perform. Non-blocking

@@ -63,6 +63,7 @@
 //! from the wire), and point-to-point receives in a dry run must be matched
 //! by a send already replayed on a lower-or-equal rank.
 
+mod algo;
 mod collectives;
 mod comm;
 mod dryrun;
@@ -75,6 +76,8 @@ mod shape;
 mod stats;
 mod topology;
 
+pub use algo::{chain_segments, install as install_algo_table, installed as installed_algo_table};
+pub use algo::{AlgoRule, AlgoTable, CollAlgo};
 pub use comm::Communicator;
 pub use dryrun::DryRunComm;
 pub use fabric::DeviceCtx;

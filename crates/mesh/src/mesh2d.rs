@@ -391,7 +391,7 @@ mod tests {
             let mut data = if g.col() == 0 {
                 vec![g.row() as f32]
             } else {
-                vec![]
+                vec![0.0]
             };
             g.ctx().broadcast(g.row_group(), 0, &mut data);
             data[0]

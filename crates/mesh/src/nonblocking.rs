@@ -395,6 +395,10 @@ pub(crate) fn post_records(
             elems,
             wire_elems,
             axis: group.label(),
+            // Non-blocking collectives are tree-only: a queued CollTask is
+            // receive-all-then-send-all, which cannot express a pipelined
+            // chain or a ring step sequence.
+            algo: crate::CollAlgo::Tree.name(),
         },
     ))
 }
@@ -468,7 +472,7 @@ impl DeviceCtx {
                 for &child in &children {
                     self.record_planned_send(abs(child), buf.len());
                 }
-                self.record_op(CommOp::Broadcast, group, buf.len());
+                self.record_op(CommOp::Broadcast, crate::CollAlgo::Tree, group, buf.len());
             },
         );
         if g == 1 {
@@ -501,7 +505,7 @@ impl DeviceCtx {
             group,
             buf.len(),
             || {
-                self.record_op(CommOp::Reduce, group, buf.len());
+                self.record_op(CommOp::Reduce, crate::CollAlgo::Tree, group, buf.len());
                 if let Some(target) = target {
                     self.record_planned_send(abs(target), buf.len());
                 }

@@ -63,6 +63,9 @@ impl CommOp {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OpRecord {
     pub op: CommOp,
+    /// The schedule this participation ran (see [`crate::CollAlgo`]);
+    /// `perf` prices the record with the matching per-algorithm formula.
+    pub algo: crate::CollAlgo,
     pub group_size: usize,
     pub elems: usize,
     pub group_first: usize,
@@ -135,9 +138,15 @@ pub(crate) fn group_shape(group: &crate::Group) -> (usize, usize, usize) {
 /// Records a collective participation, encoding the group as
 /// first/stride when its membership is arithmetic. Shared by both
 /// [`crate::Communicator`] backends so their op streams are byte-identical.
-pub(crate) fn record_group_op(log: &mut CommLog, op: CommOp, group: &crate::Group, elems: usize) {
+pub(crate) fn record_group_op(
+    log: &mut CommLog,
+    op: CommOp,
+    algo: crate::CollAlgo,
+    group: &crate::Group,
+    elems: usize,
+) {
     let (size, first, stride) = group_shape(group);
-    log.record_op(op, size, elems, first, stride);
+    log.record_op(op, algo, size, elems, first, stride);
 }
 
 impl CommLog {
@@ -153,6 +162,7 @@ impl CommLog {
     pub(crate) fn record_op(
         &mut self,
         op: CommOp,
+        algo: crate::CollAlgo,
         group_size: usize,
         elems: usize,
         group_first: usize,
@@ -160,6 +170,7 @@ impl CommLog {
     ) {
         self.ops.push(OpRecord {
             op,
+            algo,
             group_size,
             elems,
             group_first,
@@ -225,6 +236,7 @@ mod tests {
     fn group_ranks_reconstruction() {
         let row = OpRecord {
             op: CommOp::Broadcast,
+            algo: crate::CollAlgo::Tree,
             group_size: 3,
             elems: 10,
             group_first: 6,
@@ -255,10 +267,11 @@ mod tests {
 
     #[test]
     fn op_accounting() {
+        use crate::CollAlgo;
         let mut log = CommLog::new(0);
-        log.record_op(CommOp::Broadcast, 4, 100, 0, 1);
-        log.record_op(CommOp::Broadcast, 4, 50, 0, 1);
-        log.record_op(CommOp::AllReduce, 16, 200, 0, 1);
+        log.record_op(CommOp::Broadcast, CollAlgo::Tree, 4, 100, 0, 1);
+        log.record_op(CommOp::Broadcast, CollAlgo::Chain, 4, 50, 0, 1);
+        log.record_op(CommOp::AllReduce, CollAlgo::Ring, 16, 200, 0, 1);
         assert_eq!(log.op_elems(CommOp::Broadcast), 150);
         assert_eq!(log.op_count(CommOp::Broadcast), 2);
         assert_eq!(log.op_elems(CommOp::AllReduce), 200);
@@ -279,9 +292,9 @@ mod tests {
     #[test]
     fn merge_preserves_per_rank_attribution() {
         let mut a = CommLog::new(0);
-        a.record_op(CommOp::Broadcast, 4, 100, 0, 1);
+        a.record_op(CommOp::Broadcast, crate::CollAlgo::Tree, 4, 100, 0, 1);
         let mut b = CommLog::new(1);
-        b.record_op(CommOp::Reduce, 4, 50, 0, 1);
+        b.record_op(CommOp::Reduce, crate::CollAlgo::Tree, 4, 50, 0, 1);
         b.record_link(1, 0, 50);
         a.merge(&b);
         // Ops remember who recorded them...

@@ -141,9 +141,31 @@ fn extract(j: &Json) -> Result<Vec<(String, f64, bool)>, String> {
             // Overhead ratio: lower is better, and it must stay near 1.
             out.push(("gemm.metrics_overhead".into(), ovh, false));
         }
+    } else if j.get("coll_winners").is_ok() {
+        // BENCH_coll.json
+        let str_field = |row: &Json, key: &str| -> Result<String, String> {
+            match row.get(key)? {
+                Json::Str(s) => Ok(s.clone()),
+                other => Err(format!("{key} must be a string, got {}", other.to_string())),
+            }
+        };
+        for row in j.get("results")?.as_arr()? {
+            let op = str_field(row, "op")?;
+            let algo = str_field(row, "algo")?;
+            let elems = row.get("elems")?.as_usize()?;
+            let gbps = row.get("gbps")?.as_f64()?;
+            out.push((format!("coll.{op}.e{elems}.{algo}.gbps"), gbps, true));
+        }
+        for row in j.get("coll_winners")?.as_arr()? {
+            let op = str_field(row, "op")?;
+            let elems = row.get("elems")?.as_usize()?;
+            let speedup = row.get("speedup_vs_default")?.as_f64()?;
+            out.push((format!("coll.{op}.e{elems}.win_vs_default"), speedup, true));
+        }
     } else {
         return Err(
-            "unrecognized bench file: expected BENCH_gemm.json or BENCH_step.json shape"
+            "unrecognized bench file: expected BENCH_gemm.json, BENCH_step.json or \
+             BENCH_coll.json shape"
                 .to_string(),
         );
     }
@@ -239,6 +261,42 @@ mod tests {
                 ]}}"#
         ))
         .unwrap()
+    }
+
+    fn coll(ring_gbps: f64, speedup: f64) -> Json {
+        minjson::parse(&format!(
+            r#"{{"smoke":false,"devices":8,
+                "host":{{"threads":1,"avx2":true}},
+                "results":[
+                  {{"op":"AllReduce","algo":"ring","elems":1024,"secs":0.0001,"gbps":{ring_gbps}}},
+                  {{"op":"AllReduce","algo":"tree","elems":1024,"secs":0.00005,"gbps":0.08}}
+                ],
+                "coll_winners":[
+                  {{"op":"AllReduce","elems":1024,"algo":"tree","gbps":0.08,
+                    "speedup_vs_default":{speedup}}}
+                ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn coll_bandwidth_and_wins_are_higher_is_better() {
+        let cmp = compare(&coll(0.04, 2.0), &coll(0.04, 2.0), 0.1).unwrap();
+        assert!(cmp.passed(), "{}", cmp.render());
+        assert!(cmp
+            .checks
+            .iter()
+            .any(|c| c.key == "coll.AllReduce.e1024.ring.gbps" && c.higher_is_better));
+        assert!(cmp
+            .checks
+            .iter()
+            .any(|c| c.key == "coll.AllReduce.e1024.win_vs_default"));
+        // Halved bandwidth with a 10% band: must fail.
+        let cmp = compare(&coll(0.04, 2.0), &coll(0.02, 2.0), 0.1).unwrap();
+        assert!(!cmp.passed());
+        // A winner that stops winning fails too.
+        let cmp = compare(&coll(0.04, 2.0), &coll(0.04, 0.9), 0.1).unwrap();
+        assert!(!cmp.passed());
     }
 
     #[test]

@@ -1,7 +1,10 @@
-//! Collective cost functions (paper Eqs. 4–5), topology-aware.
+//! Collective cost functions (paper Eqs. 4–5), topology-aware and
+//! per-algorithm: every entry of the `mesh` collective-algorithm registry
+//! has its own α-β formula here ([`CostModel::coll_time`]), and replayed
+//! logs / trace events are priced by the algorithm they actually ran.
 
 use crate::profile::HardwareProfile;
-use mesh::{CommLog, CommOp, OpRecord, Topology};
+use mesh::{chain_segments, CollAlgo, CommLog, CommOp, OpRecord, Topology};
 
 /// α-β cost model over a concrete device-to-node placement.
 #[derive(Clone, Debug)]
@@ -42,10 +45,13 @@ impl CostModel {
         self.profile.beta_inter * contention.sqrt()
     }
 
-    /// Broadcast cost: the better of the binomial tree (paper Eq. 4,
-    /// `log(g)·(α + β·B)` — optimal for small messages) and a pipelined
-    /// ring (`(g−1)·α + β·B` — what NCCL achieves for large panels). SUMMA's
-    /// panels are large, so the ring term dominates in the tables.
+    /// Broadcast cost as a **best-algorithm envelope**: the better of the
+    /// binomial tree (paper Eq. 4, `log(g)·(α + β·B)` — optimal for small
+    /// messages) and a pipelined ring (`(g−1)·α + β·B` — what NCCL achieves
+    /// for large panels). Used by the closed-form scaling stems, which
+    /// predict cost without knowing which algorithm the registry will pick;
+    /// replay pricing uses the faithful per-algorithm
+    /// [`CostModel::coll_time`] instead.
     pub fn broadcast_time(&self, ranks: &[usize], elems: usize) -> f64 {
         let g = ranks.len();
         if g <= 1 {
@@ -83,36 +89,78 @@ impl CostModel {
         macs / self.profile.mac_rate
     }
 
-    /// Cost of one collective participation of a given kind.
-    fn kind_time(&self, op: CommOp, ranks: &[usize], elems: usize) -> f64 {
-        match op {
-            CommOp::Broadcast | CommOp::Reduce => self.broadcast_time(ranks, elems),
-            CommOp::AllReduce => self.all_reduce_time(ranks, elems),
-            CommOp::AllGather | CommOp::ReduceScatter => self.ring_pass_time(ranks, elems),
-            CommOp::Barrier => 2.0 * log2_ceil(ranks.len()) * self.profile.alpha,
+    /// Cost of one collective participation of a given kind **and
+    /// algorithm** — the faithful per-algorithm α-β formulas (derivations
+    /// in DESIGN.md §10). `elems` follows the `OpRecord` convention: the
+    /// logical payload, except all-gather where it is the per-member block.
+    ///
+    /// | op, algo                  | formula                           |
+    /// |---------------------------|-----------------------------------|
+    /// | bcast/reduce, tree        | `⌈log₂g⌉·(α + βB)` (Eq. 4)        |
+    /// | bcast/reduce, chain       | `(g+S−2)·(α + βB/S)`              |
+    /// | all-reduce, ring          | `2(g−1)·(α + βB/g)` (Eq. 5)       |
+    /// | all-reduce, halving       | `2⌈log₂g⌉·α + 2βB(g−1)/g`         |
+    /// | all-reduce, tree          | `2⌈log₂g⌉·(α + βB)`               |
+    /// | AG/RS, ring               | `(g−1)·(α + βB/g)`                |
+    /// | AG bruck / RS halving     | `⌈log₂g⌉·α + (g−1)·βB/g`          |
+    /// | barrier                   | `2⌈log₂g⌉·α`                      |
+    pub fn coll_time(&self, op: CommOp, algo: CollAlgo, ranks: &[usize], elems: usize) -> f64 {
+        let g = ranks.len();
+        if g <= 1 {
+            return 0.0;
+        }
+        let alpha = self.profile.alpha;
+        let beta = self.group_beta(ranks);
+        let b = elems as f64;
+        let gf = g as f64;
+        let rounds = log2_ceil(g);
+        match (op, algo) {
+            (CommOp::Broadcast | CommOp::Reduce, CollAlgo::Tree) => rounds * (alpha + beta * b),
+            (CommOp::Broadcast | CommOp::Reduce, CollAlgo::Chain) => {
+                let s = chain_segments(elems, g) as f64;
+                (gf + s - 2.0) * (alpha + beta * b / s)
+            }
+            (CommOp::AllReduce, CollAlgo::Ring) => 2.0 * (gf - 1.0) * (alpha + beta * b / gf),
+            (CommOp::AllReduce, CollAlgo::Halving) => {
+                2.0 * rounds * alpha + 2.0 * beta * b * (gf - 1.0) / gf
+            }
+            (CommOp::AllReduce, CollAlgo::Tree) => 2.0 * rounds * (alpha + beta * b),
+            (CommOp::AllGather | CommOp::ReduceScatter, CollAlgo::Ring) => {
+                (gf - 1.0) * (alpha + beta * b / gf)
+            }
+            (CommOp::AllGather, CollAlgo::Bruck) | (CommOp::ReduceScatter, CollAlgo::Halving) => {
+                rounds * alpha + (gf - 1.0) * beta * b / gf
+            }
+            (CommOp::Barrier, _) => 2.0 * rounds * alpha,
+            // An algorithm the op does not implement (stale tuning file):
+            // price the op's default schedule.
+            _ => self.coll_time(op, CollAlgo::default_for(op), ranks, elems),
         }
     }
 
-    /// Cost of one logged collective participation.
+    /// Cost of one logged collective participation, priced by the
+    /// algorithm the record says actually ran.
     pub fn op_time(&self, op: &OpRecord) -> f64 {
         let ranks = op.group_ranks().unwrap_or_else(|| {
             // Irregular group: be conservative, treat as inter-node.
             (0..op.group_size).collect()
         });
-        self.kind_time(op.op, &ranks, op.elems)
+        self.coll_time(op.op, op.algo, &ranks, op.elems)
     }
 
-    /// Cost of one trace op event, in seconds — the same Eq. 4–5 pricing as
-    /// [`CostModel::op_time`] applied to a [`trace::OpMeta`]. Unknown kinds
-    /// cost zero.
+    /// Cost of one trace op event, in seconds — the same per-algorithm
+    /// pricing as [`CostModel::op_time`] applied to a [`trace::OpMeta`].
+    /// Unknown kinds cost zero; an empty or unknown algorithm label prices
+    /// the op's default schedule.
     pub fn meta_time(&self, meta: &trace::OpMeta) -> f64 {
         let Some(op) = CommOp::from_name(meta.kind) else {
             return 0.0;
         };
+        let algo = CollAlgo::from_name(meta.algo).unwrap_or_else(|| CollAlgo::default_for(op));
         let ranks = meta
             .group_ranks()
             .unwrap_or_else(|| (0..meta.group_size).collect());
-        self.kind_time(op, &ranks, meta.elems)
+        self.coll_time(op, algo, &ranks, meta.elems)
     }
 
     /// A nanosecond pricer for [`mesh::Mesh::dry_run_traced`]: dry-run
@@ -288,11 +336,108 @@ mod tests {
             ctx.broadcast(&g, 0, &mut d);
         });
         let m = uniform_model(1e-9);
-        let expect = m.all_reduce_time(&[0, 1, 2, 3], 1000) + m.broadcast_time(&[0, 1, 2, 3], 1000);
+        // The default table runs ring all-reduce and tree broadcast; the
+        // replay must price those faithfully, not the closed-form envelope.
+        let ranks = [0, 1, 2, 3];
+        let expect = m.coll_time(CommOp::AllReduce, CollAlgo::Ring, &ranks, 1000)
+            + m.coll_time(CommOp::Broadcast, CollAlgo::Tree, &ranks, 1000);
         for log in &logs {
             let t = m.replay(log);
             assert!((t - expect).abs() < 1e-12, "t={t} expect={expect}");
         }
+    }
+
+    #[test]
+    fn per_algorithm_prices_match_their_formulas() {
+        let prof = HardwareProfile {
+            alpha: 1e-5,
+            ..HardwareProfile::uniform(1e12, 1e-9)
+        };
+        let m = CostModel::new(prof, Topology::single_node(16));
+        let ranks: Vec<usize> = (0..8).collect();
+        let (a, bb) = (1e-5, 1e-9 * 65536.0);
+        let t = |op, algo| m.coll_time(op, algo, &ranks, 65536);
+        let close = |x: f64, y: f64| (x - y).abs() < 1e-12 * y.abs().max(1.0);
+        assert!(close(t(CommOp::Broadcast, CollAlgo::Tree), 3.0 * (a + bb)));
+        let s = chain_segments(65536, 8) as f64;
+        assert!(close(
+            t(CommOp::Broadcast, CollAlgo::Chain),
+            (8.0 + s - 2.0) * (a + bb / s)
+        ));
+        assert!(close(
+            t(CommOp::AllReduce, CollAlgo::Ring),
+            14.0 * (a + bb / 8.0)
+        ));
+        assert!(close(
+            t(CommOp::AllReduce, CollAlgo::Halving),
+            6.0 * a + 2.0 * bb * 7.0 / 8.0
+        ));
+        assert!(close(t(CommOp::AllReduce, CollAlgo::Tree), 6.0 * (a + bb)));
+        assert!(close(
+            t(CommOp::AllGather, CollAlgo::Bruck),
+            3.0 * a + 7.0 * bb / 8.0
+        ));
+        assert!(close(
+            t(CommOp::ReduceScatter, CollAlgo::Halving),
+            3.0 * a + 7.0 * bb / 8.0
+        ));
+        // Ring AG/RS is half of Eq. 5 — unchanged from the legacy pricer.
+        assert!(close(
+            t(CommOp::AllGather, CollAlgo::Ring),
+            m.ring_pass_time(&ranks, 65536)
+        ));
+    }
+
+    #[test]
+    fn algorithm_crossovers_exist_in_the_model() {
+        // The registry's whole premise: for each collective family there is
+        // a message size where the non-default algorithm is cheaper.
+        let prof = HardwareProfile {
+            alpha: 1e-5,
+            ..HardwareProfile::uniform(1e12, 1e-9)
+        };
+        let m = CostModel::new(prof, Topology::single_node(16));
+        let ranks: Vec<usize> = (0..8).collect();
+        // Tiny all-reduce: halving's 2·log g rounds beat ring's 2(g−1).
+        assert!(
+            m.coll_time(CommOp::AllReduce, CollAlgo::Halving, &ranks, 16)
+                < m.coll_time(CommOp::AllReduce, CollAlgo::Ring, &ranks, 16)
+        );
+        // Huge all-reduce: ring's minimal wire volume wins back.
+        assert!(
+            m.coll_time(CommOp::AllReduce, CollAlgo::Ring, &ranks, 1 << 22)
+                < m.coll_time(CommOp::AllReduce, CollAlgo::Tree, &ranks, 1 << 22)
+        );
+        // Huge broadcast: the segmented chain beats the tree.
+        assert!(
+            m.coll_time(CommOp::Broadcast, CollAlgo::Chain, &ranks, 1 << 20)
+                < m.coll_time(CommOp::Broadcast, CollAlgo::Tree, &ranks, 1 << 20)
+        );
+        // Tiny all-gather: Bruck's log-round latency beats the ring.
+        assert!(
+            m.coll_time(CommOp::AllGather, CollAlgo::Bruck, &ranks, 16)
+                < m.coll_time(CommOp::AllGather, CollAlgo::Ring, &ranks, 16)
+        );
+    }
+
+    #[test]
+    fn meta_time_dispatches_on_the_algo_label() {
+        let prof = HardwareProfile {
+            alpha: 1e-5,
+            ..HardwareProfile::uniform(1e12, 1e-9)
+        };
+        let m = CostModel::new(prof, Topology::single_node(16));
+        let meta = |algo| trace::OpMeta::collective("AllReduce", 8, 0, 1, 4096, 0).with_algo(algo);
+        let ranks: Vec<usize> = (0..8).collect();
+        assert_eq!(
+            m.meta_time(&meta("halving")),
+            m.coll_time(CommOp::AllReduce, CollAlgo::Halving, &ranks, 4096)
+        );
+        // Empty label (pre-registry producer) prices the default schedule.
+        assert_eq!(
+            m.meta_time(&meta("")),
+            m.coll_time(CommOp::AllReduce, CollAlgo::Ring, &ranks, 4096)
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 pub mod autotune;
 pub mod calibration;
+pub mod colltune;
 pub mod cost;
 pub mod isoeff;
 pub mod memory;
@@ -40,5 +41,6 @@ pub mod table1;
 pub mod tracecheck;
 
 pub use calibration::Calibration;
+pub use colltune::CollTune;
 pub use cost::CostModel;
 pub use profile::HardwareProfile;

@@ -97,6 +97,7 @@ pub fn chrome_trace(traces: &[DeviceTrace]) -> Json {
                             Json::obj(vec![
                                 ("span", Json::Num(*span as f64)),
                                 ("axis", Json::Str(meta.axis.into())),
+                                ("algo", Json::Str(meta.algo.into())),
                                 ("elems", Json::Num(meta.elems as f64)),
                                 ("wire_elems", Json::Num(meta.wire_elems as f64)),
                                 ("group_size", Json::Num(meta.group_size as f64)),

@@ -86,6 +86,12 @@ pub struct OpMeta {
     /// `"depth"`, `"world"`, …; `""` when the group carried none). Pure
     /// metadata for trace filtering — never part of cost-model pricing.
     pub axis: &'static str,
+    /// Name of the collective algorithm that ran (`"tree"`, `"ring"`,
+    /// `"chain"`, `"halving"`, `"bruck"`; `""` when the producer predates
+    /// algorithm selection). Unlike `axis` this **does** feed pricing: the
+    /// cost model dispatches on it so a dry run prices exactly the
+    /// algorithm the live backend would run.
+    pub algo: &'static str,
 }
 
 impl OpMeta {
@@ -106,12 +112,19 @@ impl OpMeta {
             elems,
             wire_elems,
             axis: "",
+            algo: "",
         }
     }
 
     /// This meta with its mesh-axis label set (builder style).
     pub fn with_axis(mut self, axis: &'static str) -> Self {
         self.axis = axis;
+        self
+    }
+
+    /// This meta with its algorithm name set (builder style).
+    pub fn with_algo(mut self, algo: &'static str) -> Self {
+        self.algo = algo;
         self
     }
 

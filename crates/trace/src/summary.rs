@@ -1,10 +1,10 @@
 //! Per-phase communication summary.
 //!
-//! Aggregates a mesh run's op events by (top-level phase, collective kind)
-//! and totals counts, logical elements, wire elements, and time — both the
-//! *measured* time stamped in the trace and a *modeled* time from a
+//! Aggregates a mesh run's op events by (top-level phase, collective kind,
+//! algorithm) and totals counts, logical elements, wire elements, and time —
+//! both the *measured* time stamped in the trace and a *modeled* time from a
 //! caller-supplied α-β cost function (normally `perf::CostModel`), so a
-//! table row directly shows how far reality is from Eqs. 4–5.
+//! table row directly shows how far reality is from Eqs. 4–5, per algorithm.
 
 use crate::{DeviceTrace, Event, OpMeta};
 use std::collections::BTreeMap;
@@ -16,6 +16,9 @@ pub struct SummaryRow {
     pub phase: String,
     /// Collective kind (`CommOp::name`).
     pub kind: &'static str,
+    /// Algorithm name stamped on the ops (`""` for producers that predate
+    /// algorithm selection).
+    pub algo: &'static str,
     /// Number of op events (summed over ranks).
     pub count: usize,
     /// Logical payload elements (summed over ranks).
@@ -29,11 +32,11 @@ pub struct SummaryRow {
     pub modeled_s: f64,
 }
 
-/// Aggregates op events by (top-level phase, kind). `model` prices one op
-/// participation in seconds; pass `|_| 0.0` when no cost model applies.
-/// Rows come back sorted by phase then kind.
+/// Aggregates op events by (top-level phase, kind, algorithm). `model`
+/// prices one op participation in seconds; pass `|_| 0.0` when no cost
+/// model applies. Rows come back sorted by phase, then kind, then algorithm.
 pub fn summarize(traces: &[DeviceTrace], model: impl Fn(&OpMeta) -> f64) -> Vec<SummaryRow> {
-    let mut acc: BTreeMap<(String, &'static str), SummaryRow> = BTreeMap::new();
+    let mut acc: BTreeMap<(String, &'static str, &'static str), SummaryRow> = BTreeMap::new();
     for dev in traces {
         let mut stack: Vec<&'static str> = Vec::new();
         for ev in &dev.events {
@@ -47,10 +50,11 @@ pub fn summarize(traces: &[DeviceTrace], model: impl Fn(&OpMeta) -> f64) -> Vec<
                 } => {
                     let phase = stack.first().copied().unwrap_or("(root)");
                     let row = acc
-                        .entry((phase.to_string(), meta.kind))
+                        .entry((phase.to_string(), meta.kind, meta.algo))
                         .or_insert_with(|| SummaryRow {
                             phase: phase.to_string(),
                             kind: meta.kind,
+                            algo: meta.algo,
                             count: 0,
                             elems: 0,
                             wire_elems: 0,
@@ -72,14 +76,15 @@ pub fn summarize(traces: &[DeviceTrace], model: impl Fn(&OpMeta) -> f64) -> Vec<
 /// Renders summary rows as an aligned text table with a totals line.
 pub fn render_summary(rows: &[SummaryRow]) -> String {
     let headers = [
-        "phase", "op", "count", "elems", "wire", "measured", "modeled",
+        "phase", "op", "algo", "count", "elems", "wire", "measured", "modeled",
     ];
-    let mut cells: Vec<[String; 7]> = rows
+    let mut cells: Vec<[String; 8]> = rows
         .iter()
         .map(|r| {
             [
                 r.phase.clone(),
                 r.kind.to_string(),
+                r.algo.to_string(),
                 r.count.to_string(),
                 r.elems.to_string(),
                 r.wire_elems.to_string(),
@@ -100,6 +105,7 @@ pub fn render_summary(rows: &[SummaryRow]) -> String {
     cells.push([
         "TOTAL".into(),
         String::new(),
+        String::new(),
         total.0.to_string(),
         total.1.to_string(),
         total.2.to_string(),
@@ -119,7 +125,7 @@ pub fn render_summary(rows: &[SummaryRow]) -> String {
             if i > 0 {
                 out.push_str("  ");
             }
-            if i < 2 {
+            if i < 3 {
                 out.push_str(&format!("{c:<w$}"));
             } else {
                 out.push_str(&format!("{c:>w$}"));

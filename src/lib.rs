@@ -12,9 +12,11 @@
 //!   (NN/NT/TN), softmax, layer norm, GELU, cross-entropy, all with manual
 //!   backward passes, plus a seedable PRNG and gradient-check helpers.
 //! * [`mesh`] — a simulated device mesh: every "GPU" is an OS thread, and
-//!   collectives (tree broadcast/reduce, ring all-reduce/all-gather/
-//!   reduce-scatter) are implemented from scratch over channels with exact
-//!   per-device communication accounting.
+//!   collectives are implemented from scratch over channels with exact
+//!   per-device communication accounting — each with a menu of selectable
+//!   algorithms (tree/chain broadcast and reduce, ring/halving/tree
+//!   all-reduce, ring/Bruck all-gather, ring/halving reduce-scatter)
+//!   picked per call by a message-size- and group-size-keyed table.
 //! * [`summa`] — the three SUMMA product forms (`C=AB`, `C=ABᵀ`, `C=AᵀB`)
 //!   on a `q×q` mesh, closed under differentiation (paper Eqs. 1–3).
 //! * [`serial`] — the single-device reference transformer (ground truth).

@@ -121,7 +121,7 @@ fn broadcast_delivers_root_payload_from_any_root() {
                 let mut data = if ctx.rank() == root {
                     payload_ref.clone()
                 } else {
-                    vec![]
+                    vec![0.0; payload_ref.len()]
                 };
                 ctx.broadcast(&g, root, &mut data);
                 data
