@@ -15,7 +15,7 @@
 //! optimus-cli crossover                             # 1D vs 2D vs 2.5D table
 //! optimus-cli autotune --devices 512 --mem-budget 16 [--report R.json] [--check]
 //! optimus-cli calibrate [--bench BENCH_gemm.json]
-//! optimus-cli tune-coll [--devices 8] [--reps 24] [--save results/coll_tune.json]
+//! optimus-cli tune-coll [--devices 8] [--reps 24] [--wire bf16] [--save results/coll_tune.json]
 //! optimus-cli info
 //! ```
 //!
@@ -73,13 +73,22 @@
 //! tracecheck-reconciled (< 1e-5) 8 × 8 dry-run, and persists it to
 //! `results/coll_tune.json` — which every other command auto-loads and
 //! installs via `mesh::install_algo_table` at startup. Delete the file to
-//! return to the built-in defaults.
+//! return to the built-in defaults. Every cell is additionally measured on
+//! the compressed 16-bit wire (bf16 by default) and reported next to the
+//! full-width winner; `--wire bf16` (or `f16`) opts in to *persisting*
+//! wire-precision rules for the cells where compression measured faster,
+//! which subsequent runs auto-install via `mesh::install_wire_table` —
+//! an explicit opt-in, because a compressed wire trades bitwise f32
+//! reproducibility for bandwidth (see DESIGN.md §11).
 //!
 //! The training corpus is the built-in cyclic-pattern language (the same one
 //! the tests and examples use), so runs are self-contained and deterministic.
 
 use megatron::{MegatronConfig, MegatronModel};
-use mesh::{AlgoRule, AlgoTable, Arrangement, CollAlgo, CommOp, Mesh, Mesh2d, Topology};
+use mesh::{
+    AlgoRule, AlgoTable, Arrangement, CollAlgo, CommOp, Mesh, Mesh2d, Topology, WireDtype,
+    WireRule, WireTable,
+};
 use minjson::Json;
 use optimus_core::{OptimusConfig, OptimusModel};
 use perf::calibration::CALIBRATION_PATH;
@@ -235,7 +244,7 @@ fn apply_flags(mut args: Args, flags: &HashMap<String, String>) -> Result<Args, 
             }
             "save" | "load" | "trace" | "bench" | "metrics" => {} // handled by the caller
             "mem-budget" | "report" | "check" => {}               // autotune flags, handled there
-            "reps" => {}                                          // tune-coll flag, handled there
+            "reps" | "wire" => {}                                 // tune-coll flags, handled there
             "grid" => {} // handled by finalize_mesh (order-independent)
             other => return Err(format!("unknown flag --{other}")),
         }
@@ -1077,6 +1086,20 @@ fn tune_coll_cmd(a: &Args, flags: &HashMap<String, String>) -> Result<(), String
         Some(v) => v.parse().map_err(|e| format!("--reps: {e}"))?,
         None => 24,
     };
+    // `--wire bf16|f16` opts in to *persisting* wire-precision rules for
+    // cells where the compressed wire measures faster than the full-width
+    // winner — an explicit opt-in because installed rules trade bitwise
+    // reproducibility for bandwidth. Without the flag the compressed column
+    // is still measured and reported (at bf16), just never saved.
+    let wire_opt: Option<WireDtype> = match flags.get("wire").map(String::as_str) {
+        None | Some("off") | Some("f32") => None,
+        Some(name) => Some(
+            WireDtype::from_name(name)
+                .filter(|w| !w.is_f32())
+                .ok_or_else(|| format!("--wire wants bf16|f16|off, got '{name}'"))?,
+        ),
+    };
+    let probe = wire_opt.unwrap_or(WireDtype::Bf16);
     let trials = 3;
     let sizes: Vec<usize> = bench::coll::TUNE_ELEMS.to_vec();
     let profile = autotune_profile(a);
@@ -1092,26 +1115,40 @@ fn tune_coll_cmd(a: &Args, flags: &HashMap<String, String>) -> Result<(), String
     );
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut rules: Vec<AlgoRule> = Vec::new();
+    let mut wire_rules: Vec<WireRule> = Vec::new();
     let (mut cells, mut agree) = (0usize, 0usize);
     for op in bench::coll::TUNE_OPS {
         for (i, &elems) in sizes.iter().enumerate() {
             if op == CommOp::ReduceScatter && elems % p != 0 {
                 continue; // reduce-scatter needs p | payload
             }
+            let measure = |algo: CollAlgo, w: WireDtype| {
+                bench::coll::measure_coll_wire(
+                    op,
+                    algo,
+                    p,
+                    elems,
+                    bench::coll::reps_for(base_reps, elems),
+                    trials,
+                    w,
+                )
+            };
             let samples: Vec<bench::coll::CollSample> = CollAlgo::menu(op)
                 .iter()
-                .map(|&algo| {
-                    bench::coll::measure_coll(
-                        op,
-                        algo,
-                        p,
-                        elems,
-                        bench::coll::reps_for(base_reps, elems),
-                        trials,
-                    )
-                })
+                .map(|&algo| measure(algo, WireDtype::F32))
+                .collect();
+            // Same menu again on the compressed wire: half the bytes move,
+            // plus pack/unpack work — whether that nets out faster is
+            // exactly what the cell measures.
+            let compressed: Vec<bench::coll::CollSample> = CollAlgo::menu(op)
+                .iter()
+                .map(|&algo| measure(algo, probe))
                 .collect();
             let winner = samples
+                .iter()
+                .min_by(|x, y| x.secs.total_cmp(&y.secs))
+                .expect("non-empty menu");
+            let cbest = compressed
                 .iter()
                 .min_by(|x, y| x.secs.total_cmp(&y.secs))
                 .expect("non-empty menu");
@@ -1136,9 +1173,15 @@ fn tune_coll_cmd(a: &Args, flags: &HashMap<String, String>) -> Result<(), String
                     .join("  "),
                 winner.algo.name().to_string(),
                 modeled.name().to_string(),
+                format!(
+                    "{} {:.1}us ({:.2}x)",
+                    cbest.algo.name(),
+                    cbest.secs * 1e6,
+                    winner.secs / cbest.secs
+                ),
             ]);
+            let (min_bytes, max_bytes) = cell_bounds(&sizes, i);
             if winner.algo != CollAlgo::default_for(op) {
-                let (min_bytes, max_bytes) = cell_bounds(&sizes, i);
                 rules.push(AlgoRule {
                     op,
                     min_group: 2,
@@ -1148,12 +1191,31 @@ fn tune_coll_cmd(a: &Args, flags: &HashMap<String, String>) -> Result<(), String
                     algo: winner.algo,
                 });
             }
+            if let Some(w) = wire_opt {
+                if cbest.secs < winner.secs {
+                    wire_rules.push(WireRule {
+                        op,
+                        min_group: 2,
+                        max_group: usize::MAX,
+                        min_bytes,
+                        max_bytes,
+                        wire: w,
+                    });
+                }
+            }
         }
     }
     println!(
         "{}",
         bench::render_table(
-            &["op", "elems", "measured per algorithm", "winner", "modeled"],
+            &[
+                "op",
+                "elems",
+                "measured per algorithm",
+                "winner",
+                "modeled",
+                &format!("{} best", probe.name()),
+            ],
             &rows
         )
     );
@@ -1182,11 +1244,46 @@ fn tune_coll_cmd(a: &Args, flags: &HashMap<String, String>) -> Result<(), String
         );
     }
 
+    if let Some(w) = wire_opt {
+        if wire_rules.is_empty() {
+            println!(
+                "no cell measured {} faster than the full-width winner; \
+                 persisting no wire rules",
+                w.name()
+            );
+        } else {
+            println!(
+                "{} cell(s) measured faster at {} — wire rules: {}",
+                wire_rules.len(),
+                w.name(),
+                wire_rules
+                    .iter()
+                    .map(|r| format!(
+                        "{} [{}..{}B]",
+                        r.op.name(),
+                        r.min_bytes,
+                        if r.max_bytes == usize::MAX {
+                            "inf".to_string()
+                        } else {
+                            r.max_bytes.to_string()
+                        },
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+    }
+
     let tune = CollTune {
         source: format!("tune-coll p={p} ({cells} cells)"),
         table: AlgoTable { rules },
+        wire: WireTable { rules: wire_rules },
     };
     mesh::install_algo_table(tune.table.clone());
+    // Gate with the wire rules installed too: the 8x8 dry-run then prices
+    // compressed cells end-to-end, so a mispriced wire dtype fails here
+    // instead of after the table ships.
+    mesh::install_wire_table(tune.wire.clone());
     tune_coll_check(&profile)?;
     let out = flags
         .get("save")
@@ -1446,6 +1543,15 @@ fn main() {
                     tune.source
                 );
                 mesh::install_algo_table(tune.table);
+                if !tune.wire.rules.is_empty() {
+                    println!(
+                        "wire compression: {} tuned rule(s) installed — collectives they match \
+                         travel 16-bit (results are no longer bitwise vs f32; delete \
+                         {COLL_TUNE_PATH} to revert)",
+                        tune.wire.rules.len()
+                    );
+                    mesh::install_wire_table(tune.wire);
+                }
             }
             Ok(None) => {}
             Err(e) => eprintln!("warning: ignoring collective tune: {e}"),

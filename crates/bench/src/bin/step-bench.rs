@@ -207,21 +207,32 @@ fn main() {
         let text = std::fs::read_to_string(&out).expect("re-read artifact");
         let parsed = minjson::parse(&text).expect("BENCH_step.json must re-parse with minjson");
         // Noise bound: overlap must not cost meaningful step time at any
-        // mesh size. Single-core hosts see modest (or no) gains, and the
-        // tiny smoke model leaves the ratio noisy — the check guards
-        // against the overlap machinery grossly regressing (a broken
-        // schedule lands well below 0.7), not for a specific win.
+        // mesh size. The tiny smoke model leaves the ratio noisy, so the
+        // gate only asks for a genuine >= 1.0 win when the host actually
+        // has spare cores for the q*q device threads plus the main thread;
+        // on oversubscribed (or undetectable) hosts the win comes solely
+        // from removing blocking-receive sleep/wake chains, and the check
+        // guards against the overlap machinery grossly regressing (a
+        // broken schedule lands well below 0.7), not for a specific win.
+        let cores = bench::detected_cores();
         for (q, _) in &speedups {
             let s = parsed
                 .get("overlap_speedup")
                 .and_then(|o| o.get(&format!("{q}x{q}")))
                 .and_then(|v| v.as_f64())
                 .expect("speedup field");
-            if s < 0.7 {
-                eprintln!("FAIL: overlapped {q}x{q} step is {s:.2}x of sync (limit 0.7)");
+            let limit = match cores {
+                Some(c) if c > q * q + 1 => 1.0,
+                _ => 0.7,
+            };
+            if s < limit {
+                eprintln!("FAIL: overlapped {q}x{q} step is {s:.2}x of sync (limit {limit})");
                 std::process::exit(1);
             }
         }
-        println!("smoke checks passed");
+        println!(
+            "smoke checks passed (cores detected: {})",
+            cores.map_or("no".to_string(), |c| c.to_string())
+        );
     }
 }

@@ -14,7 +14,7 @@
 //! per-rank block for all-gather. Reduce-scatter payloads must divide by
 //! the group size, so sweep sizes should be multiples of the world size.
 
-use mesh::{CollAlgo, CommOp, Communicator, Group, Mesh};
+use mesh::{CollAlgo, CommOp, Communicator, Group, Mesh, WireDtype};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -31,13 +31,15 @@ pub const TUNE_OPS: [CommOp; 5] = [
 /// Default payload sizes (f32 elements): 256 B, 4 KiB, 64 KiB, 1 MiB.
 pub const TUNE_ELEMS: [usize; 4] = [64, 1024, 16384, 262144];
 
-/// One measured `(op, algorithm, size)` cell.
+/// One measured `(op, algorithm, size, wire dtype)` cell.
 #[derive(Clone, Copy, Debug)]
 pub struct CollSample {
     pub op: CommOp,
     pub algo: CollAlgo,
     /// Payload f32 elements as the selection layer keys them.
     pub elems: usize,
+    /// Wire dtype the payload traveled as (f32 = full width).
+    pub wire: WireDtype,
     /// Seconds per collective call.
     pub secs: f64,
 }
@@ -52,16 +54,26 @@ impl CollSample {
     }
 }
 
-fn run_once(ctx: &impl Communicator, g: &Group, op: CommOp, algo: CollAlgo, data: &mut [f32]) {
+fn run_once(
+    ctx: &impl Communicator,
+    g: &Group,
+    op: CommOp,
+    algo: CollAlgo,
+    w: WireDtype,
+    data: &mut [f32],
+) {
+    // Explicit wire dtype per call — the sweep never installs a global
+    // wire table, so concurrently running cells cannot contaminate each
+    // other (or the rest of the test process).
     match op {
-        CommOp::Broadcast => ctx.broadcast_algo(g, 0, data, algo),
-        CommOp::Reduce => ctx.reduce_algo(g, 0, data, algo),
-        CommOp::AllReduce => ctx.all_reduce_algo(g, data, algo),
+        CommOp::Broadcast => ctx.broadcast_algo_wire(g, 0, data, algo, w),
+        CommOp::Reduce => ctx.reduce_algo_wire(g, 0, data, algo, w),
+        CommOp::AllReduce => ctx.all_reduce_algo_wire(g, data, algo, w),
         CommOp::AllGather => {
-            black_box(ctx.all_gather_algo(g, data, algo));
+            black_box(ctx.all_gather_algo_wire(g, data, algo, w));
         }
         CommOp::ReduceScatter => {
-            black_box(ctx.reduce_scatter_algo(g, data, algo));
+            black_box(ctx.reduce_scatter_algo_wire(g, data, algo, w));
         }
         _ => ctx.barrier(g),
     }
@@ -76,6 +88,20 @@ pub fn measure_coll(
     elems: usize,
     reps: usize,
     trials: usize,
+) -> CollSample {
+    measure_coll_wire(op, algo, p, elems, reps, trials, WireDtype::F32)
+}
+
+/// [`measure_coll`] with the payload traveling at an explicit wire dtype —
+/// the compressed-vs-full-width comparison cells of `BENCH_coll.json`.
+pub fn measure_coll_wire(
+    op: CommOp,
+    algo: CollAlgo,
+    p: usize,
+    elems: usize,
+    reps: usize,
+    trials: usize,
+    wire: WireDtype,
 ) -> CollSample {
     assert!(
         algo.valid_for(op),
@@ -92,13 +118,13 @@ pub fn measure_coll(
     let per_rank: Vec<Vec<f64>> = Mesh::run(p, move |ctx| {
         let g = Group::world(p);
         let mut data = vec![1.0f32; elems];
-        run_once(ctx, &g, op, algo, &mut data); // warm the queues
+        run_once(ctx, &g, op, algo, wire, &mut data); // warm the queues
         let mut times = Vec::with_capacity(trials);
         for _ in 0..trials {
             ctx.barrier(&g);
             let t0 = Instant::now();
             for _ in 0..reps {
-                run_once(ctx, &g, op, algo, &mut data);
+                run_once(ctx, &g, op, algo, wire, &mut data);
             }
             ctx.barrier(&g);
             times.push(t0.elapsed().as_secs_f64());
@@ -113,6 +139,7 @@ pub fn measure_coll(
         op,
         algo,
         elems,
+        wire,
         secs,
     }
 }

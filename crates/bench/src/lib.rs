@@ -119,7 +119,12 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io:
 /// checkout).
 pub fn host_stamp() -> minjson::Json {
     use minjson::Json;
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Record whether core detection actually succeeded: `threads: 1` from a
+    // failed probe and a genuine single-core host are different situations,
+    // and overlap gates want to know which one they are on.
+    let detected = std::thread::available_parallelism();
+    let threads = detected.as_ref().map_or(1, |n| n.get());
+    let threads_detected = detected.is_ok();
     #[cfg(target_arch = "x86_64")]
     let avx2 = std::arch::is_x86_feature_detected!("avx2");
     #[cfg(not(target_arch = "x86_64"))]
@@ -135,9 +140,16 @@ pub fn host_stamp() -> minjson::Json {
         .unwrap_or_else(|| "unknown".to_string());
     Json::obj(vec![
         ("threads", Json::Num(threads as f64)),
+        ("threads_detected", Json::Bool(threads_detected)),
         ("avx2", Json::Bool(avx2)),
         ("git_rev", Json::Str(git_rev)),
     ])
+}
+
+/// Detected available parallelism, or `None` when the probe fails — the
+/// value CI gates should branch on instead of assuming spare cores exist.
+pub fn detected_cores() -> Option<usize> {
+    std::thread::available_parallelism().ok().map(|n| n.get())
 }
 
 /// Formats a float with 4 decimal places.
@@ -177,6 +189,10 @@ mod tests {
         // `threads` and `avx2` are the keys regress::compare warns on; both
         // must be present and well-typed on every platform.
         assert!(stamp.get("threads").unwrap().as_usize().unwrap() >= 1);
+        assert!(matches!(
+            stamp.get("threads_detected").unwrap(),
+            minjson::Json::Bool(_)
+        ));
         assert!(matches!(stamp.get("avx2").unwrap(), minjson::Json::Bool(_)));
         assert!(matches!(
             stamp.get("git_rev").unwrap(),

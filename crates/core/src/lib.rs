@@ -44,7 +44,7 @@ mod params2d;
 
 pub use buffers::{BufferPool, MemMeter};
 pub use config::OptimusConfig;
-pub use dp::{hybrid_layout, hybrid_train_step, hybrid_train_step_zero1};
+pub use dp::{hybrid_layout, hybrid_train_step, hybrid_train_step_ef, hybrid_train_step_zero1};
 pub use layer2d::{layer2d_backward, layer2d_forward, Layer2dCache, Layer2dGrads};
 pub use layernorm2d::{LayerNorm2d, Ln2dCache};
 pub use linear2d::Linear2d;

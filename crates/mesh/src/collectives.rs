@@ -28,6 +28,7 @@ use crate::algo::{self, chain_segments, CollAlgo};
 use crate::fabric::DeviceCtx;
 use crate::group::Group;
 use crate::stats::CommOp;
+use crate::wire::{self, WireDtype};
 
 /// Start offset of ring chunk `i` when splitting `n` elements into `g`
 /// near-equal chunks. Shared with the trace-only backend so both compute
@@ -184,8 +185,26 @@ impl DeviceCtx {
     }
 
     /// [`DeviceCtx::broadcast`] with an explicit algorithm
-    /// ([`CollAlgo::Tree`] or [`CollAlgo::Chain`]).
+    /// ([`CollAlgo::Tree`] or [`CollAlgo::Chain`]); wire precision picked by
+    /// the installed [`crate::WireTable`] (f32 unless a table is installed).
     pub fn broadcast_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
+        let w = wire::select(CommOp::Broadcast, group.len(), data.len());
+        self.broadcast_algo_wire(group, root, data, algo, w);
+    }
+
+    /// [`DeviceCtx::broadcast_algo`] at an explicit wire precision. Under a
+    /// 16-bit dtype every hop moves the packed half-length buffer; the root
+    /// keeps its full-precision copy while every other member ends with the
+    /// quantized payload (quantization is idempotent, so forwarding hops
+    /// re-pack losslessly).
+    pub fn broadcast_algo_wire(
+        &self,
+        group: &Group,
+        root: usize,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) {
         let g = group.len();
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
@@ -196,17 +215,12 @@ impl DeviceCtx {
                 CollAlgo::Tree => {
                     let (parent, children) = bcast_tree(g, rel);
                     if let Some(parent) = parent {
-                        let incoming = self.recv(abs(parent));
-                        assert_eq!(
-                            incoming.len(),
-                            data.len(),
-                            "broadcast buffer not pre-sized to the payload"
-                        );
+                        let incoming = self.recv_wire(abs(parent), data.len(), w);
                         data.copy_from_slice(&incoming);
                         self.recycle(incoming);
                     }
                     for &child in &children {
-                        self.send_copy(abs(child), data);
+                        self.send_wire(abs(child), data, w);
                     }
                 }
                 CollAlgo::Chain => {
@@ -218,13 +232,12 @@ impl DeviceCtx {
                     for j in 0..s {
                         let (a, b) = (chunk_start(n, s, j), chunk_start(n, s, j + 1));
                         if rel > 0 {
-                            let incoming = self.recv(abs(rel - 1));
-                            assert_eq!(incoming.len(), b - a, "chain segment size mismatch");
+                            let incoming = self.recv_wire(abs(rel - 1), b - a, w);
                             data[a..b].copy_from_slice(&incoming);
                             self.recycle(incoming);
                         }
                         if rel + 1 < g {
-                            self.send_copy(abs(rel + 1), &data[a..b]);
+                            self.send_wire(abs(rel + 1), &data[a..b], w);
                         }
                     }
                 }
@@ -246,8 +259,24 @@ impl DeviceCtx {
     }
 
     /// [`DeviceCtx::reduce`] with an explicit algorithm
-    /// ([`CollAlgo::Tree`] or [`CollAlgo::Chain`]).
+    /// ([`CollAlgo::Tree`] or [`CollAlgo::Chain`]); wire precision picked by
+    /// the installed [`crate::WireTable`].
     pub fn reduce_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
+        let w = wire::select(CommOp::Reduce, group.len(), data.len());
+        self.reduce_algo_wire(group, root, data, algo, w);
+    }
+
+    /// [`DeviceCtx::reduce_algo`] at an explicit wire precision. Partial
+    /// sums are accumulated in f32 and re-quantized per hop, so each wire
+    /// crossing contributes at most one rounding error per element.
+    pub fn reduce_algo_wire(
+        &self,
+        group: &Group,
+        root: usize,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) {
         let g = group.len();
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
@@ -261,15 +290,14 @@ impl DeviceCtx {
             CollAlgo::Tree => {
                 let (sources, target) = reduce_tree(g, rel);
                 for &source in &sources {
-                    let incoming = self.recv(abs(source));
-                    assert_eq!(incoming.len(), data.len(), "reduce size mismatch");
+                    let incoming = self.recv_wire(abs(source), data.len(), w);
                     for (d, v) in data.iter_mut().zip(&incoming) {
                         *d += v;
                     }
                     self.recycle(incoming);
                 }
                 if let Some(target) = target {
-                    self.send_copy(abs(target), data);
+                    self.send_wire(abs(target), data, w);
                 }
             }
             CollAlgo::Chain => {
@@ -281,15 +309,14 @@ impl DeviceCtx {
                 for j in 0..s {
                     let (a, b) = (chunk_start(n, s, j), chunk_start(n, s, j + 1));
                     if rel + 1 < g {
-                        let incoming = self.recv(abs(rel + 1));
-                        assert_eq!(incoming.len(), b - a, "chain segment size mismatch");
+                        let incoming = self.recv_wire(abs(rel + 1), b - a, w);
                         for (d, v) in data[a..b].iter_mut().zip(&incoming) {
                             *d += v;
                         }
                         self.recycle(incoming);
                     }
                     if rel > 0 {
-                        self.send_copy(abs(rel - 1), &data[a..b]);
+                        self.send_wire(abs(rel - 1), &data[a..b], w);
                     }
                 }
             }
@@ -308,9 +335,31 @@ impl DeviceCtx {
     }
 
     /// All-reduce with an explicit algorithm ([`CollAlgo::Ring`],
-    /// [`CollAlgo::Halving`] or [`CollAlgo::Tree`]) and combiner.
+    /// [`CollAlgo::Halving`] or [`CollAlgo::Tree`]) and combiner; wire
+    /// precision picked by the installed [`crate::WireTable`].
     pub fn all_reduce_algo_by<F>(&self, group: &Group, data: &mut [f32], algo: CollAlgo, combine: F)
     where
+        F: Fn(f32, f32) -> f32,
+    {
+        let w = wire::select(CommOp::AllReduce, group.len(), data.len());
+        self.all_reduce_algo_wire_by(group, data, algo, w, combine);
+    }
+
+    /// [`DeviceCtx::all_reduce_algo_by`] at an explicit wire precision.
+    ///
+    /// Under a 16-bit dtype the result is **not** bitwise-equal across
+    /// members (a chunk's owner combines full-precision locals while other
+    /// members receive its quantized form); each element differs from the
+    /// f32 result by at most one quantization error per wire hop on its
+    /// reduction path.
+    pub fn all_reduce_algo_wire_by<F>(
+        &self,
+        group: &Group,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+        combine: F,
+    ) where
         F: Fn(f32, f32) -> f32,
     {
         let g = group.len();
@@ -320,31 +369,30 @@ impl DeviceCtx {
             return;
         }
         match algo {
-            CollAlgo::Ring => self.ring_all_reduce_by(group, me, data, combine),
-            CollAlgo::Halving => self.halving_all_reduce_by(group, me, data, combine),
+            CollAlgo::Ring => self.ring_all_reduce_by(group, me, data, w, combine),
+            CollAlgo::Halving => self.halving_all_reduce_by(group, me, data, w, combine),
             CollAlgo::Tree => {
                 // Inline tree reduce to group index 0 + tree broadcast,
                 // recorded as ONE AllReduce op.
                 let (sources, target) = reduce_tree(g, me);
                 for &source in &sources {
-                    let incoming = self.recv(group.rank_of(source));
-                    assert_eq!(incoming.len(), data.len(), "all-reduce size mismatch");
+                    let incoming = self.recv_wire(group.rank_of(source), data.len(), w);
                     for (d, v) in data.iter_mut().zip(&incoming) {
                         *d = combine(*d, *v);
                     }
                     self.recycle(incoming);
                 }
                 if let Some(target) = target {
-                    self.send_copy(group.rank_of(target), data);
+                    self.send_wire(group.rank_of(target), data, w);
                 }
                 let (parent, children) = bcast_tree(g, me);
                 if let Some(parent) = parent {
-                    let incoming = self.recv(group.rank_of(parent));
+                    let incoming = self.recv_wire(group.rank_of(parent), data.len(), w);
                     data.copy_from_slice(&incoming);
                     self.recycle(incoming);
                 }
                 for &child in &children {
-                    self.send_copy(group.rank_of(child), data);
+                    self.send_wire(group.rank_of(child), data, w);
                 }
             }
             other => panic!("{:?} is not an all-reduce algorithm", other),
@@ -353,8 +401,14 @@ impl DeviceCtx {
 
     /// Ring all-reduce body (the paper's Eq. 5): reduce-scatter phase then
     /// all-gather phase, each `g−1` steps around the ring.
-    fn ring_all_reduce_by<F>(&self, group: &Group, me: usize, data: &mut [f32], combine: F)
-    where
+    fn ring_all_reduce_by<F>(
+        &self,
+        group: &Group,
+        me: usize,
+        data: &mut [f32],
+        w: WireDtype,
+        combine: F,
+    ) where
         F: Fn(f32, f32) -> f32,
     {
         let g = group.len();
@@ -368,9 +422,8 @@ impl DeviceCtx {
         for step in 0..g - 1 {
             let (s0, s1) = bounds((me + g - step) % g);
             let (t0, t1) = bounds((me + 2 * g - step - 1) % g);
-            self.send_copy(right, &data[s0..s1]);
-            let incoming = self.recv(left);
-            assert_eq!(incoming.len(), t1 - t0, "ring chunk size mismatch");
+            self.send_wire(right, &data[s0..s1], w);
+            let incoming = self.recv_wire(left, t1 - t0, w);
             for (d, v) in data[t0..t1].iter_mut().zip(&incoming) {
                 *d = combine(*d, *v);
             }
@@ -380,9 +433,8 @@ impl DeviceCtx {
         for step in 0..g - 1 {
             let (s0, s1) = bounds((me + 1 + g - step) % g);
             let (t0, t1) = bounds((me + g - step) % g);
-            self.send_copy(right, &data[s0..s1]);
-            let incoming = self.recv(left);
-            assert_eq!(incoming.len(), t1 - t0, "ring chunk size mismatch");
+            self.send_wire(right, &data[s0..s1], w);
+            let incoming = self.recv_wire(left, t1 - t0, w);
             data[t0..t1].copy_from_slice(&incoming);
             self.recycle(incoming);
         }
@@ -391,8 +443,14 @@ impl DeviceCtx {
     /// Recursive halving/doubling all-reduce body: the [`halving_rounds`]
     /// reduce-scatter schedule forward, then the same rounds reversed as a
     /// doubling all-gather.
-    fn halving_all_reduce_by<F>(&self, group: &Group, me: usize, data: &mut [f32], combine: F)
-    where
+    fn halving_all_reduce_by<F>(
+        &self,
+        group: &Group,
+        me: usize,
+        data: &mut [f32],
+        w: WireDtype,
+        combine: F,
+    ) where
         F: Fn(f32, f32) -> f32,
     {
         let g = group.len();
@@ -402,12 +460,11 @@ impl DeviceCtx {
         for round in &rounds {
             for &(peer, clo, chi) in &round.sends {
                 let (a, b) = eb(clo, chi);
-                self.send_copy(group.rank_of(peer), &data[a..b]);
+                self.send_wire(group.rank_of(peer), &data[a..b], w);
             }
             for &(peer, clo, chi) in &round.recvs {
                 let (a, b) = eb(clo, chi);
-                let incoming = self.recv(group.rank_of(peer));
-                assert_eq!(incoming.len(), b - a, "halving range size mismatch");
+                let incoming = self.recv_wire(group.rank_of(peer), b - a, w);
                 for (d, v) in data[a..b].iter_mut().zip(&incoming) {
                     *d = combine(*d, *v);
                 }
@@ -417,12 +474,11 @@ impl DeviceCtx {
         for round in rounds.iter().rev() {
             for &(peer, clo, chi) in &round.recvs {
                 let (a, b) = eb(clo, chi);
-                self.send_copy(group.rank_of(peer), &data[a..b]);
+                self.send_wire(group.rank_of(peer), &data[a..b], w);
             }
             for &(peer, clo, chi) in &round.sends {
                 let (a, b) = eb(clo, chi);
-                let incoming = self.recv(group.rank_of(peer));
-                assert_eq!(incoming.len(), b - a, "doubling range size mismatch");
+                let incoming = self.recv_wire(group.rank_of(peer), b - a, w);
                 data[a..b].copy_from_slice(&incoming);
                 self.recycle(incoming);
             }
@@ -437,6 +493,25 @@ impl DeviceCtx {
     /// All-reduce (sum) with an explicit algorithm.
     pub fn all_reduce_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) {
         self.all_reduce_algo_by(group, data, algo, |a, b| a + b);
+    }
+
+    /// All-reduce (sum) at an explicit wire precision, algorithm picked by
+    /// the installed [`crate::AlgoTable`] — the entry point the
+    /// error-feedback gradient sync uses.
+    pub fn all_reduce_wire(&self, group: &Group, data: &mut [f32], w: WireDtype) {
+        let a = algo::select(CommOp::AllReduce, group.len(), data.len());
+        self.all_reduce_algo_wire(group, data, a, w);
+    }
+
+    /// All-reduce (sum) with both the algorithm and wire precision explicit.
+    pub fn all_reduce_algo_wire(
+        &self,
+        group: &Group,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) {
+        self.all_reduce_algo_wire_by(group, data, algo, w, |a, b| a + b);
     }
 
     /// All-reduce (max): used for the stable log-sum-exp in the
@@ -454,8 +529,24 @@ impl DeviceCtx {
     }
 
     /// [`DeviceCtx::all_gather`] with an explicit algorithm
-    /// ([`CollAlgo::Ring`] or [`CollAlgo::Bruck`]).
+    /// ([`CollAlgo::Ring`] or [`CollAlgo::Bruck`]); wire precision picked by
+    /// the installed [`crate::WireTable`].
     pub fn all_gather_algo(&self, group: &Group, local: &[f32], algo: CollAlgo) -> Vec<f32> {
+        let w = wire::select(CommOp::AllGather, group.len(), local.len());
+        self.all_gather_algo_wire(group, local, algo, w)
+    }
+
+    /// [`DeviceCtx::all_gather_algo`] at an explicit wire precision. Each
+    /// member's own block stays full-precision locally; blocks received over
+    /// a 16-bit wire arrive quantized (once — forwarding re-packs are
+    /// lossless).
+    pub fn all_gather_algo_wire(
+        &self,
+        group: &Group,
+        local: &[f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) -> Vec<f32> {
         let g = group.len();
         let me = self.my_index(group);
         self.record_op(CommOp::AllGather, algo, group, local.len());
@@ -472,9 +563,8 @@ impl DeviceCtx {
                 for step in 0..g - 1 {
                     let s = (me + g - step) % g;
                     let t = (me + 2 * g - step - 1) % g;
-                    self.send_copy(right, &out[s * n..(s + 1) * n]);
-                    let incoming = self.recv(left);
-                    assert_eq!(incoming.len(), n, "all-gather size mismatch");
+                    self.send_wire(right, &out[s * n..(s + 1) * n], w);
+                    let incoming = self.recv_wire(left, n, w);
                     out[t * n..(t + 1) * n].copy_from_slice(&incoming);
                     self.recycle(incoming);
                 }
@@ -482,14 +572,16 @@ impl DeviceCtx {
             CollAlgo::Bruck => {
                 // Rotated accumulation buffer: slot j holds the block of
                 // member (me + j) mod g. Block counts double each round.
-                let mut buf = vec![0.0f32; n * g];
+                // Pooled scratch, not a fresh Vec — Bruck runs on the
+                // steady-state zero-alloc path like every other schedule.
+                let mut buf = self.take_buf(n * g);
+                buf.resize(n * g, 0.0);
                 buf[..n].copy_from_slice(local);
                 for (have, cnt) in bruck_rounds(g) {
                     let dst = group.rank_of((me + g - have) % g);
                     let src = group.rank_of((me + have) % g);
-                    self.send_copy(dst, &buf[..cnt * n]);
-                    let incoming = self.recv(src);
-                    assert_eq!(incoming.len(), cnt * n, "bruck block size mismatch");
+                    self.send_wire(dst, &buf[..cnt * n], w);
+                    let incoming = self.recv_wire(src, cnt * n, w);
                     buf[have * n..(have + cnt) * n].copy_from_slice(&incoming);
                     self.recycle(incoming);
                 }
@@ -497,6 +589,7 @@ impl DeviceCtx {
                     let slot = (me + j) % g;
                     out[slot * n..(slot + 1) * n].copy_from_slice(&buf[j * n..(j + 1) * n]);
                 }
+                self.recycle(buf);
             }
             other => panic!("{:?} is not an all-gather algorithm", other),
         }
@@ -512,8 +605,21 @@ impl DeviceCtx {
     }
 
     /// [`DeviceCtx::reduce_scatter`] with an explicit algorithm
-    /// ([`CollAlgo::Ring`] or [`CollAlgo::Halving`]).
+    /// ([`CollAlgo::Ring`] or [`CollAlgo::Halving`]); wire precision picked
+    /// by the installed [`crate::WireTable`].
     pub fn reduce_scatter_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) -> Vec<f32> {
+        let w = wire::select(CommOp::ReduceScatter, group.len(), data.len());
+        self.reduce_scatter_algo_wire(group, data, algo, w)
+    }
+
+    /// [`DeviceCtx::reduce_scatter_algo`] at an explicit wire precision.
+    pub fn reduce_scatter_algo_wire(
+        &self,
+        group: &Group,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) -> Vec<f32> {
         let g = group.len();
         let me = self.my_index(group);
         self.record_op(CommOp::ReduceScatter, algo, group, data.len());
@@ -531,9 +637,8 @@ impl DeviceCtx {
                 for step in 0..g - 1 {
                     let (s0, s1) = bounds((me + 2 * g - step - 1) % g);
                     let (t0, t1) = bounds((me + 2 * g - step - 2) % g);
-                    self.send_copy(right, &data[s0..s1]);
-                    let incoming = self.recv(left);
-                    assert_eq!(incoming.len(), t1 - t0, "ring chunk size mismatch");
+                    self.send_wire(right, &data[s0..s1], w);
+                    let incoming = self.recv_wire(left, t1 - t0, w);
                     for (d, v) in data[t0..t1].iter_mut().zip(&incoming) {
                         *d += v;
                     }
@@ -545,12 +650,11 @@ impl DeviceCtx {
                 for round in &halving_rounds(g, me) {
                     for &(peer, clo, chi) in &round.sends {
                         let (a, b) = eb(clo, chi);
-                        self.send_copy(group.rank_of(peer), &data[a..b]);
+                        self.send_wire(group.rank_of(peer), &data[a..b], w);
                     }
                     for &(peer, clo, chi) in &round.recvs {
                         let (a, b) = eb(clo, chi);
-                        let incoming = self.recv(group.rank_of(peer));
-                        assert_eq!(incoming.len(), b - a, "halving range size mismatch");
+                        let incoming = self.recv_wire(group.rank_of(peer), b - a, w);
                         for (d, v) in data[a..b].iter_mut().zip(&incoming) {
                             *d += v;
                         }

@@ -55,6 +55,7 @@ use crate::algo::{self, CollAlgo};
 use crate::group::Group;
 use crate::nonblocking::PendingColl;
 use crate::stats::{group_shape, CommLog, CommOp};
+use crate::wire::{self, WireDtype};
 
 /// A device's handle to the communication fabric: identity, point-to-point
 /// transfers, collectives, and the per-device communication log.
@@ -103,8 +104,23 @@ pub trait Communicator {
     }
 
     /// [`Communicator::broadcast`] with an explicit algorithm
-    /// ([`CollAlgo::Tree`] or [`CollAlgo::Chain`]).
-    fn broadcast_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo);
+    /// ([`CollAlgo::Tree`] or [`CollAlgo::Chain`]); wire precision picked by
+    /// the installed [`crate::WireTable`].
+    fn broadcast_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
+        let w = wire::select(CommOp::Broadcast, group.len(), data.len());
+        self.broadcast_algo_wire(group, root, data, algo, w);
+    }
+
+    /// [`Communicator::broadcast_algo`] at an explicit wire precision
+    /// (see [`crate::WireDtype`]).
+    fn broadcast_algo_wire(
+        &self,
+        group: &Group,
+        root: usize,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    );
 
     /// Sum-reduce to group index `root`. Non-root buffers hold partial
     /// sums afterwards and must be treated as scratch. The algorithm is
@@ -115,8 +131,22 @@ pub trait Communicator {
     }
 
     /// [`Communicator::reduce`] with an explicit algorithm
-    /// ([`CollAlgo::Tree`] or [`CollAlgo::Chain`]).
-    fn reduce_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo);
+    /// ([`CollAlgo::Tree`] or [`CollAlgo::Chain`]); wire precision picked by
+    /// the installed [`crate::WireTable`].
+    fn reduce_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
+        let w = wire::select(CommOp::Reduce, group.len(), data.len());
+        self.reduce_algo_wire(group, root, data, algo, w);
+    }
+
+    /// [`Communicator::reduce_algo`] at an explicit wire precision.
+    fn reduce_algo_wire(
+        &self,
+        group: &Group,
+        root: usize,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    );
 
     /// Non-blocking broadcast: posts the transfer and returns a
     /// [`PendingColl`] immediately; `wait()` yields the buffer. Non-root
@@ -147,8 +177,25 @@ pub trait Communicator {
     }
 
     /// [`Communicator::all_reduce`] with an explicit algorithm
-    /// ([`CollAlgo::Ring`], [`CollAlgo::Halving`] or [`CollAlgo::Tree`]).
-    fn all_reduce_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo);
+    /// ([`CollAlgo::Ring`], [`CollAlgo::Halving`] or [`CollAlgo::Tree`]);
+    /// wire precision picked by the installed [`crate::WireTable`].
+    fn all_reduce_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) {
+        let w = wire::select(CommOp::AllReduce, group.len(), data.len());
+        self.all_reduce_algo_wire(group, data, algo, w);
+    }
+
+    /// All-reduce (sum) at an explicit wire precision, algorithm picked by
+    /// the installed [`crate::AlgoTable`] — the entry point compressed
+    /// gradient syncs use (pair with [`crate::ErrorFeedback`]).
+    fn all_reduce_wire(&self, group: &Group, data: &mut [f32], w: WireDtype) {
+        let a = algo::select(CommOp::AllReduce, group.len(), data.len());
+        self.all_reduce_algo_wire(group, data, a, w);
+    }
+
+    /// [`Communicator::all_reduce_algo`] at an explicit wire precision.
+    /// Under a 16-bit dtype the result is not bitwise-equal across members;
+    /// see `DeviceCtx::all_reduce_algo_wire_by` for the error contract.
+    fn all_reduce_algo_wire(&self, group: &Group, data: &mut [f32], algo: CollAlgo, w: WireDtype);
 
     /// All-reduce (max) — for the distributed log-sum-exp.
     fn all_reduce_max(&self, group: &Group, data: &mut [f32]);
@@ -161,8 +208,21 @@ pub trait Communicator {
     }
 
     /// [`Communicator::all_gather`] with an explicit algorithm
-    /// ([`CollAlgo::Ring`] or [`CollAlgo::Bruck`]).
-    fn all_gather_algo(&self, group: &Group, local: &[f32], algo: CollAlgo) -> Vec<f32>;
+    /// ([`CollAlgo::Ring`] or [`CollAlgo::Bruck`]); wire precision picked by
+    /// the installed [`crate::WireTable`].
+    fn all_gather_algo(&self, group: &Group, local: &[f32], algo: CollAlgo) -> Vec<f32> {
+        let w = wire::select(CommOp::AllGather, group.len(), local.len());
+        self.all_gather_algo_wire(group, local, algo, w)
+    }
+
+    /// [`Communicator::all_gather_algo`] at an explicit wire precision.
+    fn all_gather_algo_wire(
+        &self,
+        group: &Group,
+        local: &[f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) -> Vec<f32>;
 
     /// Reduce-scatter (sum): returns this member's chunk (`n·i/g`
     /// boundaries); algorithm picked by the installed [`crate::AlgoTable`].
@@ -172,8 +232,21 @@ pub trait Communicator {
     }
 
     /// [`Communicator::reduce_scatter`] with an explicit algorithm
-    /// ([`CollAlgo::Ring`] or [`CollAlgo::Halving`]).
-    fn reduce_scatter_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) -> Vec<f32>;
+    /// ([`CollAlgo::Ring`] or [`CollAlgo::Halving`]); wire precision picked
+    /// by the installed [`crate::WireTable`].
+    fn reduce_scatter_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) -> Vec<f32> {
+        let w = wire::select(CommOp::ReduceScatter, group.len(), data.len());
+        self.reduce_scatter_algo_wire(group, data, algo, w)
+    }
+
+    /// [`Communicator::reduce_scatter_algo`] at an explicit wire precision.
+    fn reduce_scatter_algo_wire(
+        &self,
+        group: &Group,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) -> Vec<f32>;
 
     /// Scatter from group index `root` in ring-chunk boundaries.
     fn scatter(&self, group: &Group, root: usize, data: &[f32]) -> Vec<f32>;
@@ -204,6 +277,7 @@ pub trait Communicator {
 pub(crate) fn traced_op<T>(
     op: CommOp,
     algo: CollAlgo,
+    w: WireDtype,
     group: &Group,
     wire: impl Fn() -> usize,
     run: impl FnOnce() -> (T, usize),
@@ -227,6 +301,7 @@ pub(crate) fn traced_op<T>(
             wire_elems,
             axis: group.label(),
             algo: algo.name(),
+            wire: w.name(),
         },
     );
     out
@@ -245,26 +320,42 @@ impl Communicator for crate::DeviceCtx {
     fn recv(&self, from: usize) -> Vec<f32> {
         crate::DeviceCtx::recv(self, from)
     }
-    fn broadcast_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
+    fn broadcast_algo_wire(
+        &self,
+        group: &Group,
+        root: usize,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) {
         traced_op(
             CommOp::Broadcast,
             algo,
+            w,
             group,
             || self.wire_total(),
             || {
-                crate::DeviceCtx::broadcast_algo(self, group, root, data, algo);
+                crate::DeviceCtx::broadcast_algo_wire(self, group, root, data, algo, w);
                 ((), data.len())
             },
         )
     }
-    fn reduce_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
+    fn reduce_algo_wire(
+        &self,
+        group: &Group,
+        root: usize,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) {
         traced_op(
             CommOp::Reduce,
             algo,
+            w,
             group,
             || self.wire_total(),
             || {
-                crate::DeviceCtx::reduce_algo(self, group, root, data, algo);
+                crate::DeviceCtx::reduce_algo_wire(self, group, root, data, algo, w);
                 ((), data.len())
             },
         )
@@ -275,55 +366,72 @@ impl Communicator for crate::DeviceCtx {
     fn ireduce(&self, group: &Group, root: usize, buf: Vec<f32>) -> PendingColl {
         crate::DeviceCtx::ireduce(self, group, root, buf)
     }
-    fn all_reduce_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) {
+    fn all_reduce_algo_wire(&self, group: &Group, data: &mut [f32], algo: CollAlgo, w: WireDtype) {
         traced_op(
             CommOp::AllReduce,
             algo,
+            w,
             group,
             || self.wire_total(),
             || {
-                crate::DeviceCtx::all_reduce_algo(self, group, data, algo);
+                crate::DeviceCtx::all_reduce_algo_wire(self, group, data, algo, w);
                 ((), data.len())
             },
         )
     }
     fn all_reduce_max(&self, group: &Group, data: &mut [f32]) {
         let algo = algo::select(CommOp::AllReduce, group.len(), data.len());
+        let w = wire::select(CommOp::AllReduce, group.len(), data.len());
         traced_op(
             CommOp::AllReduce,
             algo,
+            w,
             group,
             || self.wire_total(),
             || {
-                crate::DeviceCtx::all_reduce_algo_by(self, group, data, algo, f32::max);
+                crate::DeviceCtx::all_reduce_algo_wire_by(self, group, data, algo, w, f32::max);
                 ((), data.len())
             },
         )
     }
-    fn all_gather_algo(&self, group: &Group, local: &[f32], algo: CollAlgo) -> Vec<f32> {
+    fn all_gather_algo_wire(
+        &self,
+        group: &Group,
+        local: &[f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) -> Vec<f32> {
         traced_op(
             CommOp::AllGather,
             algo,
+            w,
             group,
             || self.wire_total(),
             || {
                 (
-                    crate::DeviceCtx::all_gather_algo(self, group, local, algo),
+                    crate::DeviceCtx::all_gather_algo_wire(self, group, local, algo, w),
                     local.len(),
                 )
             },
         )
     }
-    fn reduce_scatter_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) -> Vec<f32> {
+    fn reduce_scatter_algo_wire(
+        &self,
+        group: &Group,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) -> Vec<f32> {
         traced_op(
             CommOp::ReduceScatter,
             algo,
+            w,
             group,
             || self.wire_total(),
             || {
                 let n = data.len();
                 (
-                    crate::DeviceCtx::reduce_scatter_algo(self, group, data, algo),
+                    crate::DeviceCtx::reduce_scatter_algo_wire(self, group, data, algo, w),
                     n,
                 )
             },
@@ -333,6 +441,7 @@ impl Communicator for crate::DeviceCtx {
         traced_op(
             CommOp::ReduceScatter,
             CollAlgo::Ring,
+            WireDtype::F32,
             group,
             || self.wire_total(),
             || {
@@ -352,6 +461,7 @@ impl Communicator for crate::DeviceCtx {
         traced_op(
             CommOp::AllGather,
             CollAlgo::Ring,
+            WireDtype::F32,
             group,
             || self.wire_total(),
             || {
@@ -366,6 +476,7 @@ impl Communicator for crate::DeviceCtx {
         traced_op(
             CommOp::Barrier,
             CollAlgo::Tree,
+            WireDtype::F32,
             group,
             || self.wire_total(),
             || {

@@ -36,6 +36,7 @@ use crate::comm::{traced_op, Communicator};
 use crate::group::Group;
 use crate::nonblocking::{post_records, PendingColl};
 use crate::stats::{record_group_op, CommLog, CommOp};
+use crate::wire::{self, packed_len, WireDtype};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
@@ -121,6 +122,18 @@ impl DryRunComm {
     }
 
     fn broadcast_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
+        let w = wire::select(CommOp::Broadcast, group.len(), data.len());
+        self.broadcast_algo_wire(group, root, data, algo, w);
+    }
+
+    fn broadcast_algo_wire(
+        &self,
+        group: &Group,
+        root: usize,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) {
         let g = group.len();
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
@@ -128,12 +141,13 @@ impl DryRunComm {
             let rel = (me + g - root) % g;
             let abs = |r: usize| group.rank_of((r + root) % g);
             // Receives are silent (links are recorded by senders); only the
-            // live schedule's sends are replayed, in the live order.
+            // live schedule's sends are replayed, in the live order, at the
+            // live per-hop *packed* lengths.
             match algo {
                 CollAlgo::Tree => {
                     let (_, children) = bcast_tree(g, rel);
                     for &child in &children {
-                        self.record_send(abs(child), data.len());
+                        self.record_send(abs(child), packed_len(data.len(), w));
                     }
                 }
                 CollAlgo::Chain => {
@@ -142,7 +156,7 @@ impl DryRunComm {
                         let s = chain_segments(n, g);
                         for j in 0..s {
                             let elems = chunk_start(n, s, j + 1) - chunk_start(n, s, j);
-                            self.record_send(abs(rel + 1), elems);
+                            self.record_send(abs(rel + 1), packed_len(elems, w));
                         }
                     }
                 }
@@ -158,6 +172,18 @@ impl DryRunComm {
     }
 
     fn reduce_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
+        let w = wire::select(CommOp::Reduce, group.len(), data.len());
+        self.reduce_algo_wire(group, root, data, algo, w);
+    }
+
+    fn reduce_algo_wire(
+        &self,
+        group: &Group,
+        root: usize,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) {
         let g = group.len();
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
@@ -171,7 +197,7 @@ impl DryRunComm {
             CollAlgo::Tree => {
                 let (_, target) = reduce_tree(g, rel);
                 if let Some(target) = target {
-                    self.record_send(abs(target), data.len());
+                    self.record_send(abs(target), packed_len(data.len(), w));
                 }
             }
             CollAlgo::Chain => {
@@ -180,7 +206,7 @@ impl DryRunComm {
                     let s = chain_segments(n, g);
                     for j in 0..s {
                         let elems = chunk_start(n, s, j + 1) - chunk_start(n, s, j);
-                        self.record_send(abs(rel - 1), elems);
+                        self.record_send(abs(rel - 1), packed_len(elems, w));
                     }
                 }
             }
@@ -198,18 +224,20 @@ impl DryRunComm {
         let g = group.len();
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
+        let w = wire::select(CommOp::Broadcast, g, buf.len());
         let traced = post_records(
             || self.wire_total(),
             CommOp::Broadcast,
             group,
             buf.len(),
+            w,
             || {
                 if g > 1 {
                     let rel = (me + g - root) % g;
                     let abs = |r: usize| group.rank_of((r + root) % g);
                     let (_, children) = bcast_tree(g, rel);
                     for &child in &children {
-                        self.record_send(abs(child), buf.len());
+                        self.record_send(abs(child), packed_len(buf.len(), w));
                     }
                 }
                 self.record_op(CommOp::Broadcast, CollAlgo::Tree, group, buf.len());
@@ -223,11 +251,13 @@ impl DryRunComm {
         let g = group.len();
         assert!(root < g, "root index {root} out of range for group of {g}");
         let me = self.my_index(group);
+        let w = wire::select(CommOp::Reduce, g, buf.len());
         let traced = post_records(
             || self.wire_total(),
             CommOp::Reduce,
             group,
             buf.len(),
+            w,
             || {
                 self.record_op(CommOp::Reduce, CollAlgo::Tree, group, buf.len());
                 if g > 1 {
@@ -235,7 +265,7 @@ impl DryRunComm {
                     let abs = |r: usize| group.rank_of((r + root) % g);
                     let (_, target) = reduce_tree(g, rel);
                     if let Some(target) = target {
-                        self.record_send(abs(target), buf.len());
+                        self.record_send(abs(target), packed_len(buf.len(), w));
                     }
                 }
             },
@@ -243,7 +273,7 @@ impl DryRunComm {
         PendingColl::ready(CommOp::Reduce, buf, traced)
     }
 
-    fn all_reduce_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) {
+    fn all_reduce_algo_wire(&self, group: &Group, data: &mut [f32], algo: CollAlgo, w: WireDtype) {
         let g = group.len();
         let me = self.my_index(group);
         let n = data.len();
@@ -256,10 +286,10 @@ impl DryRunComm {
                 let right = group.rank_of((me + 1) % g);
                 let chunk = |i: usize| chunk_start(n, g, (i % g) + 1) - chunk_start(n, g, i % g);
                 for step in 0..g - 1 {
-                    self.record_send(right, chunk((me + g - step) % g));
+                    self.record_send(right, packed_len(chunk((me + g - step) % g), w));
                 }
                 for step in 0..g - 1 {
-                    self.record_send(right, chunk((me + 1 + g - step) % g));
+                    self.record_send(right, packed_len(chunk((me + 1 + g - step) % g), w));
                 }
             }
             CollAlgo::Halving => {
@@ -268,30 +298,36 @@ impl DryRunComm {
                     |clo: usize, chi: usize| chunk_start(n, g, chi) - chunk_start(n, g, clo);
                 for round in &rounds {
                     for &(peer, clo, chi) in &round.sends {
-                        self.record_send(group.rank_of(peer), elems(clo, chi));
+                        self.record_send(group.rank_of(peer), packed_len(elems(clo, chi), w));
                     }
                 }
                 for round in rounds.iter().rev() {
                     for &(peer, clo, chi) in &round.recvs {
-                        self.record_send(group.rank_of(peer), elems(clo, chi));
+                        self.record_send(group.rank_of(peer), packed_len(elems(clo, chi), w));
                     }
                 }
             }
             CollAlgo::Tree => {
                 let (_, target) = reduce_tree(g, me);
                 if let Some(target) = target {
-                    self.record_send(group.rank_of(target), n);
+                    self.record_send(group.rank_of(target), packed_len(n, w));
                 }
                 let (_, children) = bcast_tree(g, me);
                 for &child in &children {
-                    self.record_send(group.rank_of(child), n);
+                    self.record_send(group.rank_of(child), packed_len(n, w));
                 }
             }
             other => panic!("{:?} is not an all-reduce algorithm", other),
         }
     }
 
-    fn all_gather_algo(&self, group: &Group, local: &[f32], algo: CollAlgo) -> Vec<f32> {
+    fn all_gather_algo_wire(
+        &self,
+        group: &Group,
+        local: &[f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) -> Vec<f32> {
         let g = group.len();
         let me = self.my_index(group);
         self.record_op(CommOp::AllGather, algo, group, local.len());
@@ -305,13 +341,13 @@ impl DryRunComm {
             CollAlgo::Ring => {
                 let right = group.rank_of((me + 1) % g);
                 for _ in 0..g - 1 {
-                    self.record_send(right, n);
+                    self.record_send(right, packed_len(n, w));
                 }
             }
             CollAlgo::Bruck => {
                 for (have, cnt) in bruck_rounds(g) {
                     let dst = group.rank_of((me + g - have) % g);
-                    self.record_send(dst, cnt * n);
+                    self.record_send(dst, packed_len(cnt * n, w));
                 }
             }
             other => panic!("{:?} is not an all-gather algorithm", other),
@@ -319,7 +355,13 @@ impl DryRunComm {
         out
     }
 
-    fn reduce_scatter_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) -> Vec<f32> {
+    fn reduce_scatter_algo_wire(
+        &self,
+        group: &Group,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) -> Vec<f32> {
         let g = group.len();
         let me = self.my_index(group);
         self.record_op(CommOp::ReduceScatter, algo, group, data.len());
@@ -333,7 +375,7 @@ impl DryRunComm {
                 for step in 0..g - 1 {
                     let i = (me + 2 * g - step - 1) % g;
                     let elems = chunk_start(n, g, i + 1) - chunk_start(n, g, i);
-                    self.record_send(right, elems);
+                    self.record_send(right, packed_len(elems, w));
                 }
             }
             CollAlgo::Halving => {
@@ -341,7 +383,7 @@ impl DryRunComm {
                     |clo: usize, chi: usize| chunk_start(n, g, chi) - chunk_start(n, g, clo);
                 for round in &halving_rounds(g, me) {
                     for &(peer, clo, chi) in &round.sends {
-                        self.record_send(group.rank_of(peer), elems(clo, chi));
+                        self.record_send(group.rank_of(peer), packed_len(elems(clo, chi), w));
                     }
                 }
             }
@@ -438,27 +480,43 @@ impl Communicator for DryRunComm {
         vec![0.0; len]
     }
 
-    fn broadcast_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
+    fn broadcast_algo_wire(
+        &self,
+        group: &Group,
+        root: usize,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) {
         traced_op(
             CommOp::Broadcast,
             algo,
+            w,
             group,
             || self.wire_total(),
             || {
-                DryRunComm::broadcast_algo(self, group, root, data, algo);
+                DryRunComm::broadcast_algo_wire(self, group, root, data, algo, w);
                 ((), data.len())
             },
         )
     }
 
-    fn reduce_algo(&self, group: &Group, root: usize, data: &mut [f32], algo: CollAlgo) {
+    fn reduce_algo_wire(
+        &self,
+        group: &Group,
+        root: usize,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) {
         traced_op(
             CommOp::Reduce,
             algo,
+            w,
             group,
             || self.wire_total(),
             || {
-                DryRunComm::reduce_algo(self, group, root, data, algo);
+                DryRunComm::reduce_algo_wire(self, group, root, data, algo, w);
                 ((), data.len())
             },
         )
@@ -472,14 +530,15 @@ impl Communicator for DryRunComm {
         DryRunComm::ireduce(self, group, root, buf)
     }
 
-    fn all_reduce_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) {
+    fn all_reduce_algo_wire(&self, group: &Group, data: &mut [f32], algo: CollAlgo, w: WireDtype) {
         traced_op(
             CommOp::AllReduce,
             algo,
+            w,
             group,
             || self.wire_total(),
             || {
-                DryRunComm::all_reduce_algo(self, group, data, algo);
+                DryRunComm::all_reduce_algo_wire(self, group, data, algo, w);
                 ((), data.len())
             },
         )
@@ -487,44 +546,63 @@ impl Communicator for DryRunComm {
 
     fn all_reduce_max(&self, group: &Group, data: &mut [f32]) {
         // No data moves here, so max and sum share one schedule; select the
-        // same algorithm the live backend's max would.
+        // same algorithm and wire dtype the live backend's max would.
         let algo = algo::select(CommOp::AllReduce, group.len(), data.len());
+        let w = wire::select(CommOp::AllReduce, group.len(), data.len());
         traced_op(
             CommOp::AllReduce,
             algo,
+            w,
             group,
             || self.wire_total(),
             || {
-                DryRunComm::all_reduce_algo(self, group, data, algo);
+                DryRunComm::all_reduce_algo_wire(self, group, data, algo, w);
                 ((), data.len())
             },
         )
     }
 
-    fn all_gather_algo(&self, group: &Group, local: &[f32], algo: CollAlgo) -> Vec<f32> {
+    fn all_gather_algo_wire(
+        &self,
+        group: &Group,
+        local: &[f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) -> Vec<f32> {
         traced_op(
             CommOp::AllGather,
             algo,
+            w,
             group,
             || self.wire_total(),
             || {
                 (
-                    DryRunComm::all_gather_algo(self, group, local, algo),
+                    DryRunComm::all_gather_algo_wire(self, group, local, algo, w),
                     local.len(),
                 )
             },
         )
     }
 
-    fn reduce_scatter_algo(&self, group: &Group, data: &mut [f32], algo: CollAlgo) -> Vec<f32> {
+    fn reduce_scatter_algo_wire(
+        &self,
+        group: &Group,
+        data: &mut [f32],
+        algo: CollAlgo,
+        w: WireDtype,
+    ) -> Vec<f32> {
         traced_op(
             CommOp::ReduceScatter,
             algo,
+            w,
             group,
             || self.wire_total(),
             || {
                 let n = data.len();
-                (DryRunComm::reduce_scatter_algo(self, group, data, algo), n)
+                (
+                    DryRunComm::reduce_scatter_algo_wire(self, group, data, algo, w),
+                    n,
+                )
             },
         )
     }
@@ -533,6 +611,7 @@ impl Communicator for DryRunComm {
         traced_op(
             CommOp::ReduceScatter,
             CollAlgo::Ring,
+            WireDtype::F32,
             group,
             || self.wire_total(),
             || {
@@ -551,6 +630,7 @@ impl Communicator for DryRunComm {
         traced_op(
             CommOp::AllGather,
             CollAlgo::Ring,
+            WireDtype::F32,
             group,
             || self.wire_total(),
             || (DryRunComm::gather(self, group, root, local), local.len()),
@@ -561,6 +641,7 @@ impl Communicator for DryRunComm {
         traced_op(
             CommOp::Barrier,
             CollAlgo::Tree,
+            WireDtype::F32,
             group,
             || self.wire_total(),
             || {

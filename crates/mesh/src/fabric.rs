@@ -175,6 +175,57 @@ impl DeviceCtx {
         self.send(to, buf);
     }
 
+    /// Sends a copy of `data` at wire precision `w`: the full-width path is
+    /// [`DeviceCtx::send_copy`] unchanged; a 16-bit dtype packs two values
+    /// per f32 slot, so the buffer on the wire (and in the link record) is
+    /// physically half-length. Bytes-on-wire metrics are fed here.
+    pub(crate) fn send_wire(&self, to: usize, data: &[f32], w: crate::WireDtype) {
+        metrics::device_counter_add(
+            "coll_wire_bytes",
+            (crate::packed_len(data.len(), w) * 4) as u64,
+        );
+        metrics::device_counter_add("coll_logical_bytes", (data.len() * 4) as u64);
+        if w.is_f32() {
+            return self.send_copy(to, data);
+        }
+        let mut buf = self
+            .pool
+            .borrow_mut()
+            .take(crate::packed_len(data.len(), w));
+        crate::wire::pack_into(data, w, &mut buf);
+        self.send(to, buf);
+    }
+
+    /// Receives a payload of `expect` logical elements sent at wire
+    /// precision `w` and returns it unpacked to full-width f32 (a pooled
+    /// buffer — recycle it when consumed, exactly like a raw [`DeviceCtx::recv`]).
+    pub(crate) fn recv_wire(&self, from: usize, expect: usize, w: crate::WireDtype) -> Vec<f32> {
+        let incoming = self.recv(from);
+        assert_eq!(
+            incoming.len(),
+            crate::packed_len(expect, w),
+            "rank {} expected {expect} elems ({} wire slots) from {from}, got {}",
+            self.rank,
+            crate::packed_len(expect, w),
+            incoming.len()
+        );
+        if w.is_f32() {
+            return incoming;
+        }
+        let mut out = self.pool.borrow_mut().take(expect);
+        out.resize(expect, 0.0);
+        crate::wire::unpack_with(&incoming, expect, w, |i, v| out[i] = v);
+        self.recycle(incoming);
+        out
+    }
+
+    /// Draws an empty scratch buffer with capacity ≥ `len` from the pool
+    /// (for collective-internal staging, e.g. Bruck's rotation buffer);
+    /// return it with [`DeviceCtx::recycle`].
+    pub(crate) fn take_buf(&self, len: usize) -> Vec<f32> {
+        self.pool.borrow_mut().take(len)
+    }
+
     /// Returns a consumed receive buffer to the scratch pool so a later
     /// internal `send_copy` can reuse its allocation.
     pub fn recycle(&self, buf: Vec<f32>) {

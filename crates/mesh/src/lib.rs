@@ -75,6 +75,7 @@ mod pool;
 mod shape;
 mod stats;
 mod topology;
+mod wire;
 
 pub use algo::{chain_segments, install as install_algo_table, installed as installed_algo_table};
 pub use algo::{AlgoRule, AlgoTable, CollAlgo};
@@ -88,6 +89,10 @@ pub use pool::BufferPool;
 pub use shape::MeshShape;
 pub use stats::{CommLog, CommOp, LinkRecord, OpRecord};
 pub use topology::{Arrangement, Topology};
+pub use wire::{
+    install as install_wire_table, installed as installed_wire_table, packed_len, ErrorFeedback,
+    WireDtype, WireRule, WireTable,
+};
 
 use std::sync::mpsc;
 

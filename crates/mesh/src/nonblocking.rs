@@ -61,6 +61,7 @@ use crate::fabric::{DeviceCtx, Mailbox};
 use crate::group::Group;
 use crate::pool::BufferPool;
 use crate::stats::{group_shape, CommOp};
+use crate::wire::{self, packed_len, WireDtype};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -77,6 +78,8 @@ pub(crate) struct CollTask {
     recv_from: Vec<usize>,
     /// Absolute ranks to send to, in tree order.
     send_to: Vec<usize>,
+    /// Wire precision every hop of this collective uses (fixed at post).
+    wire: WireDtype,
     buf: Vec<f32>,
 }
 
@@ -156,26 +159,42 @@ impl Drop for RunningGuard<'_> {
 /// if it is the caller's own).
 fn run_task(shared: &ExecShared, mut task: CollTask) -> (u64, Vec<f32>, Instant) {
     let mut pool = shared.pool.lock().unwrap_or_else(|e| e.into_inner());
+    let w = task.wire;
+    let n = task.buf.len();
     for &src in &task.recv_from {
         let incoming = shared.boxes[shared.rank].pop(src, shared.rank);
         assert_eq!(
             incoming.len(),
-            task.buf.len(),
+            packed_len(n, w),
             "pending collective size mismatch (device {} <- {src})",
             shared.rank
         );
-        if task.accumulate {
-            for (d, v) in task.buf.iter_mut().zip(&incoming) {
-                *d += *v;
+        if w.is_f32() {
+            if task.accumulate {
+                for (d, v) in task.buf.iter_mut().zip(&incoming) {
+                    *d += *v;
+                }
+                pool.put(incoming);
+            } else {
+                pool.put(std::mem::replace(&mut task.buf, incoming));
+            }
+        } else {
+            let buf = &mut task.buf;
+            if task.accumulate {
+                wire::unpack_with(&incoming, n, w, |i, v| buf[i] += v);
+            } else {
+                wire::unpack_with(&incoming, n, w, |i, v| buf[i] = v);
             }
             pool.put(incoming);
-        } else {
-            pool.put(std::mem::replace(&mut task.buf, incoming));
         }
     }
     for &dst in &task.send_to {
-        let mut out = pool.take(task.buf.len());
-        out.extend_from_slice(&task.buf);
+        let mut out = pool.take(packed_len(n, w));
+        if w.is_f32() {
+            out.extend_from_slice(&task.buf);
+        } else {
+            wire::pack_into(&task.buf, w, &mut out);
+        }
         shared.boxes[dst].push(shared.rank, dst, out);
     }
     (task.id, task.buf, Instant::now())
@@ -375,6 +394,7 @@ pub(crate) fn post_records(
     op: CommOp,
     group: &Group,
     elems: usize,
+    w: WireDtype,
     record: impl FnOnce(),
 ) -> Option<(u64, trace::OpMeta)> {
     if !trace::is_active() {
@@ -399,6 +419,7 @@ pub(crate) fn post_records(
             // receive-all-then-send-all, which cannot express a pipelined
             // chain or a ring step sequence.
             algo: crate::CollAlgo::Tree.name(),
+            wire: w.name(),
         },
     ))
 }
@@ -417,6 +438,7 @@ impl DeviceCtx {
         accumulate: bool,
         recv_from: Vec<usize>,
         send_to: Vec<usize>,
+        w: WireDtype,
         buf: Vec<f32>,
         traced: Option<(u64, trace::OpMeta)>,
     ) -> PendingColl {
@@ -433,6 +455,7 @@ impl DeviceCtx {
                 accumulate,
                 recv_from,
                 send_to,
+                wire: w,
                 buf,
             });
             id
@@ -460,17 +483,19 @@ impl DeviceCtx {
         let rel = (me + g - root) % g;
         let abs = |r: usize| group.rank_of((r + root) % g);
         let (parent, children) = bcast_tree(g, rel);
+        let w = wire::select(CommOp::Broadcast, g, buf.len());
 
-        // Blocking broadcast records links (via send_copy) before the op;
+        // Blocking broadcast records links (via send_wire) before the op;
         // keep that order so the streams match record-for-record.
         let traced = post_records(
             || self.wire_total(),
             CommOp::Broadcast,
             group,
             buf.len(),
+            w,
             || {
                 for &child in &children {
-                    self.record_planned_send(abs(child), buf.len());
+                    self.record_planned_send(abs(child), packed_len(buf.len(), w));
                 }
                 self.record_op(CommOp::Broadcast, crate::CollAlgo::Tree, group, buf.len());
             },
@@ -483,7 +508,7 @@ impl DeviceCtx {
         for c in &mut send_to {
             *c = abs(*c);
         }
-        self.post(CommOp::Broadcast, false, recv_from, send_to, buf, traced)
+        self.post(CommOp::Broadcast, false, recv_from, send_to, w, buf, traced)
     }
 
     /// Non-blocking sum-reduce to group index `root`. Only the root's waited
@@ -497,6 +522,7 @@ impl DeviceCtx {
         let rel = (me + g - root) % g;
         let abs = |r: usize| group.rank_of((r + root) % g);
         let (sources, target) = reduce_tree(g, rel);
+        let w = wire::select(CommOp::Reduce, g, buf.len());
 
         // Blocking reduce records the op before any transfer; match it.
         let traced = post_records(
@@ -504,10 +530,11 @@ impl DeviceCtx {
             CommOp::Reduce,
             group,
             buf.len(),
+            w,
             || {
                 self.record_op(CommOp::Reduce, crate::CollAlgo::Tree, group, buf.len());
                 if let Some(target) = target {
-                    self.record_planned_send(abs(target), buf.len());
+                    self.record_planned_send(abs(target), packed_len(buf.len(), w));
                 }
             },
         );
@@ -519,7 +546,7 @@ impl DeviceCtx {
             *s = abs(*s);
         }
         let send_to: Vec<usize> = target.map(abs).into_iter().collect();
-        self.post(CommOp::Reduce, true, recv_from, send_to, buf, traced)
+        self.post(CommOp::Reduce, true, recv_from, send_to, w, buf, traced)
     }
 }
 

@@ -11,8 +11,15 @@
 //! The file format is a rule list in first-match-wins order, one JSON
 //! object per [`mesh::AlgoRule`]; unbounded range ends serialize as `-1`
 //! (JSON numbers are doubles and cannot carry `usize::MAX` exactly).
+//!
+//! A tune may additionally carry **wire-precision** rules
+//! ([`mesh::WireRule`], serialized under `"wire_rules"`): cells where
+//! `tune-coll --wire bf16` measured the compressed wire faster than
+//! full-width. The key is absent when empty, so files written before wire
+//! compression (and tunes that never opted in) load unchanged — and loading
+//! such a file keeps every collective at bitwise-identical f32.
 
-use mesh::{AlgoRule, AlgoTable, CollAlgo, CommOp};
+use mesh::{AlgoRule, AlgoTable, CollAlgo, CommOp, WireDtype, WireRule, WireTable};
 use minjson::Json;
 
 /// Default on-disk location, relative to the repo root.
@@ -25,6 +32,9 @@ pub struct CollTune {
     pub source: String,
     /// The selection rules, first match wins (see [`mesh::AlgoTable`]).
     pub table: AlgoTable,
+    /// Wire-precision rules (see [`mesh::WireTable`]); empty means every
+    /// collective stays full-width f32.
+    pub wire: WireTable,
 }
 
 fn bound_to_json(v: usize) -> Json {
@@ -62,10 +72,29 @@ impl CollTune {
                 ])
             })
             .collect();
-        Json::obj(vec![
+        let mut doc = vec![
             ("source", Json::Str(self.source.clone())),
             ("rules", Json::Arr(rules)),
-        ])
+        ];
+        if !self.wire.rules.is_empty() {
+            let wire_rules = self
+                .wire
+                .rules
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("op", Json::Str(r.op.name().to_string())),
+                        ("min_group", bound_to_json(r.min_group)),
+                        ("max_group", bound_to_json(r.max_group)),
+                        ("min_bytes", bound_to_json(r.min_bytes)),
+                        ("max_bytes", bound_to_json(r.max_bytes)),
+                        ("wire", Json::Str(r.wire.name().to_string())),
+                    ])
+                })
+                .collect();
+            doc.push(("wire_rules", Json::Arr(wire_rules)));
+        }
+        Json::obj(doc)
     }
 
     /// Inverse of [`CollTune::to_json`]. Rejects unknown op or algorithm
@@ -106,9 +135,36 @@ impl CollTune {
                 algo,
             });
         }
+        // `wire_rules` postdates the format; absent means full-width f32.
+        let mut wire_rules = Vec::new();
+        if let Ok(Json::Arr(items)) = v.get("wire_rules") {
+            for rv in items {
+                let op_name = match rv.get("op")? {
+                    Json::Str(s) => s.clone(),
+                    other => return Err(format!("expected string op, got {other:?}")),
+                };
+                let op = CommOp::from_name(&op_name)
+                    .ok_or_else(|| format!("unknown collective {op_name:?}"))?;
+                let wire_name = match rv.get("wire")? {
+                    Json::Str(s) => s.clone(),
+                    other => return Err(format!("expected string wire dtype, got {other:?}")),
+                };
+                let wire = WireDtype::from_name(&wire_name)
+                    .ok_or_else(|| format!("unknown wire dtype {wire_name:?}"))?;
+                wire_rules.push(WireRule {
+                    op,
+                    min_group: bound_from_json(rv.get("min_group")?)?,
+                    max_group: bound_from_json(rv.get("max_group")?)?,
+                    min_bytes: bound_from_json(rv.get("min_bytes")?)?,
+                    max_bytes: bound_from_json(rv.get("max_bytes")?)?,
+                    wire,
+                });
+            }
+        }
         Ok(CollTune {
             source,
             table: AlgoTable { rules },
+            wire: WireTable { rules: wire_rules },
         })
     }
 
@@ -159,6 +215,7 @@ mod tests {
                     },
                 ],
             },
+            wire: WireTable::default(),
         }
     }
 
@@ -166,10 +223,47 @@ mod tests {
     fn json_roundtrip_preserves_rules_and_unbounded_ends() {
         let t = sample();
         let s = t.to_json().to_string();
+        // No wire rules -> the key is absent, exactly the legacy shape.
+        assert!(!s.contains("wire_rules"));
         let back = CollTune::from_json(&minjson::parse(&s).unwrap()).unwrap();
         assert_eq!(back, t);
         assert_eq!(back.table.rules[0].max_group, usize::MAX);
         assert_eq!(back.table.rules[1].max_bytes, usize::MAX);
+    }
+
+    #[test]
+    fn wire_rules_roundtrip_and_select_after_reload() {
+        let mut t = sample();
+        t.wire = WireTable {
+            rules: vec![WireRule {
+                op: CommOp::AllReduce,
+                min_group: 2,
+                max_group: usize::MAX,
+                min_bytes: 4096,
+                max_bytes: usize::MAX,
+                wire: WireDtype::Bf16,
+            }],
+        };
+        let s = t.to_json().to_string();
+        let back = CollTune::from_json(&minjson::parse(&s).unwrap()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(
+            back.wire.select(CommOp::AllReduce, 8, 1 << 20),
+            WireDtype::Bf16
+        );
+        assert_eq!(back.wire.select(CommOp::AllReduce, 8, 64), WireDtype::F32);
+        assert_eq!(
+            back.wire.select(CommOp::Broadcast, 8, 1 << 20),
+            WireDtype::F32
+        );
+    }
+
+    #[test]
+    fn unknown_wire_dtype_is_rejected() {
+        let text = r#"{"source":"x","rules":[],"wire_rules":[{"op":"AllReduce",
+            "min_group":2,"max_group":-1,"min_bytes":0,"max_bytes":-1,"wire":"fp8"}]}"#;
+        let v = minjson::parse(text).unwrap();
+        assert!(CollTune::from_json(&v).is_err());
     }
 
     #[test]

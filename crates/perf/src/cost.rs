@@ -4,7 +4,7 @@
 //! logs / trace events are priced by the algorithm they actually ran.
 
 use crate::profile::HardwareProfile;
-use mesh::{chain_segments, CollAlgo, CommLog, CommOp, OpRecord, Topology};
+use mesh::{chain_segments, CollAlgo, CommLog, CommOp, OpRecord, Topology, WireDtype};
 
 /// α-β cost model over a concrete device-to-node placement.
 #[derive(Clone, Debug)]
@@ -105,12 +105,48 @@ impl CostModel {
     /// | AG bruck / RS halving     | `⌈log₂g⌉·α + (g−1)·βB/g`          |
     /// | barrier                   | `2⌈log₂g⌉·α`                      |
     pub fn coll_time(&self, op: CommOp, algo: CollAlgo, ranks: &[usize], elems: usize) -> f64 {
+        self.coll_time_scaled(op, algo, ranks, elems, 1.0)
+    }
+
+    /// [`CostModel::coll_time`] for a payload traveling at a compressed
+    /// wire dtype: every β term scales by the bytes-on-wire ratio
+    /// (`bytes_per_elem / 4`, so bf16/f16 halve the bandwidth cost), the α
+    /// round structure and chain segmentation stay functions of the
+    /// *logical* payload, and compressed ops pay the pack/unpack boundary
+    /// cost `γ·B` once per participation.
+    pub fn coll_time_wire(
+        &self,
+        op: CommOp,
+        algo: CollAlgo,
+        ranks: &[usize],
+        elems: usize,
+        wire: WireDtype,
+    ) -> f64 {
+        if ranks.len() <= 1 {
+            return 0.0;
+        }
+        let ratio = wire.bytes_per_elem() as f64 / 4.0;
+        let mut t = self.coll_time_scaled(op, algo, ranks, elems, ratio);
+        if !wire.is_f32() {
+            t += self.profile.gamma * elems as f64;
+        }
+        t
+    }
+
+    fn coll_time_scaled(
+        &self,
+        op: CommOp,
+        algo: CollAlgo,
+        ranks: &[usize],
+        elems: usize,
+        wire_ratio: f64,
+    ) -> f64 {
         let g = ranks.len();
         if g <= 1 {
             return 0.0;
         }
         let alpha = self.profile.alpha;
-        let beta = self.group_beta(ranks);
+        let beta = self.group_beta(ranks) * wire_ratio;
         let b = elems as f64;
         let gf = g as f64;
         let rounds = log2_ceil(g);
@@ -134,7 +170,7 @@ impl CostModel {
             (CommOp::Barrier, _) => 2.0 * rounds * alpha,
             // An algorithm the op does not implement (stale tuning file):
             // price the op's default schedule.
-            _ => self.coll_time(op, CollAlgo::default_for(op), ranks, elems),
+            _ => self.coll_time_scaled(op, CollAlgo::default_for(op), ranks, elems, wire_ratio),
         }
     }
 
@@ -151,16 +187,19 @@ impl CostModel {
     /// Cost of one trace op event, in seconds — the same per-algorithm
     /// pricing as [`CostModel::op_time`] applied to a [`trace::OpMeta`].
     /// Unknown kinds cost zero; an empty or unknown algorithm label prices
-    /// the op's default schedule.
+    /// the op's default schedule. The event's wire-dtype stamp feeds
+    /// [`CostModel::coll_time_wire`], so `tracecheck` re-prices exactly the
+    /// bytes that traveled (an empty or unknown label means full-width f32).
     pub fn meta_time(&self, meta: &trace::OpMeta) -> f64 {
         let Some(op) = CommOp::from_name(meta.kind) else {
             return 0.0;
         };
         let algo = CollAlgo::from_name(meta.algo).unwrap_or_else(|| CollAlgo::default_for(op));
+        let wire = WireDtype::from_name(meta.wire).unwrap_or(WireDtype::F32);
         let ranks = meta
             .group_ranks()
             .unwrap_or_else(|| (0..meta.group_size).collect());
-        self.coll_time(op, algo, &ranks, meta.elems)
+        self.coll_time_wire(op, algo, &ranks, meta.elems, wire)
     }
 
     /// A nanosecond pricer for [`mesh::Mesh::dry_run_traced`]: dry-run

@@ -20,6 +20,10 @@ pub struct HardwareProfile {
     pub beta_intra: f64,
     /// Seconds per f32 moved between nodes (per concurrent flow).
     pub beta_inter: f64,
+    /// Pack/unpack cost in seconds per logical element converted at the
+    /// fabric boundary when a collective travels compressed (bf16/f16 wire
+    /// dtype). Zero for full-width f32 payloads, which skip the conversion.
+    pub gamma: f64,
     /// Device memory capacity in bytes.
     pub mem_bytes: f64,
     /// Devices per node.
@@ -45,6 +49,9 @@ impl HardwareProfile {
             alpha: 2.0e-5,
             beta_intra: 4.0e-10,
             beta_inter: 8.0e-10,
+            // A scalar bf16 round-trip is a shift+round on the host side —
+            // orders of magnitude cheaper than putting the f32 on PCIe.
+            gamma: 1.0e-10,
             mem_bytes: 16.0 * (1u64 << 30) as f64,
             gpus_per_node: 4,
         }
@@ -59,6 +66,7 @@ impl HardwareProfile {
             alpha: 0.0,
             beta_intra: beta,
             beta_inter: beta,
+            gamma: 0.0,
             mem_bytes: f64::INFINITY,
             gpus_per_node: usize::MAX,
         }
@@ -73,6 +81,7 @@ impl HardwareProfile {
             ("alpha", Json::Num(self.alpha)),
             ("beta_intra", Json::Num(self.beta_intra)),
             ("beta_inter", Json::Num(self.beta_inter)),
+            ("gamma", Json::Num(self.gamma)),
             ("mem_bytes", Json::Num(self.mem_bytes)),
             ("gpus_per_node", Json::Num(self.gpus_per_node as f64)),
         ])
@@ -88,12 +97,18 @@ impl HardwareProfile {
             Json::Null => f64::INFINITY,
             other => other.as_f64()?,
         };
+        // `gamma` postdates serialized profiles in the wild; default 0.0.
+        let gamma = match v.get("gamma") {
+            Ok(g) => g.as_f64()?,
+            Err(_) => 0.0,
+        };
         Ok(HardwareProfile {
             name,
             mac_rate: v.get("mac_rate")?.as_f64()?,
             alpha: v.get("alpha")?.as_f64()?,
             beta_intra: v.get("beta_intra")?.as_f64()?,
             beta_inter: v.get("beta_inter")?.as_f64()?,
+            gamma,
             mem_bytes,
             gpus_per_node: v.get("gpus_per_node")?.as_usize()?,
         })

@@ -84,6 +84,21 @@ pub fn chrome_trace(traces: &[DeviceTrace]) -> Json {
                     t1_ns,
                     meta,
                 } => {
+                    let mut args = vec![
+                        ("span", Json::Num(*span as f64)),
+                        ("axis", Json::Str(meta.axis.into())),
+                        ("algo", Json::Str(meta.algo.into())),
+                        ("elems", Json::Num(meta.elems as f64)),
+                        ("wire_elems", Json::Num(meta.wire_elems as f64)),
+                        ("group_size", Json::Num(meta.group_size as f64)),
+                        ("group_first", Json::Num(meta.group_first as f64)),
+                        ("group_stride", Json::Num(meta.group_stride as f64)),
+                    ];
+                    // Full-width ops stay byte-identical to pre-compression
+                    // traces; only a compressed wire dtype earns an arg.
+                    if !meta.wire.is_empty() && meta.wire != "f32" {
+                        args.push(("wire", Json::Str(meta.wire.into())));
+                    }
                     events.push(Json::obj(vec![
                         ("ph", Json::Str("X".into())),
                         ("cat", Json::Str("comm".into())),
@@ -92,19 +107,7 @@ pub fn chrome_trace(traces: &[DeviceTrace]) -> Json {
                         ("tid", Json::Num(dev.rank as f64)),
                         ("ts", us(*t0_ns)),
                         ("dur", us(t1_ns.saturating_sub(*t0_ns))),
-                        (
-                            "args",
-                            Json::obj(vec![
-                                ("span", Json::Num(*span as f64)),
-                                ("axis", Json::Str(meta.axis.into())),
-                                ("algo", Json::Str(meta.algo.into())),
-                                ("elems", Json::Num(meta.elems as f64)),
-                                ("wire_elems", Json::Num(meta.wire_elems as f64)),
-                                ("group_size", Json::Num(meta.group_size as f64)),
-                                ("group_first", Json::Num(meta.group_first as f64)),
-                                ("group_stride", Json::Num(meta.group_stride as f64)),
-                            ]),
-                        ),
+                        ("args", Json::obj(args)),
                     ]));
                     if meta.group_size > 1 {
                         let key = (

@@ -92,6 +92,11 @@ pub struct OpMeta {
     /// cost model dispatches on it so a dry run prices exactly the
     /// algorithm the live backend would run.
     pub algo: &'static str,
+    /// Wire dtype the payload traveled as (`"f32"`, `"bf16"`, `"f16"`; `""`
+    /// when the producer predates wire compression — treated as `"f32"`).
+    /// Feeds pricing: bytes-on-wire scale with the wire width while `elems`
+    /// stays logical, so `tracecheck` re-prices exactly what ran.
+    pub wire: &'static str,
 }
 
 impl OpMeta {
@@ -113,6 +118,7 @@ impl OpMeta {
             wire_elems,
             axis: "",
             algo: "",
+            wire: "",
         }
     }
 
@@ -125,6 +131,12 @@ impl OpMeta {
     /// This meta with its algorithm name set (builder style).
     pub fn with_algo(mut self, algo: &'static str) -> Self {
         self.algo = algo;
+        self
+    }
+
+    /// This meta with its wire dtype set (builder style).
+    pub fn with_wire(mut self, wire: &'static str) -> Self {
+        self.wire = wire;
         self
     }
 

@@ -13,8 +13,15 @@
 //! * **Backend equivalence** — a live run and a `DryRunComm` replay of the
 //!   same explicit algorithm emit byte-identical op and link logs, rank by
 //!   rank; the dry-run prices exactly the schedule the live mesh executes.
+//!
+//! The same sweep then repeats on the **bf16 wire** (`*_algo_wire`): pure
+//! movement delivers exactly the once-quantized payload (forwarding re-packs
+//! are lossless), reductions stay inside the stated per-hop error envelope
+//! (≤ one 2⁻⁸-relative rounding per wire crossing on an element's reduction
+//! path), and the live and dry-run schedules remain byte-identical — the
+//! packed half-length link records included.
 
-use mesh::{CollAlgo, CommLog, CommOp, Communicator, Group, Mesh};
+use mesh::{CollAlgo, CommLog, CommOp, Communicator, Group, Mesh, WireDtype};
 use tensor::Rng;
 
 const GROUPS: [usize; 5] = [2, 3, 4, 5, 8];
@@ -186,6 +193,32 @@ fn drive<C: Communicator>(ctx: &C, g: usize, op: CommOp, algo: CollAlgo, n: usiz
     }
 }
 
+/// [`drive`] at an explicit wire precision: the `*_algo_wire` entry points,
+/// bypassing the installed wire table (parallel-test safe — no globals).
+fn drive_wire<C: Communicator>(
+    ctx: &C,
+    g: usize,
+    op: CommOp,
+    algo: CollAlgo,
+    n: usize,
+    w: WireDtype,
+) {
+    let world = Group::world(g);
+    let mut data = vec![1.0f32; n];
+    match op {
+        CommOp::Broadcast => ctx.broadcast_algo_wire(&world, g / 2, &mut data, algo, w),
+        CommOp::Reduce => ctx.reduce_algo_wire(&world, g / 2, &mut data, algo, w),
+        CommOp::AllReduce => ctx.all_reduce_algo_wire(&world, &mut data, algo, w),
+        CommOp::AllGather => {
+            ctx.all_gather_algo_wire(&world, &data, algo, w);
+        }
+        CommOp::ReduceScatter => {
+            ctx.reduce_scatter_algo_wire(&world, &mut data, algo, w);
+        }
+        CommOp::Barrier => ctx.barrier(&world),
+    }
+}
+
 fn assert_identical_logs(live: &[CommLog], dry: &[CommLog], label: &str) {
     assert_eq!(live.len(), dry.len());
     for (l, d) in live.iter().zip(dry) {
@@ -199,6 +232,251 @@ fn assert_identical_logs(live: &[CommLog], dry: &[CommLog], label: &str) {
             "{label}: link stream diverges at rank {}",
             l.rank
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The same sweep on the bf16 wire
+// ---------------------------------------------------------------------------
+
+/// One bf16 quantization is off by at most this relative amount (7 explicit
+/// mantissa bits → half a ulp is 2⁻⁸ of the magnitude).
+const BF16_EPS: f32 = 1.0 / 256.0;
+
+fn quantized(v: &[f32]) -> Vec<f32> {
+    v.iter().map(|&x| WireDtype::Bf16.quantize(x)).collect()
+}
+
+/// Element-wise Σᵣ |payloadᵣ[i]| — every partial sum a reduction schedule
+/// can form is bounded by this, so it anchors the stated error envelope.
+fn abs_sum(g: usize, n: usize, seed: u64) -> Vec<f32> {
+    let mut acc = vec![0.0f32; n];
+    for r in 0..g {
+        for (a, x) in acc.iter_mut().zip(payload(seed + r as u64, n)) {
+            *a += x.abs();
+        }
+    }
+    acc
+}
+
+/// Asserts the stated bf16 reduction error bound: an element's reduction
+/// path crosses the wire at most `g` times, each crossing adding one
+/// quantization error of at most `BF16_EPS` times the partial-sum magnitude
+/// (≤ the absolute mass `abs_sum`). The small additive floor absorbs the
+/// f32 reassociation slack the full-width sweep already tolerates (1e-5).
+fn assert_within_bf16_bound(got: &[f32], want: &[f32], mass: &[f32], g: usize, label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: length");
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        let tol = g as f32 * BF16_EPS * mass[i] + 1e-4;
+        assert!(
+            (a - b).abs() <= tol,
+            "{label}: elem {i} got {a} want {b} (tol {tol})"
+        );
+    }
+}
+
+#[test]
+fn bf16_broadcast_delivers_the_quantized_payload_bitwise_to_non_roots() {
+    let w = WireDtype::Bf16;
+    for algo in CollAlgo::menu(CommOp::Broadcast) {
+        for g in GROUPS {
+            for n in SIZES {
+                let root = g / 2;
+                let seed = 0xB16 + (g * n) as u64;
+                let full = payload(seed, n);
+                let want = quantized(&full);
+                let full_ref = &full;
+                let out = Mesh::run(g, move |ctx| {
+                    let world = Group::world(g);
+                    let mut data = if ctx.rank() == root {
+                        full_ref.clone()
+                    } else {
+                        vec![0.0; n]
+                    };
+                    ctx.broadcast_algo_wire(&world, root, &mut data, *algo, w);
+                    data
+                });
+                for (r, d) in out.iter().enumerate() {
+                    if r == root {
+                        // The root never crosses the wire: full precision.
+                        assert_eq!(d, &full, "{algo:?} g={g} n={n} root");
+                    } else {
+                        // Exactly one quantization, then lossless re-packs:
+                        // every non-root agrees bitwise on Q(payload).
+                        assert_eq!(d, &want, "{algo:?} g={g} n={n} rank={r}");
+                    }
+                    for (a, b) in d.iter().zip(&full) {
+                        assert!(
+                            (a - b).abs() <= b.abs() * BF16_EPS + f32::MIN_POSITIVE,
+                            "{algo:?} g={g} n={n} rank={r}: rel error above 2^-8"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bf16_all_gather_quantizes_each_foreign_block_exactly_once() {
+    let w = WireDtype::Bf16;
+    for algo in CollAlgo::menu(CommOp::AllGather) {
+        for g in GROUPS {
+            for n in SIZES {
+                let seed = 0x9a16 + (g * n) as u64;
+                let out = Mesh::run(g, move |ctx| {
+                    let world = Group::world(g);
+                    let local = payload(seed + ctx.rank() as u64, n);
+                    ctx.all_gather_algo_wire(&world, &local, *algo, w)
+                });
+                for (r, d) in out.iter().enumerate() {
+                    for src in 0..g {
+                        let block = &d[src * n..(src + 1) * n];
+                        let full = payload(seed + src as u64, n);
+                        // Own block never crossed the wire; foreign blocks
+                        // carry exactly one quantization however many hops
+                        // they were forwarded through.
+                        let want = if src == r { full } else { quantized(&full) };
+                        assert_eq!(block, &want[..], "{algo:?} g={g} n={n} rank={r} src={src}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bf16_reduce_stays_within_the_stated_error_bound() {
+    let w = WireDtype::Bf16;
+    for algo in CollAlgo::menu(CommOp::Reduce) {
+        for g in GROUPS {
+            for n in SIZES {
+                let root = g / 2;
+                let seed = 0x4e16 + (g * n) as u64;
+                let out = Mesh::run(g, move |ctx| {
+                    let world = Group::world(g);
+                    let mut data = payload(seed + ctx.rank() as u64, n);
+                    ctx.reduce_algo_wire(&world, root, &mut data, *algo, w);
+                    data
+                });
+                let want = serial_sum(g, n, seed);
+                let mass = abs_sum(g, n, seed);
+                assert_within_bf16_bound(
+                    &out[root],
+                    &want,
+                    &mass,
+                    g,
+                    &format!("reduce {algo:?} g={g} n={n}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bf16_all_reduce_stays_within_the_stated_error_bound_on_every_rank() {
+    let w = WireDtype::Bf16;
+    for algo in CollAlgo::menu(CommOp::AllReduce) {
+        for g in GROUPS {
+            for n in SIZES {
+                let seed = 0xA116 + (g * n) as u64;
+                let out = Mesh::run(g, move |ctx| {
+                    let world = Group::world(g);
+                    let mut data = payload(seed + ctx.rank() as u64, n);
+                    ctx.all_reduce_algo_wire(&world, &mut data, *algo, w);
+                    data
+                });
+                let want = serial_sum(g, n, seed);
+                let mass = abs_sum(g, n, seed);
+                for (r, d) in out.iter().enumerate() {
+                    assert_within_bf16_bound(
+                        d,
+                        &want,
+                        &mass,
+                        g,
+                        &format!("all-reduce {algo:?} g={g} n={n} rank={r}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bf16_reduce_scatter_stays_within_the_stated_error_bound() {
+    let w = WireDtype::Bf16;
+    for algo in CollAlgo::menu(CommOp::ReduceScatter) {
+        for g in GROUPS {
+            for n in SIZES {
+                let seed = 0x5c16 + (g * n) as u64;
+                let out = Mesh::run(g, move |ctx| {
+                    let world = Group::world(g);
+                    let mut data = payload(seed + ctx.rank() as u64, n);
+                    ctx.reduce_scatter_algo_wire(&world, &mut data, *algo, w)
+                });
+                let want = serial_sum(g, n, seed);
+                let mass = abs_sum(g, n, seed);
+                let got: Vec<f32> = out.iter().flatten().copied().collect();
+                assert_eq!(got.len(), n, "{algo:?} g={g} n={n}: blocks must tile");
+                assert_within_bf16_bound(
+                    &got,
+                    &want,
+                    &mass,
+                    g,
+                    &format!("reduce-scatter {algo:?} g={g} n={n}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bf16_live_and_dry_run_logs_are_byte_identical_per_algorithm() {
+    let w = WireDtype::Bf16;
+    for op in [
+        CommOp::Broadcast,
+        CommOp::Reduce,
+        CommOp::AllReduce,
+        CommOp::AllGather,
+        CommOp::ReduceScatter,
+    ] {
+        for algo in CollAlgo::menu(op) {
+            for g in GROUPS {
+                for n in [7usize, 65536] {
+                    let (_, live) =
+                        Mesh::run_with_logs(g, move |ctx| drive_wire(ctx, g, op, *algo, n, w));
+                    let (_, dry) =
+                        Mesh::dry_run_with_logs(g, move |ctx| drive_wire(ctx, g, op, *algo, n, w));
+                    assert_identical_logs(
+                        &live,
+                        &dry,
+                        &format!("bf16 {} {algo:?} g={g} n={n}", op.name()),
+                    );
+                    // The compressed schedule must never move more elements
+                    // than the full-width one — and genuinely fewer when
+                    // the per-hop segments are big enough to pack (a
+                    // 1-element chunk occupies one slot either way).
+                    let (_, full) = Mesh::run_with_logs(g, move |ctx| drive(ctx, g, op, *algo, n));
+                    let wire_elems = |logs: &[CommLog]| -> usize {
+                        logs.iter()
+                            .flat_map(|l| l.links.iter().map(|lk| lk.elems))
+                            .sum()
+                    };
+                    assert!(
+                        wire_elems(&live) <= wire_elems(&full),
+                        "bf16 {} {algo:?} g={g} n={n}: wire grew",
+                        op.name()
+                    );
+                    if n >= 2 * g {
+                        assert!(
+                            wire_elems(&live) < wire_elems(&full),
+                            "bf16 {} {algo:?} g={g} n={n}: no wire saving",
+                            op.name()
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 
